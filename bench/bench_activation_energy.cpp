@@ -1,0 +1,66 @@
+// Ablation: activation-energy sensitivity.
+//
+// The EM and SM models use material-dependent activation energies
+// (Ea = 0.9 eV for the copper stack in RAMP); published values for copper
+// interconnects range roughly 0.8–1.0 eV depending on the dielectric cap
+// and process. This bench sweeps Ea and reports how the 180 nm → 65 nm
+// (1.0 V) failure-rate ratio responds, holding everything else (including
+// the qualification procedure, which re-normalizes at 180 nm per variant)
+// fixed. Because qualification anchors each variant at 1000 FIT per
+// mechanism at 180 nm, the Ea sweep isolates the *scaling slope*: higher
+// activation energies amplify the same temperature rise into larger FIT
+// growth.
+#include <cmath>
+
+#include "core/mechanisms.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ramp;
+  using namespace ramp::core;
+
+  std::printf("=== Activation-energy ablation (EM and SM scaling slopes) ===\n\n");
+
+  // Representative suite-average temperatures from the calibrated pipeline.
+  const double t180 = 349.0;
+  const double t65 = 362.0;
+  const double j180 = 0.35 * 9.0;  // p * Jmax at the two nodes
+  const double j65 = 0.35 * 4.0;
+  const double wh180 = 1.0, wh65 = 0.392 * 0.392;
+
+  TextTable em_table("EM: 65nm(1.0V)/180nm FIT ratio vs activation energy");
+  em_table.set_header({"Ea (eV)", "temp factor", "total ratio",
+                       "vs default (0.9 eV)"});
+  // Qualification anchors 180 nm, so the ratio is raw(65)/raw(180).
+  auto em_ratio = [&](double ea) {
+    ElectromigrationModel em;
+    em.ea_ev = ea;
+    return em.raw_fit(j65, t65, wh65) / em.raw_fit(j180, t180, wh180);
+  };
+  const double em_default = em_ratio(0.9);
+  for (double ea : {0.7, 0.8, 0.9, 1.0, 1.1}) {
+    ElectromigrationModel em_t;
+    em_t.ea_ev = ea;
+    const double temp_factor =
+        em_t.raw_fit(1.0, t65, 1.0) / em_t.raw_fit(1.0, t180, 1.0);
+    em_table.add_row({fmt(ea, 1), fmt(temp_factor, 2), fmt(em_ratio(ea), 2),
+                      fmt(em_ratio(ea) / em_default, 2)});
+  }
+  std::printf("%s\n", em_table.str().c_str());
+
+  TextTable sm_table("SM: 65nm(1.0V)/180nm FIT ratio vs activation energy");
+  sm_table.set_header({"Ea (eV)", "total ratio"});
+  for (double ea : {0.7, 0.8, 0.9, 1.0, 1.1}) {
+    StressMigrationModel sm;
+    sm.ea_ev = ea;
+    sm_table.add_row({fmt(ea, 1), fmt(sm.raw_fit(t65) / sm.raw_fit(t180), 2)});
+  }
+  std::printf("%s\n", sm_table.str().c_str());
+
+  std::printf(
+      "Reading: a +-0.1 eV uncertainty in Ea moves the EM scaling ratio by\n"
+      "~10-15%% around the default — material constants shift the magnitude\n"
+      "of the paper's conclusion, never its direction. (Each variant is\n"
+      "re-qualified at 180 nm, so only the slope differs.)\n");
+  return 0;
+}

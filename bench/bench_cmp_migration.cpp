@@ -1,0 +1,63 @@
+// Extension bench: chip multiprocessing and lifetime-aware core hopping.
+//
+// The paper's scaling pressure is what pushed designs toward CMPs; this
+// bench runs a 4-core 65 nm (1.0 V) chip under an asymmetric load (one hot
+// app, cores otherwise idle) and under a full load, with and without
+// epoch-based activity migration, and reports the wear-leveling effect:
+// migration cuts the worst core's failure rate by spreading the hot
+// workload's residency.
+#include "bench_common.hpp"
+#include "cmp/cmp_evaluator.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("CMP activity migration",
+                      "4-core 65 nm chip, pinned vs core-hopping");
+
+  cmp::CmpConfig cfg;
+  cfg.cores = 4;
+  cfg.cell.trace_instructions = env_u64("RAMP_ABLATION_LEN", 60'000);
+  cfg.duration_seconds = 12e-3;
+  cfg.epoch_seconds = 1.5e-3;
+  const cmp::CmpEvaluator ev(cfg, scaling::TechPoint::k65nm_1V0);
+
+  TextTable table("Per-core wear under scheduling policies (raw FIT, relative)");
+  table.set_header({"scenario", "policy", "worst/best core FIT", "worst core vs pinned",
+                    "chip FIT vs pinned", "avg power W", "migrations"});
+
+  const struct {
+    const char* name;
+    std::vector<std::string> apps;
+  } scenarios[] = {
+      {"1 hot app, 3 idle cores", {"crafty"}},
+      {"2 hot + 2 idle", {"crafty", "gcc"}},
+      {"full load (hot+cool mix)", {"crafty", "ammp", "gcc", "mgrid"}},
+  };
+
+  for (const auto& sc : scenarios) {
+    std::vector<workloads::Workload> apps;
+    for (const auto& name : sc.apps) apps.push_back(workloads::workload(name));
+    const auto pinned = ev.evaluate(apps, false);
+    const auto hopped = ev.evaluate(apps, true);
+    table.add_row({sc.name, "pinned",
+                   fmt(pinned.worst_core_raw_fit() / pinned.best_core_raw_fit(), 2),
+                   "1.00", "1.00", fmt(pinned.avg_power_w, 1), "0"});
+    table.add_row({"", "core-hopping",
+                   fmt(hopped.worst_core_raw_fit() / hopped.best_core_raw_fit(), 2),
+                   fmt(hopped.worst_core_raw_fit() / pinned.worst_core_raw_fit(), 2),
+                   fmt(hopped.chip_raw_fit / pinned.chip_raw_fit, 2),
+                   fmt(hopped.avg_power_w, 1),
+                   std::to_string(hopped.migrations)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  bench::export_csv(table, "cmp_migration.csv");
+
+  std::printf(
+      "Reading: under asymmetric load, hopping equalizes per-core wear (the\n"
+      "worst/best ratio collapses toward 1) and cuts the worst core's\n"
+      "failure rate — the series-system chip lives as long as its weakest\n"
+      "core, so leveling buys lifetime even when total chip FIT barely\n"
+      "moves. Under a fully loaded chip, migration mostly trades which core\n"
+      "ages, as expected.\n");
+  return 0;
+}

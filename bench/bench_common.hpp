@@ -1,0 +1,52 @@
+// Shared setup for the table/figure reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper from the same
+// full sweep (16 apps × 5 nodes). The sweep result is cached on disk
+// (ramp_sweep_cache.csv in the working directory) so the suite of benches
+// pays for simulation once. Environment overrides:
+//   RAMP_TRACE_LEN  instructions per synthetic trace (default 300000)
+//   RAMP_SEED       base RNG seed (default 42)
+//   RAMP_CACHE=off  recompute instead of using/writing the cache
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "pipeline/sweep.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace ramp::bench {
+
+inline pipeline::EvaluationConfig default_config() {
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = env_u64("RAMP_TRACE_LEN", 300'000);
+  cfg.seed = env_u64("RAMP_SEED", 42);
+  return cfg;
+}
+
+inline const pipeline::SweepResult& shared_sweep() {
+  static const pipeline::SweepResult sweep =
+      pipeline::run_sweep(default_config());
+  return sweep;
+}
+
+/// Prints a standard bench header naming the paper artifact reproduced.
+inline void print_header(const std::string& artifact, const std::string& what) {
+  std::printf("=== %s — %s ===\n", artifact.c_str(), what.c_str());
+  std::printf(
+      "(reproduction of Srinivasan et al., DSN 2004; shape-level comparison,\n"
+      " see EXPERIMENTS.md for paper-vs-measured discussion)\n\n");
+}
+
+/// Writes the table as CSV next to the cache for plotting, best effort.
+inline void export_csv(const TextTable& table, const std::string& filename) {
+  try {
+    table.write_csv(filename);
+    std::printf("[csv written to %s]\n", filename.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "csv export failed: %s\n", e.what());
+  }
+}
+
+}  // namespace ramp::bench

@@ -1,0 +1,55 @@
+// Reproduces Figure 2: maximum temperature reached by any structure for
+// each application at each technology node, plus the (constant) average
+// heat-sink temperature.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("Figure 2", "maximum structure temperature under scaling");
+
+  const auto& sweep = bench::shared_sweep();
+
+  for (const auto suite :
+       {workloads::Suite::kSpecFp, workloads::Suite::kSpecInt}) {
+    TextTable table(std::string(workloads::suite_name(suite)) +
+                    " — hottest structure temperature (K) per node");
+    std::vector<std::string> header = {"app"};
+    for (const auto tp : scaling::kAllTechPoints) {
+      header.push_back(std::string(scaling::tech_name(tp)));
+    }
+    table.set_header(header);
+
+    for (const auto& w : workloads::suite_workloads(suite)) {
+      std::vector<std::string> rowv = {w.name};
+      for (const auto tp : scaling::kAllTechPoints) {
+        rowv.push_back(fmt(sweep.at(w.name, tp).max_structure_temp_k, 1));
+      }
+      table.add_row(rowv);
+    }
+    // Heat-sink temperature averaged over the suite's apps (constant
+    // across nodes by construction — the paper's scaling rule).
+    std::vector<std::string> sink_row = {"heat sink (avg)"};
+    for (const auto tp : scaling::kAllTechPoints) {
+      double s = 0;
+      for (const auto* r : sweep.cells(suite, tp)) s += r->sink_temp_k;
+      sink_row.push_back(fmt(s / 8.0, 1));
+    }
+    table.add_row(sink_row);
+    std::printf("%s\n", table.str().c_str());
+    bench::export_csv(table, std::string("fig2_") +
+                                 workloads::suite_name(suite) + ".csv");
+    std::printf("\n");
+  }
+
+  // Headline §5.1 number: average rise of the hottest structure.
+  double rise = 0;
+  for (const auto& w : workloads::spec2k_suite()) {
+    rise += sweep.at(w.name, scaling::TechPoint::k65nm_1V0).max_structure_temp_k -
+            sweep.at(w.name, scaling::TechPoint::k180nm).max_structure_temp_k;
+  }
+  std::printf(
+      "Average hottest-structure rise 180nm -> 65nm (1.0V): %.1f K "
+      "(paper: ~15 K)\n",
+      rise / 16.0);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Figure 3: total processor FIT value for each application at
+// each technology node, plus the worst-case ("max") operating-condition
+// curve, and the §5.2 headline numbers derived from it.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("Figure 3", "total processor FIT under scaling");
+
+  const auto& sweep = bench::shared_sweep();
+
+  for (const auto suite :
+       {workloads::Suite::kSpecFp, workloads::Suite::kSpecInt}) {
+    TextTable table(std::string(workloads::suite_name(suite)) +
+                    " — total FIT per node (qualified at 180 nm)");
+    std::vector<std::string> header = {"app"};
+    for (const auto tp : scaling::kAllTechPoints) {
+      header.push_back(std::string(scaling::tech_name(tp)));
+    }
+    table.set_header(header);
+    for (const auto& w : workloads::suite_workloads(suite)) {
+      std::vector<std::string> row = {w.name};
+      for (const auto tp : scaling::kAllTechPoints) {
+        row.push_back(fmt_fit(sweep.qualified_fits(sweep.at(w.name, tp)).total()));
+      }
+      table.add_row(row);
+    }
+    std::vector<std::string> max_row = {"max (worst case)"};
+    for (const auto tp : scaling::kAllTechPoints) {
+      max_row.push_back(fmt_fit(sweep.worst_case(tp).total()));
+    }
+    table.add_row(max_row);
+    std::printf("%s\n", table.str().c_str());
+    bench::export_csv(table, std::string("fig3_") +
+                                 workloads::suite_name(suite) + ".csv");
+    std::printf("\n");
+  }
+
+  // ---- §5.2 headline numbers -------------------------------------------
+  auto avg = [&](scaling::TechPoint tp) {
+    return sweep.average_total_fit_all(tp);
+  };
+  auto suite_avg = [&](workloads::Suite s, scaling::TechPoint tp) {
+    return sweep.average_total_fit(s, tp);
+  };
+  const auto t180 = scaling::TechPoint::k180nm;
+  const auto t65a = scaling::TechPoint::k65nm_0V9;
+  const auto t65b = scaling::TechPoint::k65nm_1V0;
+
+  std::printf("Headline numbers (paper §5.2 in parentheses):\n");
+  std::printf("  total FIT increase 180nm -> 65nm (1.0V), all apps: %s  (+316%%)\n",
+              fmt_pct_change(avg(t65b) / avg(t180)).c_str());
+  std::printf("  SpecFP  increase: %s  (+274%%)\n",
+              fmt_pct_change(suite_avg(workloads::Suite::kSpecFp, t65b) /
+                             suite_avg(workloads::Suite::kSpecFp, t180))
+                  .c_str());
+  std::printf("  SpecInt increase: %s  (+357%%)\n",
+              fmt_pct_change(suite_avg(workloads::Suite::kSpecInt, t65b) /
+                             suite_avg(workloads::Suite::kSpecInt, t180))
+                  .c_str());
+  std::printf("  180nm -> 65nm (0.9V): SpecFP %s (+70%%), SpecInt %s (+86%%)\n",
+              fmt_pct_change(suite_avg(workloads::Suite::kSpecFp, t65a) /
+                             suite_avg(workloads::Suite::kSpecFp, t180))
+                  .c_str(),
+              fmt_pct_change(suite_avg(workloads::Suite::kSpecInt, t65a) /
+                             suite_avg(workloads::Suite::kSpecInt, t180))
+                  .c_str());
+
+  // Worst-case vs application FIT gaps (as % of the quantity the paper uses).
+  for (const auto tp : {t180, t65b}) {
+    double highest = 0, sum = 0;
+    for (const auto& r : sweep.results) {
+      if (r.tech != tp) continue;
+      const double f = sweep.qualified_fits(r).total();
+      highest = std::max(highest, f);
+      sum += f;
+    }
+    const double wc = sweep.worst_case(tp).total();
+    std::printf(
+        "  %s: worst-case is %.0f%% above the highest app (paper: %s), "
+        "%.0f%% above the app average (paper: %s)\n",
+        std::string(scaling::tech_name(tp)).c_str(),
+        (wc - highest) / highest * 100.0,
+        tp == t180 ? "25%" : "90%", (wc - sum / 16.0) / (sum / 16.0) * 100.0,
+        tp == t180 ? "67%" : "206%");
+  }
+
+  // FIT range across apps (paper: 2479 -> 5095 -> 17272 FIT).
+  for (const auto tp : {t180, t65a, t65b}) {
+    double lo = 1e30, hi = 0, sum = 0;
+    for (const auto& r : sweep.results) {
+      if (r.tech != tp) continue;
+      const double f = sweep.qualified_fits(r).total();
+      lo = std::min(lo, f);
+      hi = std::max(hi, f);
+      sum += f;
+    }
+    std::printf("  FIT range across all apps at %s: %.0f (%.0f%% of average)\n",
+                std::string(scaling::tech_name(tp)).c_str(), hi - lo,
+                (hi - lo) / (sum / 16.0) * 100.0);
+  }
+  return 0;
+}

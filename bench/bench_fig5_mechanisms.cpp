@@ -1,0 +1,77 @@
+// Reproduces Figure 5: per-application failure rates for each individual
+// failure mechanism (EM, SM, TDDB, TC), for SpecFP and SpecInt, with the
+// worst-case ("max") curve — eight panels in the paper, eight tables here.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("Figure 5", "per-mechanism FIT curves under scaling");
+
+  const auto& sweep = bench::shared_sweep();
+
+  for (int m = 0; m < core::kNumMechanisms; ++m) {
+    const auto mech = static_cast<core::Mechanism>(m);
+    for (const auto suite :
+         {workloads::Suite::kSpecFp, workloads::Suite::kSpecInt}) {
+      TextTable table(std::string(core::mechanism_name(mech)) + " — " +
+                      workloads::suite_name(suite));
+      std::vector<std::string> header = {"app"};
+      for (const auto tp : scaling::kAllTechPoints) {
+        header.push_back(std::string(scaling::tech_name(tp)));
+      }
+      table.set_header(header);
+      for (const auto& w : workloads::suite_workloads(suite)) {
+        std::vector<std::string> row = {w.name};
+        for (const auto tp : scaling::kAllTechPoints) {
+          const auto fits = sweep.qualified_fits(sweep.at(w.name, tp));
+          row.push_back(
+              fmt_fit(fits.by_mechanism()[static_cast<std::size_t>(m)]));
+        }
+        table.add_row(row);
+      }
+      std::vector<std::string> max_row = {"max (worst case)"};
+      for (const auto tp : scaling::kAllTechPoints) {
+        max_row.push_back(fmt_fit(
+            sweep.worst_case(tp).by_mechanism()[static_cast<std::size_t>(m)]));
+      }
+      table.add_row(max_row);
+      std::printf("%s\n", table.str().c_str());
+      bench::export_csv(table, std::string("fig5_") +
+                                   std::string(core::mechanism_name(mech)) +
+                                   "_" + workloads::suite_name(suite) + ".csv");
+      std::printf("\n");
+    }
+  }
+
+  // §5.3 headline ratios for quick comparison.
+  std::printf("Suite-average increases 180nm -> 65nm (paper values):\n");
+  const struct { core::Mechanism m; const char* fp10; const char* in10;
+                 const char* fp09; const char* in09; } refs[] = {
+      {core::Mechanism::kEm, "+303%", "+447%", "+97%", "+128%"},
+      {core::Mechanism::kSm, "+76%", "+106%", "+43%", "+52%"},
+      {core::Mechanism::kTddb, "+667%", "+812%", "+106%", "+127%"},
+      {core::Mechanism::kTc, "+52%", "+66%", "+32%", "+36%"},
+  };
+  for (const auto& ref : refs) {
+    auto ratio = [&](workloads::Suite s, scaling::TechPoint tp) {
+      return sweep.average_mechanism_fit(s, tp, ref.m) /
+             sweep.average_mechanism_fit(s, scaling::TechPoint::k180nm, ref.m);
+    };
+    std::printf(
+        "  %-4s 1.0V: FP %s (%s), Int %s (%s);  0.9V: FP %s (%s), Int %s (%s)\n",
+        std::string(core::mechanism_name(ref.m)).c_str(),
+        fmt_pct_change(ratio(workloads::Suite::kSpecFp,
+                             scaling::TechPoint::k65nm_1V0)).c_str(),
+        ref.fp10,
+        fmt_pct_change(ratio(workloads::Suite::kSpecInt,
+                             scaling::TechPoint::k65nm_1V0)).c_str(),
+        ref.in10,
+        fmt_pct_change(ratio(workloads::Suite::kSpecFp,
+                             scaling::TechPoint::k65nm_0V9)).c_str(),
+        ref.fp09,
+        fmt_pct_change(ratio(workloads::Suite::kSpecInt,
+                             scaling::TechPoint::k65nm_0V9)).c_str(),
+        ref.in09);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Performance microbenchmarks (google-benchmark) for the library's hot
+// kernels: trace synthesis, timing simulation, the thermal solvers, and the
+// failure-model evaluation loop. These guard the "full sweep in seconds"
+// property the reproduction benches depend on.
+#include <benchmark/benchmark.h>
+
+#include "core/fit_tracker.hpp"
+#include "sim/ooo_core.hpp"
+#include "thermal/rc_model.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace {
+
+using namespace ramp;
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto& w = workloads::workload("gcc");
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    trace::SyntheticTrace t(w.profile, 10000, 42);
+    trace::Instruction ins;
+    while (t.next(ins)) benchmark::DoNotOptimize(ins.pc);
+    n += 10000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_TimingSimulation(benchmark::State& state) {
+  const auto& w = workloads::workload(
+      state.range(0) == 0 ? "crafty" : "ammp");  // high vs low IPC
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    trace::SyntheticTrace t(w.profile, 20000, 42);
+    sim::OooCore core(sim::base_core_config());
+    const auto r = core.run(t, 1100);
+    benchmark::DoNotOptimize(r.totals.cycles);
+    n += 20000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  state.SetLabel(w.name);
+}
+BENCHMARK(BM_TimingSimulation)->Arg(0)->Arg(1);
+
+void BM_ThermalSteadyState(benchmark::State& state) {
+  const thermal::RcNetwork net(thermal::power4_floorplan(), {});
+  const std::vector<double> p(net.num_blocks(), 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.steady_state(p));
+  }
+}
+BENCHMARK(BM_ThermalSteadyState);
+
+void BM_ThermalTransientStep(benchmark::State& state) {
+  const thermal::RcNetwork net(thermal::power4_floorplan(), {});
+  const std::vector<double> p(net.num_blocks(), 4.0);
+  thermal::Transient tr(net, net.steady_state(p), 1e-6);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    tr.step(p);
+    benchmark::DoNotOptimize(tr.temperatures().front());
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ThermalTransientStep);
+
+void BM_FitEvaluation(benchmark::State& state) {
+  const core::RampModel model(scaling::base_node());
+  core::FitTracker tracker(model);
+  std::array<double, sim::kNumStructures> temps{};
+  temps.fill(355.0);
+  std::array<double, sim::kNumStructures> act{};
+  act.fill(0.5);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    tracker.add_interval(temps, act, 1.3, 1e-6);
+    ++n;
+  }
+  benchmark::DoNotOptimize(tracker.summary().total());
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FitEvaluation);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  sim::BranchPredictor bp;
+  std::uint64_t pc = 0x1000;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.record_outcome(pc, (pc & 4) != 0, pc + 64));
+    pc = pc * 1664525 + 1013904223;
+    pc &= 0xffff;
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::Cache cache({.name = "L1", .size_bytes = 32 * 1024, .line_bytes = 64,
+                    .ways = 2});
+  std::uint64_t addr = 0;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr = addr * 6364136223846793005ULL + 1442695040888963407ULL;
+    addr &= 64 * 1024 - 1;
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CacheAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Extension bench: structural duplication vs the scaling-induced lifetime
+// loss. The paper concludes that remapping a design to 65 nm costs a large
+// fraction of its qualified lifetime; the follow-up research direction is
+// buying it back with spare structures. This bench sweeps spare plans on
+// the 65 nm (1.0 V) node and reports mean lifetime vs area overhead —
+// including the targeted plan that spares only the highest-FIT structures.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/redundancy.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("Structural-duplication study",
+                      "buying back the 65 nm lifetime with spares");
+
+  const auto& sweep = bench::shared_sweep();
+  constexpr std::uint64_t kSamples = 20000;
+
+  // Suite-average qualified FIT summary at 65 nm (1.0 V): average each cell
+  // across apps so the plan targets the expected workload mix.
+  core::FitSummary avg{};
+  for (const auto& w : workloads::spec2k_suite()) {
+    const auto fits =
+        sweep.qualified_fits(sweep.at(w.name, scaling::TechPoint::k65nm_1V0));
+    for (int s = 0; s < sim::kNumStructures; ++s) {
+      for (int m = 0; m < core::kNumMechanisms; ++m) {
+        avg.by_structure[static_cast<std::size_t>(s)][static_cast<std::size_t>(m)] +=
+            fits.by_structure[static_cast<std::size_t>(s)][static_cast<std::size_t>(m)] / 16.0;
+      }
+    }
+    avg.tc_fit += fits.tc_fit / 16.0;
+  }
+
+  core::LifetimeModelConfig cfg;
+  cfg.family = core::LifetimeFamily::kWeibull;
+
+  // Targeted plan: spare the two structures with the highest total FIT.
+  core::SparePlan targeted;
+  {
+    std::array<std::pair<double, int>, sim::kNumStructures> ranked{};
+    for (int s = 0; s < sim::kNumStructures; ++s) {
+      double t = 0;
+      for (double v : avg.by_structure[static_cast<std::size_t>(s)]) t += v;
+      ranked[static_cast<std::size_t>(s)] = {t, s};
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](auto a, auto b) { return a.first > b.first; });
+    targeted.spares[static_cast<std::size_t>(ranked[0].second)] = 1;
+    targeted.spares[static_cast<std::size_t>(ranked[1].second)] = 1;
+  }
+
+  TextTable table("Mean chip lifetime at 65 nm (1.0V), Weibull wear-out");
+  table.set_header({"plan", "area overhead", "mean life (y)", "p05 (y)",
+                    "gain vs no spares"});
+  const struct {
+    const char* name;
+    core::SparePlan plan;
+  } plans[] = {
+      {"no spares (baseline)", core::SparePlan{}},
+      {"targeted: top-2 FIT structures", targeted},
+      {"uniform x1 (every structure)", core::SparePlan::uniform(1)},
+      {"uniform x2", core::SparePlan::uniform(2)},
+  };
+  double baseline = 0.0;
+  for (const auto& p : plans) {
+    const core::RedundantLifetimeMonteCarlo mc(avg, p.plan, cfg);
+    const auto est = mc.estimate(kSamples, 17);
+    if (baseline == 0.0) baseline = est.mean_years;
+    table.add_row({p.name, fmt(p.plan.area_overhead() * 100, 0) + "%",
+                   fmt(est.mean_years, 1), fmt(est.p05_years, 1),
+                   fmt_pct_change(est.mean_years / baseline)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  bench::export_csv(table, "redundancy.csv");
+
+  std::printf(
+      "Reading: a targeted spare plan recovers a large share of the\n"
+      "full-duplication benefit at a fraction of the area — the\n"
+      "structural-duplication direction the paper's conclusions seeded.\n");
+  return 0;
+}

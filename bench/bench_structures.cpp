@@ -1,0 +1,48 @@
+// Structure-level FIT breakdown — RAMP's defining granularity (paper §2:
+// "it implements the failure models at a microarchitectural structure
+// level"). For one representative hot and one cool application, prints the
+// per-structure contribution of each mechanism at 180 nm and 65 nm (1.0 V),
+// showing which units age fastest and how scaling changes the ranking.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("Structure breakdown",
+                      "per-structure, per-mechanism FIT contributions");
+
+  const auto& sweep = bench::shared_sweep();
+
+  for (const std::string app : {"crafty", "ammp"}) {
+    for (const auto tp :
+         {scaling::TechPoint::k180nm, scaling::TechPoint::k65nm_1V0}) {
+      const auto& r = sweep.at(app, tp);
+      const core::FitSummary fits = sweep.qualified_fits(r);
+
+      TextTable table(app + " @ " + std::string(scaling::tech_name(tp)) +
+                      " — FIT by structure and mechanism");
+      table.set_header({"structure", "area %", "EM", "SM", "TDDB",
+                        "struct total", "% of processor"});
+      const double total = fits.total();
+      for (int s = 0; s < sim::kNumStructures; ++s) {
+        const auto id = static_cast<sim::StructureId>(s);
+        const auto& row = fits.by_structure[static_cast<std::size_t>(s)];
+        double st_total = 0;
+        for (double v : row) st_total += v;
+        table.add_row({std::string(sim::structure_name(id)),
+                       fmt(sim::structure_area_fraction(id) * 100, 0),
+                       fmt_fit(row[0]), fmt_fit(row[1]), fmt_fit(row[2]),
+                       fmt_fit(st_total), fmt(st_total / total * 100, 1)});
+      }
+      table.add_row({"package (TC)", "-", "-", "-", "-", fmt_fit(fits.tc_fit),
+                     fmt(fits.tc_fit / total * 100, 1)});
+      std::printf("%s\n", table.str().c_str());
+    }
+  }
+
+  std::printf(
+      "Reading: the LSU (largest, hot, memory-active) and FXU dominate; FP-\n"
+      "idle integer codes still pay the FPU's area-weighted TDDB/SM cost but\n"
+      "no FPU electromigration (EM needs current flow, p = 0). Scaling\n"
+      "shifts weight toward TDDB everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation for Table 1: the sensitivity of each failure mechanism to
+// temperature, voltage, and feature-size parameters, evaluated analytically
+// on the mechanism models (no simulation). This is the quantitative version
+// of the paper's qualitative summary table.
+#include <cmath>
+
+#include "core/mechanisms.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ramp;
+  using namespace ramp::core;
+
+  std::printf("=== Table 1 — sensitivity of MTTF/FIT to scaling parameters ===\n\n");
+
+  const ElectromigrationModel em;
+  const StressMigrationModel sm;
+  const TddbModel tddb;  // dsn04_shape preset
+  const ThermalCyclingModel tc;
+
+  // --- temperature sensitivity: FIT multiplier per +10 K ------------------
+  {
+    TextTable table("FIT multiplier per +10 K (evaluated at V=1.0, tox=0.9nm)");
+    table.set_header({"T (K)", "EM", "SM", "TDDB", "TC"});
+    for (double t : {330.0, 345.0, 360.0, 375.0}) {
+      table.add_row({fmt(t, 0),
+                     fmt(em.raw_fit(5, t + 10, 1) / em.raw_fit(5, t, 1), 2),
+                     fmt(sm.raw_fit(t + 10) / sm.raw_fit(t), 2),
+                     fmt(tddb.raw_fit(1.0, t + 10, 0.9, 1) /
+                             tddb.raw_fit(1.0, t, 0.9, 1),
+                         2),
+                     fmt(tc.raw_fit(t + 10) / tc.raw_fit(t), 2)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+
+  // --- voltage sensitivity (TDDB only) -------------------------------------
+  {
+    TextTable table("TDDB FIT multiplier per +0.1 V (only mechanism with V term)");
+    table.set_header({"V", "at 345 K", "at 360 K", "at 375 K"});
+    for (double v : {0.9, 1.0, 1.1, 1.2}) {
+      std::vector<std::string> row = {fmt(v, 1)};
+      for (double t : {345.0, 360.0, 375.0}) {
+        row.push_back(fmt(
+            tddb.raw_fit(v + 0.1, t, 0.9, 1) / tddb.raw_fit(v, t, 0.9, 1), 2));
+      }
+      table.add_row(row);
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+
+  // --- feature-size terms ---------------------------------------------------
+  {
+    TextTable table("Feature-size terms per node (relative to 180 nm)");
+    table.set_header({"tech", "EM 1/(w*h) term", "TDDB 10^(dtox/s) term",
+                      "TDDB area term"});
+    const struct { const char* name; double lin; double tox; double area; }
+        nodes[] = {{"180nm", 1.0, 2.5, 1.0},
+                   {"130nm", 0.7, 1.7, 0.5},
+                   {"90nm", 0.49, 1.2, 0.25},
+                   {"65nm", 0.392, 0.9, 0.16}};
+    for (const auto& n : nodes) {
+      table.add_row({n.name, fmt(1.0 / (n.lin * n.lin), 2),
+                     fmt(std::pow(10.0, (2.5 - n.tox) / tddb.tox_scale_nm), 1),
+                     fmt(n.area, 2)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+
+  std::printf(
+      "Reading (matches paper Table 1): temperature hits every mechanism —\n"
+      "super-exponentially for TDDB, exponentially for EM/SM, polynomially\n"
+      "(Coffin-Manson q=2.35) for TC; voltage affects only TDDB (beneficial\n"
+      "when it scales down); shrinking w*h hurts EM and thinning tox hurts\n"
+      "TDDB, partially offset by shrinking gate-oxide area.\n");
+  return 0;
+}

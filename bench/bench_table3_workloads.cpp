@@ -1,0 +1,53 @@
+// Reproduces Table 3: average IPC and power consumption of the 16 SPEC2K
+// benchmarks on the base 180 nm processor, paper vs measured.
+//
+// Also echoes the Table 2 machine configuration the simulator models.
+#include "bench_common.hpp"
+#include "sim/core_config.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("Table 3", "IPC and power of the 180 nm base processor");
+
+  const auto& cfg = sim::base_core_config();
+  std::printf(
+      "machine (Table 2): fetch %d/cyc, dispatch group %d, %d Int + %d FP + "
+      "%d LS + %d BR + %d LCR units,\n  ROB %d, regs %d int / %d fp, memq %d, "
+      "L1 %lluKB/%lluKB, L2 %lluKB, lat %d/%d/%d cyc, %.1f GHz\n\n",
+      cfg.fetch_width, cfg.dispatch_group, cfg.int_units, cfg.fp_units,
+      cfg.ls_units, cfg.br_units, cfg.cr_units, cfg.rob_size, cfg.int_regs,
+      cfg.fp_regs, cfg.mem_queue,
+      static_cast<unsigned long long>(cfg.l1i.size_bytes / 1024),
+      static_cast<unsigned long long>(cfg.l1d.size_bytes / 1024),
+      static_cast<unsigned long long>(cfg.l2.size_bytes / 1024), cfg.lat_l1d,
+      cfg.lat_l2, cfg.lat_memory, cfg.frequency_hz / 1e9);
+
+  const auto& sweep = bench::shared_sweep();
+
+  for (const auto suite :
+       {workloads::Suite::kSpecFp, workloads::Suite::kSpecInt}) {
+    TextTable table(std::string(workloads::suite_name(suite)) +
+                    " at 180 nm (paper Table 3 vs measured)");
+    table.set_header({"app", "IPC (paper)", "IPC (measured)", "power W (paper)",
+                      "power W (measured)", "bmiss%", "L1D miss%"});
+    double ipc_p = 0, ipc_m = 0, pw_p = 0, pw_m = 0;
+    for (const auto& w : workloads::suite_workloads(suite)) {
+      const auto& r = sweep.at(w.name, scaling::TechPoint::k180nm);
+      table.add_row({w.name, fmt(w.table3_ipc, 2), fmt(r.ipc, 2),
+                     fmt(w.table3_power_w, 2), fmt(r.avg_total_power_w, 2),
+                     fmt(r.run.branch_mispredict_rate() * 100, 1),
+                     fmt(r.run.l1d_miss_rate() * 100, 1)});
+      ipc_p += w.table3_ipc;
+      ipc_m += r.ipc;
+      pw_p += w.table3_power_w;
+      pw_m += r.avg_total_power_w;
+    }
+    table.add_row({"Average", fmt(ipc_p / 8, 2), fmt(ipc_m / 8, 2),
+                   fmt(pw_p / 8, 2), fmt(pw_m / 8, 2), "", ""});
+    std::printf("%s\n", table.str().c_str());
+    bench::export_csv(table, std::string("table3_") +
+                                 workloads::suite_name(suite) + ".csv");
+    std::printf("\n");
+  }
+  return 0;
+}

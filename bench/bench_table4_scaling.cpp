@@ -1,0 +1,45 @@
+// Reproduces Table 4: the scaled technology parameters plus the
+// simulation-derived columns — average total power (dynamic + leakage) and
+// relative total power density — for each technology node.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("Table 4", "scaled parameters and measured power");
+
+  const auto& sweep = bench::shared_sweep();
+
+  // Paper's published power column for side-by-side comparison.
+  const double paper_power[5] = {29.1, 19.0, 14.7, 14.4, 16.9};
+  const double paper_density[5] = {1.0, 1.31, 2.02, 3.09, 3.63};
+
+  TextTable table("Table 4 — scaled parameters (fixed) and measured power");
+  table.set_header({"tech", "Vdd V", "freq GHz", "rel C", "rel area", "tox A",
+                    "Jmax mA/um2", "leak W/mm2", "power W (paper)",
+                    "power W (meas)", "rel density (paper)",
+                    "rel density (meas)"});
+
+  double base_density = 0.0;
+  int row = 0;
+  for (const auto tp : scaling::kAllTechPoints) {
+    const auto& n = scaling::node(tp);
+    double p = 0.0;
+    for (const auto& r : sweep.results) {
+      if (r.tech == tp) p += r.avg_total_power_w;
+    }
+    p /= 16.0;
+    const double area = 81.0 * n.relative_area;
+    const double density = p / area;
+    if (row == 0) base_density = density;
+    table.add_row({n.name, fmt(n.vdd, 1), fmt(n.frequency_hz / 1e9, 2),
+                   fmt(n.relative_capacitance, 2), fmt(n.relative_area, 2),
+                   fmt(n.tox_nm * 10.0, 0), fmt(n.jmax_ma_per_um2, 1),
+                   fmt(n.leakage_w_per_mm2_at_383k, 3),
+                   fmt(paper_power[row], 1), fmt(p, 1),
+                   fmt(paper_density[row], 2), fmt(density / base_density, 2)});
+    ++row;
+  }
+  std::printf("%s\n", table.str().c_str());
+  bench::export_csv(table, "table4_scaling.csv");
+  return 0;
+}

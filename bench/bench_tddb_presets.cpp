@@ -1,0 +1,53 @@
+// Ablation: the two TDDB parameter presets (wu2002 literature constants vs
+// the dsn04_shape fit) evaluated over the technology nodes at representative
+// operating points. Documents why the default preset is the fitted one —
+// the paper's published TDDB curve is not reproducible from its printed
+// constants (see DESIGN.md, "Model-constant correction").
+#include "core/mechanisms.hpp"
+#include "scaling/technology.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ramp;
+  using namespace ramp::core;
+
+  std::printf("=== TDDB preset ablation (wu2002 vs dsn04_shape) ===\n\n");
+
+  // Representative per-node operating temperatures from the full pipeline.
+  const struct { scaling::TechPoint tp; double temp; } points[] = {
+      {scaling::TechPoint::k180nm, 350.0},  {scaling::TechPoint::k130nm, 351.0},
+      {scaling::TechPoint::k90nm, 355.0},   {scaling::TechPoint::k65nm_0V9, 360.0},
+      {scaling::TechPoint::k65nm_1V0, 364.0}};
+  const char* paper[] = {"1.00", "~0.85 (slight dip)", "~1.0", "2.06 (+106%)",
+                         "7.67 (+667%)"};
+
+  for (const auto preset : {TddbModel::dsn04_shape(), TddbModel::wu2002()}) {
+    const bool is_shape = preset.tox_scale_nm > 0.3;
+    TextTable table(is_shape ? "dsn04_shape preset (default)"
+                             : "wu2002 preset (literature constants)");
+    table.set_header({"tech", "V", "T (K)", "n = a-bT", "FIT ratio vs 180nm",
+                      "paper (SpecFP)"});
+    double base = 0.0;
+    int i = 0;
+    for (const auto& pt : points) {
+      const auto& n = scaling::node(pt.tp);
+      const double fit =
+          preset.raw_fit(n.vdd, pt.temp, n.tox_nm, n.relative_area);
+      if (i == 0) base = fit;
+      table.add_row({n.name, fmt(n.vdd, 1), fmt(pt.temp, 0),
+                     fmt(preset.voltage_exponent(pt.temp), 1),
+                     fmt(fit / base, 3), paper[i]});
+      ++i;
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+
+  std::printf(
+      "The wu2002 exponent (~48) makes voltage scaling overwhelm the oxide\n"
+      "thinning term, predicting huge TDDB *improvements* at scaled nodes —\n"
+      "contradicting every published TDDB result. The dsn04_shape fit\n"
+      "(effective exponent ~10-16) reproduces the published signs and\n"
+      "magnitudes at both 65 nm points and keeps TDDB the dominant 65 nm\n"
+      "mechanism; its one shape miss is the small 130 nm dip.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: block-mode vs grid-mode thermal modeling.
+//
+// The reproduction uses HotSpot-style block granularity (one RC node per
+// structure, as the paper's 7-structure setup implies). This bench checks
+// what that granularity hides: for each application's average power map at
+// 180 nm and 65 nm (1.0 V), it compares the block model's structure
+// temperatures against a 16x16 grid solve — block averages (model
+// agreement) and intra-block peaks (what the block model cannot see).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "power/power_model.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/rc_model.hpp"
+
+int main() {
+  using namespace ramp;
+  bench::print_header("Thermal granularity ablation",
+                      "block-mode vs 16x16 grid-mode solves");
+
+  const auto& sweep = bench::shared_sweep();
+  const pipeline::EvaluationConfig cfg = bench::default_config();
+
+  TextTable table("Hottest structure: block node vs grid average vs grid peak");
+  table.set_header({"app", "tech", "block T (K)", "grid avg (K)",
+                    "grid peak (K)", "intra-block gradient (K)"});
+
+  for (const std::string app : {"crafty", "wupwise", "ammp"}) {
+    for (const auto tp :
+         {scaling::TechPoint::k180nm, scaling::TechPoint::k65nm_1V0}) {
+      const auto& r = sweep.at(app, tp);
+      const auto& tech = scaling::node(tp);
+      const auto& w = workloads::workload(app);
+
+      const power::PowerModel pm(cfg.power, tech);
+      const thermal::Floorplan fp =
+          thermal::power4_floorplan().scaled(std::sqrt(tech.relative_area));
+      thermal::RcNetwork block_net(fp, cfg.thermal);
+      const thermal::GridModel grid(fp, cfg.thermal, 16, 16);
+
+      // Average power map from the sweep's recorded activities + leakage
+      // at the recorded structure temperatures (single fixed point pass).
+      power::StructurePower dyn = pm.dynamic_power(r.run.avg_activity);
+      std::vector<double> p(fp.size(), 0.0);
+      for (int s = 0; s < sim::kNumStructures; ++s) {
+        const auto blk = fp.index_of(std::string(
+            sim::structure_name(static_cast<sim::StructureId>(s))));
+        p[blk] += dyn[static_cast<std::size_t>(s)] * w.power_bias +
+                  pm.leakage_power(static_cast<sim::StructureId>(s),
+                                   r.avg_die_temp_k);
+      }
+
+      const auto tb = block_net.steady_state(p);
+      const auto tg = grid.steady_state(p);
+
+      // Hottest block by the block model.
+      std::size_t hot = 0;
+      for (std::size_t b = 1; b < fp.size(); ++b) {
+        if (tb[b] > tb[hot]) hot = b;
+      }
+      const double avg = grid.block_average(tg, hot);
+      const double peak = grid.block_peak(tg, hot);
+      table.add_row({app + " (" + fp.block(hot).name + ")",
+                     std::string(scaling::tech_name(tp)), fmt(tb[hot], 1),
+                     fmt(avg, 1), fmt(peak, 1), fmt(peak - avg, 2)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  bench::export_csv(table, "thermal_grid.csv");
+
+  std::printf(
+      "Reading: block and grid models agree on block averages (same\n"
+      "vertical/sink physics), while the grid resolves an intra-block\n"
+      "gradient that grows with scaling (higher power density). Since the\n"
+      "failure models are super-linear in temperature, block-mode FIT is a\n"
+      "mild underestimate — the direction, not the magnitude, of the\n"
+      "paper's conclusions is unaffected.\n");
+  return 0;
+}

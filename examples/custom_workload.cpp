@@ -1,0 +1,121 @@
+// Bring your own workload: using the GeneratorProfile API directly.
+//
+// The 16 SPEC2K profiles are just presets; any workload can be described by
+// its statistical fingerprint (instruction mix, dependency distances,
+// memory footprints, branch behaviour) and evaluated through the same
+// pipeline. This example builds two contrasting custom workloads — a dense
+// FP streaming kernel and a pointer-chasing database-like loop — and
+// compares their reliability trajectories, then shows the trace
+// capture/replay path (trace_io) that lets externally produced traces drive
+// the simulator.
+#include <cstdio>
+
+#include "core/qualification.hpp"
+#include "pipeline/evaluator.hpp"
+#include "sim/ooo_core.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ramp;
+  using trace::OpClass;
+
+  auto mix_entry = [](trace::GeneratorProfile& p, OpClass c, double w) {
+    p.op_mix[static_cast<std::size_t>(c)] = w;
+  };
+
+  // --- workload 1: dense FP streaming (BLAS-like) -------------------------
+  workloads::Workload streamy;
+  streamy.name = "fp-stream";
+  streamy.suite = workloads::Suite::kSpecFp;
+  {
+    trace::GeneratorProfile p;
+    p.op_mix.assign(trace::kNumOpClasses, 0.0);
+    mix_entry(p, OpClass::kIntAlu, 12);
+    mix_entry(p, OpClass::kFpAlu, 42);
+    mix_entry(p, OpClass::kFpDiv, 0.3);
+    mix_entry(p, OpClass::kLoad, 28);
+    mix_entry(p, OpClass::kStore, 12);
+    mix_entry(p, OpClass::kBranch, 3);
+    mix_entry(p, OpClass::kLogicalCr, 2);
+    p.dep_distance_p = 1.0 / (1.0 + 5.0);  // wide ILP
+    p.stream_fraction = 0.92;
+    p.cold_fraction = 0.01;
+    p.hot_footprint_bytes = 12 * 1024;
+    p.branch_noise = 0.005;
+    p.block_len = 30;
+    streamy.profile = p;
+  }
+
+  // --- workload 2: pointer-chasing (OLTP-like) ----------------------------
+  workloads::Workload chasey;
+  chasey.name = "ptr-chase";
+  chasey.suite = workloads::Suite::kSpecInt;
+  {
+    trace::GeneratorProfile p;
+    p.op_mix.assign(trace::kNumOpClasses, 0.0);
+    mix_entry(p, OpClass::kIntAlu, 40);
+    mix_entry(p, OpClass::kLoad, 34);
+    mix_entry(p, OpClass::kStore, 8);
+    mix_entry(p, OpClass::kBranch, 12);
+    mix_entry(p, OpClass::kLogicalCr, 6);
+    p.dep_distance_p = 1.0 / (1.0 + 1.6);  // serial chains
+    p.stream_fraction = 0.25;
+    p.cold_fraction = 0.06;                // frequent L2 misses
+    p.hot_footprint_bytes = 48 * 1024;
+    p.cold_footprint_bytes = 256ull * 1024 * 1024;
+    p.branch_noise = 0.06;
+    p.block_len = 5;
+    chasey.profile = p;
+  }
+
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = 150'000;
+  const pipeline::Evaluator evaluator(cfg);
+
+  TextTable table("Custom workloads across the scaling study");
+  table.set_header({"workload", "tech", "IPC", "power W", "hottest K",
+                    "total FIT", "vs own 180nm"});
+  for (const auto* w : {&streamy, &chasey}) {
+    const auto results = evaluator.evaluate_app(*w);
+    // Qualify this workload's processor to 4000 FIT at 180 nm, then follow
+    // the absolute FIT across the remap (same flow as the main study, with
+    // a single-app "suite").
+    const core::MechanismConstants k = core::qualify({results.front().raw_fits});
+    const double base_fit =
+        pipeline::scale_summary(results.front().raw_fits, k).total();
+    for (const auto& r : results) {
+      const double fit = pipeline::scale_summary(r.raw_fits, k).total();
+      table.add_row({w->name, std::string(scaling::tech_name(r.tech)),
+                     fmt(r.ipc, 2), fmt(r.avg_total_power_w, 1),
+                     fmt(r.max_structure_temp_k, 1), fmt(fit, 0),
+                     fmt_pct_change(fit / base_fit)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // --- capture & replay ---------------------------------------------------
+  const std::string path = "/tmp/ramp_custom_workload.trc";
+  {
+    trace::SyntheticTrace gen(streamy.profile, 50'000, 7);
+    trace::TraceWriter writer(path);
+    writer.append_all(gen);
+    std::printf("captured %llu instructions to %s\n",
+                static_cast<unsigned long long>(writer.written()),
+                path.c_str());
+  }
+  {
+    trace::TraceFileReader replay(path);
+    sim::OooCore core(sim::base_core_config());
+    const auto r = core.run(replay, 1100);
+    std::printf("replayed from file: IPC %.2f over %llu cycles\n",
+                r.totals.ipc(),
+                static_cast<unsigned long long>(r.totals.cycles));
+  }
+  std::remove(path.c_str());
+  std::printf(
+      "\nThe streaming kernel runs hot (busy FPU/LSU) but predictably; the\n"
+      "pointer chaser is cool but lives at memory latency. Their FIT gap is\n"
+      "the workload dependence the paper quantifies.\n");
+  return 0;
+}

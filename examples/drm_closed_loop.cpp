@@ -1,0 +1,105 @@
+// Closed-loop dynamic reliability management at 65 nm.
+//
+// Demonstrates the paper's proposed mitigation (§5.2): instead of
+// qualifying for worst-case conditions, qualify for the expected case and
+// let a runtime controller handle departures. We drive the DRM controller
+// with the instantaneous FIT stream of a real pipeline run at 65 nm
+// (1.0 V), alternating hot and cool application phases, and report the
+// lifetime the controller delivers versus running uncontrolled.
+//
+// Usage: drm_closed_loop [hot-app] [cool-app]
+#include <cstdio>
+#include <string>
+
+#include "core/qualification.hpp"
+#include "drm/drm_controller.hpp"
+#include "util/constants.hpp"
+#include "pipeline/evaluator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ramp;
+
+  const std::string hot_app = argc > 1 ? argv[1] : "crafty";
+  const std::string cool_app = argc > 2 ? argv[2] : "ammp";
+
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = 120'000;
+  const pipeline::Evaluator evaluator(cfg);
+
+  // Qualify at 180 nm against the hot app (expected-case qualification).
+  const auto base = evaluator.evaluate(workloads::workload(hot_app),
+                                       scaling::TechPoint::k180nm);
+  const core::MechanismConstants k = core::qualify({base.raw_fits});
+
+  // Measure both apps at 65 nm (1.0 V).
+  auto measure = [&](const std::string& name) {
+    return evaluator.evaluate(workloads::workload(name),
+                              scaling::TechPoint::k65nm_1V0, base.sink_temp_k);
+  };
+  const auto hot = measure(hot_app);
+  const auto cool = measure(cool_app);
+  const double hot_fit = pipeline::scale_summary(hot.raw_fits, k).total();
+  const double cool_fit = pipeline::scale_summary(cool.raw_fits, k).total();
+
+  std::printf("65 nm (1.0V) uncontrolled FIT: %s = %.0f, %s = %.0f\n\n",
+              hot_app.c_str(), hot_fit, cool_app.c_str(), cool_fit);
+
+  // Per-rung FIT model: scale the hot/cool FIT by each DVFS point's
+  // reliability factor, estimated by re-evaluating the dominant TDDB and
+  // thermal terms at the rung's voltage (simplified: one factor per rung
+  // from a steady-state model evaluation).
+  const auto ladder =
+      drm::dvfs_ladder(scaling::node(scaling::TechPoint::k65nm_1V0), 4, 0.05);
+  std::vector<double> rung_factor;
+  for (const auto& p : ladder) {
+    scaling::TechnologyNode node = scaling::node(scaling::TechPoint::k65nm_1V0);
+    node.vdd = p.vdd;
+    const core::RampModel model(node, k);
+    // Temperature response to the rung: roughly proportional to V²f.
+    const double rel_power = (p.vdd * p.vdd * p.frequency_hz) / (1.0 * 2.0e9);
+    const double temp = hot.sink_temp_k +
+                        (hot.max_structure_temp_k - hot.sink_temp_k) * rel_power;
+    const double fit =
+        core::steady_state_summary(model, temp, 0.5, p.vdd).total();
+    rung_factor.push_back(fit);
+  }
+  for (std::size_t i = rung_factor.size(); i-- > 0;) {
+    rung_factor[i] /= rung_factor[0];  // normalize to the nominal rung
+  }
+
+  // Closed loop: alternate 50 µs hot / 50 µs cool phases for 10 ms.
+  drm::DrmConfig dcfg;
+  dcfg.fit_budget = 4000.0;  // the 30-year qualification point
+  dcfg.headroom = 0.05;
+  dcfg.dwell_seconds = 100e-6;
+  drm::DrmController ctl(dcfg, ladder);
+
+  const double dt = 1e-6;
+  double t = 0.0;
+  while (t < 10e-3) {
+    const bool hot_phase = static_cast<int>(t / 50e-6) % 2 == 0;
+    const double base_fit = hot_phase ? hot_fit : cool_fit;
+    const double fit_now =
+        base_fit * rung_factor[static_cast<std::size_t>(ctl.current_index())];
+    ctl.update(fit_now, dt);
+    t += dt;
+  }
+
+  TextTable table("Closed-loop DRM vs uncontrolled (10 ms, alternating phases)");
+  table.set_header({"policy", "avg FIT", "MTTF (y)", "avg rel. performance",
+                    "switches"});
+  const double uncontrolled = (hot_fit + cool_fit) / 2.0;
+  table.add_row({"uncontrolled (nominal V/f)", fmt(uncontrolled, 0),
+                 fmt(mttf_years_from_fit(uncontrolled), 1), "1.00", "0"});
+  table.add_row({"DRM @ 4000 FIT budget", fmt(ctl.average_fit(), 0),
+                 fmt(mttf_years_from_fit(ctl.average_fit()), 1),
+                 fmt(ctl.average_performance(), 3),
+                 std::to_string(ctl.switches())});
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "The controller trades a few percent of frequency for a lifetime back\n"
+      "near the 30-year qualification point — the paper's expected-case-\n"
+      "plus-dynamic-response design style.\n");
+  return 0;
+}

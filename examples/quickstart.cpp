@@ -1,0 +1,69 @@
+// Quickstart: evaluate the lifetime reliability of one workload on one
+// technology node, end to end.
+//
+// Demonstrates the library's three-line happy path — build an Evaluator,
+// evaluate a workload, read the FIT summary — plus how to apply the
+// qualification constants that turn raw model output into absolute FIT.
+//
+// Usage: quickstart [workload] [instructions]
+//   workload      one of the 16 SPEC2K names (default: gcc)
+//   instructions  synthetic trace length (default: 200000)
+#include <cstdio>
+#include <string>
+
+#include "core/qualification.hpp"
+#include "pipeline/evaluator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ramp;
+
+  const std::string app = argc > 1 ? argv[1] : "gcc";
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = argc > 2 ? std::stoull(argv[2]) : 200'000;
+
+  const pipeline::Evaluator evaluator(cfg);
+  const workloads::Workload& w = workloads::workload(app);
+
+  // Evaluate at the 180 nm base point and at 65 nm (1.0 V).
+  std::printf("evaluating %s (%s) over %llu instructions...\n", w.name.c_str(),
+              workloads::suite_name(w.suite),
+              static_cast<unsigned long long>(cfg.trace_instructions));
+  const pipeline::AppTechResult base =
+      evaluator.evaluate(w, scaling::TechPoint::k180nm);
+  const pipeline::AppTechResult scaled = evaluator.evaluate(
+      w, scaling::TechPoint::k65nm_1V0, /*sink_target_k=*/base.sink_temp_k);
+
+  // Qualify against this single app at 180 nm: each mechanism calibrated to
+  // 1000 FIT (the paper qualifies against the 16-app suite average; see
+  // bench_fig3_total_fit for that flow).
+  const core::MechanismConstants k = core::qualify({base.raw_fits});
+
+  TextTable table("Reliability of '" + w.name + "' under scaling");
+  table.set_header({"metric", "180nm", "65nm (1.0V)"});
+  auto row = [&](const std::string& name, double a, double b, int digits) {
+    table.add_row({name, fmt(a, digits), fmt(b, digits)});
+  };
+  row("IPC", base.ipc, scaled.ipc, 2);
+  row("total power (W)", base.avg_total_power_w, scaled.avg_total_power_w, 1);
+  row("hottest structure (K)", base.max_structure_temp_k,
+      scaled.max_structure_temp_k, 1);
+  row("heat-sink temp (K)", base.sink_temp_k, scaled.sink_temp_k, 1);
+
+  const core::FitSummary fits_base = pipeline::scale_summary(base.raw_fits, k);
+  const core::FitSummary fits_scaled = pipeline::scale_summary(scaled.raw_fits, k);
+  const auto mech_base = fits_base.by_mechanism();
+  const auto mech_scaled = fits_scaled.by_mechanism();
+  for (int m = 0; m < core::kNumMechanisms; ++m) {
+    row(std::string(core::mechanism_name(static_cast<core::Mechanism>(m))) +
+            " FIT",
+        mech_base[static_cast<std::size_t>(m)],
+        mech_scaled[static_cast<std::size_t>(m)], 0);
+  }
+  row("total FIT", fits_base.total(), fits_scaled.total(), 0);
+  row("MTTF (years)", fits_base.mttf_years(), fits_scaled.mttf_years(), 1);
+  std::printf("%s", table.str().c_str());
+  std::printf("failure-rate increase 180nm -> 65nm (1.0V): %s\n",
+              fmt_pct_change(fits_scaled.total() / fits_base.total()).c_str());
+  return 0;
+}

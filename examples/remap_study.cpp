@@ -1,0 +1,60 @@
+// The design-remap study — the paper's headline practical implication.
+//
+// Industry practice leveraged one microarchitecture across several
+// technology generations with only minor tweaks ("remaps"). This example
+// walks one workload through every node of the study and reports what
+// happens to performance, power, temperature, and lifetime, ending with the
+// qualified-MTTF trajectory that motivates the paper's conclusion: remaps
+// become increasingly hard because reliability, not timing, breaks first.
+//
+// Usage: remap_study [workload] [instructions]
+#include <cstdio>
+#include <string>
+
+#include "core/qualification.hpp"
+#include "pipeline/evaluator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ramp;
+
+  const std::string app = argc > 1 ? argv[1] : "wupwise";
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = argc > 2 ? std::stoull(argv[2]) : 150'000;
+
+  const pipeline::Evaluator evaluator(cfg);
+  const workloads::Workload& w = workloads::workload(app);
+
+  std::printf("Remapping one POWER4-like design across five nodes — %s (%s)\n\n",
+              w.name.c_str(), workloads::suite_name(w.suite));
+
+  const auto results = evaluator.evaluate_app(w);
+  const core::MechanismConstants k = core::qualify({results.front().raw_fits});
+
+  TextTable table("One design, five technology nodes");
+  table.set_header({"tech", "freq GHz", "IPC", "perf (rel)", "power W",
+                    "hottest K", "total FIT", "MTTF (y)", "FIT vs 180nm"});
+
+  const double base_perf =
+      results.front().ipc * scaling::node(results.front().tech).frequency_hz;
+  double base_fit = 0.0;
+  for (const auto& r : results) {
+    const auto& node = scaling::node(r.tech);
+    const core::FitSummary fits = pipeline::scale_summary(r.raw_fits, k);
+    if (r.tech == scaling::TechPoint::k180nm) base_fit = fits.total();
+    const double perf = r.ipc * node.frequency_hz;
+    table.add_row({node.name, fmt(node.frequency_hz / 1e9, 2), fmt(r.ipc, 2),
+                   fmt(perf / base_perf, 2), fmt(r.avg_total_power_w, 1),
+                   fmt(r.max_structure_temp_k, 1), fmt(fits.total(), 0),
+                   fmt(fits.mttf_years(), 1),
+                   fmt_pct_change(fits.total() / base_fit)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf(
+      "Each remap buys ~20%% clock (memory latency limits the rest) but the\n"
+      "qualified 30-year lifetime erodes generation over generation — the\n"
+      "paper's argument that remaps need reliability-aware design, not just\n"
+      "timing closure.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Transient reliability of a phased workload.
+//
+// Stationary benchmarks hide a question the paper's 1 µs methodology can
+// answer: what does the FIT stream look like *during* execution when the
+// program alternates kernels? This example composes an integer phase and an
+// FP phase into one PhasedTrace, evaluates it through the full pipeline
+// with interval recording on, dumps the transient time-series to CSV, and
+// compares the phased run's time-averaged FIT against the two stationary
+// phases — demonstrating both the evaluate_stream() API (any TraceReader,
+// including file replays) and the recorded IntervalSample trace.
+//
+// Usage: transient_study [instructions]
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/qualification.hpp"
+#include "pipeline/evaluator.hpp"
+#include "trace/phased_trace.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ramp;
+  using trace::OpClass;
+
+  const std::uint64_t n = argc > 1 ? std::stoull(argv[1]) : 200'000;
+
+  // Two phases chosen to contrast *activity*: a serial pointer-chasing
+  // phase (low issue rates, cool) against a wide FP-streaming phase (high
+  // issue rates, hot). Temperature cannot follow 25 µs phases (the silicon
+  // time constant is ~10 ms), so the instantaneous FIT swing is carried by
+  // the activity factors — exactly the J = p·J_max dependence of eq. 1.
+  trace::GeneratorProfile idle_phase;
+  idle_phase.op_mix = {45, 1, 0.3, 0, 0, 35, 8, 7, 4};
+  idle_phase.dep_distance_p = 1.0 / (1.0 + 1.0);  // serial chains
+  idle_phase.cold_fraction = 0.05;                // memory-bound
+  idle_phase.block_len = 5;
+  trace::GeneratorProfile busy_phase;
+  busy_phase.op_mix = {12, 1, 0, 45, 0.3, 26, 9, 3, 3};
+  busy_phase.dep_distance_p = 1.0 / (1.0 + 8.0);  // wide ILP
+  busy_phase.stream_fraction = 0.9;
+  busy_phase.branch_noise = 0.005;
+  busy_phase.block_len = 24;
+  const trace::GeneratorProfile& int_phase = idle_phase;
+  const trace::GeneratorProfile& fp_phase = busy_phase;
+
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = n;
+  cfg.record_intervals = true;
+  const pipeline::Evaluator evaluator(cfg);
+
+  auto eval_profile = [&](const trace::GeneratorProfile& p,
+                          const std::string& label) {
+    trace::SyntheticTrace t(p, n, 17);
+    return evaluator.evaluate_stream(t, label, 1.0,
+                                     scaling::TechPoint::k65nm_1V0);
+  };
+  const auto int_only = eval_profile(int_phase, "serial-phase");
+  const auto fp_only = eval_profile(fp_phase, "streaming-phase");
+
+  trace::PhasedTrace phased({int_phase, fp_phase}, n, 20'000, 17);
+  const auto mixed = evaluator.evaluate_stream(
+      phased, "phased", 1.0, scaling::TechPoint::k65nm_1V0);
+
+  // Qualify against the serial phase so mechanism magnitudes are
+  // comparable (4000 FIT total for the serial-phase run).
+  const core::MechanismConstants k = core::qualify({int_only.raw_fits});
+  auto qualified = [&](const pipeline::AppTechResult& r) {
+    return pipeline::scale_summary(r.raw_fits, k).total();
+  };
+
+  TextTable table("Phased vs stationary execution at 65 nm (1.0V)");
+  table.set_header({"run", "IPC", "power W", "hottest K", "FIT"});
+  for (const auto* r : {&int_only, &fp_only, &mixed}) {
+    table.add_row({r->app, fmt(r->ipc, 2), fmt(r->avg_total_power_w, 1),
+                   fmt(r->max_structure_temp_k, 1), fmt(qualified(*r), 0)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Transient CSV for plotting.
+  const std::string csv_path = "transient_study.csv";
+  {
+    std::ofstream csv(csv_path);
+    csv << "time_us,hottest_K,power_W,ipc,fit\n";
+    for (const auto& s : mixed.interval_trace) {
+      csv << s.time_s * 1e6 << ',' << s.hottest_temp_k << ','
+          << s.total_power_w << ',' << s.ipc << ',' << s.qualified_total(k)
+          << '\n';
+    }
+  }
+  std::printf("transient trace (%zu samples) written to %s\n",
+              mixed.interval_trace.size(), csv_path.c_str());
+
+  // Quantify the swing the phases induce.
+  double min_fit = 1e300, max_fit = 0;
+  for (const auto& s : mixed.interval_trace) {
+    const double f = s.qualified_total(k);
+    min_fit = std::min(min_fit, f);
+    max_fit = std::max(max_fit, f);
+  }
+  std::printf(
+      "instantaneous FIT swings %.2fx across phases (activity-driven: the\n"
+      "~10 ms thermal time constant smooths temperature across 25 us\n"
+      "phases); the run's average sits between the stationary extremes —\n"
+      "the time-averaging at the heart of the paper's Section 2.\n",
+      max_fit / min_fit);
+  return 0;
+}

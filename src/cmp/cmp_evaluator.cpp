@@ -1,0 +1,179 @@
+#include "cmp/cmp_evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ramp_model.hpp"
+#include "sim/core_config.hpp"
+#include "sim/ooo_core.hpp"
+#include "thermal/rc_model.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ramp::cmp {
+
+double CmpResult::worst_core_raw_fit() const {
+  double worst = 0.0;
+  for (const auto& c : cores) worst = std::max(worst, c.raw_fits.total());
+  return worst;
+}
+
+double CmpResult::best_core_raw_fit() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& c : cores) best = std::min(best, c.raw_fits.total());
+  return best;
+}
+
+CmpEvaluator::CmpEvaluator(CmpConfig cfg, scaling::TechPoint tech)
+    : cfg_(cfg), tech_(tech) {
+  RAMP_REQUIRE(cfg_.cores >= 1, "need at least one core");
+  RAMP_REQUIRE(cfg_.epoch_seconds > 0 && cfg_.duration_seconds > 0,
+               "durations must be positive");
+}
+
+CmpResult CmpEvaluator::evaluate(const std::vector<workloads::Workload>& apps,
+                                 bool migrate) const {
+  RAMP_REQUIRE(!apps.empty(), "need at least one workload");
+  RAMP_REQUIRE(static_cast<int>(apps.size()) <= cfg_.cores,
+               "more workloads than cores");
+  const auto& tech = scaling::node(tech_);
+
+  // --- per-workload activity streams (single-core timing model) ----------
+  const sim::CoreConfig core_cfg = sim::core_config_for(tech);
+  const auto interval_cycles = static_cast<std::uint64_t>(
+      std::llround(core_cfg.frequency_hz * cfg_.cell.interval_seconds));
+  std::vector<sim::SimResult> streams;
+  streams.reserve(apps.size());
+  for (const auto& w : apps) {
+    trace::SyntheticTrace t(w.profile, cfg_.cell.trace_instructions,
+                            cfg_.cell.seed ^ 0xc3fULL);
+    sim::OooCore core(core_cfg);
+    streams.push_back(core.run(t, interval_cycles));
+    RAMP_ASSERT(!streams.back().intervals.empty());
+  }
+
+  // --- shared thermal network --------------------------------------------
+  const CmpLayout layout =
+      make_cmp_layout(cfg_.cores, std::sqrt(tech.relative_area));
+  thermal::RcNetwork net(layout.floorplan, cfg_.cell.thermal);
+  // A CMP ships with a heat sink sized for its total power: scale the
+  // single-core convection resistance down by the core count (same sink
+  // temperature at full load as one core had).
+  net.set_r_convec(cfg_.cell.thermal.r_convec_k_per_w /
+                   static_cast<double>(cfg_.cores));
+  const power::PowerModel pm(cfg_.cell.power, tech);
+  const std::size_t nblocks = layout.floorplan.size();
+
+  // Per-core block powers for an interval: dynamic from the assigned
+  // stream's activity (idle cores: zero activity at the clock-gating
+  // floor), leakage from current block temperatures.
+  auto block_power = [&](const std::vector<int>& assignment,
+                         const std::vector<std::size_t>& positions,
+                         const std::vector<double>& temps) {
+    std::vector<double> p(nblocks, 0.0);
+    for (int c = 0; c < cfg_.cores; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      const int app = assignment[ci];
+      // Unassigned cores are deep clock-gated (power-gated clocks): no
+      // dynamic power at all, leakage only.
+      power::StructurePower dyn{};
+      double bias = 1.0;
+      if (app >= 0) {
+        const auto& ivs = streams[static_cast<std::size_t>(app)].intervals;
+        dyn = pm.dynamic_power(
+            ivs[positions[static_cast<std::size_t>(app)] % ivs.size()].activity);
+        bias = apps[static_cast<std::size_t>(app)].power_bias;
+      }
+      for (int s = 0; s < sim::kNumStructures; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        const std::size_t blk = layout.core_blocks[ci][si];
+        p[blk] += dyn[si] * bias +
+                  pm.leakage_power(static_cast<sim::StructureId>(s), temps[blk]);
+      }
+    }
+    return p;
+  };
+
+  // Initial assignment: workload k on core k; steady-state init.
+  std::vector<int> assignment(static_cast<std::size_t>(cfg_.cores), -1);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    assignment[a] = static_cast<int>(a);
+  }
+  std::vector<std::size_t> positions(apps.size(), 0);
+  const auto steady = net.steady_state([&](const std::vector<double>& temps) {
+    return block_power(assignment, positions, temps);
+  });
+
+  // --- transient walk with (optional) migration ---------------------------
+  thermal::Transient tr(net, steady, cfg_.cell.interval_seconds);
+  const core::RampModel model(tech);
+  std::vector<core::FitTracker> trackers;
+  trackers.reserve(static_cast<std::size_t>(cfg_.cores));
+  for (int c = 0; c < cfg_.cores; ++c) trackers.emplace_back(model);
+  std::vector<RunningStats> temp_stats(static_cast<std::size_t>(cfg_.cores));
+
+  CmpResult result;
+  RunningMean power_avg;
+  double t = 0.0;
+  double next_epoch = cfg_.epoch_seconds;
+  const double dt = cfg_.cell.interval_seconds;
+
+  while (t < cfg_.duration_seconds) {
+    if (migrate && t >= next_epoch) {
+      // Rotate assignments by one core (classic core-hopping).
+      std::rotate(assignment.rbegin(), assignment.rbegin() + 1,
+                  assignment.rend());
+      ++result.migrations;
+      next_epoch += cfg_.epoch_seconds;
+    }
+
+    std::vector<double> temps(tr.temperatures().begin(),
+                              tr.temperatures().begin() +
+                                  static_cast<std::ptrdiff_t>(nblocks));
+    const auto p = block_power(assignment, positions, temps);
+    tr.step(p);
+
+    double total_p = 0.0;
+    for (double v : p) total_p += v;
+    power_avg.add(total_p);
+
+    // Account FIT per core at its structure temperatures and activities.
+    for (int c = 0; c < cfg_.cores; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      std::array<double, sim::kNumStructures> struct_temps{};
+      std::array<double, sim::kNumStructures> act{};
+      const int app = assignment[ci];
+      if (app >= 0) {
+        const auto& ivs = streams[static_cast<std::size_t>(app)].intervals;
+        act = ivs[positions[static_cast<std::size_t>(app)] % ivs.size()].activity;
+      }
+      double hottest = 0.0;
+      for (int s = 0; s < sim::kNumStructures; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        struct_temps[si] = tr.temperatures()[layout.core_blocks[ci][si]];
+        hottest = std::max(hottest, struct_temps[si]);
+      }
+      trackers[ci].add_interval(struct_temps, act, tech.vdd, dt);
+      temp_stats[ci].add(hottest);
+    }
+
+    for (auto& pos : positions) ++pos;
+    t += dt;
+  }
+
+  // --- collect -------------------------------------------------------------
+  result.cores.resize(static_cast<std::size_t>(cfg_.cores));
+  for (int c = 0; c < cfg_.cores; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    result.cores[ci].raw_fits = trackers[ci].summary();
+    result.cores[ci].avg_temp_k = temp_stats[ci].mean();
+    result.cores[ci].max_temp_k = temp_stats[ci].max();
+    result.chip_raw_fit += result.cores[ci].raw_fits.total();
+  }
+  result.avg_power_w = power_avg.mean();
+  result.sink_temp_k = tr.temperatures()[nblocks + 1];
+  return result;
+}
+
+}  // namespace ramp::cmp

@@ -1,0 +1,75 @@
+// CMP reliability evaluation with optional activity migration.
+//
+// Runs N per-core workloads on one die: each core replays the interval
+// activity stream its workload produced on the single-core timing model
+// (cores are microarchitecturally identical, so activity factors carry
+// over), the shared thermal network couples the cores, and RAMP tracks
+// per-core, per-structure FIT. A migration policy may permute the
+// workload→core assignment every epoch — the activity-migration idea (Heo
+// et al., cited by the paper for power density) applied to *lifetime*:
+// rotating the hot workload levels wear across cores.
+//
+// Idle cores (fewer workloads than cores) draw leakage only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cmp/cmp_floorplan.hpp"
+#include "core/fit_tracker.hpp"
+#include "pipeline/evaluator.hpp"
+#include "power/power_model.hpp"
+#include "scaling/technology.hpp"
+#include "sim/interval_stats.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace ramp::cmp {
+
+struct CmpConfig {
+  int cores = 4;
+  /// Seconds between migration epochs (rotation period).
+  double epoch_seconds = 500e-6;
+  /// Total simulated seconds (activity streams repeat cyclically).
+  double duration_seconds = 4e-3;
+  /// Single-core evaluation settings (trace length, power, thermal).
+  pipeline::EvaluationConfig cell{};
+};
+
+/// Per-core outcome of one CMP run.
+struct CoreOutcome {
+  double avg_temp_k = 0.0;        ///< time-averaged hottest-structure temp
+  double max_temp_k = 0.0;
+  core::FitSummary raw_fits;      ///< per-structure raw FITs for this core
+};
+
+struct CmpResult {
+  std::vector<CoreOutcome> cores;
+  double chip_raw_fit = 0.0;      ///< sum of all core FITs (series system)
+  double avg_power_w = 0.0;
+  double sink_temp_k = 0.0;
+  std::uint64_t migrations = 0;
+
+  /// Max over cores of the per-core total raw FIT — the wear-leveling
+  /// metric (migration shrinks the spread between cores).
+  double worst_core_raw_fit() const;
+  double best_core_raw_fit() const;
+};
+
+class CmpEvaluator {
+ public:
+  CmpEvaluator(CmpConfig cfg, scaling::TechPoint tech);
+
+  /// Evaluates `apps` (size <= cores; missing slots idle). When `migrate`,
+  /// the workload→core assignment rotates by one core per epoch.
+  CmpResult evaluate(const std::vector<workloads::Workload>& apps,
+                     bool migrate) const;
+
+  const CmpConfig& config() const { return cfg_; }
+
+ private:
+  CmpConfig cfg_;
+  scaling::TechPoint tech_;
+};
+
+}  // namespace ramp::cmp

@@ -1,0 +1,56 @@
+#include "cmp/cmp_floorplan.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ramp::cmp {
+
+CmpLayout make_cmp_layout(int cores, double scale, double gap_m) {
+  RAMP_REQUIRE(cores >= 1, "need at least one core");
+  RAMP_REQUIRE(scale > 0.0, "scale must be positive");
+  RAMP_REQUIRE(gap_m >= 0.0, "gap must be non-negative");
+
+  const thermal::Floorplan tile = thermal::power4_floorplan().scaled(scale);
+  // Tile extent (the single-core floorplan is a square die).
+  double tile_w = 0, tile_h = 0;
+  for (const auto& b : tile.blocks()) {
+    tile_w = std::max(tile_w, b.x + b.w);
+    tile_h = std::max(tile_h, b.y + b.h);
+  }
+
+  const int grid = static_cast<int>(std::ceil(std::sqrt(cores)));
+  std::vector<thermal::Block> blocks;
+  CmpLayout layout;
+  layout.core_blocks.resize(static_cast<std::size_t>(cores));
+
+  for (int c = 0; c < cores; ++c) {
+    const int gx = c % grid;
+    const int gy = c / grid;
+    const double ox = gx * (tile_w + gap_m);
+    const double oy = gy * (tile_h + gap_m);
+    for (const auto& b : tile.blocks()) {
+      thermal::Block nb = b;
+      nb.name = "C" + std::to_string(c) + ":" + b.name;
+      nb.x += ox;
+      nb.y += oy;
+      blocks.push_back(nb);
+    }
+  }
+  layout.floorplan = thermal::Floorplan(std::move(blocks));
+
+  // Resolve per-core structure -> block indices.
+  for (int c = 0; c < cores; ++c) {
+    for (int s = 0; s < sim::kNumStructures; ++s) {
+      const std::string name =
+          "C" + std::to_string(c) + ":" +
+          std::string(sim::structure_name(static_cast<sim::StructureId>(s)));
+      layout.core_blocks[static_cast<std::size_t>(c)][static_cast<std::size_t>(s)] =
+          layout.floorplan.index_of(name);
+    }
+  }
+  return layout;
+}
+
+}  // namespace ramp::cmp

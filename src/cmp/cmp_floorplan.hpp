@@ -1,0 +1,36 @@
+// Chip-multiprocessor floorplans: N scaled core tiles on one die.
+//
+// The paper studies a single core, but its conclusion (scaling converts
+// area into power density and failure rate) is what pushed industry to
+// CMPs: spend the area on more cores at moderated per-core power. This
+// module tiles N copies of the POWER4-like core floorplan onto one die so
+// the thermal model captures inter-core coupling through silicon and the
+// shared heat sink — the substrate for the activity-migration study
+// (cmp_evaluator.hpp).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sim/structures.hpp"
+#include "thermal/floorplan.hpp"
+
+namespace ramp::cmp {
+
+/// A multicore floorplan plus the per-core block-index maps.
+struct CmpLayout {
+  thermal::Floorplan floorplan{std::vector<thermal::Block>{
+      {"die", 0, 0, 1e-3, 1e-3}}};  // replaced by make function
+  /// core_blocks[c][s] = floorplan block index of structure s on core c.
+  std::vector<std::array<std::size_t, sim::kNumStructures>> core_blocks;
+
+  int cores() const { return static_cast<int>(core_blocks.size()); }
+};
+
+/// Tiles `cores` copies of the single-core floorplan (scaled by `scale`,
+/// the technology linear factor) in a near-square grid with `gap_m` of
+/// spacing silicon between tiles. Block names are "C<k>:<NAME>".
+/// Throws InvalidArgument for cores < 1.
+CmpLayout make_cmp_layout(int cores, double scale, double gap_m = 0.3e-3);
+
+}  // namespace ramp::cmp

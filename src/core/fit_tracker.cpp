@@ -1,0 +1,89 @@
+#include "core/fit_tracker.hpp"
+
+#include <algorithm>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace ramp::core {
+
+std::array<double, kNumMechanisms> FitSummary::by_mechanism() const {
+  std::array<double, kNumMechanisms> totals{};
+  for (const auto& row : by_structure) {
+    for (int m = 0; m < kNumMechanisms; ++m) {
+      totals[static_cast<std::size_t>(m)] += row[static_cast<std::size_t>(m)];
+    }
+  }
+  totals[static_cast<std::size_t>(Mechanism::kTc)] += tc_fit;
+  return totals;
+}
+
+double FitSummary::total() const {
+  const auto by_mech = by_mechanism();
+  double sum = 0.0;
+  for (double v : by_mech) sum += v;
+  return sum;
+}
+
+double FitSummary::mttf_years() const {
+  const double fit = total();
+  RAMP_REQUIRE(fit > 0.0, "MTTF undefined for a zero failure rate");
+  return mttf_years_from_fit(fit);
+}
+
+FitTracker::FitTracker(const RampModel& model) : model_(model) {}
+
+void FitTracker::add_interval(
+    const std::array<double, sim::kNumStructures>& temp_k,
+    const std::array<double, sim::kNumStructures>& activity, double voltage,
+    double duration_s) {
+  RAMP_REQUIRE(duration_s >= 0.0, "durations must be non-negative");
+  if (duration_s == 0.0) return;
+
+  double die_temp = 0.0;
+  for (int s = 0; s < sim::kNumStructures; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto id = static_cast<sim::StructureId>(s);
+    const OperatingPoint op{temp_k[si], voltage, activity[si]};
+    const auto fits = model_.structure_fits(id, op);
+    for (int m = 0; m < kNumMechanisms; ++m) {
+      means_[si][static_cast<std::size_t>(m)].add(
+          fits[static_cast<std::size_t>(m)], duration_s);
+    }
+    max_temp_ = std::max(max_temp_, temp_k[si]);
+    max_activity_ = std::max(max_activity_, activity[si]);
+    die_temp += temp_k[si] * sim::structure_area_fraction(id);
+  }
+
+  tc_mean_.add(model_.tc_fit(die_temp), duration_s);
+  avg_die_temp_.add(die_temp, duration_s);
+  total_time_ += duration_s;
+}
+
+FitSummary FitTracker::summary() const {
+  FitSummary s;
+  for (int st = 0; st < sim::kNumStructures; ++st) {
+    for (int m = 0; m < kNumMechanisms; ++m) {
+      s.by_structure[static_cast<std::size_t>(st)][static_cast<std::size_t>(m)] =
+          means_[static_cast<std::size_t>(st)][static_cast<std::size_t>(m)].mean();
+    }
+  }
+  s.tc_fit = tc_mean_.mean();
+  return s;
+}
+
+FitSummary steady_state_summary(const RampModel& model, double temperature_k,
+                                double activity, double voltage) {
+  FitSummary s;
+  double die_temp = 0.0;
+  for (int st = 0; st < sim::kNumStructures; ++st) {
+    const auto id = static_cast<sim::StructureId>(st);
+    const OperatingPoint op{temperature_k, voltage, activity};
+    s.by_structure[static_cast<std::size_t>(st)] = model.structure_fits(id, op);
+    die_temp += temperature_k * sim::structure_area_fraction(id);
+  }
+  s.tc_fit = model.tc_fit(die_temp);
+  return s;
+}
+
+}  // namespace ramp::core

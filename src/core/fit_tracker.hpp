@@ -1,0 +1,81 @@
+// FIT accumulation over an application run: SOFR combination plus the
+// running time-average of instantaneous failure rates (paper §2, §4.4).
+//
+// The SOFR (sum-of-failure-rates) model makes the processor a series
+// failure system with exponentially distributed lifetimes, so
+//   FIT_processor = Σ_structures Σ_mechanisms FIT(structure, mechanism),
+// and temporal variation is handled by averaging the instantaneous FIT over
+// the run. FitTracker maintains those time-weighted averages per
+// (structure, mechanism) plus the package-level TC term, and records the
+// maximum temperature/activity seen — the inputs of the paper's worst-case
+// ("max") analysis.
+#pragma once
+
+#include <array>
+
+#include "core/mechanisms.hpp"
+#include "core/ramp_model.hpp"
+#include "sim/structures.hpp"
+#include "util/stats.hpp"
+
+namespace ramp::core {
+
+/// Average FIT per mechanism plus the totals of a completed run.
+struct FitSummary {
+  /// Time-averaged FIT by [structure][mechanism]; TC column is zero (it is
+  /// package-level and appears in `tc_fit`).
+  std::array<std::array<double, kNumMechanisms>, sim::kNumStructures>
+      by_structure{};
+  double tc_fit = 0.0;  ///< package thermal-cycling FIT
+
+  /// Per-mechanism totals over all structures (TC slot = tc_fit).
+  std::array<double, kNumMechanisms> by_mechanism() const;
+
+  /// Processor FIT under SOFR: sum over structures and mechanisms.
+  double total() const;
+
+  /// MTTF in years implied by total().
+  double mttf_years() const;
+};
+
+class FitTracker {
+ public:
+  explicit FitTracker(const RampModel& model);
+
+  /// Accounts one interval of `duration_s` seconds during which structure
+  /// temperatures `temp_k`, activities `activity`, and supply voltage
+  /// `voltage` were (piecewise) constant.
+  void add_interval(const std::array<double, sim::kNumStructures>& temp_k,
+                    const std::array<double, sim::kNumStructures>& activity,
+                    double voltage, double duration_s);
+
+  /// Time-averaged summary of everything accumulated so far.
+  FitSummary summary() const;
+
+  /// Highest structure temperature seen in any interval (K).
+  double max_temperature() const { return max_temp_; }
+  /// Highest per-structure activity factor seen in any interval.
+  double max_activity() const { return max_activity_; }
+  /// Time-averaged area-weighted die temperature (drives TC).
+  double avg_die_temperature() const { return avg_die_temp_.mean(); }
+  double total_time() const { return total_time_; }
+
+ private:
+  const RampModel& model_;
+  std::array<std::array<TimeWeightedMean, kNumMechanisms>, sim::kNumStructures>
+      means_{};
+  TimeWeightedMean tc_mean_;
+  TimeWeightedMean avg_die_temp_;
+  double max_temp_ = 0.0;
+  double max_activity_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Evaluates the steady-state FIT summary for fixed operating conditions —
+/// the paper's worst-case ("max") analysis, where the highest temperature
+/// and activity seen across applications are assumed for the entire run.
+FitSummary steady_state_summary(const RampModel& model,
+                                double temperature_k, double activity,
+                                double voltage);
+
+}  // namespace ramp::core

@@ -1,0 +1,84 @@
+#include "core/lifetime_distributions.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::core {
+
+namespace {
+// Abramowitz-Stegun style erf-based normal CDF.
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+}  // namespace
+
+ExponentialLifetime::ExponentialLifetime(double mttf) : mttf_(mttf) {
+  RAMP_REQUIRE(mttf > 0.0, "MTTF must be positive");
+}
+
+double ExponentialLifetime::sample(Xoshiro256& rng) const {
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  return -mttf_ * std::log(u);
+}
+
+double ExponentialLifetime::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return 1.0 - std::exp(-t / mttf_);
+}
+
+WeibullLifetime::WeibullLifetime(double mttf, double beta)
+    : mttf_(mttf), beta_(beta) {
+  RAMP_REQUIRE(mttf > 0.0, "MTTF must be positive");
+  RAMP_REQUIRE(beta > 0.0, "Weibull shape must be positive");
+  eta_ = mttf / std::tgamma(1.0 + 1.0 / beta);
+}
+
+double WeibullLifetime::sample(Xoshiro256& rng) const {
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  return eta_ * std::pow(-std::log(u), 1.0 / beta_);
+}
+
+double WeibullLifetime::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(t / eta_, beta_));
+}
+
+LognormalLifetime::LognormalLifetime(double mttf, double sigma)
+    : mttf_(mttf), sigma_(sigma) {
+  RAMP_REQUIRE(mttf > 0.0, "MTTF must be positive");
+  RAMP_REQUIRE(sigma > 0.0, "lognormal sigma must be positive");
+  mu_ = std::log(mttf) - sigma * sigma / 2.0;
+}
+
+double LognormalLifetime::sample(Xoshiro256& rng) const {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+double LognormalLifetime::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return normal_cdf((std::log(t) - mu_) / sigma_);
+}
+
+std::string_view family_name(LifetimeFamily f) {
+  switch (f) {
+    case LifetimeFamily::kExponential: return "exponential";
+    case LifetimeFamily::kWeibull: return "weibull";
+    case LifetimeFamily::kLognormal: return "lognormal";
+  }
+  throw InvalidArgument("unknown lifetime family");
+}
+
+std::unique_ptr<LifetimeDistribution> make_lifetime(LifetimeFamily family,
+                                                    double mttf,
+                                                    double shape) {
+  switch (family) {
+    case LifetimeFamily::kExponential:
+      return std::make_unique<ExponentialLifetime>(mttf);
+    case LifetimeFamily::kWeibull:
+      return std::make_unique<WeibullLifetime>(mttf, shape);
+    case LifetimeFamily::kLognormal:
+      return std::make_unique<LognormalLifetime>(mttf, shape);
+  }
+  throw InvalidArgument("unknown lifetime family");
+}
+
+}  // namespace ramp::core

@@ -1,0 +1,111 @@
+// Lifetime distributions beyond SOFR's exponential assumption.
+//
+// The SOFR model (paper §2) assumes every failure mechanism has a constant
+// failure rate — an exponential lifetime — and the paper itself calls this
+// "clearly inaccurate: a typical wear-out failure mechanism will have a low
+// failure rate at the beginning of the component's lifetime and the value
+// will grow as the component ages", kept only "for lack of better validated
+// models". This extension module provides the standard wear-out
+// alternatives (Weibull and lognormal, the distributions used by the
+// follow-up RAMP 2.0 line of work) parameterized to match a given MTTF, so
+// the Monte Carlo engine (lifetime_mc.hpp) can quantify how much SOFR
+// misestimates the processor lifetime for the same per-(structure,
+// mechanism) MTTFs.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace ramp::core {
+
+/// A parametric lifetime distribution with a known mean (MTTF).
+class LifetimeDistribution {
+ public:
+  virtual ~LifetimeDistribution() = default;
+
+  /// Mean time to failure (same time unit the caller chose).
+  virtual double mttf() const = 0;
+
+  /// Draws one failure time.
+  virtual double sample(Xoshiro256& rng) const = 0;
+
+  /// P(lifetime <= t).
+  virtual double cdf(double t) const = 0;
+
+  /// Display name ("exponential", "weibull", "lognormal").
+  virtual std::string_view name() const = 0;
+
+  LifetimeDistribution() = default;
+  LifetimeDistribution(const LifetimeDistribution&) = delete;
+  LifetimeDistribution& operator=(const LifetimeDistribution&) = delete;
+};
+
+/// Exponential lifetime — SOFR's constant-failure-rate assumption.
+class ExponentialLifetime final : public LifetimeDistribution {
+ public:
+  /// mttf must be positive.
+  explicit ExponentialLifetime(double mttf);
+  double mttf() const override { return mttf_; }
+  double sample(Xoshiro256& rng) const override;
+  double cdf(double t) const override;
+  std::string_view name() const override { return "exponential"; }
+
+ private:
+  double mttf_;
+};
+
+/// Weibull lifetime with shape beta. beta > 1 models wear-out (failure rate
+/// grows with age); beta = 1 degenerates to exponential. The scale is
+/// derived from the requested MTTF: eta = MTTF / Gamma(1 + 1/beta).
+class WeibullLifetime final : public LifetimeDistribution {
+ public:
+  /// mttf and beta must be positive.
+  WeibullLifetime(double mttf, double beta);
+  double mttf() const override { return mttf_; }
+  double sample(Xoshiro256& rng) const override;
+  double cdf(double t) const override;
+  std::string_view name() const override { return "weibull"; }
+
+  double beta() const { return beta_; }
+  double eta() const { return eta_; }
+
+ private:
+  double mttf_;
+  double beta_;
+  double eta_;
+};
+
+/// Lognormal lifetime with log-space standard deviation sigma; the
+/// log-space mean is derived from the requested MTTF:
+/// mu = ln(MTTF) − sigma²/2.
+class LognormalLifetime final : public LifetimeDistribution {
+ public:
+  /// mttf and sigma must be positive.
+  LognormalLifetime(double mttf, double sigma);
+  double mttf() const override { return mttf_; }
+  double sample(Xoshiro256& rng) const override;
+  double cdf(double t) const override;
+  std::string_view name() const override { return "lognormal"; }
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mttf_;
+  double mu_;
+  double sigma_;
+};
+
+/// Distribution family selector for the Monte Carlo engine.
+enum class LifetimeFamily { kExponential, kWeibull, kLognormal };
+std::string_view family_name(LifetimeFamily f);
+
+/// Factory: a distribution of `family` with the given MTTF. `shape` is the
+/// Weibull beta or the lognormal sigma (ignored for exponential).
+std::unique_ptr<LifetimeDistribution> make_lifetime(LifetimeFamily family,
+                                                    double mttf,
+                                                    double shape);
+
+}  // namespace ramp::core

@@ -1,0 +1,74 @@
+#include "core/lifetime_mc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace ramp::core {
+
+LifetimeMonteCarlo::LifetimeMonteCarlo(const FitSummary& fits,
+                                       const LifetimeModelConfig& cfg) {
+  double total_fit = 0.0;
+  auto add_instance = [&](double fit, Mechanism m) {
+    if (fit <= 0.0) return;
+    total_fit += fit;
+    const double mttf_years = mttf_years_from_fit(fit);
+    instances_.push_back(make_lifetime(
+        cfg.family, mttf_years, cfg.shape[static_cast<std::size_t>(m)]));
+  };
+
+  for (const auto& row : fits.by_structure) {
+    for (int m = 0; m < kNumMechanisms; ++m) {
+      add_instance(row[static_cast<std::size_t>(m)], static_cast<Mechanism>(m));
+    }
+  }
+  add_instance(fits.tc_fit, Mechanism::kTc);
+
+  RAMP_REQUIRE(!instances_.empty(),
+               "Monte Carlo needs at least one non-zero failure instance");
+  sofr_years_ = mttf_years_from_fit(total_fit);
+}
+
+LifetimeEstimate LifetimeMonteCarlo::estimate(std::uint64_t samples,
+                                              std::uint64_t seed) const {
+  RAMP_REQUIRE(samples > 0, "need at least one sample");
+  Xoshiro256 rng(seed);
+  std::vector<double> lifetimes;
+  lifetimes.reserve(samples);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    double first_failure = std::numeric_limits<double>::infinity();
+    for (const auto& inst : instances_) {
+      first_failure = std::min(first_failure, inst->sample(rng));
+    }
+    lifetimes.push_back(first_failure);
+  }
+  std::sort(lifetimes.begin(), lifetimes.end());
+
+  LifetimeEstimate est;
+  est.samples = samples;
+  est.sofr_years = sofr_years_;
+  double sum = 0.0;
+  for (double t : lifetimes) sum += t;
+  est.mean_years = sum / static_cast<double>(samples);
+  auto quantile = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(lifetimes.size() - 1));
+    return lifetimes[idx];
+  };
+  est.median_years = quantile(0.5);
+  est.p05_years = quantile(0.05);
+  est.p95_years = quantile(0.95);
+  return est;
+}
+
+double LifetimeMonteCarlo::survival(double t_years) const {
+  double s = 1.0;
+  for (const auto& inst : instances_) {
+    s *= 1.0 - inst->cdf(t_years);
+  }
+  return s;
+}
+
+}  // namespace ramp::core

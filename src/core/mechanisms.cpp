@@ -1,0 +1,69 @@
+#include "core/mechanisms.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace ramp::core {
+
+namespace {
+void check_temp(double t) {
+  RAMP_REQUIRE(t >= kMinModelTemperature && t <= kMaxModelTemperature,
+               "temperature outside the model's validity range");
+}
+}  // namespace
+
+std::string_view mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kEm: return "EM";
+    case Mechanism::kSm: return "SM";
+    case Mechanism::kTddb: return "TDDB";
+    case Mechanism::kTc: return "TC";
+  }
+  throw InvalidArgument("unknown mechanism");
+}
+
+double ElectromigrationModel::raw_fit(double j_ma_per_um2, double t_kelvin,
+                                      double wh_relative) const {
+  check_temp(t_kelvin);
+  RAMP_REQUIRE(j_ma_per_um2 >= 0.0, "current density must be non-negative");
+  RAMP_REQUIRE(wh_relative > 0.0, "interconnect cross-section must be positive");
+  if (j_ma_per_um2 == 0.0) return 0.0;  // no current flow, no migration
+  return std::pow(j_ma_per_um2, n) *
+         std::exp(-ea_ev / (kBoltzmannEv * t_kelvin)) / wh_relative;
+}
+
+double StressMigrationModel::raw_fit(double t_kelvin) const {
+  check_temp(t_kelvin);
+  const double dt = std::abs(t0_kelvin - t_kelvin);
+  // At T == T0 the interconnect is stress-free and the SM rate vanishes.
+  if (dt == 0.0) return 0.0;
+  return std::pow(dt, m) * std::exp(-ea_ev / (kBoltzmannEv * t_kelvin));
+}
+
+double TddbModel::raw_fit(double v, double t_kelvin, double tox_nm,
+                          double area_relative) const {
+  check_temp(t_kelvin);
+  RAMP_REQUIRE(v > 0.0, "voltage must be positive");
+  RAMP_REQUIRE(tox_nm > 0.0, "oxide thickness must be positive");
+  RAMP_REQUIRE(area_relative > 0.0, "gate-oxide area must be positive");
+  const double oxide_term =
+      std::pow(10.0, (tox_ref_nm - tox_nm) / tox_scale_nm);
+  const double voltage_term = std::pow(v, voltage_exponent(t_kelvin));
+  const double field_term = std::exp(
+      -(x_ev + y_evk / t_kelvin + z_ev_per_k * t_kelvin) /
+      (kBoltzmannEv * t_kelvin));
+  return area_relative * oxide_term * voltage_term * field_term;
+}
+
+double ThermalCyclingModel::raw_fit(double t_average_kelvin) const {
+  check_temp(t_average_kelvin);
+  const double cycle = t_average_kelvin - t_ambient_kelvin;
+  RAMP_REQUIRE(cycle >= 0.0,
+               "average temperature must not be below the cycling baseline");
+  if (cycle == 0.0) return 0.0;
+  return std::pow(cycle, q);
+}
+
+}  // namespace ramp::core

@@ -1,0 +1,108 @@
+// The four intrinsic hard-failure mechanism models of RAMP (paper §2–§3).
+//
+// Each model computes an *unnormalized* instantaneous failure rate
+// ("raw FIT", the reciprocal of the MTTF expression with proportionality
+// constant 1). Absolute FIT values are obtained by multiplying with the
+// per-mechanism proportionality constants produced by reliability
+// qualification (src/core/qualification.hpp), exactly as §4.4 prescribes.
+//
+// Sign conventions: MTTF expressions from the paper are inverted, so every
+// beneficial term appears with the opposite exponent here (e.g. FIT_EM ∝
+// J^n e^{-Ea/kT}).
+#pragma once
+
+#include <string_view>
+
+namespace ramp::core {
+
+/// The four modeled failure mechanisms.
+enum class Mechanism { kEm, kSm, kTddb, kTc };
+inline constexpr int kNumMechanisms = 4;
+std::string_view mechanism_name(Mechanism m);
+
+/// Electromigration (eq. 1 + §3 scaling):
+///   FIT_EM ∝ J^n · e^{−Ea/kT} / (w·h)_rel
+/// J is the interconnect current density (activity factor × J_max for the
+/// technology); (w·h)_rel captures the κ² lifetime loss of shrinking
+/// damascene copper interconnects under a constant interface layer δ.
+struct ElectromigrationModel {
+  double n = 1.1;      ///< current-density exponent (copper)
+  double ea_ev = 0.9;  ///< activation energy (eV, copper)
+
+  /// Raw FIT at current density `j_ma_per_um2`, temperature `t_kelvin`,
+  /// and relative interconnect cross-section `wh_relative` (1.0 at 180 nm).
+  double raw_fit(double j_ma_per_um2, double t_kelvin, double wh_relative) const;
+};
+
+/// Stress migration (eq. 2):
+///   FIT_SM ∝ |T₀ − T|^m · e^{−Ea/kT}
+/// T₀ is the sputtering deposition temperature of the metal (500 K).
+struct StressMigrationModel {
+  double m = 2.5;
+  double ea_ev = 0.9;
+  double t0_kelvin = 500.0;
+
+  double raw_fit(double t_kelvin) const;
+};
+
+/// Time-dependent dielectric breakdown (eq. 3 + eq. 5 scaling):
+///   FIT_TDDB ∝ A_rel · 10^{(tox_ref − tox)/tox_scale} · V^{a−bT}
+///              · e^{−(X + Y/T + Z·T)/kT}
+/// The 10^{Δtox/tox_scale} term is the gate-leakage acceleration of thinner
+/// oxides; A_rel is the relative gate-oxide area.
+///
+/// Two parameter presets are provided (see DESIGN.md, "Model-constant
+/// correction"):
+///  - wu2002(): the literature values behind eq. 3 — a = 78, b = +0.081 /K
+///    (voltage power-law exponent ≈ 48 at 363 K, per Wu et al.), one decade
+///    of leakage per 0.22 nm of oxide. NOTE the paper prints b = −0.081;
+///    that sign makes voltage scaling improve MTTF by ~e^28 and contradicts
+///    every TDDB result in the paper, so the + sign is used.
+///  - dsn04_shape() [default]: the paper's published TDDB curve cannot be
+///    reproduced from the wu2002 constants (its 130 nm dip needs an
+///    exponent ≈ 48 while its 65 nm 0.9 V/1.0 V pair needs ≈ 10 — an
+///    internal inconsistency). This preset least-squares fits (a, b,
+///    tox_scale) to the paper's published per-node TDDB ratios, giving an
+///    effective exponent ≈ 16 at 350 K falling to ≈ 9.5 at 365 K. It
+///    reproduces the sign and approximate magnitude of every published
+///    TDDB data point; bench_tddb_presets quantifies both presets.
+struct TddbModel {
+  double a = 179.53;
+  double b = 0.4657;      ///< 1/K
+  double x_ev = 0.759;
+  double y_evk = -66.8;
+  double z_ev_per_k = -8.37e-4;
+  double tox_ref_nm = 2.5;     ///< 180 nm gate oxide (25 Å, Table 4)
+  double tox_scale_nm = 0.45;  ///< nm of oxide per decade of leakage
+
+  /// The default preset: fitted to the paper's published TDDB curve.
+  static TddbModel dsn04_shape() { return TddbModel{}; }
+
+  /// The Wu et al. 2002 literature constants (sign-corrected b).
+  static TddbModel wu2002() {
+    TddbModel m;
+    m.a = 78.0;
+    m.b = 0.081;
+    m.tox_scale_nm = 0.22;
+    return m;
+  }
+
+  /// Raw FIT at voltage `v`, temperature `t_kelvin`, oxide thickness
+  /// `tox_nm`, and relative gate-oxide area `area_relative`.
+  double raw_fit(double v, double t_kelvin, double tox_nm,
+                 double area_relative) const;
+
+  /// Voltage exponent a − bT at temperature `t_kelvin`.
+  double voltage_exponent(double t_kelvin) const { return a - b * t_kelvin; }
+};
+
+/// Thermal cycling (eq. 4, Coffin-Manson, package-level):
+///   FIT_TC ∝ (T_average − T_ambient)^q
+struct ThermalCyclingModel {
+  double q = 2.35;            ///< Coffin-Manson exponent for the package
+  double t_ambient_kelvin = 300.0;  ///< powered-off baseline of large cycles
+
+  double raw_fit(double t_average_kelvin) const;
+};
+
+}  // namespace ramp::core

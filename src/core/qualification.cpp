@@ -1,0 +1,31 @@
+#include "core/qualification.hpp"
+
+#include "util/error.hpp"
+
+namespace ramp::core {
+
+MechanismConstants qualify(const std::vector<FitSummary>& raw_per_app,
+                           const QualificationTarget& target) {
+  RAMP_REQUIRE(!raw_per_app.empty(), "qualification needs at least one app");
+  RAMP_REQUIRE(target.fit_per_mechanism > 0.0,
+               "qualification target must be positive");
+
+  std::array<double, kNumMechanisms> avg{};
+  for (const auto& summary : raw_per_app) {
+    const auto by_mech = summary.by_mechanism();
+    for (int m = 0; m < kNumMechanisms; ++m) {
+      avg[static_cast<std::size_t>(m)] += by_mech[static_cast<std::size_t>(m)];
+    }
+  }
+  for (auto& v : avg) v /= static_cast<double>(raw_per_app.size());
+
+  MechanismConstants k;
+  for (int m = 0; m < kNumMechanisms; ++m) {
+    const double raw = avg[static_cast<std::size_t>(m)];
+    RAMP_REQUIRE(raw > 0.0, "cannot qualify a mechanism with zero raw rate");
+    k.set(static_cast<Mechanism>(m), target.fit_per_mechanism / raw);
+  }
+  return k;
+}
+
+}  // namespace ramp::core

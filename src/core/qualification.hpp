@@ -1,0 +1,30 @@
+// Reliability qualification (paper §4.4).
+//
+// Processors are qualified for ≈30-year MTTF, i.e. a total of ≈4000 FIT;
+// the paper assumes each of the four mechanisms contributes equally at
+// qualification, so the proportionality constants are chosen to make the
+// *suite-average* FIT of each mechanism 1000 at the 180 nm base point. The
+// same constants are then reused at every scaled node, which is what turns
+// raw model outputs into the paper's absolute FIT curves.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/fit_tracker.hpp"
+#include "core/ramp_model.hpp"
+
+namespace ramp::core {
+
+struct QualificationTarget {
+  double fit_per_mechanism = 1000.0;  ///< 4 × 1000 = 4000 FIT ≈ 30 y MTTF
+};
+
+/// Computes the per-mechanism proportionality constants from per-application
+/// *raw* summaries (produced with MechanismConstants{1,1,1,1} at the base
+/// technology node). Throws InvalidArgument when a mechanism's raw average
+/// is zero (cannot be normalized).
+MechanismConstants qualify(const std::vector<FitSummary>& raw_per_app,
+                           const QualificationTarget& target = {});
+
+}  // namespace ramp::core

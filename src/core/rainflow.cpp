@@ -1,0 +1,89 @@
+#include "core/rainflow.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::core {
+
+namespace {
+// Reduces a signal to its turning points (strict local extrema plus the
+// endpoints); plateaus collapse to one point.
+std::vector<double> turning_points(const std::vector<double>& signal) {
+  std::vector<double> tp;
+  for (double v : signal) {
+    if (!tp.empty() && v == tp.back()) continue;
+    if (tp.size() >= 2) {
+      const double a = tp[tp.size() - 2];
+      const double b = tp.back();
+      // b is not an extremum if it lies monotonically between a and v.
+      if ((a < b && b < v) || (a > b && b > v)) tp.back() = v;
+      else tp.push_back(v);
+    } else {
+      tp.push_back(v);
+    }
+  }
+  return tp;
+}
+}  // namespace
+
+std::vector<RainflowCycle> rainflow_count(const std::vector<double>& signal) {
+  std::vector<RainflowCycle> cycles;
+  const std::vector<double> tp = turning_points(signal);
+  if (tp.size() < 2) return cycles;
+
+  // ASTM E1049-85 rainflow counting over the turning-point sequence. The
+  // range Y spans the two oldest of the three most recent points; when it
+  // is closed (X >= Y) it counts as a full cycle, except when it contains
+  // the (current) starting point of the history, in which case it counts
+  // as a half cycle and only the starting point is discarded.
+  std::vector<double> stack;
+  auto emit = [&](double a, double b, double count) {
+    cycles.push_back({std::abs(a - b), (a + b) / 2.0, count});
+  };
+
+  for (double point : tp) {
+    stack.push_back(point);
+    while (stack.size() >= 3) {
+      const double x = std::abs(stack[stack.size() - 1] - stack[stack.size() - 2]);
+      const double y = std::abs(stack[stack.size() - 2] - stack[stack.size() - 3]);
+      if (x < y) break;
+      const bool y_contains_start = stack.size() == 3;
+      if (y_contains_start) {
+        // Half cycle; discard the starting point, the next point becomes
+        // the new start.
+        emit(stack[0], stack[1], 0.5);
+        stack.erase(stack.begin());
+        break;  // only two points remain; wait for more data
+      }
+      emit(stack[stack.size() - 3], stack[stack.size() - 2], 1.0);
+      stack.erase(stack.end() - 3, stack.end() - 1);
+    }
+  }
+  // Residual: each remaining range is a half cycle.
+  for (std::size_t i = 0; i + 1 < stack.size(); ++i) {
+    emit(stack[i], stack[i + 1], 0.5);
+  }
+  return cycles;
+}
+
+SmallCycleDamage::SmallCycleDamage(double q, double ref_range_kelvin,
+                                   double threshold_kelvin)
+    : q_(q), ref_range_(ref_range_kelvin), threshold_(threshold_kelvin) {
+  RAMP_REQUIRE(q > 0.0, "Coffin-Manson exponent must be positive");
+  RAMP_REQUIRE(ref_range_kelvin > 0.0, "reference range must be positive");
+  RAMP_REQUIRE(threshold_kelvin >= 0.0, "threshold must be non-negative");
+}
+
+double SmallCycleDamage::add_signal(const std::vector<double>& temperatures) {
+  double added = 0.0;
+  for (const auto& c : rainflow_count(temperatures)) {
+    if (c.range < threshold_) continue;
+    added += c.count * std::pow(c.range / ref_range_, q_);
+    cycles_ += c.count;
+  }
+  damage_ += added;
+  return added;
+}
+
+}  // namespace ramp::core

@@ -1,0 +1,68 @@
+#include "core/ramp_model.hpp"
+
+#include "util/error.hpp"
+
+namespace ramp::core {
+
+double MechanismConstants::get(Mechanism m) const {
+  switch (m) {
+    case Mechanism::kEm: return em;
+    case Mechanism::kSm: return sm;
+    case Mechanism::kTddb: return tddb;
+    case Mechanism::kTc: return tc;
+  }
+  throw InvalidArgument("unknown mechanism");
+}
+
+void MechanismConstants::set(Mechanism m, double value) {
+  RAMP_REQUIRE(value >= 0.0, "proportionality constants must be non-negative");
+  switch (m) {
+    case Mechanism::kEm: em = value; return;
+    case Mechanism::kSm: sm = value; return;
+    case Mechanism::kTddb: tddb = value; return;
+    case Mechanism::kTc: tc = value; return;
+  }
+  throw InvalidArgument("unknown mechanism");
+}
+
+RampModel::RampModel(const scaling::TechnologyNode& tech,
+                     const MechanismConstants& constants,
+                     const TddbModel& tddb)
+    : tech_(tech), constants_(constants), tddb_(tddb) {}
+
+double RampModel::em_fit(sim::StructureId s, const OperatingPoint& op) const {
+  RAMP_REQUIRE(op.activity >= 0.0 && op.activity <= 1.0,
+               "activity factor must lie in [0, 1]");
+  const double j = op.activity * tech_.jmax_ma_per_um2;
+  const double weight = sim::structure_area_fraction(s);
+  return constants_.em * weight *
+         em_.raw_fit(j, op.temperature_k, tech_.em_wh_relative());
+}
+
+double RampModel::sm_fit(sim::StructureId s, const OperatingPoint& op) const {
+  const double weight = sim::structure_area_fraction(s);
+  return constants_.sm * weight * sm_.raw_fit(op.temperature_k);
+}
+
+double RampModel::tddb_fit(sim::StructureId s, const OperatingPoint& op) const {
+  // Relative gate-oxide area = structure share × die-area scaling.
+  const double area_rel = sim::structure_area_fraction(s) * tech_.relative_area;
+  return constants_.tddb *
+         tddb_.raw_fit(op.voltage, op.temperature_k, tech_.tox_nm, area_rel);
+}
+
+double RampModel::tc_fit(double avg_die_temperature_k) const {
+  return constants_.tc * tc_.raw_fit(avg_die_temperature_k);
+}
+
+std::array<double, kNumMechanisms> RampModel::structure_fits(
+    sim::StructureId s, const OperatingPoint& op) const {
+  std::array<double, kNumMechanisms> fits{};
+  fits[static_cast<std::size_t>(Mechanism::kEm)] = em_fit(s, op);
+  fits[static_cast<std::size_t>(Mechanism::kSm)] = sm_fit(s, op);
+  fits[static_cast<std::size_t>(Mechanism::kTddb)] = tddb_fit(s, op);
+  fits[static_cast<std::size_t>(Mechanism::kTc)] = 0.0;  // package-level
+  return fits;
+}
+
+}  // namespace ramp::core

@@ -1,0 +1,89 @@
+// RAMP facade: per-structure, per-mechanism instantaneous FIT evaluation for
+// one technology node.
+//
+// RAMP (paper §2) evaluates the failure models at microarchitectural
+// structure granularity from the structure's instantaneous temperature T,
+// supply voltage V, and activity factor p. This class binds the mechanism
+// models (src/core/mechanisms.hpp) to a technology node's scaling
+// parameters (Table 4) and the modeled core's structure areas, and applies
+// the qualification constants that turn raw rates into absolute FIT.
+//
+// Structure weighting: EM/SM rates scale with a structure's interconnect
+// amount and TDDB with its gate-oxide area, both of which we take
+// proportional to the structure's area fraction. TC is evaluated once, at
+// package level, from the average die temperature (§2).
+#pragma once
+
+#include <array>
+
+#include "core/mechanisms.hpp"
+#include "scaling/technology.hpp"
+#include "sim/structures.hpp"
+
+namespace ramp::core {
+
+/// Per-mechanism proportionality constants (absolute-FIT calibration).
+/// The default of 1.0 yields "raw" rates; qualification (§4.4) produces the
+/// constants that make the 180 nm suite-average 1000 FIT per mechanism.
+struct MechanismConstants {
+  double em = 1.0;
+  double sm = 1.0;
+  double tddb = 1.0;
+  double tc = 1.0;
+
+  double get(Mechanism m) const;
+  void set(Mechanism m, double value);
+};
+
+/// Instantaneous operating point of one structure.
+struct OperatingPoint {
+  double temperature_k = 345.0;
+  double voltage = 1.3;
+  double activity = 0.0;  ///< activity factor p in [0, 1]
+};
+
+class RampModel {
+ public:
+  /// `tddb` selects the TDDB parameter preset (TddbModel::dsn04_shape() by
+  /// default; pass TddbModel::wu2002() for the literature constants).
+  RampModel(const scaling::TechnologyNode& tech,
+            const MechanismConstants& constants = {},
+            const TddbModel& tddb = TddbModel::dsn04_shape());
+
+  /// Instantaneous EM FIT of structure `s` at point `op`. The interconnect
+  /// current density is p · J_max(tech), per §2.
+  double em_fit(sim::StructureId s, const OperatingPoint& op) const;
+
+  /// Instantaneous SM FIT of structure `s` (temperature only).
+  double sm_fit(sim::StructureId s, const OperatingPoint& op) const;
+
+  /// Instantaneous TDDB FIT of structure `s` at point `op`.
+  double tddb_fit(sim::StructureId s, const OperatingPoint& op) const;
+
+  /// Instantaneous package TC FIT from the area-weighted average die
+  /// temperature.
+  double tc_fit(double avg_die_temperature_k) const;
+
+  /// All three structure-level mechanisms for `s`, indexed by Mechanism
+  /// (the TC slot is zero — it is package-level; use tc_fit).
+  std::array<double, kNumMechanisms> structure_fits(sim::StructureId s,
+                                                    const OperatingPoint& op) const;
+
+  const scaling::TechnologyNode& tech() const { return tech_; }
+  const MechanismConstants& constants() const { return constants_; }
+
+  const ElectromigrationModel& em_model() const { return em_; }
+  const StressMigrationModel& sm_model() const { return sm_; }
+  const TddbModel& tddb_model() const { return tddb_; }
+  const ThermalCyclingModel& tc_model() const { return tc_; }
+
+ private:
+  scaling::TechnologyNode tech_;
+  MechanismConstants constants_;
+  ElectromigrationModel em_{};
+  StressMigrationModel sm_{};
+  TddbModel tddb_{};
+  ThermalCyclingModel tc_{};
+};
+
+}  // namespace ramp::core

@@ -1,0 +1,69 @@
+// Structural redundancy for lifetime enhancement.
+//
+// The paper's conclusion — single designs cannot simply be remapped across
+// nodes once wear-out dominates — spawned follow-up work on *structural
+// duplication*: provisioning spare microarchitectural structures that take
+// over when the primary wears out, turning the first structure failure
+// into a performance event instead of a chip death. This module extends
+// the series-system Monte Carlo engine with per-structure spare counts:
+// the chip fails when any structure has exhausted its spares (for
+// structure-level mechanisms) or when the package fails (TC, not
+// sparable).
+//
+// Modeling assumptions, documented for auditability:
+//  - Spares are cold (unpowered) until activated, so they accrue no wear
+//    while inactive; activation is instantaneous.
+//  - A structure's failure times across spares are i.i.d. draws from the
+//    same per-(structure, mechanism) distributions as the primary.
+//  - Structure-level mechanisms (EM/SM/TDDB) fail a *structure instance*
+//    jointly: the instance dies at the minimum of its mechanism draws.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/lifetime_mc.hpp"
+#include "sim/structures.hpp"
+
+namespace ramp::core {
+
+/// Spare provisioning per structure (0 = no redundancy, the paper's base).
+struct SparePlan {
+  std::array<int, sim::kNumStructures> spares{};
+
+  /// Uniform plan: the same spare count for every structure.
+  static SparePlan uniform(int n);
+
+  /// Total spare structures provisioned (area-cost proxy).
+  int total() const;
+
+  /// Relative area overhead of this plan given the structure area
+  /// fractions (spare FXU costs its area fraction again, etc.).
+  double area_overhead() const;
+};
+
+/// Monte Carlo lifetime of a chip with structural redundancy.
+class RedundantLifetimeMonteCarlo {
+ public:
+  /// `fits` are absolute per-(structure, mechanism) FIT values; `plan`
+  /// gives spare counts; `cfg` picks the lifetime distribution family.
+  RedundantLifetimeMonteCarlo(const FitSummary& fits, const SparePlan& plan,
+                              const LifetimeModelConfig& cfg);
+
+  /// Mean chip lifetime (years) over `samples` draws.
+  LifetimeEstimate estimate(std::uint64_t samples, std::uint64_t seed) const;
+
+ private:
+  /// One instance-lifetime draw for structure `s` (min over mechanisms).
+  double sample_structure_instance(std::size_t s, Xoshiro256& rng) const;
+
+  // Per structure, per mechanism distribution (nullptr when FIT was 0).
+  std::array<std::array<std::unique_ptr<LifetimeDistribution>, kNumMechanisms>,
+             sim::kNumStructures>
+      structure_dists_{};
+  std::unique_ptr<LifetimeDistribution> package_tc_;
+  SparePlan plan_;
+  double sofr_years_ = 0.0;
+};
+
+}  // namespace ramp::core

@@ -1,0 +1,76 @@
+#include "drm/drm_controller.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace ramp::drm {
+
+std::vector<OperatingPoint> dvfs_ladder(const scaling::TechnologyNode& node,
+                                        int count, double vdd_step) {
+  RAMP_REQUIRE(count > 0, "ladder needs at least one point");
+  RAMP_REQUIRE(vdd_step > 0.0, "voltage step must be positive");
+  std::vector<OperatingPoint> ladder;
+  ladder.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    OperatingPoint p;
+    p.vdd = node.vdd - vdd_step * i;
+    RAMP_REQUIRE(p.vdd > 0.5, "ladder descends below a plausible Vmin");
+    // Frequency tracks voltage linearly (alpha-power approximation near
+    // nominal Vdd).
+    p.frequency_hz = node.frequency_hz * (p.vdd / node.vdd);
+    p.relative_performance = p.frequency_hz / node.frequency_hz;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2fV/%.2fGHz", p.vdd,
+                  p.frequency_hz / 1e9);
+    p.label = buf;
+    ladder.push_back(std::move(p));
+  }
+  return ladder;
+}
+
+DrmController::DrmController(DrmConfig cfg, std::vector<OperatingPoint> ladder)
+    : cfg_(cfg), ladder_(std::move(ladder)) {
+  RAMP_REQUIRE(!ladder_.empty(), "controller needs at least one point");
+  RAMP_REQUIRE(cfg_.fit_budget > 0.0, "FIT budget must be positive");
+  RAMP_REQUIRE(cfg_.headroom >= 0.0 && cfg_.headroom < 1.0,
+               "headroom must lie in [0, 1)");
+  RAMP_REQUIRE(cfg_.dwell_seconds >= 0.0, "dwell must be non-negative");
+  for (std::size_t i = 1; i < ladder_.size(); ++i) {
+    RAMP_REQUIRE(ladder_[i].frequency_hz <= ladder_[i - 1].frequency_hz,
+                 "ladder must be ordered fastest-first");
+  }
+}
+
+DrmDecision DrmController::update(double instantaneous_fit,
+                                  double dt_seconds) {
+  RAMP_REQUIRE(instantaneous_fit >= 0.0, "FIT must be non-negative");
+  RAMP_REQUIRE(dt_seconds > 0.0, "interval must be positive");
+
+  fit_avg_.add(instantaneous_fit, dt_seconds);
+  perf_avg_.add(current().relative_performance, dt_seconds);
+  time_at_point_ += dt_seconds;
+
+  DrmDecision d;
+  d.avg_fit = fit_avg_.mean();
+
+  const double hi = cfg_.fit_budget * (1.0 + cfg_.headroom);
+  const double lo = cfg_.fit_budget * (1.0 - cfg_.headroom);
+
+  if (d.avg_fit > hi && index_ + 1 < static_cast<int>(ladder_.size())) {
+    ++index_;
+    ++switches_;
+    time_at_point_ = 0.0;
+    d.changed = true;
+  } else if (d.avg_fit < lo && index_ > 0 &&
+             time_at_point_ >= cfg_.dwell_seconds) {
+    --index_;
+    ++switches_;
+    time_at_point_ = 0.0;
+    d.changed = true;
+  }
+  d.point_index = index_;
+  return d;
+}
+
+}  // namespace ramp::drm

@@ -1,0 +1,99 @@
+// Dynamic reliability management (DRM).
+//
+// The paper's closing argument (§5.2, citing its companion ISCA'04 work) is
+// that worst-case reliability qualification over-designs the processor for
+// almost every workload, and that the fix is to qualify for the *expected*
+// case "backed up with dynamic application-specific responses for handling
+// departures from the expected case". This module implements that dynamic
+// response: a feedback controller that watches the reliability budget a
+// running application is actually consuming (via the same instantaneous-FIT
+// machinery RAMP uses) and steps a DVFS operating point up or down so the
+// processor meets its target MTTF without sacrificing performance headroom
+// when the workload is cooler than the qualification point.
+//
+// Control law: the controller tracks the running time-average of total FIT.
+// If the average exceeds the budget by more than `headroom`, it steps to
+// the next lower-power operating point; if it is below budget by more than
+// `headroom` and time has been spent at the current point (`dwell`), it
+// steps back up. Hysteresis (two thresholds + dwell) prevents oscillation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fit_tracker.hpp"
+#include "core/ramp_model.hpp"
+#include "scaling/technology.hpp"
+
+namespace ramp::drm {
+
+/// One DVFS operating point available to the controller, derived from a
+/// technology node by scaling voltage and frequency.
+struct OperatingPoint {
+  double vdd = 1.0;
+  double frequency_hz = 2.0e9;
+  std::string label;
+
+  /// Relative performance of this point (frequency ratio to the fastest).
+  double relative_performance = 1.0;
+};
+
+/// Builds a descending ladder of `count` operating points for `node`,
+/// stepping voltage down by `vdd_step` per rung with frequency tracking
+/// voltage linearly. The first rung is the node's nominal point.
+std::vector<OperatingPoint> dvfs_ladder(const scaling::TechnologyNode& node,
+                                        int count, double vdd_step = 0.05);
+
+struct DrmConfig {
+  /// Target processor failure rate (FIT). 4000 FIT ≈ 30-year MTTF, the
+  /// paper's qualification point.
+  double fit_budget = 4000.0;
+  /// Fractional hysteresis band around the budget (0.05 = ±5%).
+  double headroom = 0.05;
+  /// Minimum simulated seconds at a point before stepping up again.
+  double dwell_seconds = 20e-6;
+};
+
+/// Decision returned by the controller each interval.
+struct DrmDecision {
+  int point_index = 0;      ///< operating-point ladder index now active
+  bool changed = false;     ///< true when this interval switched points
+  double avg_fit = 0.0;     ///< running average total FIT so far
+};
+
+class DrmController {
+ public:
+  /// `ladder` must be non-empty and ordered fastest-first. The controller
+  /// starts at the fastest point.
+  DrmController(DrmConfig cfg, std::vector<OperatingPoint> ladder);
+
+  /// Feeds one interval's total instantaneous FIT (already summed over
+  /// structures and mechanisms) of duration `dt_seconds`; returns the
+  /// operating point to use for the next interval.
+  DrmDecision update(double instantaneous_fit, double dt_seconds);
+
+  const OperatingPoint& current() const { return ladder_[static_cast<std::size_t>(index_)]; }
+  int current_index() const { return index_; }
+  const std::vector<OperatingPoint>& ladder() const { return ladder_; }
+
+  /// Running average FIT consumed so far (0 before any update).
+  double average_fit() const { return fit_avg_.mean(); }
+
+  /// Number of point switches so far (stability metric).
+  std::uint64_t switches() const { return switches_; }
+
+  /// Time-weighted average relative performance delivered so far.
+  double average_performance() const { return perf_avg_.mean(); }
+
+ private:
+  DrmConfig cfg_;
+  std::vector<OperatingPoint> ladder_;
+  int index_ = 0;
+  TimeWeightedMean fit_avg_;
+  TimeWeightedMean perf_avg_;
+  double time_at_point_ = 0.0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace ramp::drm

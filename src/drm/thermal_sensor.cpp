@@ -1,0 +1,43 @@
+#include "drm/thermal_sensor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::drm {
+
+ThermalSensor::ThermalSensor(const SensorConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  RAMP_REQUIRE(cfg.noise_sigma_k >= 0.0, "noise sigma must be non-negative");
+  RAMP_REQUIRE(cfg.quantum_k >= 0.0, "quantization step must be non-negative");
+  RAMP_REQUIRE(cfg.time_constant_s >= 0.0,
+               "time constant must be non-negative");
+}
+
+double ThermalSensor::read(double junction_k, double dt_seconds) {
+  RAMP_REQUIRE(dt_seconds > 0.0, "dt must be positive");
+  RAMP_REQUIRE(junction_k > 0.0, "junction temperature must be positive");
+
+  if (!primed_) {
+    state_k_ = junction_k;
+    primed_ = true;
+  } else if (cfg_.time_constant_s > 0.0) {
+    // Exact first-order step response over dt.
+    const double alpha = 1.0 - std::exp(-dt_seconds / cfg_.time_constant_s);
+    state_k_ += alpha * (junction_k - state_k_);
+  } else {
+    state_k_ = junction_k;
+  }
+
+  double reading = state_k_ + cfg_.offset_k;
+  if (cfg_.noise_sigma_k > 0.0) {
+    reading += rng_.normal(0.0, cfg_.noise_sigma_k);
+  }
+  if (cfg_.quantum_k > 0.0) {
+    reading = std::round(reading / cfg_.quantum_k) * cfg_.quantum_k;
+  }
+  last_reading_ = reading;
+  return reading;
+}
+
+}  // namespace ramp::drm

@@ -1,0 +1,46 @@
+// On-die thermal sensor model.
+//
+// A DRM controller in silicon does not see the true junction temperature;
+// it reads a digital thermal sensor with offset error, quantization, noise,
+// and a low-pass response. This model provides those non-idealities so the
+// DRM studies can ask how much sensing error costs: an optimistic sensor
+// under-throttles (reliability loss), a pessimistic one over-throttles
+// (performance loss). Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ramp::drm {
+
+struct SensorConfig {
+  double offset_k = 0.0;       ///< systematic calibration error (K)
+  double noise_sigma_k = 0.5;  ///< white read noise (K, 1-sigma)
+  double quantum_k = 1.0;      ///< ADC quantization step (K)
+  /// First-order low-pass time constant (s); 0 disables filtering.
+  double time_constant_s = 100e-6;
+};
+
+class ThermalSensor {
+ public:
+  ThermalSensor(const SensorConfig& cfg, std::uint64_t seed);
+
+  /// Advances the sensor by `dt_seconds` with true temperature
+  /// `junction_k` and returns the value the controller would read.
+  double read(double junction_k, double dt_seconds);
+
+  /// Last value returned by read() (before a first read: 0).
+  double last_reading() const { return last_reading_; }
+
+  const SensorConfig& config() const { return cfg_; }
+
+ private:
+  SensorConfig cfg_;
+  Xoshiro256 rng_;
+  double state_k_ = 0.0;   ///< low-pass state (true-temperature domain)
+  bool primed_ = false;
+  double last_reading_ = 0.0;
+};
+
+}  // namespace ramp::drm

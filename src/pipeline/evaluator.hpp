@@ -1,0 +1,131 @@
+// End-to-end evaluation of one workload on one technology node:
+// trace → timing simulation → power → thermal → RAMP.
+//
+// Implements the paper's methodology (§4):
+//  1. Synthesize the workload's trace and run the Turandot-like timing
+//     simulator to get per-interval activity factors (§4.1).
+//  2. Convert activities to per-structure dynamic power; leakage follows
+//     temperature (§4.2).
+//  3. Two-run HotSpot methodology (§4.3): a steady-state solve from average
+//     power pins the heat-sink temperature (with the leakage fixed point),
+//     then a 1 µs-step transient rerun produces structure temperatures.
+//     When scaling, the sink-to-ambient resistance is adjusted so each
+//     application keeps its 180 nm heat-sink temperature.
+//  4. RAMP computes instantaneous per-structure FIT values each interval
+//     and keeps the running average (§4.4). Results here are *raw* (unit
+//     proportionality constants); qualification rescales them (see sweep).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fit_tracker.hpp"
+#include "power/power_model.hpp"
+#include "scaling/technology.hpp"
+#include "sim/interval_stats.hpp"
+#include "thermal/rc_model.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace ramp::pipeline {
+
+struct EvaluationConfig {
+  std::uint64_t trace_instructions = 300'000;
+  std::uint64_t seed = 42;             ///< base RNG seed (per-app offsets added)
+  double interval_seconds = 1e-6;      ///< RAMP/HotSpot granularity (§4.3/4.4)
+  power::PowerModelConfig power{};
+  thermal::ThermalConfig thermal{};
+  /// When true, AppTechResult::interval_trace records the per-interval
+  /// transient (time, hottest temp, power, instantaneous FIT).
+  bool record_intervals = false;
+};
+
+/// One recorded transient sample (record_intervals = true).
+struct IntervalSample {
+  double time_s = 0.0;
+  double hottest_temp_k = 0.0;
+  double total_power_w = 0.0;
+  /// Instantaneous per-mechanism FIT with unit proportionality constants;
+  /// apply qualification constants before aggregating across mechanisms
+  /// (raw magnitudes are not comparable between mechanisms).
+  std::array<double, core::kNumMechanisms> raw_mechanism_fit{};
+  double ipc = 0.0;
+
+  /// Qualified instantaneous total under the given constants.
+  double qualified_total(const core::MechanismConstants& k) const {
+    double total = 0.0;
+    for (int m = 0; m < core::kNumMechanisms; ++m) {
+      total += raw_mechanism_fit[static_cast<std::size_t>(m)] *
+               k.get(static_cast<core::Mechanism>(m));
+    }
+    return total;
+  }
+};
+
+/// Everything measured for one (application, technology) pair.
+struct AppTechResult {
+  std::string app;
+  scaling::TechPoint tech = scaling::TechPoint::k180nm;
+
+  // Performance.
+  double ipc = 0.0;
+
+  // Power (time-averaged over the transient run, Watts).
+  double avg_dynamic_power_w = 0.0;
+  double avg_leakage_power_w = 0.0;
+  double avg_total_power_w = 0.0;
+
+  // Temperatures (Kelvin).
+  double max_structure_temp_k = 0.0;  ///< hottest structure, any interval
+  double sink_temp_k = 0.0;           ///< steady-state heat-sink temperature
+  double avg_die_temp_k = 0.0;        ///< area-weighted, time-averaged
+
+  // Worst-case inputs.
+  double max_activity = 0.0;
+
+  /// Raw FIT summary (proportionality constants = 1). Scale with the
+  /// qualification constants for absolute FIT.
+  core::FitSummary raw_fits;
+
+  sim::RunStats run;
+
+  /// Transient time-series (empty unless EvaluationConfig::record_intervals).
+  std::vector<IntervalSample> interval_trace;
+};
+
+/// Scales a raw summary by qualification constants (FIT is linear in them).
+core::FitSummary scale_summary(const core::FitSummary& raw,
+                               const core::MechanismConstants& k);
+
+class Evaluator {
+ public:
+  explicit Evaluator(EvaluationConfig cfg);
+
+  /// Evaluates `w` at `tech`. When `sink_target_k > 0`, the sink-to-ambient
+  /// resistance is calibrated so the steady-state sink temperature equals
+  /// the target (the paper's constant-sink-temperature scaling rule);
+  /// otherwise the base 0.8 K/W resistance is used as-is.
+  AppTechResult evaluate(const workloads::Workload& w, scaling::TechPoint tech,
+                         double sink_target_k = 0.0) const;
+
+  /// Evaluates `w` at every node: 180 nm first (pinning the app's sink
+  /// temperature), then each scaled node holding that sink temperature.
+  std::vector<AppTechResult> evaluate_app(const workloads::Workload& w) const;
+
+  /// Evaluates an arbitrary instruction stream (file replay, phased trace,
+  /// external tooling) instead of a named workload's synthetic trace.
+  /// `label` names the result; `power_bias` calibrates per-app dynamic
+  /// energy (1.0 when unknown).
+  AppTechResult evaluate_stream(trace::TraceReader& stream,
+                                const std::string& label, double power_bias,
+                                scaling::TechPoint tech,
+                                double sink_target_k = 0.0) const;
+
+  const EvaluationConfig& config() const { return cfg_; }
+
+ private:
+  EvaluationConfig cfg_;
+};
+
+}  // namespace ramp::pipeline

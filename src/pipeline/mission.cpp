@@ -1,0 +1,68 @@
+#include "pipeline/mission.hpp"
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace ramp::pipeline {
+
+double MissionProfile::active_hours() const {
+  double h = 0;
+  for (const auto& s : segments) {
+    RAMP_REQUIRE(s.hours_per_day >= 0, "segment hours must be non-negative");
+    h += s.hours_per_day;
+  }
+  return h;
+}
+
+double MissionFit::mttf_years() const {
+  RAMP_REQUIRE(total() > 0.0, "MTTF undefined for a zero failure rate");
+  return mttf_years_from_fit(total());
+}
+
+MissionFit evaluate_mission(const SweepResult& sweep, scaling::TechPoint tech,
+                            const MissionProfile& profile) {
+  RAMP_REQUIRE(!profile.segments.empty(), "mission needs at least one segment");
+  const double active = profile.active_hours();
+  RAMP_REQUIRE(active > 0.0, "mission has no active time");
+  RAMP_REQUIRE(active <= 24.0 + 1e-9, "mission exceeds 24 hours per day");
+  RAMP_REQUIRE(profile.power_cycles_per_day >= 0.0,
+               "power cycles must be non-negative");
+
+  MissionFit fit;
+  double tc_weighted = 0.0;
+  for (const auto& seg : profile.segments) {
+    const auto& cell = sweep.at(seg.workload, tech);
+    const auto by_mech = sweep.qualified_fits(cell).by_mechanism();
+    // Duty weighting: this segment wears the chip for hours/24 of calendar
+    // time; FIT is per calendar hour, so the contribution scales by the
+    // calendar fraction spent in the segment.
+    const double duty = seg.hours_per_day / 24.0;
+    fit.em += by_mech[static_cast<std::size_t>(core::Mechanism::kEm)] * duty;
+    fit.sm += by_mech[static_cast<std::size_t>(core::Mechanism::kSm)] * duty;
+    fit.tddb += by_mech[static_cast<std::size_t>(core::Mechanism::kTddb)] * duty;
+    // TC severity follows the workload's cycle amplitude; weight by the
+    // segment's share of *active* time (each power cycle starts from the
+    // mix's typical operating temperature).
+    tc_weighted += by_mech[static_cast<std::size_t>(core::Mechanism::kTc)] *
+                   (seg.hours_per_day / active);
+  }
+  // Scale TC by the actual large-cycle rate vs the 1/day reference.
+  fit.tc = tc_weighted * profile.power_cycles_per_day;
+  return fit;
+}
+
+std::vector<MissionProfile> example_missions() {
+  return {
+      {"server (24/7, monthly reboot)",
+       {{"gcc", 10.0}, {"gap", 10.0}, {"ammp", 4.0}},
+       1.0 / 30.0},
+      {"desktop (10 h office day)",
+       {{"perlbmk", 4.0}, {"gzip", 3.0}, {"mesa", 3.0}},
+       1.0},
+      {"laptop (4 h, aggressive sleep)",
+       {{"crafty", 2.0}, {"vpr", 2.0}},
+       6.0},
+  };
+}
+
+}  // namespace ramp::pipeline

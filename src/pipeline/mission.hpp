@@ -1,0 +1,66 @@
+// Mission profiles: from per-workload FIT to deployed-lifetime estimates.
+//
+// The paper evaluates steady execution of one benchmark at a time; a
+// deployed processor runs a *mission*: a daily mix of workloads, idle/off
+// periods, and power cycles. This module combines sweep results with a
+// mission description:
+//
+//  - Wear-out mechanisms (EM, SM, TDDB) only age the silicon while it is
+//    powered and hot: their FIT contributions are duty-weighted over the
+//    active segments (time-weighted mix of per-workload FITs), and the
+//    powered-off remainder of the day contributes no wear.
+//  - Thermal cycling is driven by the number of large power cycles: eq. 4
+//    gives the per-cycle severity; the paper's qualification implicitly
+//    assumes a reference cycling rate, so TC FIT scales linearly with
+//    cycles-per-day relative to that reference (documented assumption:
+//    reference = 1 power cycle per day).
+//
+// The result is the workload-aware "reliability budget" view the paper's
+// dynamic-reliability-management proposal needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/sweep.hpp"
+
+namespace ramp::pipeline {
+
+/// One active segment of the daily mission.
+struct MissionSegment {
+  std::string workload;     ///< one of the 16 SPEC2K names
+  double hours_per_day = 0; ///< time spent in this segment per day
+};
+
+struct MissionProfile {
+  std::string name;
+  std::vector<MissionSegment> segments;
+  /// Large power-on/off thermal cycles per day (reference = 1.0).
+  double power_cycles_per_day = 1.0;
+
+  /// Total active (powered) hours per day; the rest is powered off.
+  double active_hours() const;
+};
+
+/// Mission-weighted reliability outcome at one technology node.
+struct MissionFit {
+  double em = 0.0;
+  double sm = 0.0;
+  double tddb = 0.0;
+  double tc = 0.0;
+  double total() const { return em + sm + tddb + tc; }
+  double mttf_years() const;
+};
+
+/// Evaluates `profile` against the qualified FITs of `sweep` at `tech`.
+/// Throws InvalidArgument for unknown workloads, zero-length missions, or
+/// schedules exceeding 24 h/day.
+MissionFit evaluate_mission(const SweepResult& sweep, scaling::TechPoint tech,
+                            const MissionProfile& profile);
+
+/// Three illustrative presets: a loaded server (24 h, rare reboots), an
+/// office desktop (10 h mixed, daily power cycle), and a laptop (4 h,
+/// several sleep cycles a day).
+std::vector<MissionProfile> example_missions();
+
+}  // namespace ramp::pipeline

@@ -1,0 +1,262 @@
+#include "pipeline/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/qualification.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace ramp::pipeline {
+
+namespace {
+
+int tech_index(scaling::TechPoint p) {
+  for (std::size_t i = 0; i < scaling::kAllTechPoints.size(); ++i) {
+    if (scaling::kAllTechPoints[i] == p) return static_cast<int>(i);
+  }
+  throw InvalidArgument("unknown technology point");
+}
+
+void hash_mix(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+const AppTechResult& SweepResult::at(const std::string& app,
+                                     scaling::TechPoint tech) const {
+  for (const auto& r : results) {
+    if (r.app == app && r.tech == tech) return r;
+  }
+  throw InvalidArgument("no sweep cell for " + app);
+}
+
+core::FitSummary SweepResult::qualified_fits(const AppTechResult& r) const {
+  return scale_summary(r.raw_fits, constants);
+}
+
+core::FitSummary SweepResult::worst_case(scaling::TechPoint tech) const {
+  double max_temp = 0.0;
+  double max_act = 0.0;
+  bool any = false;
+  for (const auto& r : results) {
+    if (r.tech != tech) continue;
+    max_temp = std::max(max_temp, r.max_structure_temp_k);
+    max_act = std::max(max_act, r.max_activity);
+    any = true;
+  }
+  RAMP_REQUIRE(any, "no results at the requested node");
+  const core::RampModel model(scaling::node(tech), constants);
+  return core::steady_state_summary(model, max_temp, max_act,
+                                    scaling::node(tech).vdd);
+}
+
+std::vector<const AppTechResult*> SweepResult::cells(
+    workloads::Suite suite, scaling::TechPoint tech) const {
+  std::vector<const AppTechResult*> out;
+  for (const auto& w : workloads::suite_workloads(suite)) {
+    out.push_back(&at(w.name, tech));
+  }
+  return out;
+}
+
+double SweepResult::average_total_fit(workloads::Suite suite,
+                                      scaling::TechPoint tech) const {
+  const auto suite_cells = cells(suite, tech);
+  double sum = 0.0;
+  for (const auto* r : suite_cells) sum += qualified_fits(*r).total();
+  return sum / static_cast<double>(suite_cells.size());
+}
+
+double SweepResult::average_mechanism_fit(workloads::Suite suite,
+                                          scaling::TechPoint tech,
+                                          core::Mechanism m) const {
+  const auto suite_cells = cells(suite, tech);
+  double sum = 0.0;
+  for (const auto* r : suite_cells) {
+    sum += qualified_fits(*r).by_mechanism()[static_cast<std::size_t>(m)];
+  }
+  return sum / static_cast<double>(suite_cells.size());
+}
+
+double SweepResult::average_total_fit_all(scaling::TechPoint tech) const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& r : results) {
+    if (r.tech != tech) continue;
+    sum += qualified_fits(r).total();
+    ++n;
+  }
+  RAMP_REQUIRE(n > 0, "no results at the requested node");
+  return sum / n;
+}
+
+std::uint64_t config_hash(const EvaluationConfig& cfg) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  hash_mix(h, static_cast<double>(cfg.trace_instructions));
+  hash_mix(h, static_cast<double>(cfg.seed));
+  hash_mix(h, cfg.interval_seconds);
+  for (double w : cfg.power.unconstrained_w_180nm) hash_mix(h, w);
+  hash_mix(h, cfg.power.clock_gating_floor);
+  hash_mix(h, cfg.power.leakage_beta);
+  hash_mix(h, cfg.power.leakage_ref_temp);
+  hash_mix(h, cfg.power.base_core_area_mm2);
+  hash_mix(h, cfg.thermal.ambient_k);
+  hash_mix(h, cfg.thermal.r_convec_k_per_w);
+  hash_mix(h, cfg.thermal.r_vertical_specific);
+  hash_mix(h, cfg.thermal.r_spreader_sink);
+  hash_mix(h, cfg.thermal.k_silicon);
+  hash_mix(h, cfg.thermal.die_thickness);
+  hash_mix(h, cfg.thermal.c_silicon);
+  hash_mix(h, cfg.thermal.spreader_capacitance);
+  hash_mix(h, cfg.thermal.sink_capacitance);
+  return h;
+}
+
+std::string sweep_to_csv(const SweepResult& sweep) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "# ramp_sweep_cache v1 hash=" << config_hash(sweep.config) << "\n";
+  out << "# constants em=" << sweep.constants.em << " sm=" << sweep.constants.sm
+      << " tddb=" << sweep.constants.tddb << " tc=" << sweep.constants.tc << "\n";
+  for (const auto& r : sweep.results) {
+    out << r.app << ',' << tech_index(r.tech) << ',' << r.ipc << ','
+        << r.avg_dynamic_power_w << ',' << r.avg_leakage_power_w << ','
+        << r.avg_total_power_w << ',' << r.max_structure_temp_k << ','
+        << r.sink_temp_k << ',' << r.avg_die_temp_k << ',' << r.max_activity
+        << ',' << r.raw_fits.tc_fit;
+    for (const auto& row : r.raw_fits.by_structure) {
+      for (double v : row) out << ',' << v;
+    }
+    out << ',' << r.run.cycles << ',' << r.run.instructions << ','
+        << r.run.branches << ',' << r.run.branch_mispredicts << ','
+        << r.run.l1d_accesses << ',' << r.run.l1d_misses << ','
+        << r.run.l2_accesses << ',' << r.run.l2_misses << ','
+        << r.run.l1i_misses;
+    for (double a : r.run.avg_activity) out << ',' << a;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::optional<SweepResult> sweep_from_csv(const std::string& csv,
+                                          const EvaluationConfig& expect_cfg) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  {
+    std::uint64_t hash = 0;
+    if (std::sscanf(line.c_str(), "# ramp_sweep_cache v1 hash=%llu",
+                    reinterpret_cast<unsigned long long*>(&hash)) != 1) {
+      return std::nullopt;
+    }
+    if (hash != config_hash(expect_cfg)) return std::nullopt;
+  }
+  SweepResult sweep;
+  sweep.config = expect_cfg;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (std::sscanf(line.c_str(), "# constants em=%lf sm=%lf tddb=%lf tc=%lf",
+                  &sweep.constants.em, &sweep.constants.sm,
+                  &sweep.constants.tddb, &sweep.constants.tc) != 4) {
+    return std::nullopt;
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    auto next = [&]() -> std::string {
+      if (!std::getline(row, cell, ',')) {
+        throw InvalidArgument("truncated sweep cache row");
+      }
+      return cell;
+    };
+    try {
+      AppTechResult r;
+      r.app = next();
+      r.tech = scaling::kAllTechPoints.at(static_cast<std::size_t>(std::stoi(next())));
+      r.ipc = std::stod(next());
+      r.avg_dynamic_power_w = std::stod(next());
+      r.avg_leakage_power_w = std::stod(next());
+      r.avg_total_power_w = std::stod(next());
+      r.max_structure_temp_k = std::stod(next());
+      r.sink_temp_k = std::stod(next());
+      r.avg_die_temp_k = std::stod(next());
+      r.max_activity = std::stod(next());
+      r.raw_fits.tc_fit = std::stod(next());
+      for (auto& srow : r.raw_fits.by_structure) {
+        for (double& v : srow) v = std::stod(next());
+      }
+      r.run.cycles = std::stoull(next());
+      r.run.instructions = std::stoull(next());
+      r.run.branches = std::stoull(next());
+      r.run.branch_mispredicts = std::stoull(next());
+      r.run.l1d_accesses = std::stoull(next());
+      r.run.l1d_misses = std::stoull(next());
+      r.run.l2_accesses = std::stoull(next());
+      r.run.l2_misses = std::stoull(next());
+      r.run.l1i_misses = std::stoull(next());
+      for (double& a : r.run.avg_activity) a = std::stod(next());
+      sweep.results.push_back(std::move(r));
+    } catch (const std::exception&) {
+      return std::nullopt;  // malformed cache — recompute
+    }
+  }
+  const std::size_t expected =
+      workloads::spec2k_suite().size() * scaling::kAllTechPoints.size();
+  if (sweep.results.size() != expected) return std::nullopt;
+  return sweep;
+}
+
+SweepResult run_sweep(const EvaluationConfig& cfg, const std::string& cache_path,
+                      bool verbose) {
+  const bool use_cache = env_enabled("RAMP_CACHE") && !cache_path.empty();
+  if (use_cache) {
+    std::ifstream f(cache_path);
+    if (f) {
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      if (auto cached = sweep_from_csv(buf.str(), cfg)) {
+        if (verbose) {
+          std::fprintf(stderr, "[sweep] loaded cache %s\n", cache_path.c_str());
+        }
+        return *cached;
+      }
+    }
+  }
+
+  SweepResult sweep;
+  sweep.config = cfg;
+  const Evaluator evaluator(cfg);
+  std::vector<core::FitSummary> raw_180;
+  for (const auto& w : workloads::spec2k_suite()) {
+    if (verbose) std::fprintf(stderr, "[sweep] %-9s ", w.name.c_str());
+    auto app_results = evaluator.evaluate_app(w);
+    for (const auto& r : app_results) {
+      if (r.tech == scaling::TechPoint::k180nm) raw_180.push_back(r.raw_fits);
+    }
+    if (verbose) {
+      const auto& base = app_results.front();
+      std::fprintf(stderr, "ipc=%.2f power=%.1fW Tmax=%.1fK\n", base.ipc,
+                   base.avg_total_power_w, base.max_structure_temp_k);
+    }
+    for (auto& r : app_results) sweep.results.push_back(std::move(r));
+  }
+
+  sweep.constants = core::qualify(raw_180);
+
+  if (use_cache) {
+    std::ofstream f(cache_path);
+    if (f) f << sweep_to_csv(sweep);
+  }
+  return sweep;
+}
+
+}  // namespace ramp::pipeline

@@ -1,0 +1,67 @@
+// Full-suite sweep: every workload × every technology node, qualified.
+//
+// Runs the Evaluator over the 16-benchmark suite at all five nodes,
+// performs 180 nm reliability qualification (§4.4), and derives the
+// aggregates the paper's figures report: qualified per-app FIT values,
+// suite averages with per-mechanism breakdown, and the worst-case ("max")
+// operating-condition curves of §5.2/§5.3.
+//
+// Because a sweep is the expensive step shared by every bench binary, the
+// result can be persisted to / restored from a small CSV cache keyed by a
+// hash of the configuration (set RAMP_CACHE=off to disable).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/evaluator.hpp"
+
+namespace ramp::pipeline {
+
+struct SweepResult {
+  EvaluationConfig config;
+  std::vector<AppTechResult> results;       ///< app-major, tech-minor order
+  core::MechanismConstants constants;       ///< 180 nm qualification output
+
+  /// Lookup one (app, tech) cell; throws InvalidArgument when absent.
+  const AppTechResult& at(const std::string& app, scaling::TechPoint tech) const;
+
+  /// Qualified (absolute) FIT summary for one cell.
+  core::FitSummary qualified_fits(const AppTechResult& r) const;
+
+  /// Worst-case FIT summary at `tech`: the highest structure temperature
+  /// and activity factor observed across all apps at that node, assumed for
+  /// the entire run (paper §5.2).
+  core::FitSummary worst_case(scaling::TechPoint tech) const;
+
+  /// Apps of `suite` at `tech`, Table 3 order.
+  std::vector<const AppTechResult*> cells(workloads::Suite suite,
+                                          scaling::TechPoint tech) const;
+
+  /// Suite-average qualified total FIT at `tech`.
+  double average_total_fit(workloads::Suite suite, scaling::TechPoint tech) const;
+
+  /// Suite-average qualified FIT of one mechanism at `tech`.
+  double average_mechanism_fit(workloads::Suite suite, scaling::TechPoint tech,
+                               core::Mechanism m) const;
+
+  /// Average over *all* apps of the qualified total FIT at `tech`.
+  double average_total_fit_all(scaling::TechPoint tech) const;
+};
+
+/// Runs the full sweep (or loads it from `cache_path` when the cached
+/// config hash matches). Progress lines go to stderr when `verbose`.
+SweepResult run_sweep(const EvaluationConfig& cfg,
+                      const std::string& cache_path = "ramp_sweep_cache.csv",
+                      bool verbose = true);
+
+/// Serialization used by the cache (exposed for tests).
+std::string sweep_to_csv(const SweepResult& sweep);
+std::optional<SweepResult> sweep_from_csv(const std::string& csv,
+                                          const EvaluationConfig& expect_cfg);
+
+/// Hash of every config field that affects results.
+std::uint64_t config_hash(const EvaluationConfig& cfg);
+
+}  // namespace ramp::pipeline

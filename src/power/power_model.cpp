@@ -1,0 +1,87 @@
+#include "power/power_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::power {
+
+using sim::idx;
+using sim::StructureId;
+
+PowerModelConfig::PowerModelConfig() {
+  // Unconstrained (full-activity) dynamic power per structure at 180 nm,
+  // calibrated so that the suite-average simulated total power is ≈ 29.1 W
+  // (Table 4) with the per-application spread of Table 3. The FPU and LSU
+  // (with its L1D) are the power-dense units on POWER4-class cores.
+  unconstrained_w_180nm[idx(StructureId::kIfu)] = 8.0;
+  unconstrained_w_180nm[idx(StructureId::kIdu)] = 6.0;
+  unconstrained_w_180nm[idx(StructureId::kIsu)] = 8.0;
+  unconstrained_w_180nm[idx(StructureId::kFxu)] = 7.5;
+  unconstrained_w_180nm[idx(StructureId::kFpu)] = 10.0;
+  unconstrained_w_180nm[idx(StructureId::kLsu)] = 9.0;
+  unconstrained_w_180nm[idx(StructureId::kBxu)] = 2.5;
+  clock_gating_floor = 0.38;
+}
+
+PowerModel::PowerModel(const PowerModelConfig& cfg,
+                       const scaling::TechnologyNode& tech)
+    : cfg_(cfg), tech_(tech) {
+  RAMP_REQUIRE(cfg.clock_gating_floor >= 0.0 && cfg.clock_gating_floor <= 1.0,
+               "clock gating floor must lie in [0, 1]");
+  RAMP_REQUIRE(cfg.base_core_area_mm2 > 0.0, "core area must be positive");
+  for (double w : cfg.unconstrained_w_180nm) {
+    RAMP_REQUIRE(w >= 0.0, "unconstrained powers must be non-negative");
+  }
+  dynamic_scale_ = tech_.dynamic_power_scale(scaling::base_node());
+  core_area_mm2_ = tech_.core_area_mm2(cfg.base_core_area_mm2);
+}
+
+StructurePower PowerModel::dynamic_power(
+    const std::array<double, sim::kNumStructures>& activity) const {
+  StructurePower p{};
+  for (int s = 0; s < sim::kNumStructures; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    const double a = activity[i];
+    RAMP_REQUIRE(a >= 0.0 && a <= 1.0, "activity factors must lie in [0, 1]");
+    const double gated =
+        cfg_.clock_gating_floor + (1.0 - cfg_.clock_gating_floor) * a;
+    p[i] = cfg_.unconstrained_w_180nm[i] * gated * dynamic_scale_;
+  }
+  return p;
+}
+
+double PowerModel::leakage_power(StructureId s, double t_kelvin) const {
+  RAMP_REQUIRE(t_kelvin > 0.0, "temperature must be positive Kelvin");
+  const double area = structure_area_mm2(s);
+  const double density = tech_.leakage_w_per_mm2_at_383k *
+                         std::exp(cfg_.leakage_beta * (t_kelvin - cfg_.leakage_ref_temp));
+  return density * area;
+}
+
+StructurePower PowerModel::leakage_power(
+    const std::array<double, sim::kNumStructures>& t_kelvin) const {
+  StructurePower p{};
+  for (int s = 0; s < sim::kNumStructures; ++s) {
+    p[static_cast<std::size_t>(s)] =
+        leakage_power(static_cast<StructureId>(s), t_kelvin[static_cast<std::size_t>(s)]);
+  }
+  return p;
+}
+
+StructurePower PowerModel::total_power(
+    const std::array<double, sim::kNumStructures>& activity,
+    const std::array<double, sim::kNumStructures>& t_kelvin) const {
+  StructurePower dyn = dynamic_power(activity);
+  const StructurePower leak = leakage_power(t_kelvin);
+  for (int s = 0; s < sim::kNumStructures; ++s) {
+    dyn[static_cast<std::size_t>(s)] += leak[static_cast<std::size_t>(s)];
+  }
+  return dyn;
+}
+
+double PowerModel::structure_area_mm2(StructureId s) const {
+  return core_area_mm2_ * sim::structure_area_fraction(s);
+}
+
+}  // namespace ramp::power

@@ -1,0 +1,88 @@
+// PowerTimer-like power model (paper §4.2).
+//
+// Dynamic power per structure follows the standard clock-gated form
+//     P_dyn(s) = P_unconstrained(s) · (cgf + (1 − cgf) · activity(s))
+// where cgf is the fraction of power that clock gating cannot remove
+// (clocks, always-on control). Unconstrained powers are calibrated at 180 nm
+// so the suite-average total power matches Table 3 (≈ 29.1 W with leakage).
+// For scaled nodes, dynamic power scales as C_rel · V² · f (Table 4).
+//
+// Leakage power is area-based: P_leak = ρ(383 K) · A_struct · e^{β(T − 383)}
+// with β = 0.017 (the technique of Heo et al. cited in §4.2), evaluated per
+// structure at that structure's temperature — this is the
+// leakage-temperature feedback loop the thermal solver iterates on.
+#pragma once
+
+#include <array>
+
+#include "scaling/technology.hpp"
+#include "sim/interval_stats.hpp"
+#include "sim/structures.hpp"
+
+namespace ramp::power {
+
+/// Per-structure power in Watts.
+using StructurePower = std::array<double, sim::kNumStructures>;
+
+struct PowerModelConfig {
+  /// Unconstrained (100%-activity) dynamic power per structure at the
+  /// 180 nm base point, Watts. Defaults are calibrated against Table 3.
+  StructurePower unconstrained_w_180nm;
+
+  /// Fraction of unconstrained power drawn at zero activity (imperfect
+  /// clock gating). PowerTimer's "realistic clock gating" assumption.
+  double clock_gating_floor = 0.25;
+
+  /// Leakage temperature-sensitivity exponent (1/K), from Heo et al.
+  double leakage_beta = 0.017;
+
+  /// Reference temperature for leakage densities (K).
+  double leakage_ref_temp = 383.0;
+
+  /// Core area at 180 nm (mm²), Table 2.
+  double base_core_area_mm2 = 81.0;
+
+  PowerModelConfig();
+};
+
+class PowerModel {
+ public:
+  /// Binds the model to one technology node.
+  PowerModel(const PowerModelConfig& cfg, const scaling::TechnologyNode& tech);
+
+  /// Dynamic power of each structure for the given activity factors.
+  StructurePower dynamic_power(
+      const std::array<double, sim::kNumStructures>& activity) const;
+
+  /// Leakage power of structure `s` at temperature `t_kelvin`.
+  double leakage_power(sim::StructureId s, double t_kelvin) const;
+
+  /// Leakage of every structure at per-structure temperatures.
+  StructurePower leakage_power(
+      const std::array<double, sim::kNumStructures>& t_kelvin) const;
+
+  /// Total (dynamic + leakage) per structure.
+  StructurePower total_power(
+      const std::array<double, sim::kNumStructures>& activity,
+      const std::array<double, sim::kNumStructures>& t_kelvin) const;
+
+  /// Structure area in mm² at this node.
+  double structure_area_mm2(sim::StructureId s) const;
+
+  /// Core area in mm² at this node.
+  double core_area_mm2() const { return core_area_mm2_; }
+
+  const scaling::TechnologyNode& tech() const { return tech_; }
+  const PowerModelConfig& config() const { return cfg_; }
+
+  /// Dynamic scale factor vs the 180 nm base (C_rel · V² · f ratio).
+  double dynamic_scale() const { return dynamic_scale_; }
+
+ private:
+  PowerModelConfig cfg_;
+  scaling::TechnologyNode tech_;
+  double dynamic_scale_ = 1.0;
+  double core_area_mm2_ = 81.0;
+};
+
+}  // namespace ramp::power

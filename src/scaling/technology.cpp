@@ -1,0 +1,44 @@
+#include "scaling/technology.hpp"
+
+#include "util/error.hpp"
+
+namespace ramp::scaling {
+
+double TechnologyNode::dynamic_power_scale(const TechnologyNode& base) const {
+  const double self = relative_capacitance * vdd * vdd * frequency_hz;
+  const double ref = base.relative_capacitance * base.vdd * base.vdd * base.frequency_hz;
+  return self / ref;
+}
+
+const std::vector<TechnologyNode>& standard_nodes() {
+  // Table 4 of the paper. Cumulative linear scale: 0.7 per generation to
+  // 90 nm, then 0.8 to 65 nm (§4.6). tox converted from Å to nm.
+  // Interconnect current density drops 33% per generation until 90 nm and is
+  // then held flat. Leakage densities assume aggressive leakage control.
+  static const std::vector<TechnologyNode> kNodes = {
+      {TechPoint::k180nm, "180nm", 180.0, 1.3, 1.1e9, 1.0, 1.0, 2.5, 9.0, 0.040,
+       1.0},
+      {TechPoint::k130nm, "130nm", 130.0, 1.1, 1.35e9, 0.7, 0.5, 1.7, 6.0, 0.10,
+       0.7},
+      {TechPoint::k90nm, "90nm", 90.0, 1.0, 1.65e9, 0.49, 0.25, 1.2, 4.0, 0.25,
+       0.49},
+      {TechPoint::k65nm_0V9, "65nm (0.9V)", 65.0, 0.9, 2.0e9, 0.4, 0.16, 0.9,
+       4.0, 0.54, 0.392},
+      {TechPoint::k65nm_1V0, "65nm (1.0V)", 65.0, 1.0, 2.0e9, 0.4, 0.16, 0.9,
+       4.0, 0.60, 0.392},
+  };
+  return kNodes;
+}
+
+const TechnologyNode& node(TechPoint p) {
+  for (const auto& n : standard_nodes()) {
+    if (n.point == p) return n;
+  }
+  throw InvalidArgument("unknown technology point");
+}
+
+const TechnologyNode& base_node() { return node(TechPoint::k180nm); }
+
+std::string_view tech_name(TechPoint p) { return node(p).name; }
+
+}  // namespace ramp::scaling

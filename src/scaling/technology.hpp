@@ -1,0 +1,74 @@
+// Technology-node parameter tables (paper Table 4 and §4.6).
+//
+// The paper studies one POWER4-like microarchitecture progressively remapped
+// across five technology points: 180 nm, 130 nm, 90 nm, 65 nm at 0.9 V, and
+// 65 nm at 1.0 V. All scaling is expressed relative to the calibrated 180 nm
+// base. A scaling factor of 0.7 per generation is assumed down to 90 nm and
+// 0.8 from 90 nm to 65 nm (§4.6).
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ramp::scaling {
+
+/// Identifies one of the five technology points in the study.
+enum class TechPoint {
+  k180nm,
+  k130nm,
+  k90nm,
+  k65nm_0V9,  ///< 65 nm assuming voltage scales to 0.9 V
+  k65nm_1V0,  ///< 65 nm held at 1.0 V (the paper's "more realistic" point)
+};
+
+/// All five points in the order the paper reports them.
+inline constexpr std::array<TechPoint, 5> kAllTechPoints = {
+    TechPoint::k180nm, TechPoint::k130nm, TechPoint::k90nm,
+    TechPoint::k65nm_0V9, TechPoint::k65nm_1V0};
+
+/// One row of Table 4 plus the derived quantities §3 needs.
+struct TechnologyNode {
+  TechPoint point;
+  std::string name;          ///< e.g. "65nm (1.0V)"
+  double feature_nm;         ///< drawn feature size
+  double vdd;                ///< supply voltage (V)
+  double frequency_hz;       ///< nominal clock
+  double relative_capacitance;  ///< switched capacitance relative to 180 nm
+  double relative_area;      ///< die area relative to 180 nm
+  double tox_nm;             ///< gate oxide thickness (nm; Table 4 lists Å)
+  double jmax_ma_per_um2;    ///< max allowed interconnect current density
+  double leakage_w_per_mm2_at_383k;  ///< leakage power density at 383 K
+  double linear_scale;       ///< cumulative linear feature scale vs 180 nm
+
+  /// Relative interconnect cross-section w·h versus 180 nm; §3 shows
+  /// MTTF_EM scales with w·h, both of which shrink with the linear scale.
+  double em_wh_relative() const { return linear_scale * linear_scale; }
+
+  /// Core area in mm² given the 180 nm core area (81 mm², Table 2).
+  double core_area_mm2(double base_area_mm2) const {
+    return base_area_mm2 * relative_area;
+  }
+
+  /// Dynamic-power scale factor vs 180 nm at equal activity:
+  /// P_dyn ∝ C · V² · f.
+  double dynamic_power_scale(const TechnologyNode& base) const;
+
+  /// Cycle time in seconds.
+  double cycle_time_s() const { return 1.0 / frequency_hz; }
+};
+
+/// The five-row Table 4 with the paper's published values.
+const std::vector<TechnologyNode>& standard_nodes();
+
+/// Looks up one node; throws InvalidArgument for an unknown point.
+const TechnologyNode& node(TechPoint p);
+
+/// The calibrated 180 nm base node.
+const TechnologyNode& base_node();
+
+/// Short display name ("180nm", "65nm (0.9V)", ...).
+std::string_view tech_name(TechPoint p);
+
+}  // namespace ramp::scaling

@@ -1,0 +1,110 @@
+#include "sim/branch_predictor.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace ramp::sim {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& cfg) : cfg_(cfg) {
+  RAMP_REQUIRE(cfg.local_bits > 0 && cfg.local_bits <= 20,
+               "local_bits must lie in [1, 20]");
+  RAMP_REQUIRE(cfg.history_bits > 0 && cfg.history_bits <= 20,
+               "history_bits must lie in [1, 20]");
+  RAMP_REQUIRE(cfg.selector_bits > 0 && cfg.selector_bits <= 20,
+               "selector_bits must lie in [1, 20]");
+  RAMP_REQUIRE(cfg.btb_entries > 0 &&
+                   std::has_single_bit(static_cast<unsigned>(cfg.btb_entries)),
+               "btb_entries must be a power of two");
+  local_.assign(std::size_t{1} << cfg.local_bits, 2);      // weakly taken
+  global_.assign(std::size_t{1} << cfg.history_bits, 2);   // weakly taken
+  selector_.assign(std::size_t{1} << cfg.selector_bits, 1);  // weakly local
+  btb_.assign(static_cast<std::size_t>(cfg.btb_entries), {});
+  history_mask_ = (std::uint64_t{1} << cfg.history_bits) - 1;
+}
+
+std::size_t BranchPredictor::local_index(std::uint64_t pc) const {
+  return static_cast<std::size_t>((pc >> 2) & ((std::uint64_t{1} << cfg_.local_bits) - 1));
+}
+
+std::size_t BranchPredictor::global_index(std::uint64_t pc) const {
+  return static_cast<std::size_t>(((pc >> 2) ^ history_) & history_mask_);
+}
+
+std::size_t BranchPredictor::selector_index(std::uint64_t pc) const {
+  return static_cast<std::size_t>((pc >> 2) &
+                                  ((std::uint64_t{1} << cfg_.selector_bits) - 1));
+}
+
+std::size_t BranchPredictor::btb_index(std::uint64_t pc) const {
+  return static_cast<std::size_t>((pc >> 2) &
+                                  (static_cast<std::uint64_t>(cfg_.btb_entries) - 1));
+}
+
+bool BranchPredictor::local_taken(std::uint64_t pc) const {
+  return local_[local_index(pc)] >= 2;
+}
+
+bool BranchPredictor::global_taken(std::uint64_t pc) const {
+  return global_[global_index(pc)] >= 2;
+}
+
+void BranchPredictor::bump(std::uint8_t& ctr, bool up) {
+  if (up) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+}
+
+BranchPredictor::Prediction BranchPredictor::predict(std::uint64_t pc) const {
+  Prediction p;
+  const bool use_global = selector_[selector_index(pc)] >= 2;
+  p.taken = use_global ? global_taken(pc) : local_taken(pc);
+  const BtbEntry& e = btb_[btb_index(pc)];
+  if (e.valid && e.tag == pc) p.target = e.target;
+  return p;
+}
+
+bool BranchPredictor::mispredicted(std::uint64_t pc, bool taken,
+                                   std::uint64_t target) const {
+  const Prediction p = predict(pc);
+  if (p.taken != taken) return true;
+  // Direction correct; a taken branch additionally needs the right target.
+  return taken && p.target != target;
+}
+
+void BranchPredictor::update(std::uint64_t pc, bool taken,
+                             std::uint64_t target) {
+  const bool local_right = local_taken(pc) == taken;
+  const bool global_right = global_taken(pc) == taken;
+  // The selector only learns when the component predictors disagree.
+  if (local_right != global_right) {
+    bump(selector_[selector_index(pc)], global_right);
+  }
+  bump(local_[local_index(pc)], taken);
+  bump(global_[global_index(pc)], taken);
+  if (taken) {
+    BtbEntry& e = btb_[btb_index(pc)];
+    e.valid = true;
+    e.tag = pc;
+    e.target = target;
+  }
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+bool BranchPredictor::record_outcome(std::uint64_t pc, bool taken,
+                                     std::uint64_t target) {
+  const bool miss = mispredicted(pc, taken, target);
+  ++lookups_;
+  if (miss) ++mispredicts_;
+  update(pc, taken, target);
+  return miss;
+}
+
+double BranchPredictor::mispredict_rate() const {
+  if (lookups_ == 0) return 0.0;
+  return static_cast<double>(mispredicts_) / static_cast<double>(lookups_);
+}
+
+}  // namespace ramp::sim

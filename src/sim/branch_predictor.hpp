@@ -1,0 +1,76 @@
+// Branch direction and target prediction.
+//
+// POWER4-style hybrid direction predictor: a local (bimodal, PC-indexed)
+// table, a global (gshare, history^PC-indexed) table, and a selector table
+// that learns per-PC which of the two performs better — plus a
+// direct-mapped BTB for taken-branch targets. The timing model charges a
+// fixed redirect penalty on a direction or target mispredict.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ramp::sim {
+
+struct BranchPredictorConfig {
+  int local_bits = 12;     ///< bimodal table = 2^bits 2-bit counters
+  int history_bits = 12;   ///< gshare history length and table size
+  int selector_bits = 12;  ///< chooser table size
+  int btb_entries = 1024;  ///< direct-mapped BTB size (power of two)
+};
+
+/// Hybrid local/global predictor + BTB. Deterministic and value-semantic.
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& cfg = {});
+
+  struct Prediction {
+    bool taken = false;
+    std::uint64_t target = 0;  ///< 0 when the BTB has no entry
+  };
+
+  /// Predicts the branch at `pc`.
+  Prediction predict(std::uint64_t pc) const;
+
+  /// Trains all tables with the resolved outcome and updates history.
+  void update(std::uint64_t pc, bool taken, std::uint64_t target);
+
+  /// True when `predict` would have mispredicted this outcome — direction
+  /// wrong, or taken with a wrong/missing target.
+  bool mispredicted(std::uint64_t pc, bool taken, std::uint64_t target) const;
+
+  /// predict + mispredicted + update in one step, bumping the counters; this
+  /// is what the core calls per branch.
+  bool record_outcome(std::uint64_t pc, bool taken, std::uint64_t target);
+
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t mispredicts() const { return mispredicts_; }
+  /// Mispredict rate over all calls to `record_outcome`; 0 when unused.
+  double mispredict_rate() const;
+
+ private:
+  bool local_taken(std::uint64_t pc) const;
+  bool global_taken(std::uint64_t pc) const;
+  std::size_t local_index(std::uint64_t pc) const;
+  std::size_t global_index(std::uint64_t pc) const;
+  std::size_t selector_index(std::uint64_t pc) const;
+  std::size_t btb_index(std::uint64_t pc) const;
+  static void bump(std::uint8_t& ctr, bool up);
+
+  BranchPredictorConfig cfg_;
+  std::vector<std::uint8_t> local_;     ///< 2-bit, init weakly taken
+  std::vector<std::uint8_t> global_;    ///< 2-bit, init weakly taken
+  std::vector<std::uint8_t> selector_;  ///< 2-bit, >=2 selects global
+  struct BtbEntry {
+    std::uint64_t tag = 0;
+    std::uint64_t target = 0;
+    bool valid = false;
+  };
+  std::vector<BtbEntry> btb_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace ramp::sim

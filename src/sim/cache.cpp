@@ -1,0 +1,100 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ramp::sim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  RAMP_REQUIRE(cfg.line_bytes > 0 && std::has_single_bit(cfg.line_bytes),
+               "line size must be a power of two");
+  RAMP_REQUIRE(cfg.ways > 0, "cache needs at least one way");
+  RAMP_REQUIRE(cfg.size_bytes % (static_cast<std::uint64_t>(cfg.line_bytes) * cfg.ways) == 0,
+               "size must be a multiple of line_bytes * ways");
+  sets_ = cfg.size_bytes / (static_cast<std::uint64_t>(cfg.line_bytes) * cfg.ways);
+  RAMP_REQUIRE(sets_ > 0 && std::has_single_bit(sets_),
+               "number of sets must be a power of two");
+  lines_.assign(sets_ * cfg.ways, {});
+}
+
+std::uint64_t Cache::set_of(std::uint64_t addr) const {
+  return (addr / cfg_.line_bytes) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const {
+  return addr / cfg_.line_bytes / sets_;
+}
+
+bool Cache::access(std::uint64_t addr, bool is_write) {
+  ++accesses_;
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+
+  // LRU clock overflow: renormalize all stamps (rare; 2^32 accesses).
+  if (lru_clock_ == std::numeric_limits<std::uint32_t>::max()) {
+    for (auto& line : lines_) line.lru = 0;
+    lru_clock_ = 0;
+  }
+  ++lru_clock_;
+
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++hits_;
+      line.lru = lru_clock_;
+      line.dirty = line.dirty || is_write;
+      return true;
+    }
+  }
+
+  // Miss: fill into invalid way, else evict true-LRU.
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  if (victim->valid && victim->dirty) ++writebacks_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = lru_clock_;
+  victim->dirty = is_write;
+  return false;
+}
+
+void Cache::fill(std::uint64_t addr) {
+  const std::uint64_t saved_accesses = accesses_;
+  const std::uint64_t saved_hits = hits_;
+  access(addr, false);
+  accesses_ = saved_accesses;
+  hits_ = saved_hits;
+}
+
+bool Cache::probe(std::uint64_t addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (auto& line : lines_) line = Line{};
+  lru_clock_ = 0;
+  accesses_ = hits_ = writebacks_ = 0;
+}
+
+double Cache::miss_rate() const {
+  if (accesses_ == 0) return 0.0;
+  return static_cast<double>(misses()) / static_cast<double>(accesses_);
+}
+
+}  // namespace ramp::sim

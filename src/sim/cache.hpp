@@ -1,0 +1,69 @@
+// Set-associative cache model with true-LRU replacement.
+//
+// Tag-array-only (no data) model: access() reports hit/miss and performs the
+// fill, which is all a trace-driven timing simulator needs. Used for L1I,
+// L1D, and the unified L2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ramp::sim {
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 2;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Looks `addr` up; on miss, fills the line (evicting LRU). Returns hit.
+  /// `is_write` only affects the dirty bit (reported via writebacks()).
+  bool access(std::uint64_t addr, bool is_write = false);
+
+  /// Hit check without any state change; used by tests.
+  bool probe(std::uint64_t addr) const;
+
+  /// Installs the line containing `addr` without touching hit/miss
+  /// statistics — the path prefetch fills take (they are not demand
+  /// traffic). A line already present is just LRU-refreshed.
+  void fill(std::uint64_t addr);
+
+  /// Invalidates everything and zeroes statistics.
+  void reset();
+
+  const CacheConfig& config() const { return cfg_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return accesses_ - hits_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  double miss_rate() const;
+
+  std::uint64_t num_sets() const { return sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint32_t lru = 0;  ///< higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t set_of(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+
+  CacheConfig cfg_;
+  std::uint64_t sets_ = 0;
+  std::uint32_t lru_clock_ = 0;
+  std::vector<Line> lines_;  ///< sets_ * ways, set-major
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace ramp::sim

@@ -1,0 +1,23 @@
+#include "sim/core_config.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::sim {
+
+CoreConfig base_core_config() { return CoreConfig{}; }
+
+CoreConfig core_config_for(const scaling::TechnologyNode& tech) {
+  CoreConfig cfg = base_core_config();
+  const double base_freq = cfg.frequency_hz;
+  cfg.frequency_hz = tech.frequency_hz;
+  // Main-memory latency is constant in wall-clock time; convert the base
+  // 102 cycles @ 1.1 GHz to ns and back to cycles at the new clock.
+  const double mem_ns = static_cast<double>(cfg.lat_memory) / base_freq;
+  cfg.lat_memory = static_cast<int>(std::lround(mem_ns * tech.frequency_hz));
+  RAMP_ASSERT(cfg.lat_memory >= 1);
+  return cfg;
+}
+
+}  // namespace ramp::sim

@@ -1,0 +1,88 @@
+// Configuration of the modeled POWER4-like core (paper Table 2) and its
+// derivation for scaled technology nodes.
+//
+// The study remaps one fixed microarchitecture across technology points
+// (§1.3), so every pipeline parameter is constant across nodes; only clock
+// frequency changes. On-chip cache latencies are pipeline stages and scale
+// with the clock, but main-memory latency is fixed in nanoseconds, so its
+// cycle count grows at faster clocks — the classic memory-wall effect a real
+// remap would see.
+#pragma once
+
+#include <cstdint>
+
+#include "scaling/technology.hpp"
+#include "sim/branch_predictor.hpp"
+#include "sim/cache.hpp"
+
+namespace ramp::sim {
+
+struct CoreConfig {
+  // --- pipeline widths (Table 2) ---
+  int fetch_width = 8;          ///< instructions fetched per cycle
+  int dispatch_group = 5;       ///< max instructions per dispatch group
+  int retire_groups = 1;        ///< dispatch-groups retired per cycle
+
+  // --- functional units (Table 2) ---
+  int int_units = 2;
+  int fp_units = 2;
+  int ls_units = 2;
+  int br_units = 1;
+  int cr_units = 1;  ///< logical condition-register unit (LCR)
+
+  // --- execution latencies in cycles (Table 2) ---
+  int lat_int_add = 1;
+  int lat_int_mul = 7;
+  int lat_int_div = 35;
+  int lat_fp = 4;
+  int lat_fp_div = 12;
+
+  // --- window/queue sizes (Table 2) ---
+  int rob_size = 150;
+  int int_regs = 120;           ///< physical integer registers
+  int fp_regs = 96;             ///< physical FP registers
+  int mem_queue = 32;           ///< load/store queue entries
+  int issue_queue_per_class = 24;  ///< entries per issue queue
+  int fetch_buffer = 32;
+
+  // --- memory hierarchy (Table 2) ---
+  CacheConfig l1i{.name = "L1I", .size_bytes = 32 * 1024, .line_bytes = 64, .ways = 2};
+  CacheConfig l1d{.name = "L1D", .size_bytes = 32 * 1024, .line_bytes = 64, .ways = 2};
+  CacheConfig l2{.name = "L2", .size_bytes = 2 * 1024 * 1024, .line_bytes = 128, .ways = 8};
+  int lat_l1d = 2;    ///< load-to-use on L1D hit
+  int lat_l2 = 20;    ///< L1 miss, L2 hit
+  int lat_memory = 102;  ///< L2 miss, at the 1.1 GHz base clock
+  int max_outstanding_misses = 8;  ///< MSHR-style limit on L2/memory misses
+
+  // --- control flow ---
+  BranchPredictorConfig predictor{};
+  int mispredict_penalty = 12;  ///< redirect cycles on a branch mispredict
+
+  // --- optional microarchitecture features (ablation knobs) ---
+  // Both default OFF: the base machine is calibrated against the paper's
+  // Table 3 without them; bench_microarch_ablation quantifies their effect.
+  bool enable_store_forwarding = false;  ///< loads hit in-flight older stores
+  bool enable_nextline_prefetch = false; ///< L1D miss also fills line+1
+
+  // --- clocking ---
+  double frequency_hz = 1.1e9;
+
+  /// Architectural register count assumed by the trace format; physical
+  /// registers beyond these are the rename budget.
+  int arch_int_regs = 32;
+  int arch_fp_regs = 32;
+
+  /// Rename budget = physical minus architectural registers.
+  int int_rename_budget() const { return int_regs - arch_int_regs; }
+  int fp_rename_budget() const { return fp_regs - arch_fp_regs; }
+};
+
+/// The base 180 nm configuration of Table 2.
+CoreConfig base_core_config();
+
+/// The same microarchitecture remapped to `tech`: clock retargeted, on-chip
+/// latencies unchanged in cycles, main-memory latency held constant in ns
+/// (so its cycle count scales with frequency).
+CoreConfig core_config_for(const scaling::TechnologyNode& tech);
+
+}  // namespace ramp::sim

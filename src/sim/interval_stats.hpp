@@ -1,0 +1,62 @@
+// Per-interval simulation statistics — the interface between the timing
+// simulator and the power/thermal/reliability stages.
+//
+// RAMP computes instantaneous FIT values at a small time granularity (1 µs in
+// the paper, §4.4) from the activity factors the timing simulator reports.
+// IntervalStats carries exactly that: the per-structure activity factor p in
+// [0, 1] over one interval, plus bookkeeping used by reports and tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/structures.hpp"
+
+namespace ramp::sim {
+
+/// Statistics for one fixed-length simulation interval.
+struct IntervalStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+
+  /// Activity factor per structure, in [0, 1] (utilization of the
+  /// structure's bandwidth/capacity over this interval).
+  std::array<double, kNumStructures> activity{};
+
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+/// Whole-run aggregates.
+struct RunStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_mispredicts = 0;
+  std::array<double, kNumStructures> avg_activity{};
+
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+  }
+  double l1d_miss_rate() const {
+    return l1d_accesses ? static_cast<double>(l1d_misses) / static_cast<double>(l1d_accesses) : 0.0;
+  }
+  double branch_mispredict_rate() const {
+    return branches ? static_cast<double>(branch_mispredicts) / static_cast<double>(branches) : 0.0;
+  }
+};
+
+/// Result of one simulation run.
+struct SimResult {
+  std::vector<IntervalStats> intervals;
+  RunStats totals;
+};
+
+}  // namespace ramp::sim

@@ -1,0 +1,135 @@
+// Trace-driven out-of-order superscalar core timing model (Turandot-like).
+//
+// Models the POWER4-like pipeline of Table 2: 8-wide fetch ending at taken
+// branches, dispatch-group formation (up to 5 instructions, one group per
+// cycle), register renaming against finite physical register files,
+// per-class issue queues feeding 2 Int / 2 FP / 2 Load-Store / 1 Branch /
+// 1 CR-logical units, a 150-entry reorder buffer with group retirement, a
+// 32-entry memory queue, and the L1/L2/memory hierarchy. Being trace-driven,
+// mispredicted branches stall fetch for a redirect penalty rather than
+// executing wrong-path instructions — the same approach Turandot takes.
+//
+// The simulator's deliverable is SimResult: per-interval per-structure
+// activity factors that the power model converts to Watts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "sim/branch_predictor.hpp"
+#include "sim/core_config.hpp"
+#include "sim/interval_stats.hpp"
+#include "sim/memory_hierarchy.hpp"
+#include "trace/instruction.hpp"
+
+namespace ramp::sim {
+
+class OooCore {
+ public:
+  explicit OooCore(const CoreConfig& cfg);
+
+  /// Runs `reader` to exhaustion, chopping statistics every
+  /// `interval_cycles` cycles. Throws InvalidArgument on a zero interval.
+  SimResult run(trace::TraceReader& reader, std::uint64_t interval_cycles);
+
+  const CoreConfig& config() const { return cfg_; }
+
+ private:
+  // One in-flight instruction, identified by its dynamic sequence number.
+  struct Flight {
+    trace::OpClass op{};
+    std::uint64_t seq = 0;
+    std::uint64_t dep1 = kNoDep;  ///< producer sequence numbers
+    std::uint64_t dep2 = kNoDep;
+    std::uint64_t mem_addr = 0;
+    std::uint64_t complete_cycle = 0;
+    bool issued = false;
+    bool completed = false;
+    bool produces_int = false;
+    bool produces_fp = false;
+    bool in_mem_queue = false;
+  };
+  static constexpr std::uint64_t kNoDep = ~0ULL;
+
+  // Functional-unit pool for one op family.
+  struct UnitPool {
+    std::vector<std::uint64_t> free_at;  ///< cycle each unit next accepts
+    explicit UnitPool(int n = 0) : free_at(static_cast<std::size_t>(n), 0) {}
+    int available(std::uint64_t now) const;
+    // Claims a unit: occupied through `occupy` cycles (1 for pipelined ops).
+    void claim(std::uint64_t now, std::uint64_t occupy);
+  };
+
+  enum class IqClass : std::uint8_t { kInt, kFp, kLs, kBr, kCr };
+  static constexpr int kNumIqClasses = 5;
+  static IqClass iq_class_of(trace::OpClass op);
+
+  // --- pipeline stages, called once per cycle in reverse order ---
+  void do_retire();
+  void do_complete();
+  void do_issue();
+  void do_dispatch();
+  void do_fetch(trace::TraceReader& reader);
+
+  bool dep_satisfied(std::uint64_t dep) const;
+  Flight* find_flight(std::uint64_t seq);
+  const Flight* find_flight(std::uint64_t seq) const;
+  int exec_latency(trace::OpClass op) const;
+  void finish_interval();
+
+  CoreConfig cfg_;
+  BranchPredictor predictor_;
+  MemoryHierarchy mem_;
+
+  // ROB as a ring: rob_[seq - rob_base_seq_] for in-flight seq numbers.
+  std::deque<Flight> rob_;
+  std::uint64_t rob_base_seq_ = 0;  ///< seq of ROB head (oldest in flight)
+  std::uint64_t next_seq_ = 0;      ///< seq for the next dispatched instr
+
+  // Rename: architectural register -> seq of last in-flight producer.
+  std::vector<std::uint64_t> rename_table_;
+  int int_regs_in_use_ = 0;
+  int fp_regs_in_use_ = 0;
+  int mem_queue_used_ = 0;
+
+  std::vector<std::vector<std::uint64_t>> issue_queues_;  ///< seqs, FIFO order
+  UnitPool int_pool_, fp_pool_, ls_pool_, br_pool_, cr_pool_;
+
+  // Fetch state.
+  std::deque<trace::Instruction> fetch_buffer_;
+  std::uint64_t fetch_resume_cycle_ = 0;  ///< stall until this cycle
+  std::uint64_t stalled_on_branch_seq_ = kNoDep;  ///< unresolved mispredict
+  bool trace_exhausted_ = false;
+  trace::Instruction pending_;  ///< lookahead instruction when valid
+  bool pending_valid_ = false;
+
+  std::uint64_t cycle_ = 0;
+
+  /// Completion times of in-flight L1D misses; each fill releases its MSHR
+  /// slot when the cycle clock passes it.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      miss_fill_events_;
+
+  /// In-flight store (seq, 8-byte-aligned address) pairs, dispatch order;
+  /// consulted by loads when store forwarding is enabled.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> inflight_stores_;
+
+  // --- per-interval counters ---
+  std::uint64_t iv_start_cycle_ = 0;
+  std::uint64_t iv_fetched_ = 0;
+  std::uint64_t iv_dispatched_ = 0;
+  std::uint64_t iv_retired_ = 0;
+  std::uint64_t iv_int_issued_ = 0;
+  std::uint64_t iv_fp_issued_ = 0;
+  std::uint64_t iv_ls_issued_ = 0;
+  std::uint64_t iv_br_issued_ = 0;
+  std::uint64_t iv_rob_occupancy_sum_ = 0;
+
+  SimResult result_;
+  std::uint64_t interval_cycles_ = 0;
+};
+
+}  // namespace ramp::sim

@@ -1,0 +1,34 @@
+#include "sim/structures.hpp"
+
+#include "util/error.hpp"
+
+namespace ramp::sim {
+
+std::string_view structure_name(StructureId s) {
+  switch (s) {
+    case StructureId::kIfu: return "IFU";
+    case StructureId::kIdu: return "IDU";
+    case StructureId::kIsu: return "ISU";
+    case StructureId::kFxu: return "FXU";
+    case StructureId::kFpu: return "FPU";
+    case StructureId::kLsu: return "LSU";
+    case StructureId::kBxu: return "BXU";
+  }
+  throw InvalidArgument("unknown structure id");
+}
+
+double structure_area_fraction(StructureId s) {
+  // Approximate POWER4 single-core floorplan shares; sums to 1.0.
+  switch (s) {
+    case StructureId::kIfu: return 0.14;
+    case StructureId::kIdu: return 0.09;
+    case StructureId::kIsu: return 0.13;
+    case StructureId::kFxu: return 0.13;
+    case StructureId::kFpu: return 0.16;
+    case StructureId::kLsu: return 0.28;
+    case StructureId::kBxu: return 0.07;
+  }
+  throw InvalidArgument("unknown structure id");
+}
+
+}  // namespace ramp::sim

@@ -1,0 +1,45 @@
+// Microarchitectural structures of the modeled POWER4-like core.
+//
+// RAMP evaluates reliability at microarchitectural-structure granularity
+// (paper §2). Following §4.3, we combine the core into 7 distinct structures
+// whose activity the simulator tracks, whose power the power model computes,
+// and whose temperature HotSpot-style blocks carry. The names mirror the
+// POWER4 unit taxonomy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ramp::sim {
+
+/// The 7 combined structures of the modeled core (§4.3).
+enum class StructureId : std::uint8_t {
+  kIfu,  ///< instruction fetch: I-cache, fetch logic, branch predictor
+  kIdu,  ///< decode, crack/group formation, rename
+  kIsu,  ///< instruction sequencing: issue queues, ROB/completion table
+  kFxu,  ///< fixed-point units + integer register file
+  kFpu,  ///< floating-point units + FP register file
+  kLsu,  ///< load/store units, L1 D-cache, memory (load/store) queue
+  kBxu,  ///< branch execution + CR logical unit
+};
+
+inline constexpr int kNumStructures = 7;
+
+inline constexpr std::array<StructureId, kNumStructures> kAllStructures = {
+    StructureId::kIfu, StructureId::kIdu, StructureId::kIsu,
+    StructureId::kFxu, StructureId::kFpu, StructureId::kLsu,
+    StructureId::kBxu};
+
+/// Display name, e.g. "FXU".
+std::string_view structure_name(StructureId s);
+
+/// Fraction of the 81 mm^2 core area occupied by each structure. The
+/// fractions sum to 1 and approximate the POWER4 core floorplan (LSU with
+/// its L1D largest, FPU next, BXU smallest).
+double structure_area_fraction(StructureId s);
+
+/// Convenience index for arrays sized kNumStructures.
+constexpr std::size_t idx(StructureId s) { return static_cast<std::size_t>(s); }
+
+}  // namespace ramp::sim

@@ -1,0 +1,116 @@
+#include "thermal/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::thermal {
+
+namespace {
+// Overlap length of intervals [a0, a1) and [b0, b1).
+double overlap(double a0, double a1, double b0, double b1) {
+  return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+}  // namespace
+
+Floorplan::Floorplan(std::vector<Block> blocks) : blocks_(std::move(blocks)) {
+  RAMP_REQUIRE(!blocks_.empty(), "floorplan needs at least one block");
+  for (const auto& b : blocks_) {
+    RAMP_REQUIRE(b.w > 0 && b.h > 0, "block '" + b.name + "' is degenerate");
+  }
+  // Reject interior overlaps (touching edges are fine).
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      const Block& a = blocks_[i];
+      const Block& b = blocks_[j];
+      const double ox = overlap(a.x, a.x + a.w, b.x, b.x + b.w);
+      const double oy = overlap(a.y, a.y + a.h, b.y, b.y + b.h);
+      RAMP_REQUIRE(ox * oy < 1e-12 * std::max(a.area(), b.area()),
+                   "blocks '" + a.name + "' and '" + b.name + "' overlap");
+    }
+  }
+}
+
+std::size_t Floorplan::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].name == name) return i;
+  }
+  throw InvalidArgument("no block named '" + name + "'");
+}
+
+double Floorplan::total_area() const {
+  double a = 0;
+  for (const auto& b : blocks_) a += b.area();
+  return a;
+}
+
+std::vector<Adjacency> Floorplan::adjacencies(double min_overlap) const {
+  std::vector<Adjacency> adj;
+  const double eps = 1e-9;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      const Block& a = blocks_[i];
+      const Block& b = blocks_[j];
+      double shared = 0;
+      // Vertical shared edge: a's right touching b's left or vice versa.
+      if (std::abs((a.x + a.w) - b.x) < eps || std::abs((b.x + b.w) - a.x) < eps) {
+        shared = overlap(a.y, a.y + a.h, b.y, b.y + b.h);
+      }
+      // Horizontal shared edge.
+      if (std::abs((a.y + a.h) - b.y) < eps || std::abs((b.y + b.h) - a.y) < eps) {
+        shared = std::max(shared, overlap(a.x, a.x + a.w, b.x, b.x + b.w));
+      }
+      if (shared > min_overlap) {
+        const double dx = a.cx() - b.cx();
+        const double dy = a.cy() - b.cy();
+        adj.push_back({i, j, shared, std::sqrt(dx * dx + dy * dy)});
+      }
+    }
+  }
+  return adj;
+}
+
+Floorplan Floorplan::scaled(double s) const {
+  RAMP_REQUIRE(s > 0, "scale factor must be positive");
+  std::vector<Block> scaled_blocks = blocks_;
+  for (auto& b : scaled_blocks) {
+    b.x *= s;
+    b.y *= s;
+    b.w *= s;
+    b.h *= s;
+  }
+  return Floorplan(std::move(scaled_blocks));
+}
+
+Floorplan power4_floorplan() {
+  // 9 mm × 9 mm core, two rows; areas follow the structure fractions
+  // (IFU .14, IDU .09, ISU .13, FXU .13, FPU .16, LSU .28, BXU .07 of
+  // 81 mm²). Bottom row (h = 4.32 mm): LSU, FXU, BXU; top row (h = 4.68 mm):
+  // FPU, IFU, ISU, IDU. Dimensions in meters.
+  constexpr double mm = 1e-3;
+  const double die = 9.0 * mm;
+  const double h_bot = 4.32 * mm;
+  const double h_top = die - h_bot;
+
+  auto wfrac = [&](double area_mm2, double row_h) { return area_mm2 * mm * mm / row_h; };
+  const double w_lsu = wfrac(0.28 * 81.0, h_bot);
+  const double w_fxu = wfrac(0.13 * 81.0, h_bot);
+  const double w_bxu = wfrac(0.07 * 81.0, h_bot);
+  const double w_fpu = wfrac(0.16 * 81.0, h_top);
+  const double w_ifu = wfrac(0.14 * 81.0, h_top);
+  const double w_isu = wfrac(0.13 * 81.0, h_top);
+  const double w_idu = wfrac(0.09 * 81.0, h_top);
+
+  std::vector<Block> blocks;
+  blocks.push_back({"LSU", 0.0, 0.0, w_lsu, h_bot});
+  blocks.push_back({"FXU", w_lsu, 0.0, w_fxu, h_bot});
+  blocks.push_back({"BXU", w_lsu + w_fxu, 0.0, w_bxu, h_bot});
+  blocks.push_back({"FPU", 0.0, h_bot, w_fpu, h_top});
+  blocks.push_back({"IFU", w_fpu, h_bot, w_ifu, h_top});
+  blocks.push_back({"ISU", w_fpu + w_ifu, h_bot, w_isu, h_top});
+  blocks.push_back({"IDU", w_fpu + w_ifu + w_isu, h_bot, w_idu, h_top});
+  return Floorplan(std::move(blocks));
+}
+
+}  // namespace ramp::thermal

@@ -1,0 +1,64 @@
+// Chip floorplans for the thermal model.
+//
+// A floorplan is a set of rectangular blocks tiling the die. The thermal RC
+// network derives vertical conductances from block areas and lateral
+// conductances from shared edges. The POWER4-like floorplan mirrors §4.3: a
+// 9 mm × 9 mm core partitioned into the 7 combined structures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ramp::thermal {
+
+/// Axis-aligned rectangular block, dimensions in meters.
+struct Block {
+  std::string name;
+  double x = 0, y = 0;  ///< lower-left corner
+  double w = 0, h = 0;  ///< width / height
+
+  double area() const { return w * h; }
+  double cx() const { return x + w / 2; }
+  double cy() const { return y + h / 2; }
+};
+
+/// Shared-edge adjacency between two blocks.
+struct Adjacency {
+  std::size_t a = 0, b = 0;
+  double shared_len = 0;    ///< length of the shared edge (m)
+  double center_dist = 0;   ///< distance between block centers (m)
+};
+
+class Floorplan {
+ public:
+  /// Validates that blocks are non-degenerate and mutually non-overlapping.
+  explicit Floorplan(std::vector<Block> blocks);
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  std::size_t size() const { return blocks_.size(); }
+  const Block& block(std::size_t i) const { return blocks_.at(i); }
+
+  /// Index of the named block; throws InvalidArgument when absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Total die area (m²).
+  double total_area() const;
+
+  /// Blocks sharing an edge longer than `min_overlap` meters.
+  std::vector<Adjacency> adjacencies(double min_overlap = 1e-6) const;
+
+  /// Uniformly scaled copy (all coordinates and dimensions × `s`); models
+  /// the same layout shrunk to a smaller technology node.
+  Floorplan scaled(double s) const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+/// The 9 mm × 9 mm POWER4-like core floorplan of §4.3: seven blocks whose
+/// areas follow sim::structure_area_fraction, laid out in two rows. Block
+/// names match sim::structure_name (IFU, IDU, ISU, FXU, FPU, LSU, BXU).
+Floorplan power4_floorplan();
+
+}  // namespace ramp::thermal

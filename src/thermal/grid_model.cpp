@@ -1,0 +1,143 @@
+#include "thermal/grid_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::thermal {
+
+namespace {
+double overlap(double a0, double a1, double b0, double b1) {
+  return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+}  // namespace
+
+GridModel::GridModel(Floorplan fp, ThermalConfig cfg, int cols, int rows)
+    : fp_(std::move(fp)), cfg_(cfg), cols_(cols), rows_(rows) {
+  RAMP_REQUIRE(cols >= 2 && rows >= 2, "grid needs at least 2x2 cells");
+  RAMP_REQUIRE(cols * rows <= 64 * 64, "grid too fine for the dense solver");
+  build();
+}
+
+void GridModel::build() {
+  // Bounding box of the floorplan.
+  double max_x = 0, max_y = 0;
+  for (const auto& b : fp_.blocks()) {
+    max_x = std::max(max_x, b.x + b.w);
+    max_y = std::max(max_y, b.y + b.h);
+  }
+  cell_w_ = max_x / cols_;
+  cell_h_ = max_y / rows_;
+
+  const std::size_t n = num_cells();
+  const std::size_t spreader = n;
+  const std::size_t sink = n + 1;
+  g_ = Matrix(n + 2, n + 2, 0.0);
+
+  auto couple = [&](std::size_t a, std::size_t b, double conductance) {
+    g_(a, a) += conductance;
+    g_(b, b) += conductance;
+    g_(a, b) -= conductance;
+    g_(b, a) -= conductance;
+  };
+
+  const double cell_area = cell_w_ * cell_h_;
+  // Vertical legs: same specific resistance as the block model.
+  for (std::size_t c = 0; c < n; ++c) {
+    couple(c, spreader, cell_area / cfg_.r_vertical_specific);
+  }
+  // Lateral 4-neighbor legs through silicon: G = k * t * width / pitch.
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (c + 1 < cols_) {
+        couple(cell_index(c, r), cell_index(c + 1, r),
+               cfg_.k_silicon * cfg_.die_thickness * cell_h_ / cell_w_);
+      }
+      if (r + 1 < rows_) {
+        couple(cell_index(c, r), cell_index(c, r + 1),
+               cfg_.k_silicon * cfg_.die_thickness * cell_w_ / cell_h_);
+      }
+    }
+  }
+  couple(spreader, sink, 1.0 / cfg_.r_spreader_sink);
+  g_(sink, sink) += 1.0 / cfg_.r_convec_k_per_w;
+
+  // Cell-block coverage fractions.
+  coverage_.assign(n, std::vector<double>(fp_.size(), 0.0));
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const double x0 = c * cell_w_, x1 = x0 + cell_w_;
+      const double y0 = r * cell_h_, y1 = y0 + cell_h_;
+      for (std::size_t b = 0; b < fp_.size(); ++b) {
+        const Block& blk = fp_.block(b);
+        const double ov = overlap(x0, x1, blk.x, blk.x + blk.w) *
+                          overlap(y0, y1, blk.y, blk.y + blk.h);
+        coverage_[cell_index(c, r)][b] = ov / cell_area;
+      }
+    }
+  }
+
+  solver_ = std::make_unique<LuSolver>(g_);
+}
+
+std::vector<double> GridModel::steady_state(
+    const std::vector<double>& block_power_w) const {
+  RAMP_REQUIRE(block_power_w.size() == fp_.size(),
+               "need one power value per floorplan block");
+  const std::size_t n = num_cells();
+  std::vector<double> rhs(n + 2, 0.0);
+
+  // Distribute each block's power uniformly over its covered cell area.
+  for (std::size_t b = 0; b < fp_.size(); ++b) {
+    RAMP_REQUIRE(block_power_w[b] >= 0, "block power must be non-negative");
+    const double density = block_power_w[b] / fp_.block(b).area();
+    for (std::size_t c = 0; c < n; ++c) {
+      rhs[c] += density * coverage_[c][b] * cell_w_ * cell_h_;
+    }
+  }
+  rhs[n + 1] = cfg_.ambient_k / cfg_.r_convec_k_per_w;
+  return solver_->solve(rhs);
+}
+
+double GridModel::block_average(const std::vector<double>& cell_temps,
+                                std::size_t block) const {
+  RAMP_REQUIRE(block < fp_.size(), "block index out of range");
+  double weighted = 0, area = 0;
+  for (std::size_t c = 0; c < num_cells(); ++c) {
+    const double a = coverage_[c][block];
+    weighted += cell_temps[c] * a;
+    area += a;
+  }
+  RAMP_ASSERT(area > 0);
+  return weighted / area;
+}
+
+double GridModel::block_peak(const std::vector<double>& cell_temps,
+                             std::size_t block) const {
+  RAMP_REQUIRE(block < fp_.size(), "block index out of range");
+  double peak = 0;
+  bool any = false;
+  for (std::size_t c = 0; c < num_cells(); ++c) {
+    if (coverage_[c][block] > 0.25) {  // cells mostly inside the block
+      peak = std::max(peak, cell_temps[c]);
+      any = true;
+    }
+  }
+  if (!any) {
+    // Very coarse grids: fall back to any overlap.
+    for (std::size_t c = 0; c < num_cells(); ++c) {
+      if (coverage_[c][block] > 0.0) peak = std::max(peak, cell_temps[c]);
+    }
+  }
+  return peak;
+}
+
+double GridModel::coverage(int col, int row, std::size_t block) const {
+  RAMP_REQUIRE(col >= 0 && col < cols_ && row >= 0 && row < rows_,
+               "cell index out of range");
+  RAMP_REQUIRE(block < fp_.size(), "block index out of range");
+  return coverage_[cell_index(col, row)][block];
+}
+
+}  // namespace ramp::thermal

@@ -1,0 +1,76 @@
+// Grid-mode thermal model (HotSpot's finer-granularity alternative to the
+// block model).
+//
+// The block RC model (rc_model.hpp) lumps each floorplan block into one
+// node; HotSpot also offers a grid mode that discretizes the die into an
+// N×M mesh, capturing intra-block gradients and more faithful lateral
+// spreading. This module implements that refinement on top of the same
+// physical parameters (ThermalConfig): every grid cell gets a vertical leg
+// to the spreader node (area-proportional), 4-neighbor lateral conduction
+// through silicon, and the same spreader→sink→ambient chain. Block powers
+// are distributed uniformly over the cells each block covers; per-block
+// temperatures are area-weighted averages of their cells.
+//
+// Use it to validate the block model (the two agree on block averages for
+// smooth power maps — tested) and to study intra-block hot spots the block
+// model cannot see.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_model.hpp"
+#include "util/linalg.hpp"
+
+namespace ramp::thermal {
+
+class GridModel {
+ public:
+  /// Discretizes `fp`'s bounding box into `cols` × `rows` cells. Every
+  /// cell must overlap at least one block (the POWER4 floorplans tile the
+  /// die, so any resolution works). Throws InvalidArgument on degenerate
+  /// grids.
+  GridModel(Floorplan fp, ThermalConfig cfg, int cols, int rows);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  std::size_t num_cells() const { return static_cast<std::size_t>(cols_ * rows_); }
+  const Floorplan& floorplan() const { return fp_; }
+
+  /// Steady-state cell temperatures for per-block powers (uniformly
+  /// distributed over each block's cells). Returns num_cells() + 2 values
+  /// (cells, spreader, sink).
+  std::vector<double> steady_state(const std::vector<double>& block_power_w) const;
+
+  /// Area-weighted average temperature of block `b` from a steady_state
+  /// result.
+  double block_average(const std::vector<double>& cell_temps,
+                       std::size_t block) const;
+
+  /// Hottest cell temperature within block `b`.
+  double block_peak(const std::vector<double>& cell_temps,
+                    std::size_t block) const;
+
+  /// Fraction of cell (c, r)'s area inside block `b` (for tests).
+  double coverage(int col, int row, std::size_t block) const;
+
+ private:
+  std::size_t cell_index(int col, int row) const {
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col);
+  }
+  void build();
+
+  Floorplan fp_;
+  ThermalConfig cfg_;
+  int cols_;
+  int rows_;
+  double cell_w_ = 0, cell_h_ = 0;
+  Matrix g_;  ///< (cells + 2)^2 conductance Laplacian
+  /// coverage_[cell][block] = fraction of the cell's area inside the block.
+  std::vector<std::vector<double>> coverage_;
+  std::unique_ptr<LuSolver> solver_;
+};
+
+}  // namespace ramp::thermal

@@ -1,0 +1,143 @@
+#include "thermal/rc_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::thermal {
+
+RcNetwork::RcNetwork(Floorplan fp, ThermalConfig cfg)
+    : fp_(std::move(fp)), cfg_(cfg) {
+  RAMP_REQUIRE(cfg_.r_convec_k_per_w > 0 && cfg_.r_vertical_specific > 0 &&
+                   cfg_.r_spreader_sink > 0,
+               "thermal resistances must be positive");
+  RAMP_REQUIRE(cfg_.ambient_k > 0, "ambient temperature must be positive");
+  build();
+}
+
+void RcNetwork::build() {
+  const std::size_t n = fp_.size();
+  const std::size_t spreader = n;
+  const std::size_t sink = n + 1;
+  g_ = Matrix(n + 2, n + 2, 0.0);
+  cap_.assign(n + 2, 0.0);
+
+  auto couple = [&](std::size_t a, std::size_t b, double conductance) {
+    g_(a, a) += conductance;
+    g_(b, b) += conductance;
+    g_(a, b) -= conductance;
+    g_(b, a) -= conductance;
+  };
+
+  // Vertical block → spreader legs: G = A / r_specific.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double area = fp_.block(i).area();
+    couple(i, spreader, area / cfg_.r_vertical_specific);
+    cap_[i] = cfg_.c_silicon * cfg_.die_thickness * area;
+  }
+
+  // Lateral block ↔ block legs through silicon:
+  // G = k_si · t_die · shared_edge / center_distance.
+  for (const auto& adj : fp_.adjacencies()) {
+    const double g = cfg_.k_silicon * cfg_.die_thickness * adj.shared_len /
+                     adj.center_dist;
+    couple(adj.a, adj.b, g);
+  }
+
+  // Spreader → sink, and sink → ambient (ambient handled as a diagonal leg
+  // with the boundary term added to the RHS at solve time).
+  couple(spreader, sink, 1.0 / cfg_.r_spreader_sink);
+  g_(sink, sink) += 1.0 / cfg_.r_convec_k_per_w;
+
+  cap_[spreader] = cfg_.spreader_capacitance;
+  cap_[sink] = cfg_.sink_capacitance;
+}
+
+void RcNetwork::set_r_convec(double r_k_per_w) {
+  RAMP_REQUIRE(r_k_per_w > 0, "convection resistance must be positive");
+  // Swap the sink's ambient leg in the prebuilt Laplacian.
+  const std::size_t sink = fp_.size() + 1;
+  g_(sink, sink) += 1.0 / r_k_per_w - 1.0 / cfg_.r_convec_k_per_w;
+  cfg_.r_convec_k_per_w = r_k_per_w;
+}
+
+std::vector<double> RcNetwork::steady_state(
+    const std::vector<double>& block_power_w) const {
+  const std::size_t n = fp_.size();
+  RAMP_REQUIRE(block_power_w.size() == n,
+               "need one power value per floorplan block");
+  std::vector<double> rhs(n + 2, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    RAMP_REQUIRE(std::isfinite(block_power_w[i]) && block_power_w[i] >= 0,
+                 "block power must be finite and non-negative");
+    rhs[i] = block_power_w[i];
+  }
+  // Ambient boundary enters through the sink's convection leg.
+  rhs[n + 1] = cfg_.ambient_k / cfg_.r_convec_k_per_w;
+  return solve_linear(g_, rhs);
+}
+
+std::vector<double> RcNetwork::steady_state(
+    const std::function<std::vector<double>(const std::vector<double>&)>& power_of,
+    double tol, int max_iter) const {
+  const std::size_t n = fp_.size();
+  std::vector<double> temps(num_nodes(), cfg_.ambient_k);
+  for (int it = 0; it < max_iter; ++it) {
+    std::vector<double> block_temps(temps.begin(),
+                                    temps.begin() + static_cast<std::ptrdiff_t>(n));
+    const std::vector<double> p = power_of(block_temps);
+    for (double v : p) {
+      if (!std::isfinite(v)) {
+        throw ConvergenceError(
+            "leakage-temperature fixed point diverged (thermal runaway)");
+      }
+    }
+    const std::vector<double> next = steady_state(p);
+    double delta = 0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      if (!std::isfinite(next[i])) {
+        throw ConvergenceError(
+            "leakage-temperature fixed point diverged (thermal runaway)");
+      }
+      delta = std::max(delta, std::abs(next[i] - temps[i]));
+    }
+    temps = next;
+    if (delta < tol) return temps;
+  }
+  throw ConvergenceError(
+      "leakage-temperature fixed point failed to converge; the node is "
+      "likely past thermal runaway for this power density");
+}
+
+Transient::Transient(const RcNetwork& net, std::vector<double> initial,
+                     double dt_seconds)
+    : net_(net), temps_(std::move(initial)), dt_(dt_seconds) {
+  RAMP_REQUIRE(temps_.size() == net.num_nodes(),
+               "initial state must cover every node");
+  RAMP_REQUIRE(dt_ > 0, "time step must be positive");
+  // Implicit Euler: (C/dt + G) T' = (C/dt) T + P; factor the LHS once.
+  const Matrix& g = net.conductance();
+  Matrix lhs = g;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    lhs(i, i) += net.capacitance()[i] / dt_;
+  }
+  solver_ = std::make_unique<LuSolver>(std::move(lhs));
+}
+
+void Transient::step(const std::vector<double>& block_power_w) {
+  const std::size_t n = net_.num_blocks();
+  RAMP_REQUIRE(block_power_w.size() == n,
+               "need one power value per floorplan block");
+  std::vector<double> rhs(net_.num_nodes(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = block_power_w[i];
+  }
+  rhs[n + 1] = net_.ambient() / net_.r_convec();
+  for (std::size_t i = 0; i < net_.num_nodes(); ++i) {
+    rhs[i] += net_.capacitance()[i] / dt_ * temps_[i];
+  }
+  temps_ = solver_->solve(rhs);
+  elapsed_ += dt_;
+}
+
+}  // namespace ramp::thermal

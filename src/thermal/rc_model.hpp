@@ -1,0 +1,123 @@
+// HotSpot-style lumped RC thermal model (paper §4.3).
+//
+// Node layout: one node per floorplan block (silicon), one heat-spreader
+// node, one heat-sink node; the ambient is a fixed-temperature boundary.
+// Blocks conduct vertically into the spreader (die + TIM path, proportional
+// to block area), laterally into edge-adjacent blocks (through-silicon),
+// the spreader conducts into the sink, and the sink convects into ambient
+// through R_convec (0.8 K/W at 180 nm, Table/§4.3).
+//
+// As in HotSpot, the sink's RC time constant is orders of magnitude larger
+// than the silicon blocks', so transient runs must be initialized with the
+// right sink temperature. The paper's two-run methodology (steady-state from
+// average power, then a transient rerun) is implemented by the pipeline
+// layer on top of steady_state()/Transient.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "thermal/floorplan.hpp"
+#include "util/linalg.hpp"
+
+namespace ramp::thermal {
+
+struct ThermalConfig {
+  double ambient_k = 318.15;        ///< HotSpot default ambient (45 °C)
+  double r_convec_k_per_w = 0.8;    ///< sink-to-ambient resistance at 180 nm
+
+  /// Effective specific vertical resistance from junction to spreader
+  /// (K·m²/W): die + TIM with the spreader's lateral smearing folded in.
+  /// Calibrated so the hot-structure temperature rise from 180 nm to
+  /// 65 nm (1.0 V) matches the paper's ≈ +15 K (Figure 2 / §5.1).
+  double r_vertical_specific = 1.32e-5;
+
+  /// Spreader-to-sink conductance path (K/W).
+  double r_spreader_sink = 0.05;
+
+  /// Silicon thermal conductivity (W/(m·K)) for lateral block coupling.
+  double k_silicon = 100.0;
+  /// Die thickness (m) — lateral conduction cross-section.
+  double die_thickness = 0.5e-3;
+
+  /// Volumetric heat capacities (J/(m³·K)) and lumped masses.
+  double c_silicon = 1.75e6;
+  double spreader_capacitance = 300.0;  ///< J/K, copper spreader lump
+  double sink_capacitance = 1200.0;     ///< J/K, large sink lump (slow pole)
+};
+
+/// RC network for one floorplan. Node order: blocks [0, n), spreader = n,
+/// sink = n+1.
+class RcNetwork {
+ public:
+  RcNetwork(Floorplan fp, ThermalConfig cfg);
+
+  std::size_t num_blocks() const { return fp_.size(); }
+  std::size_t num_nodes() const { return fp_.size() + 2; }
+  const Floorplan& floorplan() const { return fp_; }
+  const ThermalConfig& config() const { return cfg_; }
+
+  /// Replaces the sink-to-ambient resistance (used to hold the sink
+  /// temperature constant across technologies, §4.3).
+  void set_r_convec(double r_k_per_w);
+  double r_convec() const { return cfg_.r_convec_k_per_w; }
+
+  /// Steady-state temperatures for fixed per-block powers (W). Returns
+  /// num_nodes() temperatures (blocks, spreader, sink).
+  std::vector<double> steady_state(const std::vector<double>& block_power_w) const;
+
+  /// Steady state with temperature-dependent power (leakage feedback):
+  /// `power_of` maps block temperatures to block powers. Fixed-point
+  /// iterates to `tol` Kelvin; throws ConvergenceError if it fails.
+  std::vector<double> steady_state(
+      const std::function<std::vector<double>(const std::vector<double>&)>& power_of,
+      double tol = 1e-4, int max_iter = 200) const;
+
+  /// Conductance matrix row access for tests (Laplacian + ambient leg).
+  const Matrix& conductance() const { return g_; }
+
+  /// Per-node heat capacities (J/K).
+  const std::vector<double>& capacitance() const { return cap_; }
+
+  double ambient() const { return cfg_.ambient_k; }
+
+ private:
+  void build();
+
+  Floorplan fp_;
+  ThermalConfig cfg_;
+  Matrix g_;                  ///< (n+2)×(n+2) conductance Laplacian
+  std::vector<double> cap_;   ///< per-node heat capacity
+};
+
+/// Implicit-Euler transient integrator over an RcNetwork. Unconditionally
+/// stable, so the 1 µs step of §4.3 is comfortable for every node including
+/// the stiff sink pole. The implicit matrix is factored once per (network,
+/// dt) pair.
+class Transient {
+ public:
+  /// `initial` must have num_nodes() entries (e.g. a steady_state result).
+  Transient(const RcNetwork& net, std::vector<double> initial, double dt_seconds);
+
+  /// Advances one step under the given per-block powers (W).
+  void step(const std::vector<double>& block_power_w);
+
+  /// Current node temperatures (blocks, spreader, sink).
+  const std::vector<double>& temperatures() const { return temps_; }
+
+  /// Current temperature of one block.
+  double block_temp(std::size_t i) const { return temps_.at(i); }
+
+  double dt() const { return dt_; }
+  double elapsed() const { return elapsed_; }
+
+ private:
+  const RcNetwork& net_;
+  std::vector<double> temps_;
+  double dt_;
+  double elapsed_ = 0;
+  std::unique_ptr<LuSolver> solver_;  ///< factored (C/dt + G)
+};
+
+}  // namespace ramp::thermal

@@ -1,0 +1,22 @@
+#include "trace/instruction.hpp"
+
+#include "util/error.hpp"
+
+namespace ramp::trace {
+
+std::string_view op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kIntAlu: return "int-alu";
+    case OpClass::kIntMul: return "int-mul";
+    case OpClass::kIntDiv: return "int-div";
+    case OpClass::kFpAlu: return "fp-alu";
+    case OpClass::kFpDiv: return "fp-div";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kLogicalCr: return "logical-cr";
+  }
+  throw InvalidArgument("unknown op class");
+}
+
+}  // namespace ramp::trace

@@ -1,0 +1,72 @@
+// Instruction records — the trace format consumed by the timing simulator.
+//
+// The paper drives Turandot with sampled PowerPC SPEC2K traces. Those traces
+// are proprietary; we substitute a synthetic trace stream whose records carry
+// exactly the information a trace-driven timing model needs: an operation
+// class, register dependences, a memory address for loads/stores, and branch
+// direction/target. See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ramp::trace {
+
+/// Operation classes; each maps to one functional-unit type of the
+/// POWER4-like core in Table 2.
+enum class OpClass : std::uint8_t {
+  kIntAlu,     ///< 1-cycle integer op
+  kIntMul,     ///< 7-cycle integer multiply
+  kIntDiv,     ///< 35-cycle integer divide
+  kFpAlu,      ///< 4-cycle FP op
+  kFpDiv,      ///< 12-cycle FP divide
+  kLoad,       ///< memory load (L1D 2 cycles on hit)
+  kStore,      ///< memory store
+  kBranch,     ///< conditional or unconditional branch
+  kLogicalCr,  ///< condition-register / logical op (LCR unit)
+};
+
+inline constexpr int kNumOpClasses = 9;
+
+/// Human-readable mnemonic for an operation class.
+std::string_view op_class_name(OpClass c);
+
+/// True for loads and stores.
+constexpr bool is_memory(OpClass c) {
+  return c == OpClass::kLoad || c == OpClass::kStore;
+}
+
+/// True for classes executed by the floating-point units.
+constexpr bool is_fp(OpClass c) {
+  return c == OpClass::kFpAlu || c == OpClass::kFpDiv;
+}
+
+/// One dynamic instruction. Register identifiers are architectural; the
+/// simulator renames them. kNoReg marks an unused operand slot.
+struct Instruction {
+  static constexpr std::uint16_t kNoReg = 0xffff;
+
+  OpClass op = OpClass::kIntAlu;
+  std::uint16_t dst = kNoReg;   ///< destination architectural register
+  std::uint16_t src1 = kNoReg;  ///< first source register
+  std::uint16_t src2 = kNoReg;  ///< second source register
+  std::uint64_t pc = 0;         ///< instruction address
+  std::uint64_t mem_addr = 0;   ///< effective address for loads/stores
+  bool branch_taken = false;    ///< direction, meaningful for kBranch
+  std::uint64_t branch_target = 0;  ///< target, meaningful for kBranch
+};
+
+/// Pull-based trace source. next() fills `out` and returns false at
+/// end-of-trace. Implementations must be deterministic for a fixed
+/// construction state so runs are reproducible.
+class TraceReader {
+ public:
+  virtual ~TraceReader() = default;
+  virtual bool next(Instruction& out) = 0;
+
+  TraceReader() = default;
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+};
+
+}  // namespace ramp::trace

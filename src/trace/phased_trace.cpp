@@ -1,0 +1,31 @@
+#include "trace/phased_trace.hpp"
+
+#include "util/error.hpp"
+
+namespace ramp::trace {
+
+PhasedTrace::PhasedTrace(const std::vector<GeneratorProfile>& profiles,
+                         std::uint64_t length, std::uint64_t phase_length,
+                         std::uint64_t seed)
+    : length_(length), phase_length_(phase_length) {
+  RAMP_REQUIRE(!profiles.empty(), "need at least one phase profile");
+  RAMP_REQUIRE(phase_length > 0, "phase length must be positive");
+  generators_.reserve(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    // Each phase generator gets the whole budget; PhasedTrace gates how
+    // much of each stream is actually consumed.
+    generators_.push_back(
+        std::make_unique<SyntheticTrace>(profiles[i], length, seed + i * 0x9e37ULL));
+  }
+}
+
+bool PhasedTrace::next(Instruction& out) {
+  if (emitted_ >= length_) return false;
+  phase_ = static_cast<std::size_t>((emitted_ / phase_length_) %
+                                    generators_.size());
+  if (!generators_[phase_]->next(out)) return false;
+  ++emitted_;
+  return true;
+}
+
+}  // namespace ramp::trace

@@ -1,0 +1,44 @@
+// Multi-phase trace composition.
+//
+// Real sampled traces (the paper's input) exhibit phase behaviour: the
+// program alternates between kernels with different instruction mixes,
+// memory behaviour, and hence temperature. Our base synthetic traces are
+// stationary; PhasedTrace composes several GeneratorProfiles into one
+// stream that switches phase every `phase_length` instructions, giving the
+// transient thermal model and the thermal-cycling machinery genuine
+// time-variation to chew on. Phases cycle round-robin, each phase keeps an
+// independent generator state (its streams and control flow resume where
+// they left off, like a real program returning to a kernel).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/synthetic_generator.hpp"
+
+namespace ramp::trace {
+
+class PhasedTrace final : public TraceReader {
+ public:
+  /// `profiles` must be non-empty; total stream length is `length`;
+  /// `phase_length` instructions are emitted per phase before switching.
+  PhasedTrace(const std::vector<GeneratorProfile>& profiles,
+              std::uint64_t length, std::uint64_t phase_length,
+              std::uint64_t seed);
+
+  bool next(Instruction& out) override;
+
+  std::uint64_t emitted() const { return emitted_; }
+  std::size_t current_phase() const { return phase_; }
+  std::size_t num_phases() const { return generators_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SyntheticTrace>> generators_;
+  std::uint64_t length_;
+  std::uint64_t phase_length_;
+  std::uint64_t emitted_ = 0;
+  std::size_t phase_ = 0;
+};
+
+}  // namespace ramp::trace

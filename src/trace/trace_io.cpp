@@ -1,0 +1,112 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace ramp::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'A', 'M', 'P', 'T', 'R', 'C', '1'};
+
+// Fixed on-disk record: everything explicit, little-endian (we only target
+// little-endian hosts; a static_assert would need C++23 byteswap to lift).
+struct DiskRecord {
+  std::uint8_t op;
+  std::uint8_t flags;  // bit0: branch_taken
+  std::uint16_t dst;
+  std::uint16_t src1;
+  std::uint16_t src2;
+  std::uint64_t pc;
+  std::uint64_t mem_addr;
+  std::uint64_t branch_target;
+};
+
+DiskRecord to_disk(const Instruction& ins) {
+  DiskRecord r{};
+  r.op = static_cast<std::uint8_t>(ins.op);
+  r.flags = ins.branch_taken ? 1 : 0;
+  r.dst = ins.dst;
+  r.src1 = ins.src1;
+  r.src2 = ins.src2;
+  r.pc = ins.pc;
+  r.mem_addr = ins.mem_addr;
+  r.branch_target = ins.branch_target;
+  return r;
+}
+
+Instruction from_disk(const DiskRecord& r) {
+  RAMP_REQUIRE(r.op < kNumOpClasses, "corrupt trace record: bad op class");
+  Instruction ins;
+  ins.op = static_cast<OpClass>(r.op);
+  ins.branch_taken = (r.flags & 1) != 0;
+  ins.dst = r.dst;
+  ins.src1 = r.src1;
+  ins.src2 = r.src2;
+  ins.pc = r.pc;
+  ins.mem_addr = r.mem_addr;
+  ins.branch_target = r.branch_target;
+  return ins;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+  if (!out_) throw InvalidArgument("cannot open trace file for writing: " + path);
+  out_.write(kMagic, sizeof kMagic);
+  const std::uint64_t placeholder = 0;
+  out_.write(reinterpret_cast<const char*>(&placeholder), sizeof placeholder);
+  if (!out_) throw InvalidArgument("trace header write failed: " + path);
+}
+
+TraceWriter::~TraceWriter() {
+  // Patch the instruction count into the header.
+  if (out_) {
+    out_.seekp(sizeof kMagic, std::ios::beg);
+    out_.write(reinterpret_cast<const char*>(&count_), sizeof count_);
+  }
+}
+
+void TraceWriter::append(const Instruction& ins) {
+  const DiskRecord r = to_disk(ins);
+  out_.write(reinterpret_cast<const char*>(&r), sizeof r);
+  if (!out_) throw InvalidArgument("trace record write failed");
+  ++count_;
+}
+
+std::uint64_t TraceWriter::append_all(TraceReader& reader) {
+  Instruction ins;
+  std::uint64_t n = 0;
+  while (reader.next(ins)) {
+    append(ins);
+    ++n;
+  }
+  return n;
+}
+
+TraceFileReader::TraceFileReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw InvalidArgument("cannot open trace file: " + path);
+  char magic[8];
+  in_.read(magic, sizeof magic);
+  if (!in_ || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw InvalidArgument("not a RAMP trace file: " + path);
+  }
+  in_.read(reinterpret_cast<char*>(&total_), sizeof total_);
+  if (!in_) throw InvalidArgument("truncated trace header: " + path);
+}
+
+bool TraceFileReader::next(Instruction& out) {
+  if (read_ >= total_) return false;
+  DiskRecord r;
+  in_.read(reinterpret_cast<char*>(&r), sizeof r);
+  if (!in_) throw InvalidArgument("truncated trace file (record read failed)");
+  out = from_disk(r);
+  ++read_;
+  return true;
+}
+
+}  // namespace ramp::trace

@@ -1,0 +1,88 @@
+#include "trace/trace_stats.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ramp::trace {
+
+TraceStats characterize(TraceReader& reader, std::uint64_t max_instructions) {
+  TraceStats stats;
+  std::array<std::uint64_t, kNumOpClasses> counts{};
+  std::unordered_map<std::uint16_t, std::uint64_t> last_writer;  // reg -> idx
+  std::array<std::uint64_t, 8> recent_addrs{};  // sliding access window
+  std::size_t recent_pos = 0;
+  std::uint64_t recent_filled = 0;
+  std::unordered_set<std::uint64_t> lines;
+  std::unordered_set<std::uint64_t> pcs;
+  std::unordered_set<std::uint64_t> branch_pcs;
+
+  double dep_sum = 0.0;
+  std::uint64_t dep_n = 0;
+  std::uint64_t branches = 0, taken = 0;
+  std::uint64_t mem = 0, sequential = 0;
+
+  Instruction ins;
+  std::uint64_t i = 0;
+  while (i < max_instructions && reader.next(ins)) {
+    ++counts[static_cast<std::size_t>(ins.op)];
+    pcs.insert(ins.pc);
+
+    auto dep = [&](std::uint16_t reg) {
+      if (reg == Instruction::kNoReg) return;
+      const auto it = last_writer.find(reg);
+      if (it != last_writer.end()) {
+        dep_sum += static_cast<double>(i - it->second);
+        ++dep_n;
+      }
+    };
+    dep(ins.src1);
+    dep(ins.src2);
+    if (ins.dst != Instruction::kNoReg) last_writer[ins.dst] = i;
+
+    if (ins.op == OpClass::kBranch) {
+      ++branches;
+      taken += ins.branch_taken ? 1 : 0;
+      branch_pcs.insert(ins.pc);
+    }
+    if (is_memory(ins.op)) {
+      ++mem;
+      lines.insert(ins.mem_addr / 64);
+      // Spatial locality proxy: access within one line of any of the
+      // previous 8 memory accesses (captures interleaved streams).
+      for (std::uint64_t k = 0; k < std::min<std::uint64_t>(recent_filled, 8); ++k) {
+        const std::uint64_t prev = recent_addrs[k];
+        const std::uint64_t d =
+            ins.mem_addr > prev ? ins.mem_addr - prev : prev - ins.mem_addr;
+        if (d <= 64) {
+          ++sequential;
+          break;
+        }
+      }
+      recent_addrs[recent_pos] = ins.mem_addr;
+      recent_pos = (recent_pos + 1) % recent_addrs.size();
+      ++recent_filled;
+    }
+    ++i;
+  }
+
+  stats.instructions = i;
+  if (i == 0) return stats;
+  for (int c = 0; c < kNumOpClasses; ++c) {
+    stats.mix[static_cast<std::size_t>(c)] =
+        static_cast<double>(counts[static_cast<std::size_t>(c)]) /
+        static_cast<double>(i);
+  }
+  stats.mean_dep_distance = dep_n ? dep_sum / static_cast<double>(dep_n) : 0.0;
+  stats.branch_fraction = static_cast<double>(branches) / static_cast<double>(i);
+  stats.taken_fraction =
+      branches ? static_cast<double>(taken) / static_cast<double>(branches) : 0.0;
+  stats.static_branch_sites = branch_pcs.size();
+  stats.memory_fraction = static_cast<double>(mem) / static_cast<double>(i);
+  stats.touched_bytes = lines.size() * 64;
+  stats.sequential_fraction =
+      mem ? static_cast<double>(sequential) / static_cast<double>(mem) : 0.0;
+  stats.code_bytes = pcs.size() * 4;
+  return stats;
+}
+
+}  // namespace ramp::trace

@@ -1,0 +1,44 @@
+// Trace characterization: measure the statistical fingerprint of any
+// instruction stream.
+//
+// The inverse of the synthetic generator: given a TraceReader (synthetic,
+// file-replayed, or externally produced), measure the quantities the
+// GeneratorProfile parameterizes — instruction mix, register dependency
+// distances, branch behaviour, memory footprint and stride locality. Used
+// by tests to validate the generator against its own knobs, and by users
+// to fit a GeneratorProfile to an external trace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "trace/instruction.hpp"
+
+namespace ramp::trace {
+
+struct TraceStats {
+  std::uint64_t instructions = 0;
+  /// Fraction of instructions per OpClass.
+  std::array<double, kNumOpClasses> mix{};
+  /// Mean dynamic distance (instructions) from a source register to its
+  /// producing instruction, over sources with a known producer.
+  double mean_dep_distance = 0.0;
+  /// Branch statistics.
+  double branch_fraction = 0.0;
+  double taken_fraction = 0.0;       ///< of branches
+  std::uint64_t static_branch_sites = 0;
+  /// Memory statistics.
+  double memory_fraction = 0.0;      ///< loads + stores
+  std::uint64_t touched_bytes = 0;   ///< distinct 64 B lines × 64
+  double sequential_fraction = 0.0;  ///< accesses within ±64 B of one of
+                                     ///< the previous 8 memory accesses
+  /// Code footprint: distinct instruction addresses × 4.
+  std::uint64_t code_bytes = 0;
+};
+
+/// Drains `reader` (up to `max_instructions`) and measures it.
+TraceStats characterize(TraceReader& reader,
+                        std::uint64_t max_instructions = ~0ULL);
+
+}  // namespace ramp::trace

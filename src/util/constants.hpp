@@ -1,0 +1,42 @@
+// Physical constants and unit conventions used throughout the library.
+//
+// Conventions:
+//   temperature   — Kelvin (double)
+//   power         — Watts
+//   time          — seconds unless a function says otherwise
+//   FIT           — failures per 1e9 device-hours
+//   area          — mm^2 for floorplans, relative (dimensionless) for scaling
+#pragma once
+
+namespace ramp {
+
+/// Boltzmann constant in eV/K — the failure models express activation
+/// energies in electron-volts, so this is the natural unit system.
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/// Hours per 1e9 device-hours; FIT = failures per kFitHours hours.
+inline constexpr double kFitHours = 1e9;
+
+/// Seconds in one hour.
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Hours in one (Julian) year; used for MTTF-in-years conversions.
+inline constexpr double kHoursPerYear = 24.0 * 365.25;
+
+/// Convert an MTTF expressed in years into a FIT rate.
+constexpr double fit_from_mttf_years(double mttf_years) {
+  return kFitHours / (mttf_years * kHoursPerYear);
+}
+
+/// Convert a FIT rate into MTTF expressed in years.
+constexpr double mttf_years_from_fit(double fit) {
+  return kFitHours / fit / kHoursPerYear;
+}
+
+/// Absolute-zero guard: all model temperatures must exceed this (K).
+inline constexpr double kMinModelTemperature = 200.0;
+
+/// Upper sanity bound for silicon junction temperature (K).
+inline constexpr double kMaxModelTemperature = 500.0;
+
+}  // namespace ramp

@@ -1,0 +1,40 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace ramp {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(*raw, &pos);
+    RAMP_REQUIRE(pos == raw->size(), "trailing characters in " + name);
+    return v;
+  } catch (const std::logic_error&) {
+    throw InvalidArgument("cannot parse environment variable " + name + "='" +
+                          *raw + "' as an unsigned integer");
+  }
+}
+
+bool env_enabled(const std::string& name) {
+  auto raw = env_string(name);
+  if (!raw) return true;
+  std::string lower = *raw;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return lower != "off" && lower != "0" && lower != "false" && lower != "no";
+}
+
+}  // namespace ramp

@@ -1,0 +1,22 @@
+// Environment-variable helpers used by benches to override sweep parameters
+// (RAMP_TRACE_LEN, RAMP_CACHE) without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ramp {
+
+/// Returns the raw value of `name` if set and non-empty.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Parses `name` as an unsigned integer; returns `fallback` when unset.
+/// Throws InvalidArgument when set but unparsable.
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback);
+
+/// True when `name` is unset or set to anything other than the strings
+/// "off", "0", "false", "no" (case-insensitive) — i.e. features default on.
+bool env_enabled(const std::string& name);
+
+}  // namespace ramp

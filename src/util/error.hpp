@@ -1,0 +1,57 @@
+// Error handling primitives for the RAMP reproduction.
+//
+// We follow the C++ Core Guidelines (E.2): throw an exception to signal that a
+// function can't perform its assigned task. Precondition violations inside the
+// library are reported via RAMP_REQUIRE, which throws ramp::InvalidArgument so
+// that tests can assert on misuse without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ramp {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a numerical routine fails to converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file, int line,
+                                       const std::string& what) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement failed: " + expr +
+                        (what.empty() ? "" : (" — " + what)));
+}
+[[noreturn]] inline void throw_internal(const char* expr, const char* file, int line) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": invariant failed: " + expr);
+}
+}  // namespace detail
+
+}  // namespace ramp
+
+/// Precondition check: throws ramp::InvalidArgument when `expr` is false.
+#define RAMP_REQUIRE(expr, what)                                        \
+  do {                                                                  \
+    if (!(expr)) ::ramp::detail::throw_invalid(#expr, __FILE__, __LINE__, (what)); \
+  } while (false)
+
+/// Internal invariant check: throws ramp::InternalError when `expr` is false.
+#define RAMP_ASSERT(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) ::ramp::detail::throw_internal(#expr, __FILE__, __LINE__); \
+  } while (false)

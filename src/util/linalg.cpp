@@ -1,0 +1,89 @@
+#include "util/linalg.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ramp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  RAMP_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+std::vector<double> Matrix::mul(const std::vector<double>& x) const {
+  RAMP_REQUIRE(x.size() == cols_, "dimension mismatch in Matrix::mul");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+LuSolver::LuSolver(Matrix a) : lu_(std::move(a)) {
+  RAMP_REQUIRE(lu_.rows() == lu_.cols(), "LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      throw ConvergenceError("LU factorization hit a singular pivot");
+    }
+    if (pivot != k) {
+      std::swap(perm_[pivot], perm_[k]);
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(pivot, c), lu_(k, c));
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / lu_(k, k);
+      lu_(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> LuSolver::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  RAMP_REQUIRE(b.size() == n, "dimension mismatch in LuSolver::solve");
+
+  // Forward substitution on the permuted RHS (L has implicit unit diagonal).
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * y[c];
+    y[r] = acc;
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> solve_linear(Matrix a, const std::vector<double>& b) {
+  return LuSolver(std::move(a)).solve(b);
+}
+
+}  // namespace ramp

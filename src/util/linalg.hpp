@@ -1,0 +1,58 @@
+// Small dense linear algebra: enough to solve the thermal RC network.
+//
+// The HotSpot-style thermal model (src/thermal) produces conductance systems
+// of ~10 nodes (7 floorplan blocks + spreader + sink); a dense LU with
+// partial pivoting is simple, exact, and fast at that size. Kept generic so
+// tests can exercise it on arbitrary well-conditioned systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ramp {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Matrix-vector product; `x.size()` must equal `cols()`.
+  std::vector<double> mul(const std::vector<double>& x) const;
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix; reusable for
+/// repeated solves against the same matrix (the transient thermal integrator
+/// factors its implicit-step matrix once per technology node).
+class LuSolver {
+ public:
+  /// Factors `a` (must be square and non-singular). Throws ConvergenceError
+  /// on a numerically singular pivot.
+  explicit LuSolver(Matrix a);
+
+  /// Solves A x = b; `b.size()` must equal the matrix dimension.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Convenience one-shot solve of A x = b.
+std::vector<double> solve_linear(Matrix a, const std::vector<double>& b);
+
+}  // namespace ramp

@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ramp {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
+  // produce four zero words from any seed, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  RAMP_REQUIRE(n > 0, "below(n) needs n >= 1");
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Xoshiro256::geometric(double p) {
+  RAMP_REQUIRE(p > 0.0 && p <= 1.0, "geometric(p) needs p in (0, 1]");
+  if (p >= 1.0) return 0;
+  // Inverse-CDF: floor(ln(U) / ln(1-p)) with U in (0, 1].
+  const double u = 1.0 - uniform();  // (0, 1]
+  const double draws = std::floor(std::log(u) / std::log1p(-p));
+  return draws < 0.0 ? 0 : static_cast<std::uint64_t>(draws);
+}
+
+double Xoshiro256::normal() {
+  // Box-Muller; u1 in (0,1] to keep log finite.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+void AliasTable::rebuild(std::span<const double> weights) {
+  RAMP_REQUIRE(!weights.empty(), "alias table needs at least one weight");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    RAMP_REQUIRE(w >= 0.0, "alias table weights must be non-negative");
+    total += w;
+  }
+  RAMP_REQUIRE(total > 0.0, "alias table needs a positive total weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; categories above/below 1 feed Walker's pairing.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(Xoshiro256& rng) const {
+  RAMP_REQUIRE(!prob_.empty(), "sampling from an empty alias table");
+  const std::size_t i = static_cast<std::size_t>(rng.below(prob_.size()));
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace ramp

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in this library (trace synthesis, failure
+// injection tests) draws from Xoshiro256StarStar seeded explicitly, so any
+// run is reproducible from its seed. We do not use std::mt19937 because its
+// distributions are not guaranteed to be identical across standard library
+// implementations; our distribution helpers below are self-contained.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ramp {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm).
+/// Fast, high-quality 64-bit generator with 2^256-1 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64 so that even
+  /// trivially-different seeds (0, 1, 2, ...) produce uncorrelated streams.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Rejection-free Lemire reduction.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Geometric draw: number of failures before first success, success prob p.
+  std::uint64_t geometric(double p);
+
+  /// Standard normal via Box-Muller (no cached second value; simple and
+  /// deterministic call-for-call).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples indices from a fixed discrete distribution in O(1) per draw using
+/// Walker's alias method. Weights need not be normalized.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights) { rebuild(weights); }
+
+  void rebuild(std::span<const double> weights);
+
+  /// Number of categories (0 when default-constructed).
+  std::size_t size() const { return prob_.size(); }
+
+  /// Draws a category index in [0, size()).
+  std::size_t sample(Xoshiro256& rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace ramp

@@ -1,0 +1,90 @@
+// Streaming statistics helpers.
+//
+// The RAMP methodology (paper §2) maintains a running average of
+// instantaneous FIT values over an application run; RunningMean implements
+// that numerically stably. RunningStats adds variance/min/max for reports and
+// tests; TimeWeightedMean averages a signal sampled over unequal intervals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ramp {
+
+/// Numerically stable (Welford) running mean over equally weighted samples.
+class RunningMean {
+ public:
+  void add(double x) {
+    ++count_;
+    mean_ += (x - mean_) / static_cast<double>(count_);
+  }
+  std::uint64_t count() const { return count_; }
+  /// Mean of all samples so far; 0.0 when empty.
+  double mean() const { return mean_; }
+  void reset() { *this = RunningMean{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+};
+
+/// Welford mean/variance plus min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0.0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mean of a piecewise-constant signal weighted by interval durations.
+/// Used for averaging temperature/FIT signals over variable-length windows.
+class TimeWeightedMean {
+ public:
+  /// Adds `value` held for `duration` (seconds); zero durations are ignored.
+  void add(double value, double duration);
+  double total_time() const { return total_time_; }
+  /// Time-weighted mean; 0.0 when no time has been accumulated.
+  double mean() const { return total_time_ > 0.0 ? weighted_sum_ / total_time_ : 0.0; }
+  void reset() { *this = TimeWeightedMean{}; }
+
+ private:
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+/// bins. Used by tests to characterize generated trace distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+  /// Fraction of samples in bin i; 0.0 when empty.
+  double fraction(std::size_t i) const;
+  /// Midpoint value of bin i.
+  double bin_center(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ramp

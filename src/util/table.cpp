@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ramp {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  RAMP_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  RAMP_REQUIRE(!header.empty(), "header must have at least one column");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  RAMP_REQUIRE(!header_.empty(), "set_header must be called first");
+  RAMP_REQUIRE(row.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  RAMP_REQUIRE(!header_.empty(), "table has no header");
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+
+  auto emit_row = [&](const std::vector<std::string>& row, char pad) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(width[c] - row[c].size(), pad) << " |";
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&] {
+    out << "+";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      out << std::string(width[c] + 2, '-') << "+";
+    out << "\n";
+  };
+
+  emit_rule();
+  emit_row(header_, ' ');
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row, ' ');
+  emit_rule();
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+std::string TextTable::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw InvalidArgument("cannot open for writing: " + path);
+  f << csv();
+  if (!f) throw InvalidArgument("write failed: " + path);
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_fit(double v) {
+  char buf[64];
+  if (std::abs(v) < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  }
+  return buf;
+}
+
+std::string fmt_pct_change(double ratio) {
+  const double pct = (ratio - 1.0) * 100.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.0f%%", pct);
+  return buf;
+}
+
+}  // namespace ramp

@@ -1,0 +1,53 @@
+// Text table and CSV formatting for benchmark reports.
+//
+// Every bench binary regenerates one of the paper's tables/figures as an
+// aligned text table (human-readable, mirrors the paper layout) plus an
+// optional CSV next to it for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ramp {
+
+/// Column-aligned text table with an optional title, printed in a style that
+/// mirrors the paper's tables. Cells are strings; numeric helpers format with
+/// fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with column alignment and separators.
+  std::string str() const;
+
+  /// Renders as CSV (header + rows, comma-separated, minimal quoting).
+  std::string csv() const;
+
+  /// Writes the CSV rendering to `path`; throws on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` decimal places.
+std::string fmt(double v, int digits = 2);
+
+/// Formats `v` in engineering style for wide-dynamic-range FIT values:
+/// fixed with 1 decimal below 1e6, scientific above.
+std::string fmt_fit(double v);
+
+/// Formats a ratio as a signed percentage change, e.g. 4.16 -> "+316%".
+std::string fmt_pct_change(double ratio);
+
+}  // namespace ramp

@@ -1,0 +1,185 @@
+#include "workloads/spec2k.hpp"
+
+#include "util/error.hpp"
+
+namespace ramp::workloads {
+
+namespace {
+
+using trace::GeneratorProfile;
+using trace::OpClass;
+
+// Builds an op mix. Weights are relative; the generator normalizes.
+std::vector<double> mix(double int_alu, double int_mul, double int_div,
+                        double fp_alu, double fp_div, double load, double store,
+                        double branch, double cr) {
+  std::vector<double> m(trace::kNumOpClasses, 0.0);
+  m[static_cast<int>(OpClass::kIntAlu)] = int_alu;
+  m[static_cast<int>(OpClass::kIntMul)] = int_mul;
+  m[static_cast<int>(OpClass::kIntDiv)] = int_div;
+  m[static_cast<int>(OpClass::kFpAlu)] = fp_alu;
+  m[static_cast<int>(OpClass::kFpDiv)] = fp_div;
+  m[static_cast<int>(OpClass::kLoad)] = load;
+  m[static_cast<int>(OpClass::kStore)] = store;
+  m[static_cast<int>(OpClass::kBranch)] = branch;
+  m[static_cast<int>(OpClass::kLogicalCr)] = cr;
+  return m;
+}
+
+// Common knobs bundled per-benchmark. `ilp` sets the mean register
+// dependency distance (higher => more extractable parallelism); `miss` sets
+// the L2-missing fraction of scattered accesses; `noise` sets irreducible
+// branch mispredicts; `block` sets instructions per branch.
+GeneratorProfile make_profile(std::vector<double> op_mix, double ilp,
+                              double miss, double noise, int block,
+                              std::uint64_t hot_kb, std::uint64_t cold_mb,
+                              double stream_frac) {
+  GeneratorProfile p;
+  p.op_mix = std::move(op_mix);
+  // Geometric mean distance = (1-p)/p  =>  p = 1/(1+mean).
+  p.dep_distance_p = 1.0 / (1.0 + ilp);
+  p.cold_fraction = miss;
+  p.branch_noise = noise;
+  p.block_len = block;
+  p.hot_footprint_bytes = hot_kb * 1024;
+  p.cold_footprint_bytes = cold_mb * 1024 * 1024;
+  p.stream_fraction = stream_frac;
+  return p;
+}
+
+std::vector<Workload> build_suite() {
+  std::vector<Workload> all;
+  all.reserve(16);
+
+  // ---- SpecFP (Table 3 order: ascending 180 nm power) -------------------
+  // FP codes: long basic blocks, predictable branches, stream-heavy memory.
+  // ammp: low IPC — pointer-chasing molecular dynamics, poor locality.
+  all.push_back({"ammp", Suite::kSpecFp,
+                 make_profile(mix(20, 1, 0.3, 24, 1.2, 27, 9, 4, 3),
+                              2.85, 0.022, 0.04, 14, 24, 48,
+                              0.6),
+                 1.06, 26.08, 1.03});
+  // applu: PDE solver, long dependency recurrences.
+  all.push_back({"applu", Suite::kSpecFp,
+                 make_profile(mix(16, 1, 0.1, 30, 1.6, 26, 10, 3, 2),
+                              2.3, 0.018, 0.015, 18, 20, 64,
+                              0.7),
+                 1.17, 26.94, 1.01});
+  // sixtrack: particle tracking, moderate ILP, small footprint.
+  all.push_back({"sixtrack", Suite::kSpecFp,
+                 make_profile(mix(18, 1.5, 0.1, 32, 0.8, 24, 9, 3, 2),
+                              2.45, 0.012, 0.015, 18, 16, 32,
+                              0.72),
+                 1.38, 27.32, 1.0});
+  // mgrid: multigrid, highly regular streaming.
+  all.push_back({"mgrid", Suite::kSpecFp,
+                 make_profile(mix(14, 1, 0.05, 36, 0.5, 27, 8, 2, 1.5),
+                              4.2, 0.012, 0.008, 24, 12, 56,
+                              0.85),
+                 1.71, 27.78, 0.95});
+  // mesa: 3D graphics library, int/fp mixed, good locality.
+  all.push_back({"mesa", Suite::kSpecFp,
+                 make_profile(mix(26, 2, 0.1, 22, 0.5, 26, 11, 4, 3),
+                              2.2, 0.006, 0.015, 14, 12, 16,
+                              0.8),
+                 1.75, 29.21, 0.99});
+  // facerec: image processing, FFT-like kernels.
+  all.push_back({"facerec", Suite::kSpecFp,
+                 make_profile(mix(16, 1.5, 0.05, 34, 0.6, 26, 8, 3, 2),
+                              4.05, 0.008, 0.01, 20, 12, 32,
+                              0.85),
+                 1.79, 29.60, 1.0});
+  // wupwise: lattice QCD, dense linear algebra — hot and power-hungry.
+  all.push_back({"wupwise", Suite::kSpecFp,
+                 make_profile(mix(14, 1.5, 0.05, 38, 0.7, 25, 9, 2, 1.5),
+                              4.55, 0.01, 0.008, 26, 12, 64,
+                              0.85),
+                 1.66, 30.50, 1.07});
+  // apsi: weather code, mixed kernels, hottest FP app.
+  all.push_back({"apsi", Suite::kSpecFp,
+                 make_profile(mix(18, 1.5, 0.1, 33, 0.9, 26, 9, 3, 2),
+                              3.65, 0.012, 0.012, 20, 16, 48,
+                              0.78),
+                 1.64, 30.65, 1.09});
+
+  // ---- SpecInt -----------------------------------------------------------
+  // Int codes: shorter blocks, harder branches, no FP traffic.
+  // vpr: place & route, pointer-heavy, mispredict-prone.
+  all.push_back({"vpr", Suite::kSpecInt,
+                 make_profile(mix(44, 1.5, 0.2, 0, 0, 28, 10, 7, 4),
+                              3.2, 0.012, 0.045, 7, 16, 32,
+                              0.5),
+                 1.38, 26.93, 1.01});
+  // bzip2: compression, highly predictable inner loops, high IPC.
+  all.push_back({"bzip2", Suite::kSpecInt,
+                 make_profile(mix(48, 1, 0.05, 0, 0, 27, 11, 6, 3),
+                              4.05, 0.004, 0.01, 9, 8, 8,
+                              0.8),
+                 2.31, 27.71, 0.88});
+  // twolf: placement, small working set but serial chains.
+  all.push_back({"twolf", Suite::kSpecInt,
+                 make_profile(mix(45, 2, 0.3, 0, 0, 28, 9, 7, 4),
+                              2.7, 0.012, 0.042, 7, 16, 24,
+                              0.5),
+                 1.26, 28.44, 1.1});
+  // gzip: compression, regular, decent IPC.
+  all.push_back({"gzip", Suite::kSpecInt,
+                 make_profile(mix(47, 1, 0.05, 0, 0, 27, 11, 6, 3),
+                              3.1, 0.005, 0.018, 8, 12, 8,
+                              0.75),
+                 1.85, 28.69, 0.98});
+  // perlbmk: interpreter, big I-footprint but predictable dispatch loops.
+  all.push_back({"perlbmk", Suite::kSpecInt,
+                 make_profile(mix(46, 1.5, 0.1, 0, 0, 28, 12, 7, 4),
+                              4.4, 0.004, 0.012, 8, 8, 8,
+                              0.8),
+                 2.25, 30.59, 1.0});
+  // gap: group theory, arithmetic heavy.
+  all.push_back({"gap", Suite::kSpecInt,
+                 make_profile(mix(48, 2.5, 0.2, 0, 0, 27, 10, 6, 3),
+                              4.4, 0.008, 0.018, 9, 16, 24,
+                              0.7),
+                 1.76, 31.24, 1.1});
+  // gcc: compiler, large footprint, branchy — low IPC, high power.
+  all.push_back({"gcc", Suite::kSpecInt,
+                 make_profile(mix(45, 1, 0.1, 0, 0, 28, 12, 8, 4),
+                              2.2, 0.013, 0.045, 6, 16, 32,
+                              0.5),
+                 1.24, 31.73, 1.22});
+  // crafty: chess, bit-twiddling, very high IPC — hottest Int app.
+  all.push_back({"crafty", Suite::kSpecInt,
+                 make_profile(mix(50, 1.5, 0.1, 0, 0, 25, 8, 7, 5),
+                              4.7, 0.003, 0.01, 8, 8, 8,
+                              0.8),
+                 2.25, 31.95, 1.04});
+
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Workload>& spec2k_suite() {
+  static const std::vector<Workload> kSuite = build_suite();
+  return kSuite;
+}
+
+std::vector<Workload> suite_workloads(Suite suite) {
+  std::vector<Workload> subset;
+  for (const auto& w : spec2k_suite()) {
+    if (w.suite == suite) subset.push_back(w);
+  }
+  return subset;
+}
+
+const Workload& workload(const std::string& name) {
+  for (const auto& w : spec2k_suite()) {
+    if (w.name == name) return w;
+  }
+  throw InvalidArgument("unknown workload: " + name);
+}
+
+const char* suite_name(Suite suite) {
+  return suite == Suite::kSpecFp ? "SpecFP" : "SpecInt";
+}
+
+}  // namespace ramp::workloads

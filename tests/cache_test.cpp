@@ -1,0 +1,143 @@
+// Tests for the set-associative LRU cache model.
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ramp::sim {
+namespace {
+
+CacheConfig small_cache() {
+  return {.name = "t", .size_bytes = 1024, .line_bytes = 64, .ways = 2};
+}
+
+TEST(CacheTest, ColdMissThenHit) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1004));  // same line
+  EXPECT_EQ(c.accesses(), 3u);
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheTest, SetCountFollowsGeometry) {
+  Cache c(small_cache());
+  EXPECT_EQ(c.num_sets(), 8u);  // 1024 / (64 * 2)
+}
+
+TEST(CacheTest, LruEvictsLeastRecent) {
+  Cache c(small_cache());
+  // Three lines mapping to the same set (stride = sets * line = 512).
+  c.access(0x0000);
+  c.access(0x0200);
+  c.access(0x0000);        // touch first again => 0x0200 is LRU
+  c.access(0x0400);        // evicts 0x0200
+  EXPECT_TRUE(c.probe(0x0000));
+  EXPECT_FALSE(c.probe(0x0200));
+  EXPECT_TRUE(c.probe(0x0400));
+}
+
+TEST(CacheTest, ProbeDoesNotMutate) {
+  Cache c(small_cache());
+  c.access(0x0000);
+  const auto before = c.accesses();
+  EXPECT_TRUE(c.probe(0x0000));
+  EXPECT_FALSE(c.probe(0x9999000));
+  EXPECT_EQ(c.accesses(), before);
+}
+
+TEST(CacheTest, DirtyEvictionCountsWriteback) {
+  Cache c(small_cache());
+  c.access(0x0000, /*is_write=*/true);
+  c.access(0x0200);
+  c.access(0x0400);  // evicts dirty 0x0000
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(CacheTest, CleanEvictionNoWriteback) {
+  Cache c(small_cache());
+  c.access(0x0000);
+  c.access(0x0200);
+  c.access(0x0400);
+  EXPECT_EQ(c.writebacks(), 0u);
+}
+
+TEST(CacheTest, ResetClearsContentsAndStats) {
+  Cache c(small_cache());
+  c.access(0x0000, true);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.probe(0x0000));
+}
+
+TEST(CacheTest, MissRate) {
+  Cache c(small_cache());
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.0);
+  c.access(0x0000);
+  c.access(0x0000);
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.5);
+}
+
+TEST(CacheTest, WorkingSetSmallerThanCacheConverges) {
+  // Property: random accesses within a footprint smaller than the cache
+  // must reach a ~0 miss rate after warmup.
+  Cache c({.name = "L1", .size_bytes = 32 * 1024, .line_bytes = 64, .ways = 2});
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50000; ++i) c.access(rng.below(8 * 1024));
+  const auto warm_misses = c.misses();
+  for (int i = 0; i < 50000; ++i) c.access(rng.below(8 * 1024));
+  EXPECT_EQ(c.misses(), warm_misses);  // fully resident
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheKeepsMissing) {
+  Cache c({.name = "L1", .size_bytes = 8 * 1024, .line_bytes = 64, .ways = 2});
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 20000; ++i) c.access(rng.below(1024 * 1024));
+  EXPECT_GT(c.miss_rate(), 0.5);
+}
+
+TEST(CacheTest, RejectsBadGeometry) {
+  EXPECT_THROW(Cache({.size_bytes = 1000, .line_bytes = 64, .ways = 2}),
+               InvalidArgument);
+  EXPECT_THROW(Cache({.size_bytes = 1024, .line_bytes = 48, .ways = 2}),
+               InvalidArgument);
+  EXPECT_THROW(Cache({.size_bytes = 1024, .line_bytes = 64, .ways = 0}),
+               InvalidArgument);
+}
+
+// Property: hits + misses == accesses across associativities.
+class CacheAssocTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CacheAssocTest, AccountingInvariant) {
+  Cache c({.name = "t", .size_bytes = 16 * 1024, .line_bytes = 64,
+           .ways = GetParam()});
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 30000; ++i) {
+    c.access(rng.below(256 * 1024), rng.bernoulli(0.3));
+  }
+  EXPECT_EQ(c.hits() + c.misses(), c.accesses());
+  EXPECT_LE(c.writebacks(), c.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheAssocTest, ::testing::Values(1u, 2u, 4u, 8u));
+
+// Property: a larger cache never has more misses on the same trace (LRU
+// inclusion property holds per-set for same line size & ways when sets
+// double — we check empirically on random traces).
+TEST(CacheTest, BiggerCacheNoWorseOnRandomTrace) {
+  Cache small({.name = "s", .size_bytes = 8 * 1024, .line_bytes = 64, .ways = 2});
+  Cache big({.name = "b", .size_bytes = 64 * 1024, .line_bytes = 64, .ways = 2});
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = rng.below(128 * 1024);
+    small.access(a);
+    big.access(a);
+  }
+  EXPECT_LE(big.misses(), small.misses());
+}
+
+}  // namespace
+}  // namespace ramp::sim

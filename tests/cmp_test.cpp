@@ -1,0 +1,141 @@
+// Tests for the CMP (multicore) extension: layout, thermal coupling, and
+// activity migration.
+#include <gtest/gtest.h>
+
+#include "cmp/cmp_evaluator.hpp"
+#include "thermal/rc_model.hpp"
+#include "util/error.hpp"
+
+namespace ramp::cmp {
+namespace {
+
+TEST(CmpLayoutTest, TilesTheRightNumberOfBlocks) {
+  const CmpLayout layout = make_cmp_layout(4, 0.5);
+  EXPECT_EQ(layout.cores(), 4);
+  EXPECT_EQ(layout.floorplan.size(), 4u * sim::kNumStructures);
+  // Total area = 4 x scaled single-core area.
+  EXPECT_NEAR(layout.floorplan.total_area(), 4 * 81e-6 * 0.25, 1e-9);
+}
+
+TEST(CmpLayoutTest, BlockMapsResolveCorrectNames) {
+  const CmpLayout layout = make_cmp_layout(2, 1.0);
+  for (int c = 0; c < 2; ++c) {
+    for (int s = 0; s < sim::kNumStructures; ++s) {
+      const auto idx =
+          layout.core_blocks[static_cast<std::size_t>(c)][static_cast<std::size_t>(s)];
+      const auto& name = layout.floorplan.block(idx).name;
+      EXPECT_EQ(name, "C" + std::to_string(c) + ":" +
+                          std::string(sim::structure_name(
+                              static_cast<sim::StructureId>(s))));
+    }
+  }
+}
+
+TEST(CmpLayoutTest, AdjacentTilesShareEdgesWithoutGap) {
+  const CmpLayout layout = make_cmp_layout(4, 0.5, /*gap_m=*/0.0);
+  // There must be adjacencies between blocks of different cores.
+  bool cross_core = false;
+  for (const auto& adj : layout.floorplan.adjacencies()) {
+    const auto& a = layout.floorplan.block(adj.a).name;
+    const auto& b = layout.floorplan.block(adj.b).name;
+    if (a.substr(0, 2) != b.substr(0, 2)) cross_core = true;
+  }
+  EXPECT_TRUE(cross_core);
+}
+
+TEST(CmpLayoutTest, RejectsBadArguments) {
+  EXPECT_THROW(make_cmp_layout(0, 1.0), InvalidArgument);
+  EXPECT_THROW(make_cmp_layout(4, -1.0), InvalidArgument);
+}
+
+TEST(CmpThermalTest, HotCoreWarmsIdleNeighborThroughSilicon) {
+  const CmpLayout layout = make_cmp_layout(2, 0.5, 0.0);
+  const thermal::RcNetwork net(layout.floorplan, {});
+  std::vector<double> p(layout.floorplan.size(), 0.0);
+  // Power only core 0.
+  for (const auto blk : layout.core_blocks[0]) p[blk] = 3.0;
+  const auto t = net.steady_state(p);
+  // Core 1 is unpowered but must sit above ambient (coupling through
+  // silicon and the shared sink).
+  for (const auto blk : layout.core_blocks[1]) {
+    EXPECT_GT(t[blk], net.ambient() + 1.0);
+  }
+  // And strictly cooler than core 0's matching structures.
+  for (int s = 0; s < sim::kNumStructures; ++s) {
+    EXPECT_GT(t[layout.core_blocks[0][static_cast<std::size_t>(s)]],
+              t[layout.core_blocks[1][static_cast<std::size_t>(s)]]);
+  }
+}
+
+CmpConfig quick_cfg() {
+  CmpConfig cfg;
+  cfg.cores = 4;
+  cfg.cell.trace_instructions = 15'000;
+  cfg.duration_seconds = 1.5e-3;
+  cfg.epoch_seconds = 300e-6;
+  return cfg;
+}
+
+TEST(CmpEvaluatorTest, AsymmetricLoadShowsPerCoreSpread) {
+  const CmpEvaluator ev(quick_cfg(), scaling::TechPoint::k65nm_1V0);
+  // One hot app, three idle cores.
+  const std::vector<workloads::Workload> apps = {workloads::workload("crafty")};
+  const auto r = ev.evaluate(apps, /*migrate=*/false);
+  ASSERT_EQ(r.cores.size(), 4u);
+  // The loaded core is hotter and wears faster than the idle ones.
+  EXPECT_GT(r.cores[0].avg_temp_k, r.cores[2].avg_temp_k + 1.0);
+  EXPECT_GT(r.cores[0].raw_fits.total(), r.cores[2].raw_fits.total());
+  EXPECT_GT(r.worst_core_raw_fit(), r.best_core_raw_fit());
+}
+
+TEST(CmpEvaluatorTest, MigrationLevelsWearAcrossCores) {
+  const CmpEvaluator ev(quick_cfg(), scaling::TechPoint::k65nm_1V0);
+  const std::vector<workloads::Workload> apps = {workloads::workload("crafty")};
+  const auto pinned = ev.evaluate(apps, false);
+  const auto hopped = ev.evaluate(apps, true);
+  EXPECT_GT(hopped.migrations, 0u);
+  // Wear-leveling: the worst core's FIT drops under migration.
+  EXPECT_LT(hopped.worst_core_raw_fit(), pinned.worst_core_raw_fit());
+  // And the spread between cores tightens substantially.
+  const double spread_pinned =
+      pinned.worst_core_raw_fit() / pinned.best_core_raw_fit();
+  const double spread_hopped =
+      hopped.worst_core_raw_fit() / hopped.best_core_raw_fit();
+  EXPECT_LT(spread_hopped, spread_pinned);
+}
+
+TEST(CmpEvaluatorTest, FullyLoadedChipSumsCoreFits) {
+  const CmpEvaluator ev(quick_cfg(), scaling::TechPoint::k90nm);
+  const std::vector<workloads::Workload> apps = {
+      workloads::workload("crafty"), workloads::workload("ammp"),
+      workloads::workload("gzip"), workloads::workload("mgrid")};
+  const auto r = ev.evaluate(apps, false);
+  double sum = 0.0;
+  for (const auto& c : r.cores) sum += c.raw_fits.total();
+  EXPECT_NEAR(r.chip_raw_fit, sum, sum * 1e-12);
+  EXPECT_GT(r.avg_power_w, 10.0);
+  EXPECT_GT(r.sink_temp_k, 318.15);
+}
+
+TEST(CmpEvaluatorTest, DeterministicAcrossRuns) {
+  const CmpEvaluator ev(quick_cfg(), scaling::TechPoint::k130nm);
+  const std::vector<workloads::Workload> apps = {workloads::workload("gcc"),
+                                                 workloads::workload("mesa")};
+  const auto a = ev.evaluate(apps, true);
+  const auto b = ev.evaluate(apps, true);
+  EXPECT_DOUBLE_EQ(a.chip_raw_fit, b.chip_raw_fit);
+  EXPECT_DOUBLE_EQ(a.avg_power_w, b.avg_power_w);
+}
+
+TEST(CmpEvaluatorTest, RejectsBadInputs) {
+  EXPECT_THROW(CmpEvaluator({.cores = 0}, scaling::TechPoint::k90nm),
+               InvalidArgument);
+  const CmpEvaluator ev(quick_cfg(), scaling::TechPoint::k90nm);
+  EXPECT_THROW(ev.evaluate({}, false), InvalidArgument);
+  const std::vector<workloads::Workload> too_many(
+      5, workloads::workload("gcc"));
+  EXPECT_THROW(ev.evaluate(too_many, false), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::cmp

@@ -1,0 +1,119 @@
+// Tests for the dynamic reliability management controller.
+#include "drm/drm_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ramp::drm {
+namespace {
+
+std::vector<OperatingPoint> ladder3() {
+  return dvfs_ladder(scaling::node(scaling::TechPoint::k65nm_1V0), 3, 0.05);
+}
+
+TEST(DvfsLadderTest, DescendsFromNominal) {
+  const auto ladder = ladder3();
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_DOUBLE_EQ(ladder[0].vdd, 1.0);
+  EXPECT_DOUBLE_EQ(ladder[0].frequency_hz, 2.0e9);
+  EXPECT_DOUBLE_EQ(ladder[0].relative_performance, 1.0);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_LT(ladder[i].vdd, ladder[i - 1].vdd);
+    EXPECT_LT(ladder[i].frequency_hz, ladder[i - 1].frequency_hz);
+    EXPECT_LT(ladder[i].relative_performance, 1.0);
+  }
+}
+
+TEST(DvfsLadderTest, RejectsImplausibleDepth) {
+  // Stepping far below Vmin must throw rather than produce nonsense.
+  EXPECT_THROW(
+      dvfs_ladder(scaling::node(scaling::TechPoint::k65nm_0V9), 12, 0.05),
+      InvalidArgument);
+  EXPECT_THROW(dvfs_ladder(scaling::base_node(), 0), InvalidArgument);
+}
+
+TEST(DrmControllerTest, StaysAtNominalWhenUnderBudget) {
+  DrmController ctl({.fit_budget = 4000.0}, ladder3());
+  for (int i = 0; i < 100; ++i) {
+    const auto d = ctl.update(3000.0, 1e-6);
+    EXPECT_EQ(d.point_index, 0);
+    EXPECT_FALSE(d.changed);
+  }
+  EXPECT_EQ(ctl.switches(), 0u);
+  EXPECT_DOUBLE_EQ(ctl.average_performance(), 1.0);
+}
+
+TEST(DrmControllerTest, ThrottlesWhenOverBudget) {
+  DrmController ctl({.fit_budget = 4000.0, .headroom = 0.05}, ladder3());
+  bool throttled = false;
+  for (int i = 0; i < 50 && !throttled; ++i) {
+    throttled = ctl.update(10000.0, 1e-6).changed;
+  }
+  EXPECT_TRUE(throttled);
+  EXPECT_EQ(ctl.current_index(), 1);
+  EXPECT_LT(ctl.current().vdd, 1.0);
+}
+
+TEST(DrmControllerTest, KeepsSteppingDownUnderSustainedOverload) {
+  DrmController ctl({.fit_budget = 4000.0}, ladder3());
+  for (int i = 0; i < 500; ++i) ctl.update(50000.0, 1e-6);
+  EXPECT_EQ(ctl.current_index(), 2);  // pinned at the lowest rung
+}
+
+TEST(DrmControllerTest, RecoversAfterLoadDrops) {
+  DrmConfig cfg{.fit_budget = 4000.0, .headroom = 0.05, .dwell_seconds = 5e-6};
+  DrmController ctl(cfg, ladder3());
+  // Overload long enough to throttle...
+  for (int i = 0; i < 50; ++i) ctl.update(20000.0, 1e-6);
+  EXPECT_GT(ctl.current_index(), 0);
+  // ...then a long cool phase pulls the running average back under budget.
+  for (int i = 0; i < 2000; ++i) ctl.update(500.0, 1e-6);
+  EXPECT_EQ(ctl.current_index(), 0);
+}
+
+TEST(DrmControllerTest, DwellPreventsOscillation) {
+  // With a huge dwell, the controller may step down but never back up.
+  DrmConfig cfg{.fit_budget = 4000.0, .headroom = 0.05, .dwell_seconds = 1.0};
+  DrmController ctl(cfg, ladder3());
+  for (int i = 0; i < 50; ++i) ctl.update(20000.0, 1e-6);
+  const auto idx = ctl.current_index();
+  EXPECT_GT(idx, 0);
+  for (int i = 0; i < 5000; ++i) ctl.update(100.0, 1e-6);
+  EXPECT_EQ(ctl.current_index(), idx);  // up-step blocked by dwell
+}
+
+TEST(DrmControllerTest, AverageFitIsTimeWeighted) {
+  DrmController ctl({.fit_budget = 4000.0}, ladder3());
+  ctl.update(1000.0, 3e-6);
+  ctl.update(5000.0, 1e-6);
+  EXPECT_NEAR(ctl.average_fit(), (3000.0 + 5000.0) / 4.0, 1e-9);
+}
+
+TEST(DrmControllerTest, HysteresisBandHolds) {
+  // Averages inside (budget*(1-h), budget*(1+h)) never cause switches.
+  DrmController ctl({.fit_budget = 4000.0, .headroom = 0.10}, ladder3());
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = ctl.update(i % 2 ? 4300.0 : 3700.0, 1e-6);
+    EXPECT_FALSE(d.changed);
+  }
+  EXPECT_EQ(ctl.switches(), 0u);
+}
+
+TEST(DrmControllerTest, RejectsBadInputs) {
+  EXPECT_THROW(DrmController({}, {}), InvalidArgument);
+  EXPECT_THROW(DrmController({.fit_budget = -1.0}, ladder3()), InvalidArgument);
+  EXPECT_THROW(DrmController({.headroom = 1.5}, ladder3()), InvalidArgument);
+  DrmController ctl({}, ladder3());
+  EXPECT_THROW(ctl.update(-5.0, 1e-6), InvalidArgument);
+  EXPECT_THROW(ctl.update(100.0, 0.0), InvalidArgument);
+}
+
+TEST(DrmControllerTest, LadderOrderEnforced) {
+  auto ladder = ladder3();
+  std::swap(ladder[0], ladder[2]);  // slowest first: invalid
+  EXPECT_THROW(DrmController({}, ladder), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::drm

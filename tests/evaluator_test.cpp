@@ -1,0 +1,129 @@
+// Integration tests for the single-cell evaluation pipeline
+// (trace -> sim -> power -> thermal -> RAMP).
+#include "pipeline/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ramp::pipeline {
+namespace {
+
+EvaluationConfig quick_config() {
+  EvaluationConfig cfg;
+  cfg.trace_instructions = 30'000;
+  return cfg;
+}
+
+TEST(EvaluatorTest, BaselineProducesSaneNumbers) {
+  const Evaluator ev(quick_config());
+  const auto r = ev.evaluate(workloads::workload("crafty"),
+                             scaling::TechPoint::k180nm);
+  EXPECT_GT(r.ipc, 1.2);  // warmup-dominated at this short length
+  EXPECT_LT(r.ipc, 3.0);
+  EXPECT_GT(r.avg_total_power_w, 20.0);
+  EXPECT_LT(r.avg_total_power_w, 40.0);
+  EXPECT_GT(r.max_structure_temp_k, r.sink_temp_k);
+  EXPECT_GT(r.sink_temp_k, 318.15);  // above ambient
+  EXPECT_GT(r.raw_fits.total(), 0.0);
+  EXPECT_GT(r.max_activity, 0.0);
+  EXPECT_LE(r.max_activity, 1.0);
+}
+
+TEST(EvaluatorTest, LeakageIsPartOfTotalPower) {
+  const Evaluator ev(quick_config());
+  const auto r = ev.evaluate(workloads::workload("gzip"),
+                             scaling::TechPoint::k180nm);
+  EXPECT_GT(r.avg_leakage_power_w, 0.5);
+  EXPECT_NEAR(r.avg_total_power_w,
+              r.avg_dynamic_power_w + r.avg_leakage_power_w, 1e-9);
+}
+
+TEST(EvaluatorTest, SinkTargetIsHonored) {
+  const Evaluator ev(quick_config());
+  const auto base = ev.evaluate(workloads::workload("mesa"),
+                                scaling::TechPoint::k180nm);
+  const auto scaled = ev.evaluate(workloads::workload("mesa"),
+                                  scaling::TechPoint::k90nm, base.sink_temp_k);
+  EXPECT_NEAR(scaled.sink_temp_k, base.sink_temp_k, 0.05);
+}
+
+TEST(EvaluatorTest, EvaluateAppKeepsSinkConstantAcrossNodes) {
+  const Evaluator ev(quick_config());
+  const auto results = ev.evaluate_app(workloads::workload("gap"));
+  ASSERT_EQ(results.size(), scaling::kAllTechPoints.size());
+  const double sink0 = results.front().sink_temp_k;
+  for (const auto& r : results) {
+    EXPECT_NEAR(r.sink_temp_k, sink0, 0.05) << scaling::tech_name(r.tech);
+  }
+}
+
+TEST(EvaluatorTest, HottestStructureRisesWithScaling) {
+  // §5.1: hot-structure temperature increases with scaling while the sink
+  // stays constant.
+  const Evaluator ev(quick_config());
+  const auto results = ev.evaluate_app(workloads::workload("crafty"));
+  const auto& t180 = results.front();
+  const AppTechResult* t65 = nullptr;
+  for (const auto& r : results) {
+    if (r.tech == scaling::TechPoint::k65nm_1V0) t65 = &r;
+  }
+  ASSERT_NE(t65, nullptr);
+  EXPECT_GT(t65->max_structure_temp_k, t180.max_structure_temp_k + 5.0);
+  EXPECT_LT(t65->max_structure_temp_k, t180.max_structure_temp_k + 30.0);
+}
+
+TEST(EvaluatorTest, RawFitRisesWithScaling) {
+  const Evaluator ev(quick_config());
+  const auto results = ev.evaluate_app(workloads::workload("apsi"));
+  const double base = results.front().raw_fits.total();
+  for (const auto& r : results) {
+    if (r.tech == scaling::TechPoint::k65nm_1V0) {
+      EXPECT_GT(r.raw_fits.total(), base);
+    }
+  }
+}
+
+TEST(EvaluatorTest, DeterministicAcrossCalls) {
+  const Evaluator ev(quick_config());
+  const auto a = ev.evaluate(workloads::workload("vpr"),
+                             scaling::TechPoint::k130nm);
+  const auto b = ev.evaluate(workloads::workload("vpr"),
+                             scaling::TechPoint::k130nm);
+  EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+  EXPECT_DOUBLE_EQ(a.avg_total_power_w, b.avg_total_power_w);
+  EXPECT_DOUBLE_EQ(a.raw_fits.total(), b.raw_fits.total());
+}
+
+TEST(EvaluatorTest, ScaleSummaryAppliesConstants) {
+  core::FitSummary raw;
+  raw.by_structure[1][static_cast<std::size_t>(core::Mechanism::kEm)] = 2.0;
+  raw.tc_fit = 3.0;
+  core::MechanismConstants k;
+  k.em = 10.0;
+  k.tc = 100.0;
+  const auto scaled = scale_summary(raw, k);
+  EXPECT_DOUBLE_EQ(
+      scaled.by_structure[1][static_cast<std::size_t>(core::Mechanism::kEm)],
+      20.0);
+  EXPECT_DOUBLE_EQ(scaled.tc_fit, 300.0);
+}
+
+TEST(EvaluatorTest, RejectsBadConfig) {
+  EvaluationConfig cfg = quick_config();
+  cfg.trace_instructions = 0;
+  EXPECT_THROW(Evaluator{cfg}, InvalidArgument);
+  cfg = quick_config();
+  cfg.interval_seconds = 0.0;
+  EXPECT_THROW(Evaluator{cfg}, InvalidArgument);
+}
+
+TEST(EvaluatorTest, SinkTargetBelowAmbientThrows) {
+  const Evaluator ev(quick_config());
+  EXPECT_THROW(ev.evaluate(workloads::workload("gcc"),
+                           scaling::TechPoint::k90nm, 300.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::pipeline

@@ -1,0 +1,124 @@
+// Tests for SOFR combination and running FIT averages.
+#include "core/fit_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace ramp::core {
+namespace {
+
+using sim::kNumStructures;
+
+std::array<double, kNumStructures> uniform(double v) {
+  std::array<double, kNumStructures> a{};
+  a.fill(v);
+  return a;
+}
+
+TEST(FitSummaryTest, TotalIsSumOverStructuresAndMechanisms) {
+  FitSummary s;
+  s.by_structure[0][0] = 10.0;
+  s.by_structure[3][2] = 20.0;
+  s.tc_fit = 5.0;
+  EXPECT_DOUBLE_EQ(s.total(), 35.0);
+  const auto by_mech = s.by_mechanism();
+  EXPECT_DOUBLE_EQ(by_mech[0], 10.0);
+  EXPECT_DOUBLE_EQ(by_mech[2], 20.0);
+  EXPECT_DOUBLE_EQ(by_mech[3], 5.0);
+}
+
+TEST(FitSummaryTest, MttfReciprocalOfFit) {
+  FitSummary s;
+  s.tc_fit = 4000.0;
+  // 4000 FIT => 1e9/4000 hours ≈ 28.5 years.
+  EXPECT_NEAR(s.mttf_years(), 1e9 / 4000.0 / kHoursPerYear, 1e-9);
+}
+
+TEST(FitSummaryTest, MttfOfZeroFitThrows) {
+  FitSummary s;
+  EXPECT_THROW(s.mttf_years(), InvalidArgument);
+}
+
+TEST(FitTrackerTest, ConstantConditionsMatchSteadyState) {
+  const RampModel model(scaling::base_node());
+  FitTracker tracker(model);
+  for (int i = 0; i < 10; ++i) {
+    tracker.add_interval(uniform(355.0), uniform(0.5), 1.3, 1e-6);
+  }
+  const FitSummary tracked = tracker.summary();
+  const FitSummary steady = steady_state_summary(model, 355.0, 0.5, 1.3);
+  EXPECT_NEAR(tracked.total(), steady.total(), steady.total() * 1e-9);
+}
+
+TEST(FitTrackerTest, TimeWeightedAveraging) {
+  const RampModel model(scaling::base_node());
+  FitTracker tracker(model);
+  // 1s hot + 3s cold: average must lie between, weighted 1:3.
+  tracker.add_interval(uniform(375.0), uniform(0.5), 1.3, 1.0);
+  tracker.add_interval(uniform(345.0), uniform(0.5), 1.3, 3.0);
+  const double hot = steady_state_summary(model, 375.0, 0.5, 1.3).total();
+  const double cold = steady_state_summary(model, 345.0, 0.5, 1.3).total();
+  const double expected = (hot * 1.0 + cold * 3.0) / 4.0;
+  EXPECT_NEAR(tracker.summary().total(), expected, expected * 1e-9);
+}
+
+TEST(FitTrackerTest, TracksMaxima) {
+  const RampModel model(scaling::base_node());
+  FitTracker tracker(model);
+  auto temps = uniform(350.0);
+  temps[2] = 368.0;
+  auto act = uniform(0.3);
+  act[5] = 0.9;
+  tracker.add_interval(temps, act, 1.3, 1e-6);
+  tracker.add_interval(uniform(355.0), uniform(0.4), 1.3, 1e-6);
+  EXPECT_DOUBLE_EQ(tracker.max_temperature(), 368.0);
+  EXPECT_DOUBLE_EQ(tracker.max_activity(), 0.9);
+  EXPECT_NEAR(tracker.total_time(), 2e-6, 1e-15);
+}
+
+TEST(FitTrackerTest, AvgDieTemperatureIsAreaWeighted) {
+  const RampModel model(scaling::base_node());
+  FitTracker tracker(model);
+  auto temps = uniform(350.0);
+  // Raise only the LSU (28% of area): die average = 350 + 0.28 * 10.
+  temps[sim::idx(sim::StructureId::kLsu)] = 360.0;
+  tracker.add_interval(temps, uniform(0.5), 1.3, 1.0);
+  EXPECT_NEAR(tracker.avg_die_temperature(), 352.8, 1e-9);
+}
+
+TEST(FitTrackerTest, ZeroDurationIgnored) {
+  const RampModel model(scaling::base_node());
+  FitTracker tracker(model);
+  tracker.add_interval(uniform(390.0), uniform(1.0), 1.3, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.summary().total(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.total_time(), 0.0);
+}
+
+TEST(FitTrackerTest, EmptyTrackerYieldsZeroSummary) {
+  const RampModel model(scaling::base_node());
+  FitTracker tracker(model);
+  EXPECT_DOUBLE_EQ(tracker.summary().total(), 0.0);
+}
+
+TEST(SteadyStateSummaryTest, WorstCaseDominatesAnyMilderPoint) {
+  // SOFR property: the steady-state FIT at the max temperature and max
+  // activity bounds the FIT of any run whose conditions stay below them.
+  const RampModel model(scaling::base_node());
+  FitTracker tracker(model);
+  tracker.add_interval(uniform(350.0), uniform(0.4), 1.3, 1.0);
+  tracker.add_interval(uniform(362.0), uniform(0.7), 1.3, 1.0);
+  const FitSummary worst = steady_state_summary(model, 362.0, 0.7, 1.3);
+  EXPECT_GE(worst.total(), tracker.summary().total());
+}
+
+TEST(SteadyStateSummaryTest, HigherVoltageRaisesTotalAtFixedTemp) {
+  const RampModel model(scaling::node(scaling::TechPoint::k65nm_1V0));
+  const double lo = steady_state_summary(model, 360.0, 0.5, 0.9).total();
+  const double hi = steady_state_summary(model, 360.0, 0.5, 1.0).total();
+  EXPECT_GT(hi, lo);
+}
+
+}  // namespace
+}  // namespace ramp::core

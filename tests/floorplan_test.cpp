@@ -1,0 +1,106 @@
+// Tests for floorplan geometry and adjacency.
+#include "thermal/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/structures.hpp"
+#include "util/error.hpp"
+
+namespace ramp::thermal {
+namespace {
+
+TEST(FloorplanTest, Power4FloorplanHasSevenBlocks) {
+  const Floorplan fp = power4_floorplan();
+  EXPECT_EQ(fp.size(), 7u);
+  EXPECT_NEAR(fp.total_area(), 81e-6, 1e-9);  // 81 mm² in m²
+}
+
+TEST(FloorplanTest, BlockAreasMatchStructureFractions) {
+  const Floorplan fp = power4_floorplan();
+  for (int s = 0; s < sim::kNumStructures; ++s) {
+    const auto id = static_cast<sim::StructureId>(s);
+    const auto i = fp.index_of(std::string(sim::structure_name(id)));
+    EXPECT_NEAR(fp.block(i).area() / fp.total_area(),
+                sim::structure_area_fraction(id), 1e-9)
+        << sim::structure_name(id);
+  }
+}
+
+TEST(FloorplanTest, BlocksTileTheDie) {
+  const Floorplan fp = power4_floorplan();
+  // Bounding box 9 mm × 9 mm and areas sum to the box => tiling.
+  double max_x = 0, max_y = 0;
+  for (const auto& b : fp.blocks()) {
+    max_x = std::max(max_x, b.x + b.w);
+    max_y = std::max(max_y, b.y + b.h);
+  }
+  EXPECT_NEAR(max_x, 9e-3, 1e-9);
+  EXPECT_NEAR(max_y, 9e-3, 1e-9);
+}
+
+TEST(FloorplanTest, AdjacencyIsSymmetricAndPositive) {
+  const Floorplan fp = power4_floorplan();
+  const auto adj = fp.adjacencies();
+  EXPECT_GE(adj.size(), 6u);  // a 2-row tiling has many shared edges
+  for (const auto& a : adj) {
+    EXPECT_NE(a.a, a.b);
+    EXPECT_GT(a.shared_len, 0.0);
+    EXPECT_GT(a.center_dist, 0.0);
+  }
+}
+
+TEST(FloorplanTest, KnownNeighborsTouch) {
+  const Floorplan fp = power4_floorplan();
+  const auto lsu = fp.index_of("LSU");
+  const auto fxu = fp.index_of("FXU");
+  const auto fpu = fp.index_of("FPU");
+  bool lsu_fxu = false, lsu_fpu = false;
+  for (const auto& a : fp.adjacencies()) {
+    if ((a.a == lsu && a.b == fxu) || (a.a == fxu && a.b == lsu)) lsu_fxu = true;
+    if ((a.a == lsu && a.b == fpu) || (a.a == fpu && a.b == lsu)) lsu_fpu = true;
+  }
+  EXPECT_TRUE(lsu_fxu);  // side by side in the bottom row
+  EXPECT_TRUE(lsu_fpu);  // stacked across the row boundary
+}
+
+TEST(FloorplanTest, ScaledPreservesShape) {
+  const Floorplan fp = power4_floorplan();
+  const Floorplan half = fp.scaled(0.5);
+  EXPECT_NEAR(half.total_area(), fp.total_area() * 0.25, 1e-15);
+  // Adjacency ratios shared_len/center_dist are scale-invariant.
+  const auto a0 = fp.adjacencies();
+  const auto a1 = half.adjacencies();
+  ASSERT_EQ(a0.size(), a1.size());
+  for (std::size_t i = 0; i < a0.size(); ++i) {
+    EXPECT_NEAR(a0[i].shared_len / a0[i].center_dist,
+                a1[i].shared_len / a1[i].center_dist, 1e-9);
+  }
+}
+
+TEST(FloorplanTest, IndexOfUnknownThrows) {
+  EXPECT_THROW(power4_floorplan().index_of("GPU"), InvalidArgument);
+}
+
+TEST(FloorplanTest, OverlappingBlocksRejected) {
+  std::vector<Block> blocks = {{"a", 0, 0, 2, 2}, {"b", 1, 1, 2, 2}};
+  EXPECT_THROW(Floorplan{blocks}, InvalidArgument);
+}
+
+TEST(FloorplanTest, DegenerateBlockRejected) {
+  std::vector<Block> blocks = {{"a", 0, 0, 0, 2}};
+  EXPECT_THROW(Floorplan{blocks}, InvalidArgument);
+}
+
+TEST(FloorplanTest, TouchingEdgesAreNotOverlap) {
+  std::vector<Block> blocks = {{"a", 0, 0, 1, 1}, {"b", 1, 0, 1, 1}};
+  EXPECT_NO_THROW(Floorplan{blocks});
+}
+
+TEST(FloorplanTest, ScaleMustBePositive) {
+  EXPECT_THROW(power4_floorplan().scaled(0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::thermal

@@ -1,0 +1,113 @@
+// Tests for the grid-mode thermal model and its agreement with the block
+// model.
+#include "thermal/grid_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::thermal {
+namespace {
+
+TEST(GridModelTest, CoverageFractionsSumToOnePerCell) {
+  // The POWER4 floorplan tiles the die, so every cell is fully covered.
+  const GridModel grid(power4_floorplan(), {}, 12, 12);
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      double sum = 0;
+      for (std::size_t b = 0; b < grid.floorplan().size(); ++b) {
+        sum += grid.coverage(c, r, b);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "cell " << c << "," << r;
+    }
+  }
+}
+
+TEST(GridModelTest, ZeroPowerSettlesAtAmbient) {
+  const GridModel grid(power4_floorplan(), {}, 8, 8);
+  const auto t = grid.steady_state(std::vector<double>(7, 0.0));
+  for (double v : t) EXPECT_NEAR(v, 318.15, 1e-9);
+}
+
+TEST(GridModelTest, EnergyBalanceAtSink) {
+  ThermalConfig cfg;
+  const GridModel grid(power4_floorplan(), cfg, 10, 10);
+  const std::vector<double> p(7, 4.0);
+  const auto t = grid.steady_state(p);
+  const double sink = t[grid.num_cells() + 1];
+  EXPECT_NEAR((sink - cfg.ambient_k) / cfg.r_convec_k_per_w, 28.0, 1e-7);
+}
+
+TEST(GridModelTest, AgreesWithBlockModelOnAverages) {
+  // For a smooth power map, per-block grid averages must track the block
+  // model within a fraction of the junction-to-sink rise.
+  const Floorplan fp = power4_floorplan();
+  ThermalConfig cfg;
+  const RcNetwork block_net(fp, cfg);
+  const GridModel grid(fp, cfg, 16, 16);
+  std::vector<double> p = {6.0, 4.0, 1.0, 5.0, 4.0, 3.5, 2.5};
+  const auto tb = block_net.steady_state(p);
+  const auto tg = grid.steady_state(p);
+  for (std::size_t b = 0; b < fp.size(); ++b) {
+    const double avg = grid.block_average(tg, b);
+    // Both models share the vertical/spreader/sink path; lateral detail
+    // differs, so allow ~1.5 K.
+    EXPECT_NEAR(avg, tb[b], 1.5) << fp.block(b).name;
+  }
+  // Spreader and sink nodes agree tightly (same total heat).
+  EXPECT_NEAR(tg[grid.num_cells() + 1], tb[fp.size() + 1], 1e-6);
+}
+
+TEST(GridModelTest, PeakExceedsAverageUnderConcentration) {
+  // Concentrating power in one block produces an intra-block gradient the
+  // block model cannot represent: peak > average within that block.
+  const Floorplan fp = power4_floorplan();
+  const GridModel grid(fp, {}, 16, 16);
+  std::vector<double> p(7, 0.5);
+  const auto lsu = fp.index_of("LSU");
+  p[lsu] = 15.0;
+  const auto t = grid.steady_state(p);
+  EXPECT_GT(grid.block_peak(t, lsu), grid.block_average(t, lsu) + 0.3);
+}
+
+TEST(GridModelTest, HeatSpreadsToNeighborCells) {
+  // A powered block warms its neighbors above ambient-only level.
+  const Floorplan fp = power4_floorplan();
+  const GridModel grid(fp, {}, 12, 12);
+  std::vector<double> p(7, 0.0);
+  const auto fxu = fp.index_of("FXU");
+  p[fxu] = 10.0;
+  const auto t = grid.steady_state(p);
+  const auto bxu = fp.index_of("BXU");  // adjacent to FXU
+  EXPECT_GT(grid.block_average(t, bxu), 318.15 + 0.5);
+  // And the powered block is the hottest.
+  for (std::size_t b = 0; b < fp.size(); ++b) {
+    EXPECT_GE(grid.block_average(t, fxu), grid.block_average(t, b) - 1e-9);
+  }
+}
+
+TEST(GridModelTest, FinerGridRefinesPeak) {
+  // Refining the mesh must not reduce the resolved hotspot peak.
+  const Floorplan fp = power4_floorplan();
+  std::vector<double> p(7, 0.5);
+  p[fp.index_of("BXU")] = 12.0;  // small block, strong concentration
+  const GridModel coarse(fp, {}, 6, 6);
+  const GridModel fine(fp, {}, 24, 24);
+  const auto tc = coarse.steady_state(p);
+  const auto tf = fine.steady_state(p);
+  const auto bxu = fp.index_of("BXU");
+  EXPECT_GE(fine.block_peak(tf, bxu), coarse.block_peak(tc, bxu) - 0.05);
+}
+
+TEST(GridModelTest, RejectsBadConfig) {
+  EXPECT_THROW(GridModel(power4_floorplan(), {}, 1, 8), InvalidArgument);
+  EXPECT_THROW(GridModel(power4_floorplan(), {}, 100, 100), InvalidArgument);
+  const GridModel grid(power4_floorplan(), {}, 4, 4);
+  EXPECT_THROW(grid.steady_state({1.0}), InvalidArgument);
+  EXPECT_THROW(grid.coverage(9, 0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::thermal

@@ -1,0 +1,214 @@
+// End-to-end integration tests: the paper's headline claims must hold for a
+// reduced-size sweep (shape, not absolute numbers — see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pipeline/sweep.hpp"
+
+namespace ramp::pipeline {
+namespace {
+
+const SweepResult& sweep() {
+  static const SweepResult s = [] {
+    EvaluationConfig cfg;
+    // Long enough to amortize cache/predictor warmup — the IPC/power
+    // calibration checks below compare against steady-state Table 3 values.
+    cfg.trace_instructions = 120'000;
+    return run_sweep(cfg, /*cache_path=*/"", /*verbose=*/false);
+  }();
+  return s;
+}
+
+double avg_fit(scaling::TechPoint tp) {
+  return sweep().average_total_fit_all(tp);
+}
+
+TEST(PaperClaimsTest, TotalFitRisesSubstantiallyBy65nm) {
+  // §5.2: +316% on average from 180 nm to 65 nm (1.0 V). Accept a band of
+  // +150%..+600% for the reduced-size reproduction.
+  const double ratio =
+      avg_fit(scaling::TechPoint::k65nm_1V0) / avg_fit(scaling::TechPoint::k180nm);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 7.0);
+}
+
+TEST(PaperClaimsTest, RateOfIncreaseAccelerates) {
+  // §1.3: the rate of increase of failure rate increases with scaling.
+  const double f180 = avg_fit(scaling::TechPoint::k180nm);
+  const double f130 = avg_fit(scaling::TechPoint::k130nm);
+  const double f90 = avg_fit(scaling::TechPoint::k90nm);
+  const double f65 = avg_fit(scaling::TechPoint::k65nm_1V0);
+  EXPECT_GT(f130 / f180, 1.0);
+  EXPECT_GT(f90 / f130, f130 / f180 * 0.9);  // allow mild slack
+  EXPECT_GT(f65 / f90, f90 / f130);
+}
+
+TEST(PaperClaimsTest, TddbAndEmAreTheLargestIncreases) {
+  // §5.3 / conclusions: TDDB provides the largest challenge, then EM;
+  // SM and TC are much less drastic.
+  auto mech_ratio = [&](core::Mechanism m) {
+    auto avg = [&](scaling::TechPoint tp) {
+      return (sweep().average_mechanism_fit(workloads::Suite::kSpecFp, tp, m) +
+              sweep().average_mechanism_fit(workloads::Suite::kSpecInt, tp, m)) /
+             2.0;
+    };
+    return avg(scaling::TechPoint::k65nm_1V0) / avg(scaling::TechPoint::k180nm);
+  };
+  const double em = mech_ratio(core::Mechanism::kEm);
+  const double sm = mech_ratio(core::Mechanism::kSm);
+  const double tddb = mech_ratio(core::Mechanism::kTddb);
+  const double tc = mech_ratio(core::Mechanism::kTc);
+  EXPECT_GT(tddb, em);
+  EXPECT_GT(em, sm);
+  EXPECT_GT(sm, tc);
+  EXPECT_LT(tc, 2.2);  // "much less drastic"
+  EXPECT_GT(tddb, 5.0);
+}
+
+TEST(PaperClaimsTest, SpecIntIncreaseExceedsSpecFp) {
+  // §5.2: SpecInt's FIT increase (357%) exceeds SpecFP's (274%).
+  auto ratio = [&](workloads::Suite s) {
+    return sweep().average_total_fit(s, scaling::TechPoint::k65nm_1V0) /
+           sweep().average_total_fit(s, scaling::TechPoint::k180nm);
+  };
+  EXPECT_GT(ratio(workloads::Suite::kSpecInt),
+            ratio(workloads::Suite::kSpecFp) * 0.98);
+}
+
+TEST(PaperClaimsTest, HoldingVoltageAt1V0IsMuchWorseThanScalingTo0V9) {
+  const double r09 = avg_fit(scaling::TechPoint::k65nm_0V9) /
+                     avg_fit(scaling::TechPoint::k180nm);
+  const double r10 = avg_fit(scaling::TechPoint::k65nm_1V0) /
+                     avg_fit(scaling::TechPoint::k180nm);
+  EXPECT_GT(r10, 1.5 * r09);
+  EXPECT_GT(r09, 1.3);  // 0.9 V still significantly worse than 180 nm
+}
+
+TEST(PaperClaimsTest, MaxTemperatureRisesAbout15K) {
+  // §5.1: hottest structure rises ~15 K on average from 180 nm to 65 nm
+  // (1.0 V) while the heat sink stays constant. Accept 8..25 K.
+  double rise = 0.0, sink_drift = 0.0;
+  for (const auto& w : workloads::spec2k_suite()) {
+    const auto& a = sweep().at(w.name, scaling::TechPoint::k180nm);
+    const auto& b = sweep().at(w.name, scaling::TechPoint::k65nm_1V0);
+    rise += b.max_structure_temp_k - a.max_structure_temp_k;
+    sink_drift += std::abs(b.sink_temp_k - a.sink_temp_k);
+  }
+  rise /= 16.0;
+  sink_drift /= 16.0;
+  EXPECT_GT(rise, 8.0);
+  EXPECT_LT(rise, 25.0);
+  EXPECT_LT(sink_drift, 0.2);
+}
+
+TEST(PaperClaimsTest, WorstCaseGapWidensWithScaling) {
+  // §5.2: worst-case FIT vs the highest application FIT — 25% at 180 nm
+  // growing to 90% at 65 nm. Check that the gap widens substantially.
+  auto gap = [&](scaling::TechPoint tp) {
+    double highest = 0.0;
+    for (const auto& r : sweep().results) {
+      if (r.tech == tp) {
+        highest = std::max(highest, sweep().qualified_fits(r).total());
+      }
+    }
+    const double wc = sweep().worst_case(tp).total();
+    return (wc - highest) / highest;
+  };
+  const double g180 = gap(scaling::TechPoint::k180nm);
+  const double g65 = gap(scaling::TechPoint::k65nm_1V0);
+  EXPECT_GT(g180, 0.0);
+  EXPECT_GT(g65, g180);
+}
+
+TEST(PaperClaimsTest, FitRangeAcrossAppsWidensWithScaling) {
+  // §5.2: the FIT range across applications increases with scaling.
+  auto range = [&](scaling::TechPoint tp) {
+    double lo = 1e30, hi = 0.0;
+    for (const auto& r : sweep().results) {
+      if (r.tech != tp) continue;
+      const double f = sweep().qualified_fits(r).total();
+      lo = std::min(lo, f);
+      hi = std::max(hi, f);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(range(scaling::TechPoint::k65nm_1V0),
+            2.0 * range(scaling::TechPoint::k180nm));
+}
+
+TEST(PaperClaimsTest, FitOrderingFollowsTemperatureOrdering) {
+  // §5.2: "FIT values for applications correlate well with application
+  // temperature ... the order of the curves remains the same." Check a
+  // strong positive rank correlation between the per-app time-averaged die
+  // temperature and the qualified total FIT.
+  for (const auto tp :
+       {scaling::TechPoint::k180nm, scaling::TechPoint::k65nm_1V0}) {
+    std::vector<std::pair<double, double>> points;  // (temp, fit)
+    for (const auto& r : sweep().results) {
+      if (r.tech != tp) continue;
+      points.emplace_back(r.avg_die_temp_k, sweep().qualified_fits(r).total());
+    }
+    ASSERT_EQ(points.size(), 16u);
+    // Spearman rank correlation.
+    auto ranks = [&](auto key) {
+      std::vector<int> order(points.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[static_cast<std::size_t>(i)] = static_cast<int>(i);
+      std::sort(order.begin(), order.end(),
+                [&](int a, int b) { return key(points[static_cast<std::size_t>(a)]) < key(points[static_cast<std::size_t>(b)]); });
+      std::vector<int> rank(points.size());
+      for (std::size_t i = 0; i < order.size(); ++i) rank[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+      return rank;
+    };
+    const auto rt = ranks([](const auto& p) { return p.first; });
+    const auto rf = ranks([](const auto& p) { return p.second; });
+    double d2 = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d = rt[i] - rf[i];
+      d2 += d * d;
+    }
+    const double n = static_cast<double>(points.size());
+    const double spearman = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+    EXPECT_GT(spearman, 0.7) << scaling::tech_name(tp);
+  }
+}
+
+TEST(PaperClaimsTest, IpcApproximatesTable3) {
+  // Substitution fidelity: simulated 180 nm IPC within 20% of Table 3.
+  for (const auto& w : workloads::spec2k_suite()) {
+    const auto& r = sweep().at(w.name, scaling::TechPoint::k180nm);
+    EXPECT_NEAR(r.ipc, w.table3_ipc, w.table3_ipc * 0.20) << w.name;
+  }
+}
+
+TEST(PaperClaimsTest, PowerApproximatesTable3) {
+  // Substitution fidelity: 180 nm per-app power within 6% of Table 3.
+  for (const auto& w : workloads::spec2k_suite()) {
+    const auto& r = sweep().at(w.name, scaling::TechPoint::k180nm);
+    EXPECT_NEAR(r.avg_total_power_w, w.table3_power_w,
+                w.table3_power_w * 0.06)
+        << w.name;
+  }
+}
+
+TEST(PaperClaimsTest, ScaledPowerApproximatesTable4) {
+  // Table 4's average total power column: 29.1/19.0/14.7/14.4/16.9 W.
+  const struct { scaling::TechPoint tp; double want; } rows[] = {
+      {scaling::TechPoint::k180nm, 29.1},
+      {scaling::TechPoint::k130nm, 19.0},
+      {scaling::TechPoint::k90nm, 14.7},
+      {scaling::TechPoint::k65nm_0V9, 14.4},
+      {scaling::TechPoint::k65nm_1V0, 16.9},
+  };
+  for (const auto& row : rows) {
+    double sum = 0.0;
+    for (const auto& r : sweep().results) {
+      if (r.tech == row.tp) sum += r.avg_total_power_w;
+    }
+    EXPECT_NEAR(sum / 16.0, row.want, row.want * 0.10)
+        << scaling::tech_name(row.tp);
+  }
+}
+
+}  // namespace
+}  // namespace ramp::pipeline

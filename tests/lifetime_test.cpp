@@ -1,0 +1,186 @@
+// Tests for lifetime distributions and the Monte Carlo series-system engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lifetime_mc.hpp"
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace ramp::core {
+namespace {
+
+TEST(LifetimeDistributionTest, ExponentialMeanAndCdf) {
+  ExponentialLifetime d(30.0);
+  EXPECT_DOUBLE_EQ(d.mttf(), 30.0);
+  EXPECT_NEAR(d.cdf(30.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+
+  Xoshiro256 rng(1);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, 30.0, 0.3);
+}
+
+TEST(LifetimeDistributionTest, WeibullMeanMatchesRequestedMttf) {
+  for (double beta : {0.8, 1.0, 1.5, 2.0, 3.0}) {
+    WeibullLifetime d(30.0, beta);
+    Xoshiro256 rng(static_cast<std::uint64_t>(beta * 100));
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += d.sample(rng);
+    EXPECT_NEAR(sum / n, 30.0, 0.6) << "beta=" << beta;
+  }
+}
+
+TEST(LifetimeDistributionTest, WeibullBetaOneIsExponential) {
+  WeibullLifetime w(30.0, 1.0);
+  ExponentialLifetime e(30.0);
+  for (double t : {1.0, 10.0, 30.0, 100.0}) {
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-9);
+  }
+}
+
+TEST(LifetimeDistributionTest, WearoutHasThinnerEarlyTail) {
+  // The whole point of beta > 1: far fewer early failures at equal MTTF.
+  WeibullLifetime wearout(30.0, 2.5);
+  ExponentialLifetime constant(30.0);
+  EXPECT_LT(wearout.cdf(3.0), constant.cdf(3.0) / 3.0);
+}
+
+TEST(LifetimeDistributionTest, LognormalMeanMatchesRequestedMttf) {
+  for (double sigma : {0.3, 0.5, 1.0}) {
+    LognormalLifetime d(30.0, sigma);
+    Xoshiro256 rng(static_cast<std::uint64_t>(sigma * 1000));
+    double sum = 0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) sum += d.sample(rng);
+    EXPECT_NEAR(sum / n, 30.0, 0.9) << "sigma=" << sigma;
+  }
+}
+
+TEST(LifetimeDistributionTest, CdfIsMonotone) {
+  WeibullLifetime d(30.0, 2.0);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 120.0; t += 5.0) {
+    const double c = d.cdf(t);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(LifetimeDistributionTest, FactoryAndNames) {
+  EXPECT_EQ(make_lifetime(LifetimeFamily::kExponential, 10, 2)->name(),
+            "exponential");
+  EXPECT_EQ(make_lifetime(LifetimeFamily::kWeibull, 10, 2)->name(), "weibull");
+  EXPECT_EQ(make_lifetime(LifetimeFamily::kLognormal, 10, 0.5)->name(),
+            "lognormal");
+  EXPECT_EQ(family_name(LifetimeFamily::kWeibull), "weibull");
+}
+
+TEST(LifetimeDistributionTest, RejectsBadParameters) {
+  EXPECT_THROW(ExponentialLifetime(0.0), InvalidArgument);
+  EXPECT_THROW(WeibullLifetime(10.0, 0.0), InvalidArgument);
+  EXPECT_THROW(LognormalLifetime(10.0, -0.5), InvalidArgument);
+}
+
+FitSummary uniform_summary(double fit_per_cell) {
+  FitSummary s;
+  for (auto& row : s.by_structure) {
+    for (int m = 0; m < kNumMechanisms - 1; ++m) {
+      row[static_cast<std::size_t>(m)] = fit_per_cell;
+    }
+  }
+  s.tc_fit = fit_per_cell;
+  return s;
+}
+
+TEST(LifetimeMonteCarloTest, ExponentialMatchesSofrClosedForm) {
+  // The validation property: with exponential lifetimes, MC mean == SOFR.
+  const FitSummary s = uniform_summary(200.0);
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kExponential;
+  LifetimeMonteCarlo mc(s, cfg);
+  const auto est = mc.estimate(100000, 7);
+  EXPECT_NEAR(est.mean_years / est.sofr_years, 1.0, 0.02);
+  EXPECT_NEAR(est.sofr_years, mttf_years_from_fit(s.total()), 1e-9);
+}
+
+TEST(LifetimeMonteCarloTest, WearoutBeatsSofr) {
+  // §2's known pessimism: wear-out (beta > 1) series systems outlive the
+  // constant-rate prediction at equal per-instance MTTFs.
+  const FitSummary s = uniform_summary(200.0);
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kWeibull;
+  cfg.shape = {2.0, 2.0, 2.0, 2.0};
+  LifetimeMonteCarlo mc(s, cfg);
+  const auto est = mc.estimate(50000, 8);
+  EXPECT_GT(est.vs_sofr(), 1.5);
+  EXPECT_LT(est.vs_sofr(), 6.0);
+  // Percentiles must be ordered.
+  EXPECT_LT(est.p05_years, est.median_years);
+  EXPECT_LT(est.median_years, est.p95_years);
+}
+
+TEST(LifetimeMonteCarloTest, HigherBetaMeansLongerSeriesLife) {
+  const FitSummary s = uniform_summary(200.0);
+  auto mean_at = [&](double beta) {
+    LifetimeModelConfig cfg;
+    cfg.family = LifetimeFamily::kWeibull;
+    cfg.shape = {beta, beta, beta, beta};
+    return LifetimeMonteCarlo(s, cfg).estimate(30000, 9).mean_years;
+  };
+  EXPECT_LT(mean_at(1.2), mean_at(2.0));
+  EXPECT_LT(mean_at(2.0), mean_at(3.0));
+}
+
+TEST(LifetimeMonteCarloTest, EmpiricalSurvivalMatchesAnalytic) {
+  const FitSummary s = uniform_summary(150.0);
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kWeibull;
+  LifetimeMonteCarlo mc(s, cfg);
+  Xoshiro256 rng(10);
+  // Empirical survival at one probe time vs the analytic product form.
+  const double probe = 20.0;
+  const auto est = mc.estimate(1, 11);  // warm the API
+  (void)est;
+  int survived = 0;
+  const int n = 40000;
+  LifetimeMonteCarlo mc2(s, cfg);
+  for (int i = 0; i < n; ++i) {
+    // One series draw: sample every instance via a fresh estimate of 1.
+    // (Use the public estimate() with distinct seeds for determinism.)
+    const auto e = mc2.estimate(1, static_cast<std::uint64_t>(i) + 100);
+    if (e.mean_years > probe) ++survived;
+  }
+  EXPECT_NEAR(static_cast<double>(survived) / n, mc2.survival(probe), 0.02);
+}
+
+TEST(LifetimeMonteCarloTest, SkipsZeroFitInstances) {
+  FitSummary s;
+  s.tc_fit = 500.0;  // only one active instance
+  LifetimeModelConfig cfg;
+  LifetimeMonteCarlo mc(s, cfg);
+  EXPECT_EQ(mc.num_instances(), 1u);
+}
+
+TEST(LifetimeMonteCarloTest, AllZeroThrows) {
+  FitSummary s;
+  EXPECT_THROW(LifetimeMonteCarlo(s, {}), InvalidArgument);
+}
+
+TEST(LifetimeMonteCarloTest, DeterministicForSeed) {
+  const FitSummary s = uniform_summary(100.0);
+  LifetimeMonteCarlo mc(s, {});
+  const auto a = mc.estimate(5000, 42);
+  const auto b = mc.estimate(5000, 42);
+  EXPECT_DOUBLE_EQ(a.mean_years, b.mean_years);
+  EXPECT_DOUBLE_EQ(a.median_years, b.median_years);
+}
+
+}  // namespace
+}  // namespace ramp::core

@@ -1,0 +1,181 @@
+// Tests for the four failure-mechanism models (paper eqs. 1–4 + §3).
+#include "core/mechanisms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace ramp::core {
+namespace {
+
+TEST(ElectromigrationTest, TemperatureAcceleration) {
+  const ElectromigrationModel em;
+  // Arrhenius: FIT ratio between T1 and T2 is e^{Ea/k (1/T1 - 1/T2)}.
+  const double f1 = em.raw_fit(5.0, 345.0, 1.0);
+  const double f2 = em.raw_fit(5.0, 360.0, 1.0);
+  const double expected = std::exp(0.9 / kBoltzmannEv * (1.0 / 345.0 - 1.0 / 360.0));
+  EXPECT_NEAR(f2 / f1, expected, 1e-9);
+  EXPECT_GT(f2, f1);
+}
+
+TEST(ElectromigrationTest, CurrentDensityPowerLaw) {
+  const ElectromigrationModel em;
+  const double f1 = em.raw_fit(2.0, 350.0, 1.0);
+  const double f2 = em.raw_fit(4.0, 350.0, 1.0);
+  EXPECT_NEAR(f2 / f1, std::pow(2.0, 1.1), 1e-9);
+}
+
+TEST(ElectromigrationTest, ShrinkingInterconnectRaisesFit) {
+  const ElectromigrationModel em;
+  // §3: MTTF scales with w·h, so FIT scales with 1/(w·h)_rel.
+  const double base = em.raw_fit(5.0, 350.0, 1.0);
+  const double scaled = em.raw_fit(5.0, 350.0, 0.49);
+  EXPECT_NEAR(scaled / base, 1.0 / 0.49, 1e-9);
+}
+
+TEST(ElectromigrationTest, ZeroCurrentMeansNoFailure) {
+  const ElectromigrationModel em;
+  EXPECT_DOUBLE_EQ(em.raw_fit(0.0, 350.0, 1.0), 0.0);
+}
+
+TEST(ElectromigrationTest, RejectsInvalidInputs) {
+  const ElectromigrationModel em;
+  EXPECT_THROW(em.raw_fit(-1.0, 350.0, 1.0), InvalidArgument);
+  EXPECT_THROW(em.raw_fit(1.0, 350.0, 0.0), InvalidArgument);
+  EXPECT_THROW(em.raw_fit(1.0, 100.0, 1.0), InvalidArgument);  // out of range
+}
+
+TEST(StressMigrationTest, ExponentialTermDominatesNearOperatingRange) {
+  // Paper §3: the e^{-Ea/kT} term overshadows |T0-T|^m, so FIT rises with T
+  // throughout the operating range (well below T0 = 500 K).
+  const StressMigrationModel sm;
+  double prev = 0;
+  for (double t : {330.0, 345.0, 360.0, 375.0, 390.0}) {
+    const double f = sm.raw_fit(t);
+    EXPECT_GT(f, prev) << "at " << t << " K";
+    prev = f;
+  }
+}
+
+TEST(StressMigrationTest, StressFreeAtDepositionTemperature) {
+  const StressMigrationModel sm;
+  EXPECT_DOUBLE_EQ(sm.raw_fit(500.0), 0.0);
+}
+
+TEST(StressMigrationTest, MatchesClosedForm) {
+  const StressMigrationModel sm;
+  const double t = 352.0;
+  const double expected = std::pow(500.0 - t, 2.5) *
+                          std::exp(-0.9 / (kBoltzmannEv * t));
+  EXPECT_NEAR(sm.raw_fit(t), expected, expected * 1e-12);
+}
+
+TEST(TddbTest, HigherVoltageIsWorse) {
+  const TddbModel tddb;
+  const double f09 = tddb.raw_fit(0.9, 360.0, 0.9, 1.0);
+  const double f10 = tddb.raw_fit(1.0, 360.0, 0.9, 1.0);
+  EXPECT_GT(f10, f09);
+  // Power-law: ratio = (1.0/0.9)^{a-bT}.
+  EXPECT_NEAR(f10 / f09, std::pow(1.0 / 0.9, tddb.voltage_exponent(360.0)),
+              1e-9);
+}
+
+TEST(TddbTest, ThinnerOxideIsWorse) {
+  const TddbModel tddb;
+  const double thick = tddb.raw_fit(1.0, 360.0, 2.5, 1.0);
+  const double thin = tddb.raw_fit(1.0, 360.0, 0.9, 1.0);
+  EXPECT_NEAR(thin / thick, std::pow(10.0, 1.6 / tddb.tox_scale_nm), 1e-6);
+}
+
+TEST(TddbTest, HotterIsWorse) {
+  const TddbModel tddb;
+  EXPECT_GT(tddb.raw_fit(1.0, 370.0, 0.9, 1.0),
+            tddb.raw_fit(1.0, 350.0, 0.9, 1.0));
+}
+
+TEST(TddbTest, FitProportionalToGateOxideArea) {
+  const TddbModel tddb;
+  const double f1 = tddb.raw_fit(1.0, 360.0, 0.9, 1.0);
+  const double f2 = tddb.raw_fit(1.0, 360.0, 0.9, 0.16);
+  EXPECT_NEAR(f2 / f1, 0.16, 1e-12);
+}
+
+TEST(TddbTest, Wu2002PresetHasLiteratureExponent) {
+  const TddbModel wu = TddbModel::wu2002();
+  // n = 78 - 0.081 * 363 ≈ 48.6, the Wu et al. power-law exponent.
+  EXPECT_NEAR(wu.voltage_exponent(363.0), 48.6, 0.1);
+  EXPECT_DOUBLE_EQ(wu.tox_scale_nm, 0.22);
+}
+
+TEST(TddbTest, ShapePresetMatchesPaperAt65nm) {
+  // The dsn04_shape preset must reproduce the paper's headline TDDB
+  // behaviour: a large increase at 65 nm (1.0 V) and a modest increase at
+  // 65 nm (0.9 V), both relative to 180 nm at representative temperatures.
+  const TddbModel tddb = TddbModel::dsn04_shape();
+  const double base = tddb.raw_fit(1.3, 350.0, 2.5, 1.0);
+  const double v10 = tddb.raw_fit(1.0, 366.0, 0.9, 0.16);
+  const double v09 = tddb.raw_fit(0.9, 360.0, 0.9, 0.16);
+  EXPECT_GT(v10 / base, 4.0);
+  EXPECT_LT(v10 / base, 16.0);
+  EXPECT_GT(v09 / base, 1.0);   // still a net increase, as published
+  EXPECT_LT(v09 / base, 4.0);
+  EXPECT_GT(v10, 3.0 * v09);    // the 0.9 V → 1.0 V jump is large
+}
+
+TEST(TddbTest, RejectsInvalidInputs) {
+  const TddbModel tddb;
+  EXPECT_THROW(tddb.raw_fit(0.0, 360.0, 0.9, 1.0), InvalidArgument);
+  EXPECT_THROW(tddb.raw_fit(1.0, 360.0, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(tddb.raw_fit(1.0, 360.0, 0.9, 0.0), InvalidArgument);
+}
+
+TEST(ThermalCyclingTest, CoffinMansonPowerLaw) {
+  const ThermalCyclingModel tc;
+  const double f1 = tc.raw_fit(340.0);  // ΔT = 40
+  const double f2 = tc.raw_fit(380.0);  // ΔT = 80
+  EXPECT_NEAR(f2 / f1, std::pow(2.0, 2.35), 1e-9);
+}
+
+TEST(ThermalCyclingTest, NoCycleNoFailure) {
+  const ThermalCyclingModel tc;
+  EXPECT_DOUBLE_EQ(tc.raw_fit(300.0), 0.0);
+}
+
+TEST(ThermalCyclingTest, BelowAmbientRejected) {
+  const ThermalCyclingModel tc;
+  EXPECT_THROW(tc.raw_fit(290.0), InvalidArgument);
+}
+
+TEST(MechanismTest, NamesAreStable) {
+  EXPECT_EQ(mechanism_name(Mechanism::kEm), "EM");
+  EXPECT_EQ(mechanism_name(Mechanism::kSm), "SM");
+  EXPECT_EQ(mechanism_name(Mechanism::kTddb), "TDDB");
+  EXPECT_EQ(mechanism_name(Mechanism::kTc), "TC");
+}
+
+// Property sweep: every structure-level mechanism is monotonically
+// increasing in temperature over the operating range (Table 1's message).
+class TemperatureMonotonicityTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TemperatureMonotonicityTest, FitIncreasesWithTemperature) {
+  const auto [t1, t2] = GetParam();
+  const ElectromigrationModel em;
+  const StressMigrationModel sm;
+  const TddbModel tddb;
+  EXPECT_LT(em.raw_fit(5.0, t1, 1.0), em.raw_fit(5.0, t2, 1.0));
+  EXPECT_LT(sm.raw_fit(t1), sm.raw_fit(t2));
+  EXPECT_LT(tddb.raw_fit(1.0, t1, 0.9, 1.0), tddb.raw_fit(1.0, t2, 0.9, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, TemperatureMonotonicityTest,
+    ::testing::Values(std::pair{330.0, 335.0}, std::pair{345.0, 350.0},
+                      std::pair{360.0, 365.0}, std::pair{375.0, 380.0},
+                      std::pair{390.0, 395.0}));
+
+}  // namespace
+}  // namespace ramp::core

@@ -1,0 +1,93 @@
+// Tests for the memory hierarchy timing wrapper and core structures.
+#include "sim/memory_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/structures.hpp"
+#include "util/error.hpp"
+
+namespace ramp::sim {
+namespace {
+
+TEST(MemoryHierarchyTest, LatencyLadder) {
+  MemoryHierarchy mem(base_core_config());
+  const CoreConfig cfg = base_core_config();
+  // Cold: miss everywhere -> memory latency.
+  EXPECT_EQ(mem.data_access(0x1000, false), cfg.lat_memory);
+  // Warm L1: hit latency.
+  EXPECT_EQ(mem.data_access(0x1000, false), cfg.lat_l1d);
+  // Different L1 line, same L2 line (L2 lines are 128 B): L2 hit.
+  EXPECT_EQ(mem.data_access(0x1040, false), cfg.lat_l2);
+}
+
+TEST(MemoryHierarchyTest, FetchLatencies) {
+  MemoryHierarchy mem(base_core_config());
+  const CoreConfig cfg = base_core_config();
+  EXPECT_EQ(mem.fetch_access(0x400000), cfg.lat_memory);
+  EXPECT_EQ(mem.fetch_access(0x400000), 0);  // L1I hit
+  EXPECT_EQ(mem.fetch_access(0x400040), cfg.lat_l2);  // same 128B L2 line
+}
+
+TEST(MemoryHierarchyTest, WritesAllocateAndDirty) {
+  MemoryHierarchy mem(base_core_config());
+  mem.data_access(0x2000, true);   // miss, write-allocate, dirty
+  EXPECT_EQ(mem.data_access(0x2000, false), base_core_config().lat_l1d);
+}
+
+TEST(MemoryHierarchyTest, MissPortAccounting) {
+  MemoryHierarchy mem(base_core_config());
+  EXPECT_FALSE(mem.miss_ports_full());
+  for (int i = 0; i < base_core_config().max_outstanding_misses; ++i) {
+    mem.add_outstanding_miss();
+  }
+  EXPECT_TRUE(mem.miss_ports_full());
+  mem.retire_miss();
+  EXPECT_FALSE(mem.miss_ports_full());
+}
+
+TEST(MemoryHierarchyTest, RetireWithoutMissIsAnError) {
+  MemoryHierarchy mem(base_core_config());
+  EXPECT_THROW(mem.retire_miss(), InternalError);
+}
+
+TEST(MemoryHierarchyTest, InstructionAndDataStreamsAreSeparateL1s) {
+  MemoryHierarchy mem(base_core_config());
+  mem.data_access(0x3000, false);           // warm D-side
+  EXPECT_GT(mem.fetch_access(0x3000), 0);   // I-side still cold (same addr)
+}
+
+TEST(StructuresTest, AreaFractionsSumToOne) {
+  double sum = 0;
+  for (const auto s : kAllStructures) sum += structure_area_fraction(s);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(StructuresTest, NamesAreUniqueAndStable) {
+  EXPECT_EQ(structure_name(StructureId::kLsu), "LSU");
+  EXPECT_EQ(structure_name(StructureId::kFpu), "FPU");
+  std::set<std::string_view> names;
+  for (const auto s : kAllStructures) names.insert(structure_name(s));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumStructures));
+}
+
+TEST(CoreConfigTest, ScaledConfigKeepsMicroarchitecture) {
+  const CoreConfig base = base_core_config();
+  const CoreConfig scaled =
+      core_config_for(scaling::node(scaling::TechPoint::k65nm_1V0));
+  EXPECT_EQ(scaled.rob_size, base.rob_size);
+  EXPECT_EQ(scaled.fetch_width, base.fetch_width);
+  EXPECT_EQ(scaled.lat_l2, base.lat_l2);  // on-chip latency: same cycles
+  EXPECT_DOUBLE_EQ(scaled.frequency_hz, 2.0e9);
+  // Main memory: fixed ns -> more cycles at the faster clock.
+  EXPECT_NEAR(static_cast<double>(scaled.lat_memory),
+              102.0 * 2.0e9 / 1.1e9, 1.0);
+}
+
+TEST(CoreConfigTest, RenameBudgets) {
+  const CoreConfig cfg = base_core_config();
+  EXPECT_EQ(cfg.int_rename_budget(), 120 - 32);
+  EXPECT_EQ(cfg.fp_rename_budget(), 96 - 32);
+}
+
+}  // namespace
+}  // namespace ramp::sim

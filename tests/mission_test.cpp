@@ -1,0 +1,106 @@
+// Tests for mission-profile reliability evaluation.
+#include "pipeline/mission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ramp::pipeline {
+namespace {
+
+const SweepResult& quick_sweep() {
+  static const SweepResult sweep = [] {
+    EvaluationConfig cfg;
+    cfg.trace_instructions = 20'000;
+    return run_sweep(cfg, /*cache_path=*/"", /*verbose=*/false);
+  }();
+  return sweep;
+}
+
+TEST(MissionTest, FullDutySingleWorkloadMatchesSweepCell) {
+  // 24 h/day of one workload with the reference 1 cycle/day reproduces the
+  // sweep's qualified FIT for that cell.
+  MissionProfile p{"always-gcc", {{"gcc", 24.0}}, 1.0};
+  const auto fit =
+      evaluate_mission(quick_sweep(), scaling::TechPoint::k180nm, p);
+  const auto cell = quick_sweep().qualified_fits(
+      quick_sweep().at("gcc", scaling::TechPoint::k180nm));
+  EXPECT_NEAR(fit.total(), cell.total(), cell.total() * 1e-9);
+}
+
+TEST(MissionTest, HalfDutyHalvesWearoutMechanisms) {
+  MissionProfile full{"f", {{"crafty", 24.0}}, 1.0};
+  MissionProfile half{"h", {{"crafty", 12.0}}, 1.0};
+  const auto f =
+      evaluate_mission(quick_sweep(), scaling::TechPoint::k90nm, full);
+  const auto h =
+      evaluate_mission(quick_sweep(), scaling::TechPoint::k90nm, half);
+  EXPECT_NEAR(h.em, f.em / 2.0, f.em * 1e-9);
+  EXPECT_NEAR(h.sm, f.sm / 2.0, f.sm * 1e-9);
+  EXPECT_NEAR(h.tddb, f.tddb / 2.0, f.tddb * 1e-9);
+  // TC depends on cycles, not duty: unchanged.
+  EXPECT_NEAR(h.tc, f.tc, f.tc * 1e-9);
+}
+
+TEST(MissionTest, PowerCyclesScaleTcLinearly) {
+  MissionProfile one{"1", {{"mesa", 8.0}}, 1.0};
+  MissionProfile six{"6", {{"mesa", 8.0}}, 6.0};
+  const auto a =
+      evaluate_mission(quick_sweep(), scaling::TechPoint::k130nm, one);
+  const auto b =
+      evaluate_mission(quick_sweep(), scaling::TechPoint::k130nm, six);
+  EXPECT_NEAR(b.tc, 6.0 * a.tc, a.tc * 1e-9);
+  EXPECT_NEAR(b.em, a.em, a.em * 1e-9);
+}
+
+TEST(MissionTest, MixedSegmentsAreTimeWeighted) {
+  MissionProfile mix{"mix", {{"crafty", 6.0}, {"ammp", 18.0}}, 1.0};
+  const auto m =
+      evaluate_mission(quick_sweep(), scaling::TechPoint::k65nm_1V0, mix);
+  const auto crafty = quick_sweep().qualified_fits(
+      quick_sweep().at("crafty", scaling::TechPoint::k65nm_1V0));
+  const auto ammp = quick_sweep().qualified_fits(
+      quick_sweep().at("ammp", scaling::TechPoint::k65nm_1V0));
+  const double em_expected =
+      crafty.by_mechanism()[0] * 6.0 / 24.0 + ammp.by_mechanism()[0] * 18.0 / 24.0;
+  EXPECT_NEAR(m.em, em_expected, em_expected * 1e-9);
+}
+
+TEST(MissionTest, IdleTimeExtendsLifetime) {
+  // A lighter mission must have a longer MTTF than 24/7 operation.
+  MissionProfile full{"f", {{"gap", 24.0}}, 1.0};
+  MissionProfile light{"l", {{"gap", 6.0}}, 1.0};
+  const auto f =
+      evaluate_mission(quick_sweep(), scaling::TechPoint::k65nm_1V0, full);
+  const auto l =
+      evaluate_mission(quick_sweep(), scaling::TechPoint::k65nm_1V0, light);
+  EXPECT_GT(l.mttf_years(), 1.5 * f.mttf_years());
+}
+
+TEST(MissionTest, ExampleMissionsEvaluate) {
+  for (const auto& mission : example_missions()) {
+    const auto fit =
+        evaluate_mission(quick_sweep(), scaling::TechPoint::k65nm_1V0, mission);
+    EXPECT_GT(fit.total(), 0.0) << mission.name;
+    EXPECT_GT(fit.mttf_years(), 0.0) << mission.name;
+  }
+}
+
+TEST(MissionTest, RejectsBadProfiles) {
+  const auto& sweep = quick_sweep();
+  EXPECT_THROW(
+      evaluate_mission(sweep, scaling::TechPoint::k180nm, {"empty", {}, 1.0}),
+      InvalidArgument);
+  EXPECT_THROW(evaluate_mission(sweep, scaling::TechPoint::k180nm,
+                                {"too-long", {{"gcc", 30.0}}, 1.0}),
+               InvalidArgument);
+  EXPECT_THROW(evaluate_mission(sweep, scaling::TechPoint::k180nm,
+                                {"unknown", {{"doom3", 8.0}}, 1.0}),
+               InvalidArgument);
+  EXPECT_THROW(evaluate_mission(sweep, scaling::TechPoint::k180nm,
+                                {"neg", {{"gcc", 8.0}}, -1.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::pipeline

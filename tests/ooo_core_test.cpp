@@ -1,0 +1,256 @@
+// Tests for the out-of-order core timing model.
+#include "sim/ooo_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "trace/synthetic_generator.hpp"
+#include "util/error.hpp"
+
+namespace ramp::sim {
+namespace {
+
+using trace::Instruction;
+using trace::OpClass;
+
+/// Scripted trace for handcrafted pipelines.
+class ScriptedTrace final : public trace::TraceReader {
+ public:
+  explicit ScriptedTrace(std::deque<Instruction> script)
+      : script_(std::move(script)) {}
+  bool next(Instruction& out) override {
+    if (script_.empty()) return false;
+    out = script_.front();
+    script_.pop_front();
+    return true;
+  }
+
+ private:
+  std::deque<Instruction> script_;
+};
+
+Instruction alu(std::uint16_t dst, std::uint16_t src1 = Instruction::kNoReg,
+                std::uint16_t src2 = Instruction::kNoReg) {
+  Instruction i;
+  i.op = OpClass::kIntAlu;
+  i.dst = dst;
+  i.src1 = src1;
+  i.src2 = src2;
+  return i;
+}
+
+// Scripted traces wrap their PCs within a 4 KB loop so the I-cache warms up
+// after the first pass (a straight-line PC walk would be a pathological
+// all-cold-I-miss program).
+std::uint64_t looped_pc(int k) {
+  return 0x10000 + static_cast<std::uint64_t>(k % 256) * 4;  // 1 KB loop
+}
+
+std::deque<Instruction> chain(int n) {
+  // A fully serial dependency chain: IPC must approach 1 / latency.
+  std::deque<Instruction> s;
+  for (int k = 0; k < n; ++k) {
+    Instruction i = alu(1, 1);
+    i.pc = looped_pc(k);
+    s.push_back(i);
+  }
+  return s;
+}
+
+std::deque<Instruction> independent(int n) {
+  std::deque<Instruction> s;
+  for (int k = 0; k < n; ++k) {
+    Instruction i = alu(static_cast<std::uint16_t>(k % 16));
+    i.pc = looped_pc(k);
+    s.push_back(i);
+  }
+  return s;
+}
+
+TEST(OooCoreTest, SerialChainRunsAtIpcOne) {
+  ScriptedTrace t(chain(50000));
+  OooCore core(base_core_config());
+  const auto r = core.run(t, 1000);
+  EXPECT_EQ(r.totals.instructions, 50000u);
+  // 1-cycle ALU chain: one instruction per cycle asymptotically.
+  EXPECT_NEAR(r.totals.ipc(), 1.0, 0.05);
+}
+
+TEST(OooCoreTest, IndependentOpsBoundByIntUnits) {
+  ScriptedTrace t(independent(100000));
+  OooCore core(base_core_config());
+  const auto r = core.run(t, 1000);
+  // 2 integer units bound throughput at 2 IPC.
+  EXPECT_NEAR(r.totals.ipc(), 2.0, 0.1);
+}
+
+TEST(OooCoreTest, RetirementBoundRespected) {
+  // Even infinitely parallel work cannot exceed one dispatch group (5) per
+  // cycle; with 2 Int units the binding constraint here is the units, so
+  // check the global invariant instead: IPC <= 5.
+  ScriptedTrace t(independent(5000));
+  OooCore core(base_core_config());
+  const auto r = core.run(t, 500);
+  EXPECT_LE(r.totals.ipc(), 5.0);
+}
+
+TEST(OooCoreTest, DivideLatencySerializesChain) {
+  std::deque<Instruction> s;
+  std::uint64_t pc = 0x10000;
+  for (int k = 0; k < 200; ++k) {
+    Instruction i = alu(1, 1);
+    i.op = OpClass::kIntDiv;
+    i.pc = pc;
+    pc += 4;
+    s.push_back(i);
+  }
+  ScriptedTrace t(std::move(s));
+  OooCore core(base_core_config());
+  const auto r = core.run(t, 10000);
+  // Serial 35-cycle divides: IPC ≈ 1/35.
+  EXPECT_NEAR(r.totals.ipc(), 1.0 / 35.0, 0.005);
+}
+
+TEST(OooCoreTest, LoadMissesAreOverlapped) {
+  // Independent loads striding whole L2 lines: every access misses all the
+  // way to memory. The MSHR cap (8) bounds the overlap, but throughput must
+  // beat the fully serialized latency by a wide margin.
+  std::deque<Instruction> s;
+  for (int k = 0; k < 2000; ++k) {
+    Instruction i;
+    i.op = OpClass::kLoad;
+    i.dst = static_cast<std::uint16_t>(k % 16);
+    i.mem_addr = 0x100000 + static_cast<std::uint64_t>(k) * 128;
+    i.pc = looped_pc(k);
+    s.push_back(i);
+  }
+  ScriptedTrace t(std::move(s));
+  OooCore core(base_core_config());
+  const auto r = core.run(t, 10000);
+  const double serial_ipc = 1.0 / 102.0;  // memory latency, no overlap
+  EXPECT_GT(r.totals.ipc(), 3.0 * serial_ipc);
+  EXPECT_GT(r.totals.l1d_misses, 1900u);
+}
+
+TEST(OooCoreTest, MispredictsCostCycles) {
+  auto run_with_noise = [](double noise) {
+    trace::GeneratorProfile p;
+    p.op_mix = {50, 1, 0, 0, 0, 25, 10, 6, 4};
+    p.branch_noise = noise;
+    trace::SyntheticTrace t(p, 60000, 11);
+    OooCore core(base_core_config());
+    return core.run(t, 1100).totals;
+  };
+  const auto clean = run_with_noise(0.0);
+  const auto noisy = run_with_noise(0.3);
+  EXPECT_GT(noisy.branch_mispredict_rate(),
+            clean.branch_mispredict_rate() + 0.1);
+  EXPECT_LT(noisy.ipc(), clean.ipc() * 0.8);
+}
+
+TEST(OooCoreTest, IntervalsPartitionTheRun) {
+  trace::GeneratorProfile p;
+  p.op_mix = {50, 1, 0, 0, 0, 25, 10, 6, 4};
+  trace::SyntheticTrace t(p, 30000, 3);
+  OooCore core(base_core_config());
+  const auto r = core.run(t, 500);
+  std::uint64_t cyc = 0, ins = 0;
+  for (const auto& iv : r.intervals) {
+    cyc += iv.cycles;
+    ins += iv.instructions;
+    for (double a : iv.activity) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+  EXPECT_EQ(cyc, r.totals.cycles);
+  EXPECT_EQ(ins, r.totals.instructions);
+  EXPECT_EQ(ins, 30000u);
+}
+
+TEST(OooCoreTest, ActivityReflectsWorkloadMix) {
+  // An FP-free workload must leave the FPU idle.
+  trace::GeneratorProfile p;
+  p.op_mix = {50, 1, 0, 0, 0, 25, 10, 6, 4};
+  trace::SyntheticTrace t(p, 30000, 4);
+  OooCore core(base_core_config());
+  const auto r = core.run(t, 1100);
+  EXPECT_DOUBLE_EQ(r.totals.avg_activity[idx(StructureId::kFpu)], 0.0);
+  EXPECT_GT(r.totals.avg_activity[idx(StructureId::kFxu)], 0.1);
+  EXPECT_GT(r.totals.avg_activity[idx(StructureId::kLsu)], 0.1);
+}
+
+TEST(OooCoreTest, FasterClockSlowsMemoryBoundCode) {
+  // The same trace at 2 GHz sees more memory-latency cycles (fixed ns), so
+  // IPC must drop for a memory-bound workload.
+  trace::GeneratorProfile p;
+  p.op_mix = {30, 1, 0, 0, 0, 40, 10, 4, 3};
+  p.cold_fraction = 0.2;
+  p.stream_fraction = 0.2;
+
+  trace::SyntheticTrace t180(p, 40000, 5);
+  OooCore c180(core_config_for(scaling::node(scaling::TechPoint::k180nm)));
+  const double ipc180 = c180.run(t180, 1100).totals.ipc();
+
+  trace::SyntheticTrace t65(p, 40000, 5);
+  OooCore c65(core_config_for(scaling::node(scaling::TechPoint::k65nm_1V0)));
+  const double ipc65 = c65.run(t65, 2000).totals.ipc();
+
+  EXPECT_LT(ipc65, ipc180);
+}
+
+TEST(OooCoreTest, DeterministicAcrossRuns) {
+  trace::GeneratorProfile p;
+  p.op_mix = {50, 1, 0.2, 10, 0.5, 25, 10, 6, 4};
+  auto run = [&] {
+    trace::SyntheticTrace t(p, 20000, 77);
+    OooCore core(base_core_config());
+    return core.run(t, 700);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.totals.cycles, b.totals.cycles);
+  EXPECT_EQ(a.totals.branch_mispredicts, b.totals.branch_mispredicts);
+  ASSERT_EQ(a.intervals.size(), b.intervals.size());
+  for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+    EXPECT_EQ(a.intervals[i].instructions, b.intervals[i].instructions);
+  }
+}
+
+TEST(OooCoreTest, ZeroIntervalThrows) {
+  ScriptedTrace t(chain(10));
+  OooCore core(base_core_config());
+  EXPECT_THROW(core.run(t, 0), InvalidArgument);
+}
+
+TEST(OooCoreTest, EmptyTraceYieldsEmptyRun) {
+  ScriptedTrace t({});
+  OooCore core(base_core_config());
+  const auto r = core.run(t, 100);
+  EXPECT_EQ(r.totals.instructions, 0u);
+}
+
+// Property sweep: IPC is monotonically non-increasing as the ILP knob
+// shrinks (serial chains get longer).
+class IlpMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IlpMonotonicityTest, MoreIlpNeverHurts) {
+  auto ipc_at = [](double mean_distance) {
+    trace::GeneratorProfile p;
+    p.op_mix = {60, 1, 0, 0, 0, 20, 8, 5, 4};
+    p.dep_distance_p = 1.0 / (1.0 + mean_distance);
+    trace::SyntheticTrace t(p, 40000, 9);
+    OooCore core(base_core_config());
+    return core.run(t, 1100).totals.ipc();
+  };
+  const double lo = ipc_at(GetParam());
+  const double hi = ipc_at(GetParam() * 3.0);
+  EXPECT_GE(hi, lo * 0.95);  // allow small stochastic slack
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, IlpMonotonicityTest,
+                         ::testing::Values(1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace ramp::sim

@@ -1,0 +1,88 @@
+// Tests for multi-phase trace composition.
+#include "trace/phased_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/ooo_core.hpp"
+#include "util/error.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace ramp::trace {
+namespace {
+
+GeneratorProfile int_heavy() {
+  GeneratorProfile p;
+  p.op_mix = {60, 1, 0, 0, 0, 22, 8, 5, 4};
+  return p;
+}
+
+GeneratorProfile fp_heavy() {
+  GeneratorProfile p;
+  p.op_mix = {10, 1, 0, 50, 1, 24, 8, 3, 3};
+  return p;
+}
+
+TEST(PhasedTraceTest, EmitsExactLength) {
+  PhasedTrace t({int_heavy(), fp_heavy()}, 10000, 1000, 5);
+  Instruction ins;
+  std::uint64_t n = 0;
+  while (t.next(ins)) ++n;
+  EXPECT_EQ(n, 10000u);
+  EXPECT_FALSE(t.next(ins));
+}
+
+TEST(PhasedTraceTest, PhasesAlternate) {
+  PhasedTrace t({int_heavy(), fp_heavy()}, 8000, 1000, 6);
+  Instruction ins;
+  std::uint64_t fp_in_phase0 = 0, fp_in_phase1 = 0;
+  std::uint64_t n0 = 0, n1 = 0;
+  for (std::uint64_t i = 0; i < 8000; ++i) {
+    ASSERT_TRUE(t.next(ins));
+    const bool fp = is_fp(ins.op);
+    if ((i / 1000) % 2 == 0) {
+      ++n0;
+      fp_in_phase0 += fp ? 1 : 0;
+    } else {
+      ++n1;
+      fp_in_phase1 += fp ? 1 : 0;
+    }
+  }
+  // Phase 0 is integer-heavy (no FP); phase 1 is FP-heavy (~50%).
+  EXPECT_EQ(fp_in_phase0, 0u);
+  EXPECT_GT(static_cast<double>(fp_in_phase1) / static_cast<double>(n1), 0.3);
+}
+
+TEST(PhasedTraceTest, SinglePhaseEqualsPlainGenerator) {
+  PhasedTrace phased({int_heavy()}, 5000, 700, 9);
+  SyntheticTrace plain(int_heavy(), 5000, 9);
+  Instruction a, b;
+  while (plain.next(a)) {
+    ASSERT_TRUE(phased.next(b));
+    EXPECT_EQ(a.pc, b.pc);
+    EXPECT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+    EXPECT_EQ(a.mem_addr, b.mem_addr);
+  }
+}
+
+TEST(PhasedTraceTest, DrivesSimulatorWithPhaseSwings) {
+  // The FPU activity must swing between phases at interval granularity.
+  PhasedTrace t({int_heavy(), fp_heavy()}, 60000, 10000, 11);
+  sim::OooCore core(sim::base_core_config());
+  const auto r = core.run(t, 1100);
+  double min_fpu = 1.0, max_fpu = 0.0;
+  for (const auto& iv : r.intervals) {
+    const double a = iv.activity[sim::idx(sim::StructureId::kFpu)];
+    min_fpu = std::min(min_fpu, a);
+    max_fpu = std::max(max_fpu, a);
+  }
+  EXPECT_LT(min_fpu, 0.02);   // integer phases leave the FPU idle
+  EXPECT_GT(max_fpu, 0.10);   // FP phases load it
+}
+
+TEST(PhasedTraceTest, RejectsBadArguments) {
+  EXPECT_THROW(PhasedTrace({}, 100, 10, 1), InvalidArgument);
+  EXPECT_THROW(PhasedTrace({int_heavy()}, 100, 0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::trace

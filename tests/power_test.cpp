@@ -1,0 +1,135 @@
+// Tests for the power model.
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::power {
+namespace {
+
+using sim::idx;
+using sim::kNumStructures;
+using sim::StructureId;
+
+std::array<double, kNumStructures> uniform_activity(double a) {
+  std::array<double, kNumStructures> act{};
+  act.fill(a);
+  return act;
+}
+
+TEST(PowerModelTest, ZeroActivityDrawsClockGatingFloor) {
+  const PowerModelConfig cfg;
+  const PowerModel pm(cfg, scaling::base_node());
+  const auto p = pm.dynamic_power(uniform_activity(0.0));
+  double total = 0, unconstrained = 0;
+  for (int s = 0; s < kNumStructures; ++s) {
+    total += p[static_cast<std::size_t>(s)];
+    unconstrained += cfg.unconstrained_w_180nm[static_cast<std::size_t>(s)];
+  }
+  EXPECT_NEAR(total, cfg.clock_gating_floor * unconstrained, 1e-9);
+}
+
+TEST(PowerModelTest, FullActivityDrawsUnconstrainedPower) {
+  const PowerModelConfig cfg;
+  const PowerModel pm(cfg, scaling::base_node());
+  const auto p = pm.dynamic_power(uniform_activity(1.0));
+  for (int s = 0; s < kNumStructures; ++s) {
+    EXPECT_NEAR(p[static_cast<std::size_t>(s)],
+                cfg.unconstrained_w_180nm[static_cast<std::size_t>(s)], 1e-9);
+  }
+}
+
+TEST(PowerModelTest, DynamicPowerMonotoneInActivity) {
+  const PowerModel pm({}, scaling::base_node());
+  double prev = 0;
+  for (double a : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto p = pm.dynamic_power(uniform_activity(a));
+    double total = 0;
+    for (double v : p) total += v;
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+TEST(PowerModelTest, ActivityOutOfRangeThrows) {
+  const PowerModel pm({}, scaling::base_node());
+  EXPECT_THROW(pm.dynamic_power(uniform_activity(1.5)), InvalidArgument);
+  EXPECT_THROW(pm.dynamic_power(uniform_activity(-0.1)), InvalidArgument);
+}
+
+TEST(PowerModelTest, DynamicScaleFollowsCv2f) {
+  const PowerModel pm({}, scaling::node(scaling::TechPoint::k65nm_1V0));
+  // 0.4 · 1.0² · 2.0 GHz / (1.0 · 1.3² · 1.1 GHz) ≈ 0.430.
+  EXPECT_NEAR(pm.dynamic_scale(), 0.430, 0.005);
+}
+
+TEST(PowerModelTest, LeakageMatchesReferenceDensityAt383K) {
+  const PowerModel pm({}, scaling::base_node());
+  // Whole core at 383 K: 0.04 W/mm² × 81 mm² = 3.24 W.
+  double total = 0;
+  for (int s = 0; s < kNumStructures; ++s) {
+    total += pm.leakage_power(static_cast<StructureId>(s), 383.0);
+  }
+  EXPECT_NEAR(total, 3.24, 1e-9);
+}
+
+TEST(PowerModelTest, LeakageExponentialInTemperature) {
+  const PowerModel pm({}, scaling::base_node());
+  const double p350 = pm.leakage_power(StructureId::kLsu, 350.0);
+  const double p360 = pm.leakage_power(StructureId::kLsu, 360.0);
+  EXPECT_NEAR(p360 / p350, std::exp(0.017 * 10.0), 1e-9);
+}
+
+TEST(PowerModelTest, LeakageDensityRisesWithScaling) {
+  const PowerModel p180({}, scaling::base_node());
+  const PowerModel p65({}, scaling::node(scaling::TechPoint::k65nm_1V0));
+  // Density ratio 0.60 / 0.04 = 15, area ratio 0.16 => total ratio 2.4.
+  const double l180 = p180.leakage_power(StructureId::kLsu, 383.0);
+  const double l65 = p65.leakage_power(StructureId::kLsu, 383.0);
+  EXPECT_NEAR(l65 / l180, 15.0 * 0.16, 1e-9);
+}
+
+TEST(PowerModelTest, TotalPowerIsDynamicPlusLeakage) {
+  const PowerModel pm({}, scaling::base_node());
+  const auto act = uniform_activity(0.4);
+  std::array<double, kNumStructures> temps{};
+  temps.fill(355.0);
+  const auto total = pm.total_power(act, temps);
+  const auto dyn = pm.dynamic_power(act);
+  const auto leak = pm.leakage_power(temps);
+  for (int s = 0; s < kNumStructures; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    EXPECT_NEAR(total[i], dyn[i] + leak[i], 1e-12);
+  }
+}
+
+TEST(PowerModelTest, StructureAreasSumToCoreArea) {
+  for (const auto tp : scaling::kAllTechPoints) {
+    const PowerModel pm({}, scaling::node(tp));
+    double sum = 0;
+    for (int s = 0; s < kNumStructures; ++s) {
+      sum += pm.structure_area_mm2(static_cast<StructureId>(s));
+    }
+    EXPECT_NEAR(sum, pm.core_area_mm2(), 1e-9);
+  }
+}
+
+TEST(PowerModelTest, RejectsBadConfig) {
+  PowerModelConfig cfg;
+  cfg.clock_gating_floor = 1.5;
+  EXPECT_THROW(PowerModel(cfg, scaling::base_node()), InvalidArgument);
+  cfg = {};
+  cfg.base_core_area_mm2 = -1.0;
+  EXPECT_THROW(PowerModel(cfg, scaling::base_node()), InvalidArgument);
+}
+
+TEST(PowerModelTest, NegativeTemperatureThrows) {
+  const PowerModel pm({}, scaling::base_node());
+  EXPECT_THROW(pm.leakage_power(StructureId::kIfu, -3.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::power

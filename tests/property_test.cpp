@@ -1,0 +1,212 @@
+// Cross-module property tests: physical invariants that must hold across
+// parameter sweeps, regardless of calibration values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fit_tracker.hpp"
+#include "core/qualification.hpp"
+#include "pipeline/evaluator.hpp"
+#include "thermal/rc_model.hpp"
+#include "util/rng.hpp"
+
+namespace ramp {
+namespace {
+
+// ---------- Thermal network physics ---------------------------------------
+
+TEST(ThermalPropertyTest, ReciprocityOfThermalResponses) {
+  // A linear RC network made of reciprocal elements must satisfy Onsager
+  // reciprocity: injecting 1 W into block i raises block j's temperature by
+  // exactly as much as injecting 1 W into block j raises block i's.
+  const thermal::RcNetwork net(thermal::power4_floorplan(), {});
+  const std::size_t n = net.num_blocks();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::vector<double> pi(n, 0.0), pj(n, 0.0);
+      pi[i] = 1.0;
+      pj[j] = 1.0;
+      const auto ti = net.steady_state(pi);
+      const auto tj = net.steady_state(pj);
+      EXPECT_NEAR(ti[j] - net.ambient(), tj[i] - net.ambient(), 1e-9)
+          << "blocks " << i << "," << j;
+    }
+  }
+}
+
+TEST(ThermalPropertyTest, SuperpositionHolds) {
+  // Linearity: response to (P1 + P2) equals response to P1 plus response to
+  // P2 (ambient offsets subtracted).
+  const thermal::RcNetwork net(thermal::power4_floorplan(), {});
+  const std::size_t n = net.num_blocks();
+  Xoshiro256 rng(4);
+  std::vector<double> p1(n), p2(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p1[i] = rng.uniform(0.0, 5.0);
+    p2[i] = rng.uniform(0.0, 5.0);
+    sum[i] = p1[i] + p2[i];
+  }
+  const auto t1 = net.steady_state(p1);
+  const auto t2 = net.steady_state(p2);
+  const auto ts = net.steady_state(sum);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(ts[i] - net.ambient(),
+                (t1[i] - net.ambient()) + (t2[i] - net.ambient()), 1e-8);
+  }
+}
+
+TEST(ThermalPropertyTest, MorePowerNeverCoolsAnyNode) {
+  // Monotonicity of the resistive network: raising any block's power can
+  // not lower any node's steady-state temperature.
+  const thermal::RcNetwork net(thermal::power4_floorplan(), {});
+  const std::size_t n = net.num_blocks();
+  std::vector<double> base(n, 2.0);
+  const auto t0 = net.steady_state(base);
+  for (std::size_t k = 0; k < n; ++k) {
+    auto bumped = base;
+    bumped[k] += 1.0;
+    const auto t1 = net.steady_state(bumped);
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+      EXPECT_GE(t1[i] + 1e-12, t0[i]);
+    }
+  }
+}
+
+TEST(ThermalPropertyTest, EnergyBalanceAtSteadyState) {
+  // All injected heat must leave through the sink's convection leg:
+  // P_total = (T_sink − T_amb) / R_convec.
+  thermal::ThermalConfig cfg;
+  const thermal::RcNetwork net(thermal::power4_floorplan(), cfg);
+  Xoshiro256 rng(5);
+  std::vector<double> p(net.num_blocks());
+  double total = 0.0;
+  for (auto& v : p) {
+    v = rng.uniform(0.5, 8.0);
+    total += v;
+  }
+  const auto t = net.steady_state(p);
+  const double sink = t[net.num_blocks() + 1];
+  EXPECT_NEAR((sink - cfg.ambient_k) / cfg.r_convec_k_per_w, total, 1e-8);
+}
+
+// ---------- Failure-model monotonicity across the real pipeline -----------
+
+class VoltageMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VoltageMonotonicityTest, TotalFitRisesWithVoltageAtFixedTemp) {
+  // At any temperature in range, raising voltage must not lower total FIT
+  // (TDDB is the only V-dependent term and it increases).
+  const double temp = GetParam();
+  const core::RampModel model(scaling::node(scaling::TechPoint::k65nm_1V0));
+  double prev = 0.0;
+  for (double v : {0.8, 0.9, 1.0, 1.1, 1.2}) {
+    const double fit = core::steady_state_summary(model, temp, 0.5, v).total();
+    EXPECT_GE(fit, prev);
+    prev = fit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, VoltageMonotonicityTest,
+                         ::testing::Values(335.0, 350.0, 365.0, 380.0));
+
+TEST(ModelPropertyTest, SofrIsAdditiveAcrossTrackerSplits) {
+  // Feeding one long interval or two half-length intervals with identical
+  // conditions must give identical summaries (the running average is exact
+  // for piecewise-constant inputs).
+  const core::RampModel model(scaling::base_node());
+  std::array<double, sim::kNumStructures> temps{};
+  temps.fill(356.0);
+  std::array<double, sim::kNumStructures> act{};
+  act.fill(0.4);
+
+  core::FitTracker one(model);
+  one.add_interval(temps, act, 1.3, 2e-6);
+  core::FitTracker two(model);
+  two.add_interval(temps, act, 1.3, 1e-6);
+  two.add_interval(temps, act, 1.3, 1e-6);
+  EXPECT_NEAR(one.summary().total(), two.summary().total(), 1e-12);
+}
+
+TEST(ModelPropertyTest, QualifiedTotalsInvariantToConstantRescale) {
+  // Scaling all raw FITs by c and re-qualifying must give identical
+  // absolute results: qualification removes any global scale.
+  core::FitSummary raw;
+  raw.by_structure[2][0] = 3.0;
+  raw.by_structure[4][1] = 5.0;
+  raw.by_structure[1][2] = 7.0;
+  raw.tc_fit = 2.0;
+
+  core::FitSummary scaled_raw = raw;
+  for (auto& row : scaled_raw.by_structure) {
+    for (double& v : row) v *= 123.0;
+  }
+  scaled_raw.tc_fit *= 123.0;
+
+  const auto k1 = core::qualify({raw});
+  const auto k2 = core::qualify({scaled_raw});
+  const auto q1 = pipeline::scale_summary(raw, k1);
+  const auto q2 = pipeline::scale_summary(scaled_raw, k2);
+  EXPECT_NEAR(q1.total(), q2.total(), 1e-9);
+  for (int m = 0; m < core::kNumMechanisms; ++m) {
+    EXPECT_NEAR(q1.by_mechanism()[static_cast<std::size_t>(m)],
+                q2.by_mechanism()[static_cast<std::size_t>(m)], 1e-9);
+  }
+}
+
+// ---------- Pipeline-level invariants --------------------------------------
+
+TEST(PipelinePropertyTest, HotterLeakageTechnologyRunsHotter) {
+  // Same workload and node parameters except leakage density: the leakier
+  // variant must be at least as hot and have at least the FIT.
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = 20'000;
+  const pipeline::Evaluator ev(cfg);
+  const auto base = ev.evaluate(workloads::workload("gzip"),
+                                scaling::TechPoint::k65nm_0V9);
+  const auto hot = ev.evaluate(workloads::workload("gzip"),
+                               scaling::TechPoint::k65nm_1V0);
+  // k65nm_1V0 differs by higher V and higher leakage: strictly worse.
+  EXPECT_GT(hot.max_structure_temp_k, base.max_structure_temp_k);
+  EXPECT_GT(hot.raw_fits.total(), base.raw_fits.total());
+}
+
+TEST(PipelinePropertyTest, LongerTraceConvergesSteadyStatistics) {
+  // IPC and power must converge as trace length grows (warmup amortizes):
+  // successive doublings move the result less and less.
+  pipeline::EvaluationConfig cfg;
+  const auto at = [&](std::uint64_t n) {
+    pipeline::EvaluationConfig c = cfg;
+    c.trace_instructions = n;
+    return pipeline::Evaluator(c).evaluate(workloads::workload("mgrid"),
+                                           scaling::TechPoint::k180nm);
+  };
+  const auto a = at(25'000);
+  const auto b = at(50'000);
+  const auto c = at(100'000);
+  const double d1 = std::abs(b.ipc - a.ipc);
+  const double d2 = std::abs(c.ipc - b.ipc);
+  EXPECT_LT(d2, d1 + 0.02);
+  EXPECT_LT(std::abs(c.avg_total_power_w - b.avg_total_power_w), 1.5);
+}
+
+TEST(PipelinePropertyTest, SeedChangesNoiseNotShape) {
+  // Different seeds perturb IPC/power slightly but never the qualitative
+  // scaling direction.
+  pipeline::EvaluationConfig a, b;
+  a.trace_instructions = b.trace_instructions = 30'000;
+  a.seed = 1;
+  b.seed = 2;
+  for (const auto* cfg : {&a, &b}) {
+    const pipeline::Evaluator ev(*cfg);
+    const auto base = ev.evaluate(workloads::workload("apsi"),
+                                  scaling::TechPoint::k180nm);
+    const auto scaled = ev.evaluate(workloads::workload("apsi"),
+                                    scaling::TechPoint::k65nm_1V0,
+                                    base.sink_temp_k);
+    EXPECT_GT(scaled.raw_fits.total(), base.raw_fits.total());
+    EXPECT_GT(scaled.max_structure_temp_k, base.max_structure_temp_k);
+  }
+}
+
+}  // namespace
+}  // namespace ramp

@@ -1,0 +1,72 @@
+// Tests for reliability qualification (paper §4.4).
+#include "core/qualification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ramp::core {
+namespace {
+
+FitSummary summary_with(double em, double sm, double tddb, double tc) {
+  FitSummary s;
+  s.by_structure[0][static_cast<std::size_t>(Mechanism::kEm)] = em;
+  s.by_structure[0][static_cast<std::size_t>(Mechanism::kSm)] = sm;
+  s.by_structure[0][static_cast<std::size_t>(Mechanism::kTddb)] = tddb;
+  s.tc_fit = tc;
+  return s;
+}
+
+TEST(QualificationTest, NormalizesEachMechanismTo1000) {
+  const std::vector<FitSummary> raw = {
+      summary_with(2.0, 4.0, 8.0, 16.0),
+      summary_with(4.0, 4.0, 8.0, 16.0),
+  };
+  const MechanismConstants k = qualify(raw);
+  // Mechanism averages: 3, 4, 8, 16 => constants 1000/avg.
+  EXPECT_NEAR(k.em, 1000.0 / 3.0, 1e-9);
+  EXPECT_NEAR(k.sm, 250.0, 1e-9);
+  EXPECT_NEAR(k.tddb, 125.0, 1e-9);
+  EXPECT_NEAR(k.tc, 62.5, 1e-9);
+}
+
+TEST(QualificationTest, QualifiedSuiteAverages4000Fit) {
+  const std::vector<FitSummary> raw = {
+      summary_with(1.0, 2.0, 3.0, 4.0),
+      summary_with(3.0, 2.0, 5.0, 4.0),
+      summary_with(2.0, 2.0, 4.0, 4.0),
+  };
+  const MechanismConstants k = qualify(raw);
+  double total = 0.0;
+  for (const auto& s : raw) {
+    const auto by_mech = s.by_mechanism();
+    for (int m = 0; m < kNumMechanisms; ++m) {
+      total += by_mech[static_cast<std::size_t>(m)] *
+               k.get(static_cast<Mechanism>(m));
+    }
+  }
+  EXPECT_NEAR(total / 3.0, 4000.0, 1e-6);
+}
+
+TEST(QualificationTest, CustomTarget) {
+  const std::vector<FitSummary> raw = {summary_with(2.0, 2.0, 2.0, 2.0)};
+  const MechanismConstants k = qualify(raw, {.fit_per_mechanism = 500.0});
+  EXPECT_NEAR(k.em, 250.0, 1e-9);
+}
+
+TEST(QualificationTest, ZeroMechanismThrows) {
+  const std::vector<FitSummary> raw = {summary_with(1.0, 1.0, 0.0, 1.0)};
+  EXPECT_THROW(qualify(raw), InvalidArgument);
+}
+
+TEST(QualificationTest, EmptySuiteThrows) {
+  EXPECT_THROW(qualify({}), InvalidArgument);
+}
+
+TEST(QualificationTest, NonPositiveTargetThrows) {
+  const std::vector<FitSummary> raw = {summary_with(1.0, 1.0, 1.0, 1.0)};
+  EXPECT_THROW(qualify(raw, {.fit_per_mechanism = 0.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::core

@@ -1,0 +1,135 @@
+// Tests for rainflow cycle counting and small-cycle damage accumulation.
+#include "core/rainflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ramp::core {
+namespace {
+
+double total_count(const std::vector<RainflowCycle>& cycles) {
+  double n = 0;
+  for (const auto& c : cycles) n += c.count;
+  return n;
+}
+
+TEST(RainflowTest, EmptyAndConstantSignals) {
+  EXPECT_TRUE(rainflow_count({}).empty());
+  EXPECT_TRUE(rainflow_count({5.0}).empty());
+  EXPECT_TRUE(rainflow_count({5.0, 5.0, 5.0}).empty());
+}
+
+TEST(RainflowTest, SingleRampIsOneHalfCycle) {
+  const auto cycles = rainflow_count({0.0, 1.0, 2.0, 3.0});
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_DOUBLE_EQ(cycles[0].range, 3.0);
+  EXPECT_DOUBLE_EQ(cycles[0].count, 0.5);
+  EXPECT_DOUBLE_EQ(cycles[0].mean, 1.5);
+}
+
+TEST(RainflowTest, PureOscillationConservesTransitions) {
+  // 0,10,0,10,... : under ASTM E1049 a constant-amplitude alternating
+  // history counts as successive half cycles (every closure contains the
+  // moving start point). Every range must be the full 10 K swing and the
+  // total equivalent count must conserve the 19 transitions.
+  std::vector<double> signal;
+  for (int i = 0; i < 20; ++i) signal.push_back(i % 2 ? 10.0 : 0.0);
+  const auto cycles = rainflow_count(signal);
+  for (const auto& c : cycles) {
+    EXPECT_DOUBLE_EQ(c.range, 10.0);
+  }
+  // Each transition is covered exactly once: 2 * (sum of counts) = 19.
+  EXPECT_NEAR(2.0 * total_count(cycles), 19.0, 1e-9);
+}
+
+TEST(RainflowTest, SmallCycleInsideLargeCycleIsExtracted) {
+  // Classic rainflow example: a small dip nested in a big swing must count
+  // as its own small cycle, leaving the large range intact.
+  const auto cycles = rainflow_count({0.0, 10.0, 7.0, 9.0, 0.0});
+  // Expect one full 2 K cycle (7->9) and residual halves spanning 0->10->0.
+  bool found_small = false;
+  for (const auto& c : cycles) {
+    if (c.count == 1.0) {
+      EXPECT_DOUBLE_EQ(c.range, 2.0);
+      EXPECT_DOUBLE_EQ(c.mean, 8.0);
+      found_small = true;
+    } else {
+      EXPECT_DOUBLE_EQ(c.range, 10.0);
+    }
+  }
+  EXPECT_TRUE(found_small);
+}
+
+TEST(RainflowTest, MonotoneNoiseCollapsesToTurningPoints) {
+  // Strictly increasing samples contain no cycles beyond one half-cycle.
+  std::vector<double> signal;
+  for (int i = 0; i < 100; ++i) signal.push_back(i * 0.1);
+  const auto cycles = rainflow_count(signal);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_NEAR(cycles[0].range, 9.9, 1e-9);
+}
+
+TEST(RainflowTest, CycleCountScalesWithOscillations) {
+  auto oscillations = [](int n) {
+    std::vector<double> s;
+    for (int i = 0; i < n; ++i) s.push_back(i % 2 ? 1.0 : 0.0);
+    return total_count(rainflow_count(s));
+  };
+  EXPECT_LT(oscillations(10), oscillations(100));
+}
+
+TEST(SmallCycleDamageTest, DamageFollowsCoffinManson) {
+  // One full cycle at the reference range = damage 1; at half the range,
+  // damage (1/2)^q.
+  SmallCycleDamage ref(2.35, 40.0, 0.0);
+  ref.add_signal({300.0, 340.0, 300.0, 340.0, 300.0});  // 4 transitions
+  // 2*full + half = 4 transitions of 40 K; each full cycle damage 1.
+  EXPECT_NEAR(ref.total_damage(), 2.0, 1e-9);
+
+  SmallCycleDamage half(2.35, 40.0, 0.0);
+  half.add_signal({300.0, 320.0, 300.0, 320.0, 300.0});
+  EXPECT_NEAR(half.total_damage(), 2.0 * std::pow(0.5, 2.35), 1e-9);
+}
+
+TEST(SmallCycleDamageTest, ThresholdSuppressesNoise) {
+  SmallCycleDamage d(2.35, 40.0, /*threshold=*/0.5);
+  std::vector<double> noisy;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) noisy.push_back(350.0 + 0.1 * rng.uniform());
+  d.add_signal(noisy);
+  EXPECT_DOUBLE_EQ(d.total_damage(), 0.0);
+  EXPECT_DOUBLE_EQ(d.cycles_counted(), 0.0);
+}
+
+TEST(SmallCycleDamageTest, AccumulatesAcrossSignals) {
+  SmallCycleDamage d(2.35, 40.0, 0.0);
+  const double first = d.add_signal({300.0, 340.0, 300.0});
+  const double second = d.add_signal({300.0, 340.0, 300.0});
+  EXPECT_NEAR(d.total_damage(), first + second, 1e-12);
+  EXPECT_GT(d.cycles_counted(), 0.0);
+}
+
+TEST(SmallCycleDamageTest, SmallCyclesAreNegligibleAtExponentQ) {
+  // The engineering observation behind the paper's large-cycle-only model:
+  // micro-cycles of ~0.1 K against a 40 K reference contribute ~(1/400)^2.35
+  // damage each — even millions of them matter less than one large cycle.
+  SmallCycleDamage d(2.35, 40.0, 0.0);
+  std::vector<double> s;
+  for (int i = 0; i < 20000; ++i) s.push_back(i % 2 ? 350.1 : 350.0);
+  d.add_signal(s);
+  EXPECT_LT(d.total_damage(), 1e-2);
+  EXPECT_GT(d.cycles_counted(), 9000.0);
+}
+
+TEST(SmallCycleDamageTest, RejectsBadParameters) {
+  EXPECT_THROW(SmallCycleDamage(0.0, 40.0), InvalidArgument);
+  EXPECT_THROW(SmallCycleDamage(2.35, 0.0), InvalidArgument);
+  EXPECT_THROW(SmallCycleDamage(2.35, 40.0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::core

@@ -1,0 +1,138 @@
+// Tests for the RAMP model facade (per-structure, per-mechanism FIT).
+#include "core/ramp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::core {
+namespace {
+
+using scaling::TechPoint;
+using sim::StructureId;
+
+TEST(MechanismConstantsTest, GetSetRoundtrip) {
+  MechanismConstants k;
+  k.set(Mechanism::kEm, 2.0);
+  k.set(Mechanism::kTddb, 5.0);
+  EXPECT_DOUBLE_EQ(k.get(Mechanism::kEm), 2.0);
+  EXPECT_DOUBLE_EQ(k.get(Mechanism::kSm), 1.0);
+  EXPECT_DOUBLE_EQ(k.get(Mechanism::kTddb), 5.0);
+  EXPECT_THROW(k.set(Mechanism::kTc, -1.0), InvalidArgument);
+}
+
+TEST(RampModelTest, ConstantsScaleLinearly) {
+  const OperatingPoint op{355.0, 1.3, 0.5};
+  const RampModel unit(scaling::base_node());
+  MechanismConstants k;
+  k.em = 10.0;
+  k.sm = 20.0;
+  k.tddb = 30.0;
+  k.tc = 40.0;
+  const RampModel scaled(scaling::base_node(), k);
+  EXPECT_NEAR(scaled.em_fit(StructureId::kLsu, op),
+              10.0 * unit.em_fit(StructureId::kLsu, op), 1e-12);
+  EXPECT_NEAR(scaled.sm_fit(StructureId::kLsu, op),
+              20.0 * unit.sm_fit(StructureId::kLsu, op), 1e-12);
+  EXPECT_NEAR(scaled.tddb_fit(StructureId::kLsu, op),
+              30.0 * unit.tddb_fit(StructureId::kLsu, op) / 1.0, 1e-12);
+  EXPECT_NEAR(scaled.tc_fit(350.0), 40.0 * unit.tc_fit(350.0), 1e-12);
+}
+
+TEST(RampModelTest, EmUsesActivityTimesJmax) {
+  // §2: J = p · J_max. Doubling p must follow the J^n power law.
+  const RampModel model(scaling::base_node());
+  const OperatingPoint lo{355.0, 1.3, 0.25};
+  const OperatingPoint hi{355.0, 1.3, 0.5};
+  const double ratio = model.em_fit(StructureId::kFxu, hi) /
+                       model.em_fit(StructureId::kFxu, lo);
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.1), 1e-9);
+}
+
+TEST(RampModelTest, IdleStructureHasZeroEmFit) {
+  const RampModel model(scaling::base_node());
+  const OperatingPoint idle{355.0, 1.3, 0.0};
+  EXPECT_DOUBLE_EQ(model.em_fit(StructureId::kFpu, idle), 0.0);
+}
+
+TEST(RampModelTest, StructureWeightsFollowAreaFractions) {
+  const RampModel model(scaling::base_node());
+  const OperatingPoint op{355.0, 1.3, 0.5};
+  const double lsu = model.sm_fit(StructureId::kLsu, op);
+  const double bxu = model.sm_fit(StructureId::kBxu, op);
+  EXPECT_NEAR(lsu / bxu,
+              sim::structure_area_fraction(StructureId::kLsu) /
+                  sim::structure_area_fraction(StructureId::kBxu),
+              1e-9);
+}
+
+TEST(RampModelTest, TddbShrinksWithDieAreaAtFixedConditions) {
+  // At identical (T, V, tox), a smaller die has less gate oxide to break.
+  const RampModel m180(scaling::base_node());
+  const RampModel m65(scaling::node(TechPoint::k65nm_1V0));
+  const OperatingPoint op{355.0, 1.0, 0.5};
+  // Isolate the area term by comparing against the tox term analytically.
+  const double f180 = m180.tddb_fit(StructureId::kLsu, op);
+  const double f65 = m65.tddb_fit(StructureId::kLsu, op);
+  const double tox_term =
+      std::pow(10.0, (2.5 - 0.9) / m180.tddb_model().tox_scale_nm);
+  EXPECT_NEAR(f65 / f180, tox_term * 0.16, tox_term * 0.16 * 1e-9);
+}
+
+TEST(RampModelTest, EmWorsensWithInterconnectShrink) {
+  const RampModel m180(scaling::base_node());
+  const RampModel m130(scaling::node(TechPoint::k130nm));
+  // Same operating point: only (w·h)_rel and J_max differ.
+  const OperatingPoint op{355.0, 1.3, 0.5};
+  const double f180 = m180.em_fit(StructureId::kLsu, op);
+  const double f130 = m130.em_fit(StructureId::kLsu, op);
+  // J term: (0.5·6/0.5·9)^1.1; wh term: 1/0.49.
+  const double expected = std::pow(6.0 / 9.0, 1.1) / 0.49;
+  EXPECT_NEAR(f130 / f180, expected, 1e-9);
+}
+
+TEST(RampModelTest, StructureFitsBundleMatchesIndividualCalls) {
+  const RampModel model(scaling::base_node());
+  const OperatingPoint op{358.0, 1.3, 0.7};
+  const auto fits = model.structure_fits(StructureId::kIfu, op);
+  EXPECT_DOUBLE_EQ(fits[static_cast<std::size_t>(Mechanism::kEm)],
+                   model.em_fit(StructureId::kIfu, op));
+  EXPECT_DOUBLE_EQ(fits[static_cast<std::size_t>(Mechanism::kSm)],
+                   model.sm_fit(StructureId::kIfu, op));
+  EXPECT_DOUBLE_EQ(fits[static_cast<std::size_t>(Mechanism::kTddb)],
+                   model.tddb_fit(StructureId::kIfu, op));
+  EXPECT_DOUBLE_EQ(fits[static_cast<std::size_t>(Mechanism::kTc)], 0.0);
+}
+
+TEST(RampModelTest, ActivityOutOfRangeThrows) {
+  const RampModel model(scaling::base_node());
+  EXPECT_THROW(model.em_fit(StructureId::kIfu, {355.0, 1.3, 1.5}),
+               InvalidArgument);
+}
+
+TEST(RampModelTest, TddbPresetInjectable) {
+  const OperatingPoint op{355.0, 1.3, 0.5};
+  const RampModel shape(scaling::base_node(), {}, TddbModel::dsn04_shape());
+  const RampModel wu(scaling::base_node(), {}, TddbModel::wu2002());
+  EXPECT_NE(shape.tddb_fit(StructureId::kLsu, op),
+            wu.tddb_fit(StructureId::kLsu, op));
+  EXPECT_DOUBLE_EQ(wu.tddb_model().a, 78.0);
+}
+
+// Property sweep over nodes: at a fixed operating point the TC model is
+// node-independent (package-level), while EM depends on the node.
+class NodeSweepTest : public ::testing::TestWithParam<scaling::TechPoint> {};
+
+TEST_P(NodeSweepTest, TcIsNodeIndependent) {
+  const RampModel base(scaling::base_node());
+  const RampModel other(scaling::node(GetParam()));
+  EXPECT_DOUBLE_EQ(base.tc_fit(350.0), other.tc_fit(350.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, NodeSweepTest,
+                         ::testing::ValuesIn(scaling::kAllTechPoints));
+
+}  // namespace
+}  // namespace ramp::core

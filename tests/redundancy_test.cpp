@@ -1,0 +1,126 @@
+// Tests for the structural-redundancy lifetime extension.
+#include "core/redundancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace ramp::core {
+namespace {
+
+FitSummary uniform_summary(double fit_per_cell) {
+  FitSummary s;
+  for (auto& row : s.by_structure) {
+    for (int m = 0; m < kNumMechanisms - 1; ++m) {
+      row[static_cast<std::size_t>(m)] = fit_per_cell;
+    }
+  }
+  s.tc_fit = fit_per_cell;
+  return s;
+}
+
+TEST(SparePlanTest, UniformAndTotals) {
+  const SparePlan plan = SparePlan::uniform(2);
+  EXPECT_EQ(plan.total(), 2 * sim::kNumStructures);
+  for (int n : plan.spares) EXPECT_EQ(n, 2);
+  EXPECT_EQ(SparePlan{}.total(), 0);
+}
+
+TEST(SparePlanTest, AreaOverhead) {
+  SparePlan plan;
+  plan.spares[sim::idx(sim::StructureId::kFxu)] = 1;
+  EXPECT_NEAR(plan.area_overhead(),
+              sim::structure_area_fraction(sim::StructureId::kFxu), 1e-12);
+  EXPECT_NEAR(SparePlan::uniform(1).area_overhead(), 1.0, 1e-12);
+}
+
+TEST(SparePlanTest, NegativeSparesRejected) {
+  SparePlan plan;
+  plan.spares[0] = -1;
+  EXPECT_THROW(plan.total(), InvalidArgument);
+}
+
+TEST(RedundantLifetimeTest, ZeroSparesMatchesPlainEngine) {
+  const FitSummary s = uniform_summary(200.0);
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kExponential;
+  const RedundantLifetimeMonteCarlo red(s, SparePlan{}, cfg);
+  const LifetimeMonteCarlo plain(s, cfg);
+  const auto a = red.estimate(60000, 3);
+  const auto b = plain.estimate(60000, 3);
+  // Same model, same structure — means agree statistically.
+  EXPECT_NEAR(a.mean_years, b.mean_years, b.mean_years * 0.05);
+  EXPECT_DOUBLE_EQ(a.sofr_years, b.sofr_years);
+}
+
+TEST(RedundantLifetimeTest, SparesExtendLifetime) {
+  const FitSummary s = uniform_summary(200.0);
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kWeibull;
+  auto mean_with = [&](int spares) {
+    return RedundantLifetimeMonteCarlo(s, SparePlan::uniform(spares), cfg)
+        .estimate(30000, 4)
+        .mean_years;
+  };
+  const double none = mean_with(0);
+  const double one = mean_with(1);
+  const double two = mean_with(2);
+  EXPECT_GT(one, 1.5 * none);
+  EXPECT_GT(two, one);
+}
+
+TEST(RedundantLifetimeTest, TcIsNotSparable) {
+  // With huge spare counts everywhere, the package TC term must still cap
+  // the lifetime near its own MTTF.
+  FitSummary s;
+  s.tc_fit = 1000.0;  // 1000 FIT => ~114 years MTTF
+  // Tiny structure-level rates so structures effectively never fail.
+  s.by_structure[0][0] = 1e-6;
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kExponential;
+  const RedundantLifetimeMonteCarlo red(s, SparePlan::uniform(10), cfg);
+  const auto est = red.estimate(50000, 5);
+  EXPECT_NEAR(est.mean_years, mttf_years_from_fit(1000.0),
+              mttf_years_from_fit(1000.0) * 0.05);
+}
+
+TEST(RedundantLifetimeTest, SparingOnlyTheWeakestStructureHelpsMost) {
+  // Concentrate the failure rate in the LSU; sparing the LSU must beat
+  // sparing the (healthy) BXU at equal spare budget.
+  FitSummary s;
+  s.by_structure[sim::idx(sim::StructureId::kLsu)]
+                [static_cast<std::size_t>(Mechanism::kEm)] = 3000.0;
+  s.by_structure[sim::idx(sim::StructureId::kBxu)]
+                [static_cast<std::size_t>(Mechanism::kEm)] = 100.0;
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kWeibull;
+
+  SparePlan spare_lsu;
+  spare_lsu.spares[sim::idx(sim::StructureId::kLsu)] = 1;
+  SparePlan spare_bxu;
+  spare_bxu.spares[sim::idx(sim::StructureId::kBxu)] = 1;
+
+  const double with_lsu =
+      RedundantLifetimeMonteCarlo(s, spare_lsu, cfg).estimate(30000, 6).mean_years;
+  const double with_bxu =
+      RedundantLifetimeMonteCarlo(s, spare_bxu, cfg).estimate(30000, 6).mean_years;
+  EXPECT_GT(with_lsu, 1.3 * with_bxu);
+}
+
+TEST(RedundantLifetimeTest, DeterministicForSeed) {
+  const FitSummary s = uniform_summary(150.0);
+  const RedundantLifetimeMonteCarlo red(s, SparePlan::uniform(1), {});
+  const auto a = red.estimate(5000, 11);
+  const auto b = red.estimate(5000, 11);
+  EXPECT_DOUBLE_EQ(a.mean_years, b.mean_years);
+}
+
+TEST(RedundantLifetimeTest, AllZeroThrows) {
+  FitSummary s;
+  EXPECT_THROW(RedundantLifetimeMonteCarlo(s, SparePlan{}, {}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::core

@@ -1,0 +1,124 @@
+// Tests for the Table 4 technology-node tables.
+#include "scaling/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::scaling {
+namespace {
+
+TEST(TechnologyTest, FiveNodesInPaperOrder) {
+  const auto& nodes = standard_nodes();
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_EQ(nodes[0].name, "180nm");
+  EXPECT_EQ(nodes[1].name, "130nm");
+  EXPECT_EQ(nodes[2].name, "90nm");
+  EXPECT_EQ(nodes[3].name, "65nm (0.9V)");
+  EXPECT_EQ(nodes[4].name, "65nm (1.0V)");
+}
+
+TEST(TechnologyTest, Table4Values) {
+  const TechnologyNode& base = node(TechPoint::k180nm);
+  EXPECT_DOUBLE_EQ(base.vdd, 1.3);
+  EXPECT_DOUBLE_EQ(base.frequency_hz, 1.1e9);
+  EXPECT_DOUBLE_EQ(base.tox_nm, 2.5);
+  EXPECT_DOUBLE_EQ(base.jmax_ma_per_um2, 9.0);
+  EXPECT_DOUBLE_EQ(base.leakage_w_per_mm2_at_383k, 0.040);
+
+  const TechnologyNode& n65 = node(TechPoint::k65nm_1V0);
+  EXPECT_DOUBLE_EQ(n65.vdd, 1.0);
+  EXPECT_DOUBLE_EQ(n65.frequency_hz, 2.0e9);
+  EXPECT_DOUBLE_EQ(n65.relative_area, 0.16);
+  EXPECT_DOUBLE_EQ(n65.tox_nm, 0.9);
+  EXPECT_DOUBLE_EQ(n65.leakage_w_per_mm2_at_383k, 0.60);
+}
+
+TEST(TechnologyTest, The65nmPointsDifferOnlyInVoltageAndLeakage) {
+  const TechnologyNode& a = node(TechPoint::k65nm_0V9);
+  const TechnologyNode& b = node(TechPoint::k65nm_1V0);
+  EXPECT_EQ(a.feature_nm, b.feature_nm);
+  EXPECT_EQ(a.frequency_hz, b.frequency_hz);
+  EXPECT_EQ(a.relative_area, b.relative_area);
+  EXPECT_EQ(a.tox_nm, b.tox_nm);
+  EXPECT_EQ(a.jmax_ma_per_um2, b.jmax_ma_per_um2);
+  EXPECT_LT(a.vdd, b.vdd);
+  EXPECT_LT(a.leakage_w_per_mm2_at_383k, b.leakage_w_per_mm2_at_383k);
+}
+
+TEST(TechnologyTest, FrequencyScalesAbout22PercentPerGeneration) {
+  // §4.6: conservative 22% frequency growth per generation.
+  const auto& nodes = standard_nodes();
+  for (std::size_t i = 1; i < 3; ++i) {
+    const double growth = nodes[i].frequency_hz / nodes[i - 1].frequency_hz;
+    EXPECT_NEAR(growth, 1.22, 0.02) << nodes[i].name;
+  }
+}
+
+TEST(TechnologyTest, LinearScaleMatchesAreaScale) {
+  // relative_area ≈ linear_scale² (Table 4 rounds area to 0.16 at 65 nm).
+  for (const auto& n : standard_nodes()) {
+    EXPECT_NEAR(n.relative_area, n.linear_scale * n.linear_scale, 0.011)
+        << n.name;
+  }
+}
+
+TEST(TechnologyTest, EmCrossSectionShrinksQuadratically) {
+  EXPECT_DOUBLE_EQ(node(TechPoint::k180nm).em_wh_relative(), 1.0);
+  EXPECT_NEAR(node(TechPoint::k130nm).em_wh_relative(), 0.49, 1e-12);
+  EXPECT_NEAR(node(TechPoint::k65nm_1V0).em_wh_relative(), 0.392 * 0.392, 1e-12);
+}
+
+TEST(TechnologyTest, InterconnectCurrentDensityFlattensAt90nm) {
+  // §4.6: 33% reduction per generation until 90 nm, flat afterwards.
+  EXPECT_GT(node(TechPoint::k130nm).jmax_ma_per_um2,
+            node(TechPoint::k90nm).jmax_ma_per_um2);
+  EXPECT_DOUBLE_EQ(node(TechPoint::k90nm).jmax_ma_per_um2,
+                   node(TechPoint::k65nm_1V0).jmax_ma_per_um2);
+}
+
+TEST(TechnologyTest, DynamicPowerScaleReproducesTable4PowerTrend) {
+  // P_dyn ∝ C V² f relative to 180 nm; the resulting factors drive the
+  // Table 4 total-power column (29.1 → 19.0 → 14.7 → 14.4 → 16.9 W).
+  const TechnologyNode& base = base_node();
+  EXPECT_DOUBLE_EQ(base.dynamic_power_scale(base), 1.0);
+  EXPECT_NEAR(node(TechPoint::k130nm).dynamic_power_scale(base), 0.615, 0.01);
+  EXPECT_NEAR(node(TechPoint::k90nm).dynamic_power_scale(base), 0.435, 0.01);
+  EXPECT_NEAR(node(TechPoint::k65nm_0V9).dynamic_power_scale(base), 0.349, 0.01);
+  EXPECT_NEAR(node(TechPoint::k65nm_1V0).dynamic_power_scale(base), 0.430, 0.01);
+}
+
+TEST(TechnologyTest, AnalyticTable4PowerColumn) {
+  // Check the full Table 4 power reconstruction analytically: dynamic part
+  // from the 180 nm value (≈26.9 W) times the CV²f factor, plus leakage at
+  // a representative ~360 K die temperature. Matches Table 4 within ~1 W.
+  const double base_dynamic = 26.9;
+  const double beta = 0.017;
+  const struct { TechPoint p; double want; } rows[] = {
+      {TechPoint::k180nm, 29.1},
+      {TechPoint::k130nm, 19.0},
+      {TechPoint::k90nm, 14.7},
+      {TechPoint::k65nm_0V9, 14.4},
+      {TechPoint::k65nm_1V0, 16.9},
+  };
+  for (const auto& row : rows) {
+    const TechnologyNode& n = node(row.p);
+    const double dyn = base_dynamic * n.dynamic_power_scale(base_node());
+    const double leak = n.leakage_w_per_mm2_at_383k * 81.0 * n.relative_area *
+                        std::exp(beta * (360.0 - 383.0));
+    EXPECT_NEAR(dyn + leak, row.want, 1.2) << n.name;
+  }
+}
+
+TEST(TechnologyTest, CycleTime) {
+  EXPECT_NEAR(base_node().cycle_time_s(), 1.0 / 1.1e9, 1e-15);
+}
+
+TEST(TechnologyTest, TechNameLookup) {
+  EXPECT_EQ(tech_name(TechPoint::k90nm), "90nm");
+}
+
+}  // namespace
+}  // namespace ramp::scaling

@@ -1,0 +1,148 @@
+// Tests for the sweep runner: qualification, worst-case, cache roundtrip.
+#include "pipeline/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace ramp::pipeline {
+namespace {
+
+// One shared quick sweep for all tests in this file (computed once).
+const SweepResult& quick_sweep() {
+  static const SweepResult sweep = [] {
+    EvaluationConfig cfg;
+    cfg.trace_instructions = 20'000;
+    return run_sweep(cfg, /*cache_path=*/"", /*verbose=*/false);
+  }();
+  return sweep;
+}
+
+TEST(SweepTest, CoversEveryAppTechCell) {
+  const auto& sweep = quick_sweep();
+  EXPECT_EQ(sweep.results.size(), 16u * 5u);
+  for (const auto& w : workloads::spec2k_suite()) {
+    for (const auto tp : scaling::kAllTechPoints) {
+      EXPECT_NO_THROW(sweep.at(w.name, tp));
+    }
+  }
+  EXPECT_THROW(sweep.at("nonexistent", scaling::TechPoint::k180nm),
+               InvalidArgument);
+}
+
+TEST(SweepTest, QualificationYields4000FitAt180nm) {
+  const auto& sweep = quick_sweep();
+  double total = 0.0;
+  for (const auto& r : sweep.results) {
+    if (r.tech == scaling::TechPoint::k180nm) {
+      total += sweep.qualified_fits(r).total();
+    }
+  }
+  EXPECT_NEAR(total / 16.0, 4000.0, 1.0);
+}
+
+TEST(SweepTest, EachMechanismAverages1000At180nm) {
+  const auto& sweep = quick_sweep();
+  for (int m = 0; m < core::kNumMechanisms; ++m) {
+    double fp = sweep.average_mechanism_fit(workloads::Suite::kSpecFp,
+                                            scaling::TechPoint::k180nm,
+                                            static_cast<core::Mechanism>(m));
+    double in = sweep.average_mechanism_fit(workloads::Suite::kSpecInt,
+                                            scaling::TechPoint::k180nm,
+                                            static_cast<core::Mechanism>(m));
+    EXPECT_NEAR((fp + in) / 2.0, 1000.0, 1.0)
+        << core::mechanism_name(static_cast<core::Mechanism>(m));
+  }
+}
+
+TEST(SweepTest, WorstCaseDominatesEveryApp) {
+  // §5.2: the worst-case FIT is distinctly higher than any individual app.
+  const auto& sweep = quick_sweep();
+  for (const auto tp : scaling::kAllTechPoints) {
+    const double wc = sweep.worst_case(tp).total();
+    for (const auto& r : sweep.results) {
+      if (r.tech != tp) continue;
+      EXPECT_GE(wc, sweep.qualified_fits(r).total())
+          << r.app << " at " << scaling::tech_name(tp);
+    }
+  }
+}
+
+TEST(SweepTest, FailureRateRisesMonotonicallyThroughSharedVoltageNodes) {
+  // 180 -> 130 -> 90 -> 65 (1.0V): average FIT must increase (§5.2).
+  const auto& sweep = quick_sweep();
+  const scaling::TechPoint order[] = {
+      scaling::TechPoint::k180nm, scaling::TechPoint::k130nm,
+      scaling::TechPoint::k90nm, scaling::TechPoint::k65nm_1V0};
+  double prev = 0.0;
+  for (const auto tp : order) {
+    const double avg = sweep.average_total_fit_all(tp);
+    EXPECT_GT(avg, prev) << scaling::tech_name(tp);
+    prev = avg;
+  }
+}
+
+TEST(SweepTest, The1V0PointIsWorseThanThe0V9Point) {
+  const auto& sweep = quick_sweep();
+  EXPECT_GT(sweep.average_total_fit_all(scaling::TechPoint::k65nm_1V0),
+            sweep.average_total_fit_all(scaling::TechPoint::k65nm_0V9));
+}
+
+TEST(SweepTest, CellsReturnsSuiteInTable3Order) {
+  const auto& sweep = quick_sweep();
+  const auto fp_cells =
+      sweep.cells(workloads::Suite::kSpecFp, scaling::TechPoint::k180nm);
+  ASSERT_EQ(fp_cells.size(), 8u);
+  EXPECT_EQ(fp_cells.front()->app, "ammp");
+  EXPECT_EQ(fp_cells.back()->app, "apsi");
+}
+
+TEST(SweepTest, CsvRoundtripPreservesEverything) {
+  const auto& sweep = quick_sweep();
+  const std::string csv = sweep_to_csv(sweep);
+  const auto restored = sweep_from_csv(csv, sweep.config);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->results.size(), sweep.results.size());
+  EXPECT_DOUBLE_EQ(restored->constants.em, sweep.constants.em);
+  EXPECT_DOUBLE_EQ(restored->constants.tddb, sweep.constants.tddb);
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const auto& a = sweep.results[i];
+    const auto& b = restored->results[i];
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.tech, b.tech);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_DOUBLE_EQ(a.avg_total_power_w, b.avg_total_power_w);
+    EXPECT_DOUBLE_EQ(a.max_structure_temp_k, b.max_structure_temp_k);
+    EXPECT_DOUBLE_EQ(a.raw_fits.total(), b.raw_fits.total());
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+  }
+}
+
+TEST(SweepTest, CacheRejectsMismatchedConfig) {
+  const auto& sweep = quick_sweep();
+  const std::string csv = sweep_to_csv(sweep);
+  EvaluationConfig other = sweep.config;
+  other.trace_instructions += 1;
+  EXPECT_FALSE(sweep_from_csv(csv, other).has_value());
+}
+
+TEST(SweepTest, CacheRejectsGarbage) {
+  EvaluationConfig cfg;
+  EXPECT_FALSE(sweep_from_csv("not a cache file", cfg).has_value());
+  EXPECT_FALSE(sweep_from_csv("", cfg).has_value());
+}
+
+TEST(SweepTest, ConfigHashSensitivity) {
+  EvaluationConfig a, b;
+  EXPECT_EQ(config_hash(a), config_hash(b));
+  b.thermal.r_vertical_specific *= 1.01;
+  EXPECT_NE(config_hash(a), config_hash(b));
+  b = a;
+  b.seed += 1;
+  EXPECT_NE(config_hash(a), config_hash(b));
+}
+
+}  // namespace
+}  // namespace ramp::pipeline

@@ -1,0 +1,216 @@
+// Tests for the RC thermal model: steady state, transient, energy balance.
+#include "thermal/rc_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp::thermal {
+namespace {
+
+RcNetwork small_net(ThermalConfig cfg = {}) {
+  return RcNetwork(power4_floorplan(), cfg);
+}
+
+std::vector<double> uniform_power(std::size_t n, double watts) {
+  return std::vector<double>(n, watts);
+}
+
+TEST(RcNetworkTest, ZeroPowerSettlesAtAmbient) {
+  const RcNetwork net = small_net();
+  const auto t = net.steady_state(uniform_power(net.num_blocks(), 0.0));
+  for (double v : t) EXPECT_NEAR(v, net.ambient(), 1e-9);
+}
+
+TEST(RcNetworkTest, SinkTemperatureObeysConvectionLaw) {
+  // In steady state, all heat leaves through R_convec:
+  // T_sink = T_amb + P_total * R.
+  const RcNetwork net = small_net();
+  const double per_block = 4.0;
+  const auto t = net.steady_state(uniform_power(net.num_blocks(), per_block));
+  const double p_total = per_block * static_cast<double>(net.num_blocks());
+  EXPECT_NEAR(t[net.num_blocks() + 1], net.ambient() + p_total * 0.8, 1e-6);
+}
+
+TEST(RcNetworkTest, BlocksAreHotterThanSpreaderAndSink) {
+  const RcNetwork net = small_net();
+  const auto t = net.steady_state(uniform_power(net.num_blocks(), 4.0));
+  const double spreader = t[net.num_blocks()];
+  const double sink = t[net.num_blocks() + 1];
+  EXPECT_GT(spreader, sink);
+  for (std::size_t i = 0; i < net.num_blocks(); ++i) {
+    EXPECT_GT(t[i], spreader);
+  }
+}
+
+TEST(RcNetworkTest, HigherPowerDensityBlockIsHotter) {
+  const RcNetwork net = small_net();
+  // Put all the power in one (small) block: it must be the hottest.
+  std::vector<double> p(net.num_blocks(), 1.0);
+  const auto bxu = net.floorplan().index_of("BXU");
+  p[bxu] = 10.0;
+  const auto t = net.steady_state(p);
+  for (std::size_t i = 0; i < net.num_blocks(); ++i) {
+    if (i != bxu) {
+      EXPECT_GT(t[bxu], t[i]);
+    }
+  }
+}
+
+TEST(RcNetworkTest, SmallerDieRunsHotterAtSamePower) {
+  // Scaling shrinks the vertical conductances: same block powers => larger
+  // junction-to-sink rises (the paper's power-density effect).
+  const RcNetwork big(power4_floorplan(), {});
+  const RcNetwork small(power4_floorplan().scaled(0.4), {});
+  const auto tb = big.steady_state(uniform_power(big.num_blocks(), 3.0));
+  const auto ts = small.steady_state(uniform_power(small.num_blocks(), 3.0));
+  // Compare hottest block rise over the sink.
+  auto rise = [](const RcNetwork& n, const std::vector<double>& t) {
+    double hottest = 0;
+    for (std::size_t i = 0; i < n.num_blocks(); ++i)
+      hottest = std::max(hottest, t[i]);
+    return hottest - t[n.num_blocks() + 1];
+  };
+  EXPECT_GT(rise(small, ts), 2.0 * rise(big, tb));
+}
+
+TEST(RcNetworkTest, SetRConvecMovesSinkTemperature) {
+  RcNetwork net = small_net();
+  const auto t1 = net.steady_state(uniform_power(net.num_blocks(), 4.0));
+  net.set_r_convec(0.4);
+  const auto t2 = net.steady_state(uniform_power(net.num_blocks(), 4.0));
+  const double p_total = 4.0 * static_cast<double>(net.num_blocks());
+  EXPECT_NEAR(t2[net.num_blocks() + 1], net.ambient() + p_total * 0.4, 1e-6);
+  EXPECT_LT(t2[0], t1[0]);
+}
+
+TEST(RcNetworkTest, LeakageFixedPointConverges) {
+  const RcNetwork net = small_net();
+  // Power grows mildly with temperature (leakage-like): the fixed point
+  // must converge above the constant-power solution.
+  auto power_of = [&](const std::vector<double>& temps) {
+    std::vector<double> p(temps.size());
+    for (std::size_t i = 0; i < temps.size(); ++i) {
+      p[i] = 3.0 + 0.5 * std::exp(0.017 * (temps[i] - 383.0));
+    }
+    return p;
+  };
+  const auto t = net.steady_state(power_of);
+  const auto t_const = net.steady_state(uniform_power(net.num_blocks(), 3.0));
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_GT(t[i], t_const[i]);
+  // And it is a true fixed point: re-solving with the converged powers
+  // reproduces the temperatures.
+  std::vector<double> block_temps(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(net.num_blocks()));
+  const auto t2 = net.steady_state(power_of(block_temps));
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_NEAR(t2[i], t[i], 1e-3);
+}
+
+TEST(RcNetworkTest, ThermalRunawayThrows) {
+  const RcNetwork net = small_net();
+  // Pathological super-exponential leakage: no fixed point exists.
+  auto power_of = [&](const std::vector<double>& temps) {
+    std::vector<double> p(temps.size());
+    for (std::size_t i = 0; i < temps.size(); ++i) {
+      p[i] = 10.0 + std::exp(0.5 * (temps[i] - 320.0));
+    }
+    return p;
+  };
+  EXPECT_THROW(net.steady_state(power_of, 1e-6, 50), ConvergenceError);
+}
+
+TEST(TransientTest, ConvergesToSteadyState) {
+  const RcNetwork net = small_net();
+  const auto p = uniform_power(net.num_blocks(), 4.0);
+  const auto steady = net.steady_state(p);
+  // Start at the steady state of a colder run and walk toward the new one
+  // with big steps (implicit Euler is unconditionally stable). The sink
+  // pole has tau = R·C ≈ 960 s, so integrate well past 10 tau.
+  Transient tr(net, net.steady_state(uniform_power(net.num_blocks(), 1.0)), 0.5);
+  for (int i = 0; i < 30000; ++i) tr.step(p);  // 15,000 s
+  for (std::size_t i = 0; i < steady.size(); ++i) {
+    EXPECT_NEAR(tr.temperatures()[i], steady[i], 0.01) << "node " << i;
+  }
+}
+
+TEST(TransientTest, SteadyStateIsAFixedPoint) {
+  const RcNetwork net = small_net();
+  const auto p = uniform_power(net.num_blocks(), 5.0);
+  const auto steady = net.steady_state(p);
+  Transient tr(net, steady, 1e-6);
+  for (int i = 0; i < 100; ++i) tr.step(p);
+  for (std::size_t i = 0; i < steady.size(); ++i) {
+    EXPECT_NEAR(tr.temperatures()[i], steady[i], 1e-6);
+  }
+}
+
+TEST(TransientTest, SiliconRespondsFasterThanSink) {
+  // The HotSpot observation motivating the paper's two-run methodology:
+  // silicon reaches its *local* equilibrium (block-over-sink differential)
+  // in milliseconds while the sink itself has barely moved.
+  const RcNetwork net = small_net();
+  const auto cold = net.steady_state(uniform_power(net.num_blocks(), 1.0));
+  const auto hot_p = uniform_power(net.num_blocks(), 6.0);
+  const auto hot = net.steady_state(hot_p);
+  Transient tr(net, cold, 1e-3);
+  for (int i = 0; i < 200; ++i) tr.step(hot_p);  // 200 ms
+  const std::size_t spreader = net.num_blocks();
+  const std::size_t sink = net.num_blocks() + 1;
+  // The block-over-spreader differential (block tau ≈ 13 ms) is nearly
+  // complete... (the spreader itself is a 15 s pole, the sink a 960 s one)
+  const double diff_now = tr.temperatures()[0] - tr.temperatures()[spreader];
+  const double diff_cold = cold[0] - cold[spreader];
+  const double diff_hot = hot[0] - hot[spreader];
+  const double diff_frac = (diff_now - diff_cold) / (diff_hot - diff_cold);
+  EXPECT_GT(diff_frac, 0.8);
+  // ...while the sink's absolute response has barely begun (tau ≈ 960 s).
+  const double sink_frac =
+      (tr.temperatures()[sink] - cold[sink]) / (hot[sink] - cold[sink]);
+  EXPECT_LT(sink_frac, 0.05);
+}
+
+TEST(TransientTest, MicrosecondStepsAreStable) {
+  const RcNetwork net = small_net();
+  const auto p = uniform_power(net.num_blocks(), 4.0);
+  Transient tr(net, net.steady_state(p), 1e-6);
+  for (int i = 0; i < 10000; ++i) tr.step(p);
+  for (double t : tr.temperatures()) {
+    EXPECT_GT(t, 300.0);
+    EXPECT_LT(t, 450.0);
+  }
+  EXPECT_NEAR(tr.elapsed(), 0.01, 1e-9);
+}
+
+TEST(TransientTest, RejectsBadInputs) {
+  const RcNetwork net = small_net();
+  EXPECT_THROW(Transient(net, {1.0, 2.0}, 1e-6), InvalidArgument);
+  std::vector<double> init(net.num_nodes(), 318.0);
+  EXPECT_THROW(Transient(net, init, 0.0), InvalidArgument);
+  Transient tr(net, init, 1e-6);
+  EXPECT_THROW(tr.step({1.0}), InvalidArgument);
+}
+
+TEST(RcNetworkTest, RejectsBadConfig) {
+  ThermalConfig cfg;
+  cfg.r_convec_k_per_w = 0.0;
+  EXPECT_THROW(small_net(cfg), InvalidArgument);
+  cfg = {};
+  cfg.ambient_k = -1;
+  EXPECT_THROW(small_net(cfg), InvalidArgument);
+}
+
+TEST(RcNetworkTest, PowerVectorSizeChecked) {
+  const RcNetwork net = small_net();
+  EXPECT_THROW(net.steady_state(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(RcNetworkTest, NegativePowerRejected) {
+  const RcNetwork net = small_net();
+  auto p = uniform_power(net.num_blocks(), 1.0);
+  p[0] = -2.0;
+  EXPECT_THROW(net.steady_state(p), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::thermal

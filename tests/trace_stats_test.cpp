@@ -1,0 +1,117 @@
+// Tests for trace characterization — the generator's knobs must be
+// recoverable from its output.
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic_generator.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace ramp::trace {
+namespace {
+
+TEST(TraceStatsTest, EmptyReaderYieldsZeros) {
+  struct Empty final : TraceReader {
+    bool next(Instruction&) override { return false; }
+  } empty;
+  const auto s = characterize(empty);
+  EXPECT_EQ(s.instructions, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_dep_distance, 0.0);
+}
+
+TEST(TraceStatsTest, MixMatchesGeneratorWeights) {
+  GeneratorProfile p;
+  p.op_mix = {40, 2, 0.2, 10, 0.5, 25, 10, 5, 4};
+  p.block_len = 1000;  // keep forced branches negligible
+  SyntheticTrace t(p, 100'000, 3);
+  const auto s = characterize(t);
+  const double total = 96.7;
+  EXPECT_NEAR(s.mix[static_cast<std::size_t>(OpClass::kLoad)], 25 / total, 0.02);
+  EXPECT_NEAR(s.mix[static_cast<std::size_t>(OpClass::kIntAlu)], 40 / total, 0.02);
+  double sum = 0;
+  for (double m : s.mix) sum += m;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TraceStatsTest, DependencyDistanceTracksKnob) {
+  auto measured = [](double mean_dist) {
+    GeneratorProfile p;
+    p.op_mix = {60, 1, 0, 0, 0, 20, 8, 5, 4};
+    p.dep_distance_p = 1.0 / (1.0 + mean_dist);
+    SyntheticTrace t(p, 60'000, 4);
+    return characterize(t).mean_dep_distance;
+  };
+  EXPECT_LT(measured(1.5), measured(6.0));
+}
+
+TEST(TraceStatsTest, BranchStatsMatchProfile) {
+  GeneratorProfile p;
+  p.op_mix = {60, 1, 0, 0, 0, 20, 8, 5, 4};
+  p.block_len = 10;
+  p.taken_bias = 0.6;
+  p.code_blocks = 128;
+  SyntheticTrace t(p, 100'000, 5);
+  const auto s = characterize(t);
+  EXPECT_NEAR(s.branch_fraction, 0.1, 0.01);  // one per 10-instruction block
+  EXPECT_NEAR(s.taken_fraction, 0.6, 0.08);
+  EXPECT_LE(s.static_branch_sites, 128u);
+  EXPECT_GT(s.static_branch_sites, 30u);
+}
+
+TEST(TraceStatsTest, FootprintTracksProfile) {
+  auto touched = [](std::uint64_t hot_kb) {
+    GeneratorProfile p;
+    p.op_mix = {40, 1, 0, 0, 0, 35, 10, 4, 3};
+    p.cold_fraction = 0.0;
+    p.stream_fraction = 0.3;
+    p.hot_footprint_bytes = hot_kb * 1024;
+    SyntheticTrace t(p, 80'000, 6);
+    return characterize(t).touched_bytes;
+  };
+  EXPECT_LT(touched(8), touched(64));
+}
+
+TEST(TraceStatsTest, StreamFractionRaisesSequentiality) {
+  auto seq = [](double stream) {
+    GeneratorProfile p;
+    p.op_mix = {40, 1, 0, 0, 0, 35, 10, 4, 3};
+    p.stream_fraction = stream;
+    SyntheticTrace t(p, 60'000, 7);
+    return characterize(t).sequential_fraction;
+  };
+  EXPECT_GT(seq(0.9), seq(0.1) + 0.2);
+}
+
+TEST(TraceStatsTest, CodeFootprintBoundedByProfile) {
+  GeneratorProfile p;
+  p.op_mix = {60, 1, 0, 0, 0, 20, 8, 5, 4};
+  p.code_blocks = 64;
+  p.block_len = 8;
+  SyntheticTrace t(p, 60'000, 8);
+  const auto s = characterize(t);
+  EXPECT_LE(s.code_bytes, 64u * 8u * 4u);
+  EXPECT_GT(s.code_bytes, 64u * 8u * 2u);  // most of the loop gets visited
+}
+
+TEST(TraceStatsTest, MaxInstructionsCap) {
+  const auto& w = workloads::workload("gcc");
+  SyntheticTrace t(w.profile, 50'000, 9);
+  const auto s = characterize(t, 10'000);
+  EXPECT_EQ(s.instructions, 10'000u);
+}
+
+TEST(TraceStatsTest, AllSuiteProfilesCharacterize) {
+  // Smoke: every calibrated profile yields sane, self-consistent stats.
+  for (const auto& w : workloads::spec2k_suite()) {
+    SyntheticTrace t(w.profile, 20'000, 10);
+    const auto s = characterize(t);
+    EXPECT_EQ(s.instructions, 20'000u) << w.name;
+    EXPECT_GT(s.memory_fraction, 0.2) << w.name;
+    EXPECT_LT(s.memory_fraction, 0.5) << w.name;
+    EXPECT_GT(s.branch_fraction, 0.02) << w.name;
+    EXPECT_GT(s.mean_dep_distance, 1.0) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace ramp::trace

@@ -1,0 +1,237 @@
+// Tests for the synthetic trace generator.
+#include "trace/synthetic_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ramp::trace {
+namespace {
+
+GeneratorProfile basic_profile() {
+  GeneratorProfile p;
+  p.op_mix = {40, 2, 0.2, 10, 0.5, 25, 10, 5, 4};
+  return p;
+}
+
+std::vector<Instruction> collect(SyntheticTrace& t) {
+  std::vector<Instruction> out;
+  Instruction ins;
+  while (t.next(ins)) out.push_back(ins);
+  return out;
+}
+
+TEST(SyntheticTraceTest, EmitsExactlyLengthInstructions) {
+  SyntheticTrace t(basic_profile(), 1234, 7);
+  EXPECT_EQ(collect(t).size(), 1234u);
+  Instruction ins;
+  EXPECT_FALSE(t.next(ins));  // exhausted stays exhausted
+}
+
+TEST(SyntheticTraceTest, DeterministicForSameSeed) {
+  SyntheticTrace a(basic_profile(), 2000, 99);
+  SyntheticTrace b(basic_profile(), 2000, 99);
+  const auto va = collect(a);
+  const auto vb = collect(b);
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_EQ(va[i].pc, vb[i].pc);
+    EXPECT_EQ(static_cast<int>(va[i].op), static_cast<int>(vb[i].op));
+    EXPECT_EQ(va[i].mem_addr, vb[i].mem_addr);
+    EXPECT_EQ(va[i].branch_taken, vb[i].branch_taken);
+  }
+}
+
+TEST(SyntheticTraceTest, DifferentSeedsDiffer) {
+  SyntheticTrace a(basic_profile(), 2000, 1);
+  SyntheticTrace b(basic_profile(), 2000, 2);
+  const auto va = collect(a);
+  const auto vb = collect(b);
+  int diff = 0;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    if (va[i].mem_addr != vb[i].mem_addr ||
+        static_cast<int>(va[i].op) != static_cast<int>(vb[i].op)) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(SyntheticTraceTest, MixApproximatesWeights) {
+  GeneratorProfile p = basic_profile();
+  p.block_len = 1000;  // effectively no forced branches
+  SyntheticTrace t(p, 100000, 3);
+  std::map<int, int> counts;
+  for (const auto& ins : collect(t)) ++counts[static_cast<int>(ins.op)];
+  const double total = 100000.0;
+  // Loads were weighted 25/96.7 ≈ 0.259.
+  EXPECT_NEAR(counts[static_cast<int>(OpClass::kLoad)] / total, 0.259, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(OpClass::kIntAlu)] / total, 0.414, 0.02);
+}
+
+TEST(SyntheticTraceTest, BranchesOnFixedGrid) {
+  GeneratorProfile p = basic_profile();
+  p.block_len = 10;
+  SyntheticTrace t(p, 50000, 4);
+  std::set<std::uint64_t> branch_pcs;
+  for (const auto& ins : collect(t)) {
+    if (ins.op == OpClass::kBranch) {
+      branch_pcs.insert(ins.pc);
+      // Branch sits in the last slot of a 10-instruction block.
+      EXPECT_EQ((ins.pc - 0x10000) / 4 % 10, 9u);
+    }
+  }
+  // Static branch sites bounded by the code footprint.
+  EXPECT_LE(branch_pcs.size(), static_cast<std::size_t>(p.code_blocks));
+  EXPECT_GT(branch_pcs.size(), 10u);
+}
+
+TEST(SyntheticTraceTest, StaticBranchesHaveStableTargets) {
+  SyntheticTrace t(basic_profile(), 100000, 5);
+  std::map<std::uint64_t, std::uint64_t> taken_target;
+  for (const auto& ins : collect(t)) {
+    if (ins.op == OpClass::kBranch && ins.branch_taken) {
+      auto [it, inserted] = taken_target.emplace(ins.pc, ins.branch_target);
+      if (!inserted) {
+        EXPECT_EQ(it->second, ins.branch_target)
+            << "taken target changed for pc " << ins.pc;
+      }
+    }
+  }
+}
+
+TEST(SyntheticTraceTest, BranchDirectionsMostlyStablePerPc) {
+  GeneratorProfile p = basic_profile();
+  p.branch_noise = 0.05;
+  SyntheticTrace t(p, 200000, 6);
+  std::map<std::uint64_t, std::pair<int, int>> taken_count;  // taken, total
+  for (const auto& ins : collect(t)) {
+    if (ins.op == OpClass::kBranch) {
+      auto& c = taken_count[ins.pc];
+      c.first += ins.branch_taken ? 1 : 0;
+      ++c.second;
+    }
+  }
+  // Aggregate deviation from each branch's majority direction ≈ noise.
+  std::uint64_t minority = 0, total = 0;
+  for (const auto& [pc, c] : taken_count) {
+    if (c.second < 20) continue;
+    minority += std::min(c.first, c.second - c.first);
+    total += c.second;
+  }
+  ASSERT_GT(total, 1000u);
+  EXPECT_NEAR(static_cast<double>(minority) / static_cast<double>(total), 0.05,
+              0.02);
+}
+
+TEST(SyntheticTraceTest, MemoryOpsCarryAddresses) {
+  SyntheticTrace t(basic_profile(), 20000, 8);
+  for (const auto& ins : collect(t)) {
+    if (is_memory(ins.op)) {
+      EXPECT_NE(ins.mem_addr, 0u);
+    } else {
+      EXPECT_EQ(ins.mem_addr, 0u);
+    }
+  }
+}
+
+TEST(SyntheticTraceTest, ValueProducersHaveDestinations) {
+  SyntheticTrace t(basic_profile(), 20000, 9);
+  for (const auto& ins : collect(t)) {
+    const bool produces = ins.op != OpClass::kBranch && ins.op != OpClass::kStore;
+    EXPECT_EQ(ins.dst != Instruction::kNoReg, produces);
+    if (is_fp(ins.op)) {
+      EXPECT_GE(ins.dst, 32) << "FP results must go to FP registers";
+    }
+  }
+}
+
+TEST(SyntheticTraceTest, FpSourcesComeFromFpProducers) {
+  SyntheticTrace t(basic_profile(), 50000, 10);
+  for (const auto& ins : collect(t)) {
+    if (is_fp(ins.op) && ins.src1 != Instruction::kNoReg) {
+      EXPECT_GE(ins.src1, 32);
+    }
+  }
+}
+
+TEST(SyntheticTraceTest, DependencyDistanceTracksIlpKnob) {
+  // Larger mean dependency distance => sources reference older producers.
+  auto mean_distance = [](double dep_p) {
+    GeneratorProfile p = basic_profile();
+    p.dep_distance_p = dep_p;
+    SyntheticTrace t(p, 50000, 11);
+    std::map<std::uint16_t, std::uint64_t> last_writer;  // reg -> index
+    double sum = 0;
+    std::uint64_t n = 0;
+    std::uint64_t i = 0;
+    Instruction ins;
+    while (t.next(ins)) {
+      if (ins.src1 != Instruction::kNoReg) {
+        auto it = last_writer.find(ins.src1);
+        if (it != last_writer.end()) {
+          sum += static_cast<double>(i - it->second);
+          ++n;
+        }
+      }
+      if (ins.dst != Instruction::kNoReg) last_writer[ins.dst] = i;
+      ++i;
+    }
+    return sum / static_cast<double>(n);
+  };
+  EXPECT_LT(mean_distance(0.5), mean_distance(0.1));
+}
+
+TEST(SyntheticTraceTest, ColdFractionControlsFarAccesses) {
+  GeneratorProfile p = basic_profile();
+  p.stream_fraction = 0.0;
+  p.cold_fraction = 0.25;
+  SyntheticTrace t(p, 100000, 12);
+  std::uint64_t cold = 0, mem = 0;
+  Instruction ins;
+  while (t.next(ins)) {
+    if (is_memory(ins.op)) {
+      ++mem;
+      if (ins.mem_addr >= 0x40000000) ++cold;
+    }
+  }
+  ASSERT_GT(mem, 1000u);
+  EXPECT_NEAR(static_cast<double>(cold) / static_cast<double>(mem), 0.25, 0.02);
+}
+
+TEST(SyntheticTraceTest, RejectsInvalidProfiles) {
+  GeneratorProfile p = basic_profile();
+  p.op_mix = {1.0};  // wrong arity
+  EXPECT_THROW(SyntheticTrace(p, 10, 1), InvalidArgument);
+
+  p = basic_profile();
+  p.dep_distance_p = 0.0;
+  EXPECT_THROW(SyntheticTrace(p, 10, 1), InvalidArgument);
+
+  p = basic_profile();
+  p.stream_fraction = 1.5;
+  EXPECT_THROW(SyntheticTrace(p, 10, 1), InvalidArgument);
+
+  p = basic_profile();
+  p.branch_noise = 0.9;  // above the 0.5 identifiability bound
+  EXPECT_THROW(SyntheticTrace(p, 10, 1), InvalidArgument);
+
+  p = basic_profile();
+  p.code_blocks = 0;
+  EXPECT_THROW(SyntheticTrace(p, 10, 1), InvalidArgument);
+}
+
+TEST(OpClassTest, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kNumOpClasses; ++i) {
+    names.insert(op_class_name(static_cast<OpClass>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumOpClasses));
+}
+
+}  // namespace
+}  // namespace ramp::trace

@@ -1,0 +1,112 @@
+// Tests for the dense LU solver used by the thermal model.
+#include "util/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ramp {
+namespace {
+
+TEST(MatrixTest, IdentityMul) {
+  const Matrix id = Matrix::identity(3);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(id.mul(x), x);
+}
+
+TEST(MatrixTest, MulComputesProduct) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const auto y = m.mul({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, MulDimensionMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.mul({1.0, 2.0}), InvalidArgument);
+}
+
+TEST(LuSolverTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const auto x = solve_linear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolverTest, RequiresPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const auto x = solve_linear(a, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolverTest, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(LuSolver{a}, ConvergenceError);
+}
+
+TEST(LuSolverTest, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(LuSolver{a}, InvalidArgument);
+}
+
+TEST(LuSolverTest, ReusableForMultipleRhs) {
+  Matrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 4; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 4;
+  const LuSolver lu(a);
+  for (double scale : {1.0, 2.0, -3.0}) {
+    const std::vector<double> b = {scale * 5.0, scale * 6.0, scale * 5.0};
+    const auto x = lu.solve(b);
+    const auto back = a.mul(x);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], b[i], 1e-10);
+  }
+}
+
+// Property sweep: random diagonally dominant systems solve to machine
+// precision (residual check), across sizes.
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, ResidualIsTiny) {
+  const int n = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(n) * 7919);
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    double row_sum = 0;
+    for (int c = 0; c < n; ++c) {
+      if (r == c) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+      row_sum += std::abs(v);
+    }
+    a(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) =
+        row_sum + 1.0;  // strict diagonal dominance => nonsingular
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+  const auto x = solve_linear(a, b);
+  const auto back = a.mul(x);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(back[i], b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 9, 16, 33));
+
+}  // namespace
+}  // namespace ramp

@@ -1,0 +1,163 @@
+// Tests for the deterministic RNG and alias-table sampler.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ramp {
+namespace {
+
+TEST(Xoshiro256Test, DeterministicForFixedSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro256Test, ReseedRestartsStream) {
+  Xoshiro256 a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(77);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Xoshiro256Test, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Xoshiro256Test, BelowIsUnbiased) {
+  Xoshiro256 rng(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 0.1, 0.01);
+  }
+}
+
+TEST(Xoshiro256Test, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256Test, BelowZeroThrows) {
+  Xoshiro256 rng(13);
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Xoshiro256Test, GeometricMeanMatchesTheory) {
+  Xoshiro256 rng(14);
+  const double p = 0.25;
+  double sum = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) sum += static_cast<double>(rng.geometric(p));
+  // Mean of the number of failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / draws, 3.0, 0.05);
+}
+
+TEST(Xoshiro256Test, GeometricProbabilityOneIsZero) {
+  Xoshiro256 rng(15);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Xoshiro256Test, GeometricRejectsBadProbability) {
+  Xoshiro256 rng(16);
+  EXPECT_THROW(rng.geometric(0.0), InvalidArgument);
+  EXPECT_THROW(rng.geometric(1.5), InvalidArgument);
+}
+
+TEST(Xoshiro256Test, NormalMomentsMatch) {
+  Xoshiro256 rng(17);
+  double sum = 0, sum2 = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / draws, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / draws, 1.0, 0.02);
+}
+
+TEST(Xoshiro256Test, BernoulliRate) {
+  Xoshiro256 rng(18);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Xoshiro256 rng(19);
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  std::vector<int> counts(4, 0);
+  const int draws = 400000;
+  for (int i = 0; i < draws; ++i) ++counts[table.sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, weights[i] / 10.0, 0.01)
+        << "category " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightCategoryNeverSampled) {
+  Xoshiro256 rng(20);
+  AliasTable table(std::vector<double>{1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(table.sample(rng), 1u);
+  }
+}
+
+TEST(AliasTableTest, SingleCategory) {
+  Xoshiro256 rng(21);
+  AliasTable table(std::vector<double>{5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTableTest, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}), InvalidArgument);
+}
+
+TEST(AliasTableTest, SamplingEmptyTableThrows) {
+  Xoshiro256 rng(22);
+  AliasTable table;
+  EXPECT_THROW(table.sample(rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp

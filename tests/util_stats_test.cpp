@@ -1,0 +1,109 @@
+// Tests for streaming statistics.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramp {
+namespace {
+
+TEST(RunningMeanTest, EmptyIsZero) {
+  RunningMean m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(RunningMeanTest, MatchesArithmeticMean) {
+  RunningMean m;
+  for (int i = 1; i <= 100; ++i) m.add(i);
+  EXPECT_DOUBLE_EQ(m.mean(), 50.5);
+  EXPECT_EQ(m.count(), 100u);
+}
+
+TEST(RunningMeanTest, ResetClears) {
+  RunningMean m;
+  m.add(42.0);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  // Catastrophic cancellation breaks naive sum-of-squares here.
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(TimeWeightedMeanTest, WeightsByDuration) {
+  TimeWeightedMean m;
+  m.add(10.0, 1.0);
+  m.add(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), (10.0 + 60.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m.total_time(), 4.0);
+}
+
+TEST(TimeWeightedMeanTest, ZeroDurationIgnored) {
+  TimeWeightedMean m;
+  m.add(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  m.add(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+}
+
+TEST(TimeWeightedMeanTest, NegativeDurationThrows) {
+  TimeWeightedMean m;
+  EXPECT_THROW(m.add(1.0, -1.0), InvalidArgument);
+}
+
+TEST(HistogramTest, BinsAndFractions) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.bin_count(i), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(i), 0.1);
+  }
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 3.5);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp

@@ -1,0 +1,84 @@
+// Tests for the SPEC2K workload suite definitions.
+#include "workloads/spec2k.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ramp::workloads {
+namespace {
+
+TEST(Spec2kSuiteTest, SixteenBenchmarksEightPerSuite) {
+  EXPECT_EQ(spec2k_suite().size(), 16u);
+  EXPECT_EQ(suite_workloads(Suite::kSpecFp).size(), 8u);
+  EXPECT_EQ(suite_workloads(Suite::kSpecInt).size(), 8u);
+}
+
+TEST(Spec2kSuiteTest, NamesMatchTable3) {
+  const std::set<std::string> expected = {
+      "ammp", "applu", "sixtrack", "mgrid",   "mesa", "facerec",
+      "wupwise", "apsi", "vpr",     "bzip2",  "twolf", "gzip",
+      "perlbmk", "gap",  "gcc",     "crafty"};
+  std::set<std::string> actual;
+  for (const auto& w : spec2k_suite()) actual.insert(w.name);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Spec2kSuiteTest, Table3IpcValues) {
+  EXPECT_DOUBLE_EQ(workload("ammp").table3_ipc, 1.06);
+  EXPECT_DOUBLE_EQ(workload("bzip2").table3_ipc, 2.31);
+  EXPECT_DOUBLE_EQ(workload("crafty").table3_ipc, 2.25);
+  EXPECT_DOUBLE_EQ(workload("gcc").table3_power_w, 31.73);
+}
+
+TEST(Spec2kSuiteTest, SpecIntAverageIpcExceedsSpecFp) {
+  // Table 3: SpecInt avg IPC 1.79 vs SpecFP 1.52.
+  auto avg_ipc = [](Suite s) {
+    double sum = 0;
+    for (const auto& w : suite_workloads(s)) sum += w.table3_ipc;
+    return sum / 8.0;
+  };
+  EXPECT_NEAR(avg_ipc(Suite::kSpecFp), 1.52, 0.02);
+  EXPECT_NEAR(avg_ipc(Suite::kSpecInt), 1.79, 0.02);
+}
+
+TEST(Spec2kSuiteTest, FpAppsHaveFpOps) {
+  for (const auto& w : suite_workloads(Suite::kSpecFp)) {
+    EXPECT_GT(w.profile.op_mix[static_cast<int>(trace::OpClass::kFpAlu)], 0.0)
+        << w.name;
+  }
+  for (const auto& w : suite_workloads(Suite::kSpecInt)) {
+    EXPECT_EQ(w.profile.op_mix[static_cast<int>(trace::OpClass::kFpAlu)], 0.0)
+        << w.name;
+  }
+}
+
+TEST(Spec2kSuiteTest, ProfilesAreConstructible) {
+  // Every profile must pass the generator's validation.
+  for (const auto& w : spec2k_suite()) {
+    EXPECT_NO_THROW(trace::SyntheticTrace(w.profile, 10, 1)) << w.name;
+  }
+}
+
+TEST(Spec2kSuiteTest, PowerBiasNearUnity) {
+  // The per-app calibration factor corrects second-order energy-per-op
+  // differences only; values far from 1 would indicate a broken model.
+  for (const auto& w : spec2k_suite()) {
+    EXPECT_GT(w.power_bias, 0.8) << w.name;
+    EXPECT_LT(w.power_bias, 1.3) << w.name;
+  }
+}
+
+TEST(Spec2kSuiteTest, UnknownWorkloadThrows) {
+  EXPECT_THROW(workload("doom3"), InvalidArgument);
+}
+
+TEST(Spec2kSuiteTest, SuiteNames) {
+  EXPECT_STREQ(suite_name(Suite::kSpecFp), "SpecFP");
+  EXPECT_STREQ(suite_name(Suite::kSpecInt), "SpecInt");
+}
+
+}  // namespace
+}  // namespace ramp::workloads

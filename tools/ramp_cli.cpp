@@ -1,0 +1,235 @@
+// ramp — command-line front end to the library.
+//
+// Subcommands:
+//   ramp list                         list workloads and technology nodes
+//   ramp evaluate <app> <node> [...]  run one (workload, node) cell
+//   ramp sweep [--trace-len N]        full 16-app x 5-node qualified sweep
+//   ramp report [--trace-len N]       markdown reliability report of a sweep
+//   ramp trace <app> <file> [N]       capture a synthetic trace to a file
+//
+// Node names accept "180", "130", "90", "65-0.9", "65-1.0".
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/qualification.hpp"
+#include "pipeline/mission.hpp"
+#include "pipeline/sweep.hpp"
+#include "trace/synthetic_generator.hpp"
+#include "trace/trace_io.hpp"
+#include "util/constants.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ramp;
+
+scaling::TechPoint parse_node(const std::string& name) {
+  if (name == "180") return scaling::TechPoint::k180nm;
+  if (name == "130") return scaling::TechPoint::k130nm;
+  if (name == "90") return scaling::TechPoint::k90nm;
+  if (name == "65-0.9") return scaling::TechPoint::k65nm_0V9;
+  if (name == "65-1.0" || name == "65") return scaling::TechPoint::k65nm_1V0;
+  throw InvalidArgument("unknown node '" + name +
+                        "' (use 180, 130, 90, 65-0.9, 65-1.0)");
+}
+
+std::uint64_t flag_u64(std::vector<std::string>& args, const std::string& flag,
+                       std::uint64_t fallback) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag && std::next(it) != args.end()) {
+      const std::uint64_t v = std::stoull(*std::next(it));
+      args.erase(it, it + 2);
+      return v;
+    }
+  }
+  return fallback;
+}
+
+int cmd_list() {
+  TextTable apps("Workloads (SPEC2K, Table 3)");
+  apps.set_header({"name", "suite", "IPC (paper)", "power W (paper)"});
+  for (const auto& w : workloads::spec2k_suite()) {
+    apps.add_row({w.name, workloads::suite_name(w.suite), fmt(w.table3_ipc, 2),
+                  fmt(w.table3_power_w, 2)});
+  }
+  std::printf("%s\n", apps.str().c_str());
+
+  TextTable nodes("Technology nodes (Table 4)");
+  nodes.set_header({"name", "Vdd", "GHz", "tox A", "rel area"});
+  for (const auto& n : scaling::standard_nodes()) {
+    nodes.add_row({n.name, fmt(n.vdd, 1), fmt(n.frequency_hz / 1e9, 2),
+                   fmt(n.tox_nm * 10, 0), fmt(n.relative_area, 2)});
+  }
+  std::printf("%s", nodes.str().c_str());
+  return 0;
+}
+
+int cmd_evaluate(std::vector<std::string> args) {
+  if (args.size() < 2) {
+    std::fprintf(stderr, "usage: ramp evaluate <app> <node> [--trace-len N]\n");
+    return 2;
+  }
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = flag_u64(args, "--trace-len", 200'000);
+  const auto& w = workloads::workload(args[0]);
+  const auto node = parse_node(args[1]);
+
+  const pipeline::Evaluator ev(cfg);
+  const auto base = ev.evaluate(w, scaling::TechPoint::k180nm);
+  const auto r = node == scaling::TechPoint::k180nm
+                     ? base
+                     : ev.evaluate(w, node, base.sink_temp_k);
+  const auto k = core::qualify({base.raw_fits});
+  const auto fits = pipeline::scale_summary(r.raw_fits, k);
+
+  std::printf("%s @ %s\n", w.name.c_str(),
+              std::string(scaling::tech_name(node)).c_str());
+  std::printf("  IPC               %.2f\n", r.ipc);
+  std::printf("  power             %.1f W (dyn %.1f + leak %.1f)\n",
+              r.avg_total_power_w, r.avg_dynamic_power_w,
+              r.avg_leakage_power_w);
+  std::printf("  hottest structure %.1f K (sink %.1f K)\n",
+              r.max_structure_temp_k, r.sink_temp_k);
+  const auto mech = fits.by_mechanism();
+  std::printf("  FIT               EM %.0f, SM %.0f, TDDB %.0f, TC %.0f\n",
+              mech[0], mech[1], mech[2], mech[3]);
+  std::printf("  total             %.0f FIT  (MTTF %.1f years)\n",
+              fits.total(), fits.mttf_years());
+  return 0;
+}
+
+int cmd_sweep(std::vector<std::string> args, bool markdown) {
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = flag_u64(args, "--trace-len", 200'000);
+  const auto sweep = pipeline::run_sweep(cfg);
+
+  if (!markdown) {
+    TextTable table("Qualified total FIT (sweep)");
+    std::vector<std::string> header = {"app"};
+    for (const auto tp : scaling::kAllTechPoints) {
+      header.push_back(std::string(scaling::tech_name(tp)));
+    }
+    table.set_header(header);
+    for (const auto& w : workloads::spec2k_suite()) {
+      std::vector<std::string> row = {w.name};
+      for (const auto tp : scaling::kAllTechPoints) {
+        row.push_back(fmt(sweep.qualified_fits(sweep.at(w.name, tp)).total(), 0));
+      }
+      table.add_row(row);
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+  }
+
+  // Markdown report.
+  std::printf("# RAMP scaling report\n\n");
+  std::printf("Qualification: 180 nm suite average = 4000 FIT (30-year MTTF).\n\n");
+  std::printf("| node | avg FIT | vs 180nm | avg MTTF (y) | hottest app |\n");
+  std::printf("|---|---|---|---|---|\n");
+  const double base = sweep.average_total_fit_all(scaling::TechPoint::k180nm);
+  for (const auto tp : scaling::kAllTechPoints) {
+    const double avg = sweep.average_total_fit_all(tp);
+    std::string hottest;
+    double max_t = 0;
+    for (const auto& r : sweep.results) {
+      if (r.tech == tp && r.max_structure_temp_k > max_t) {
+        max_t = r.max_structure_temp_k;
+        hottest = r.app;
+      }
+    }
+    std::printf("| %s | %.0f | %s | %.1f | %s (%.1f K) |\n",
+                std::string(scaling::tech_name(tp)).c_str(), avg,
+                fmt_pct_change(avg / base).c_str(), mttf_years_from_fit(avg),
+                hottest.c_str(), max_t);
+  }
+  std::printf("\n## Mechanism breakdown (suite average)\n\n");
+  std::printf("| node | EM | SM | TDDB | TC |\n|---|---|---|---|---|\n");
+  for (const auto tp : scaling::kAllTechPoints) {
+    std::printf("| %s |", std::string(scaling::tech_name(tp)).c_str());
+    for (int m = 0; m < core::kNumMechanisms; ++m) {
+      const double fp = sweep.average_mechanism_fit(
+          workloads::Suite::kSpecFp, tp, static_cast<core::Mechanism>(m));
+      const double in = sweep.average_mechanism_fit(
+          workloads::Suite::kSpecInt, tp, static_cast<core::Mechanism>(m));
+      std::printf(" %.0f |", (fp + in) / 2.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_missions(std::vector<std::string> args) {
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = flag_u64(args, "--trace-len", 200'000);
+  const auto sweep = pipeline::run_sweep(cfg);
+  TextTable table("Example deployment missions, MTTF (years) per node");
+  std::vector<std::string> header = {"mission"};
+  for (const auto tp : scaling::kAllTechPoints) {
+    header.push_back(std::string(scaling::tech_name(tp)));
+  }
+  table.set_header(header);
+  for (const auto& mission : pipeline::example_missions()) {
+    std::vector<std::string> row = {mission.name};
+    for (const auto tp : scaling::kAllTechPoints) {
+      row.push_back(
+          fmt(pipeline::evaluate_mission(sweep, tp, mission).mttf_years(), 1));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_trace(std::vector<std::string> args) {
+  if (args.size() < 2) {
+    std::fprintf(stderr, "usage: ramp trace <app> <file> [instructions]\n");
+    return 2;
+  }
+  const auto& w = workloads::workload(args[0]);
+  const std::uint64_t n = args.size() > 2 ? std::stoull(args[2]) : 1'000'000;
+  trace::SyntheticTrace gen(w.profile, n, 42);
+  trace::TraceWriter writer(args[1]);
+  writer.append_all(gen);
+  std::printf("wrote %llu instructions of '%s' to %s\n",
+              static_cast<unsigned long long>(writer.written()),
+              w.name.c_str(), args[1].c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ramp <command>\n"
+               "  list                          workloads and nodes\n"
+               "  evaluate <app> <node> [...]   one cell (e.g. ramp evaluate gcc 65-1.0)\n"
+               "  sweep [--trace-len N]         full qualified sweep table\n"
+               "  report [--trace-len N]        markdown report of the sweep\n"
+               "  missions [--trace-len N]      deployed-lifetime presets\n"
+               "  trace <app> <file> [N]        capture a synthetic trace\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string cmd = args.front();
+  args.erase(args.begin());
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "evaluate") return cmd_evaluate(std::move(args));
+    if (cmd == "sweep") return cmd_sweep(std::move(args), false);
+    if (cmd == "report") return cmd_sweep(std::move(args), true);
+    if (cmd == "missions") return cmd_missions(std::move(args));
+    if (cmd == "trace") return cmd_trace(std::move(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
