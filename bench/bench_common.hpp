@@ -7,10 +7,13 @@
 //   RAMP_TRACE_LEN  instructions per synthetic trace (default 300000)
 //   RAMP_SEED       base RNG seed (default 42)
 //   RAMP_CACHE=off  recompute instead of using/writing the cache
+//   RAMP_JOBS       sweep worker threads (default: hardware concurrency)
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "pipeline/sweep.hpp"
 #include "util/env.hpp"
@@ -19,15 +22,18 @@
 namespace ramp::bench {
 
 inline pipeline::EvaluationConfig default_config() {
-  pipeline::EvaluationConfig cfg;
-  cfg.trace_instructions = env_u64("RAMP_TRACE_LEN", 300'000);
-  cfg.seed = env_u64("RAMP_SEED", 42);
-  return cfg;
+  return pipeline::EvaluationConfig::from_env(/*trace_len=*/300'000);
 }
 
 inline const pipeline::SweepResult& shared_sweep() {
-  static const pipeline::SweepResult sweep =
-      pipeline::run_sweep(default_config());
+  static const pipeline::SweepResult sweep = [] {
+    static pipeline::StderrProgress progress;
+    pipeline::SweepRunner::Options opts;
+    opts.jobs = static_cast<std::size_t>(
+        env_u64("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency())));
+    opts.observer = &progress;
+    return pipeline::SweepRunner(default_config(), opts).run();
+  }();
   return sweep;
 }
 

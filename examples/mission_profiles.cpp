@@ -12,16 +12,19 @@
 #include <string>
 
 #include "pipeline/mission.hpp"
+#include "pipeline/sweep.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ramp;
 
-  pipeline::EvaluationConfig cfg;
-  cfg.trace_instructions =
-      argc > 1 ? std::stoull(argv[1]) : env_u64("RAMP_TRACE_LEN", 100'000);
-  const pipeline::SweepResult sweep = pipeline::run_sweep(cfg);
+  pipeline::EvaluationConfig cfg =
+      pipeline::EvaluationConfig::from_env(/*trace_len=*/100'000);
+  if (argc > 1) cfg.trace_instructions = std::stoull(argv[1]);
+  pipeline::StderrProgress progress;
+  const pipeline::SweepResult sweep =
+      pipeline::SweepRunner(cfg, {.jobs = 4, .observer = &progress}).run();
 
   for (const auto& mission : pipeline::example_missions()) {
     TextTable table("Mission: " + mission.name + "  (" +

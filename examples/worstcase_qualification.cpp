@@ -20,12 +20,14 @@
 int main(int argc, char** argv) {
   using namespace ramp;
 
-  pipeline::EvaluationConfig cfg;
-  cfg.trace_instructions =
-      argc > 1 ? std::stoull(argv[1]) : env_u64("RAMP_TRACE_LEN", 100'000);
+  pipeline::EvaluationConfig cfg =
+      pipeline::EvaluationConfig::from_env(/*trace_len=*/100'000);
+  if (argc > 1) cfg.trace_instructions = std::stoull(argv[1]);
 
   // Full-suite sweep (cached if a bench already ran with this config).
-  const pipeline::SweepResult sweep = pipeline::run_sweep(cfg);
+  pipeline::StderrProgress progress;
+  const pipeline::SweepResult sweep =
+      pipeline::SweepRunner(cfg, {.jobs = 4, .observer = &progress}).run();
 
   TextTable table(
       "Worst-case qualification overhead per node (16-app SPEC2K suite)");

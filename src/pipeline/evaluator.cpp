@@ -7,6 +7,7 @@
 #include "sim/ooo_core.hpp"
 #include "thermal/floorplan.hpp"
 #include "trace/synthetic_generator.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -37,6 +38,14 @@ std::array<std::size_t, sim::kNumStructures> block_of_structure(
 }
 
 }  // namespace
+
+EvaluationConfig EvaluationConfig::from_env(std::uint64_t trace_len) {
+  EvaluationConfig cfg;
+  cfg.trace_instructions = env_u64("RAMP_TRACE_LEN", trace_len);
+  cfg.seed = env_u64("RAMP_SEED", 42);
+  cfg.cache_enabled = env_enabled("RAMP_CACHE");
+  return cfg;
+}
 
 core::FitSummary scale_summary(const core::FitSummary& raw,
                                const core::MechanismConstants& k) {

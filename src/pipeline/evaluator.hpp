@@ -39,6 +39,16 @@ struct EvaluationConfig {
   /// When true, AppTechResult::interval_trace records the per-interval
   /// transient (time, hottest temp, power, instantaneous FIT).
   bool record_intervals = false;
+  /// Whether the sweep may read/write its on-disk result cache. Does not
+  /// affect results, so it is excluded from config_hash.
+  bool cache_enabled = true;
+
+  /// The single place the environment overrides are read:
+  ///   RAMP_TRACE_LEN  instructions per synthetic trace (default `trace_len`)
+  ///   RAMP_SEED       base RNG seed (default 42)
+  ///   RAMP_CACHE=off  disable the sweep cache (default on)
+  /// All other fields keep their defaults.
+  static EvaluationConfig from_env(std::uint64_t trace_len = 300'000);
 };
 
 /// One recorded transient sample (record_intervals = true).

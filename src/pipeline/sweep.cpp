@@ -1,14 +1,22 @@
 #include "pipeline/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <filesystem>
 #include <fstream>
+#include <future>
+#include <mutex>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "core/qualification.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ramp::pipeline {
 
@@ -215,48 +223,198 @@ std::optional<SweepResult> sweep_from_csv(const std::string& csv,
   return sweep;
 }
 
-SweepResult run_sweep(const EvaluationConfig& cfg, const std::string& cache_path,
-                      bool verbose) {
-  const bool use_cache = env_enabled("RAMP_CACHE") && !cache_path.empty();
+namespace {
+
+// Serializes access to the sweep cache file within this process; writes are
+// additionally atomic on disk (temp file + rename) so concurrently launched
+// processes sharing one cache path never read or produce a torn file.
+std::mutex& cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::optional<SweepResult> load_cache(const std::string& path,
+                                      const EvaluationConfig& cfg) {
+  const std::lock_guard<std::mutex> lock(cache_mutex());
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return sweep_from_csv(buf.str(), cfg);
+}
+
+void store_cache(const std::string& path, const SweepResult& sweep) {
+  const std::lock_guard<std::mutex> lock(cache_mutex());
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target = fs::absolute(fs::path(path), ec);
+  if (ec) return;
+  // The temp file lives in the target directory so the rename cannot cross
+  // filesystems; the PID suffix keeps concurrent writers off each other.
+  fs::path tmp = target;
+  tmp += ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream f(tmp);
+    if (!f) return;
+    f << sweep_to_csv(sweep);
+    if (!f) {
+      f.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, target, ec);  // atomic publish; best effort like before
+  if (ec) fs::remove(tmp, ec);
+}
+
+/// The canonical per-app node order of the serial sweep: 180 nm first (it
+/// pins the sink temperature), then the scaled nodes in paper order.
+std::vector<scaling::TechPoint> canonical_node_order() {
+  std::vector<scaling::TechPoint> order = {scaling::TechPoint::k180nm};
+  for (const auto tp : scaling::kAllTechPoints) {
+    if (tp != scaling::TechPoint::k180nm) order.push_back(tp);
+  }
+  return order;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(EvaluationConfig cfg, Options opts)
+    : cfg_(std::move(cfg)), opts_(std::move(opts)) {
+  RAMP_REQUIRE(opts_.pool != nullptr || opts_.jobs > 0,
+               "SweepRunner needs at least one job");
+}
+
+SweepResult SweepRunner::run() const {
+  const bool use_cache = cfg_.cache_enabled && !opts_.cache_path.empty();
   if (use_cache) {
-    std::ifstream f(cache_path);
-    if (f) {
-      std::ostringstream buf;
-      buf << f.rdbuf();
-      if (auto cached = sweep_from_csv(buf.str(), cfg)) {
-        if (verbose) {
-          std::fprintf(stderr, "[sweep] loaded cache %s\n", cache_path.c_str());
-        }
-        return *cached;
-      }
+    if (auto cached = load_cache(opts_.cache_path, cfg_)) {
+      if (opts_.observer) opts_.observer->on_cache_hit(opts_.cache_path);
+      return *cached;
     }
   }
 
   SweepResult sweep;
-  sweep.config = cfg;
-  const Evaluator evaluator(cfg);
-  std::vector<core::FitSummary> raw_180;
-  for (const auto& w : workloads::spec2k_suite()) {
-    if (verbose) std::fprintf(stderr, "[sweep] %-9s ", w.name.c_str());
-    auto app_results = evaluator.evaluate_app(w);
-    for (const auto& r : app_results) {
-      if (r.tech == scaling::TechPoint::k180nm) raw_180.push_back(r.raw_fits);
-    }
-    if (verbose) {
-      const auto& base = app_results.front();
-      std::fprintf(stderr, "ipc=%.2f power=%.1fW Tmax=%.1fK\n", base.ipc,
-                   base.avg_total_power_w, base.max_structure_temp_k);
-    }
-    for (auto& r : app_results) sweep.results.push_back(std::move(r));
+  if (opts_.pool != nullptr) {
+    sweep = execute(*opts_.pool);
+  } else {
+    ThreadPool pool(opts_.jobs);
+    sweep = execute(pool);
   }
 
+  if (use_cache) store_cache(opts_.cache_path, sweep);
+  return sweep;
+}
+
+SweepResult SweepRunner::execute(ThreadPool& pool) const {
+  using Clock = std::chrono::steady_clock;
+  const auto& suite = workloads::spec2k_suite();
+  const auto nodes = canonical_node_order();
+  const std::size_t napps = suite.size();
+  const std::size_t nnodes = nodes.size();
+  const Evaluator evaluator(cfg_);
+  const auto sweep_start = Clock::now();
+
+  if (opts_.observer) {
+    opts_.observer->on_sweep_begin(napps * nnodes, pool.worker_count());
+  }
+
+  // Cell results land in their canonical app-major slot as they finish, so
+  // the merged vector is independent of execution order.
+  std::vector<AppTechResult> cells(napps * nnodes);
+  std::mutex observer_mutex;   // serializes ProgressObserver calls
+  std::mutex fan_out_mutex;    // guards the dependent-task future list
+  std::vector<std::future<void>> scaled_futures;
+  scaled_futures.reserve(napps * (nnodes - 1));
+
+  // Runs one (app, node) cell and reports it. `sink_target_k` is 0 for the
+  // 180 nm base run and the app's pinned sink temperature otherwise.
+  const auto run_cell = [&](std::size_t app_i, std::size_t node_i,
+                            double sink_target_k) {
+    SweepCell cell;
+    cell.app = suite[app_i].name;
+    cell.tech = nodes[node_i];
+    cell.task_id = static_cast<std::uint64_t>(app_i * nnodes + node_i);
+    cell.worker_id = ThreadPool::current_worker_id();
+    if (opts_.observer) {
+      const std::lock_guard<std::mutex> lock(observer_mutex);
+      opts_.observer->on_cell_start(cell);
+    }
+    const auto start = Clock::now();
+    AppTechResult& slot = cells[cell.task_id];
+    slot = evaluator.evaluate(suite[app_i], cell.tech, sink_target_k);
+    if (opts_.observer) {
+      const std::chrono::duration<double> wall = Clock::now() - start;
+      const std::lock_guard<std::mutex> lock(observer_mutex);
+      opts_.observer->on_cell_finish(cell, slot, wall.count());
+    }
+  };
+
+  // Phase 1: one base task per app. Each base task, once its 180 nm run has
+  // pinned the sink temperature, fans out that app's scaled nodes as
+  // dependent tasks on the same pool.
+  std::vector<std::future<void>> base_futures;
+  base_futures.reserve(napps);
+  for (std::size_t app_i = 0; app_i < napps; ++app_i) {
+    base_futures.push_back(pool.submit([&, app_i] {
+      run_cell(app_i, 0, 0.0);
+      const double sink_target = cells[app_i * nnodes].sink_temp_k;
+      const std::lock_guard<std::mutex> lock(fan_out_mutex);
+      for (std::size_t node_i = 1; node_i < nnodes; ++node_i) {
+        scaled_futures.push_back(pool.submit(
+            [&, app_i, node_i, sink_target] { run_cell(app_i, node_i, sink_target); }));
+      }
+    }));
+  }
+
+  // Wait for everything before touching the results (or unwinding — tasks
+  // capture locals by reference); remember the first failure.
+  std::exception_ptr failure;
+  const auto drain = [&](std::vector<std::future<void>>& futures) {
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!failure) failure = std::current_exception();
+      }
+    }
+  };
+  drain(base_futures);
+  // All base tasks have returned, so the dependent-task list is complete.
+  drain(scaled_futures);
+  if (failure) std::rethrow_exception(failure);
+
+  SweepResult sweep;
+  sweep.config = cfg_;
+  sweep.results = std::move(cells);
+
+  // Qualification uses the 180 nm cells in suite order — the same summation
+  // order as the serial sweep, keeping the constants bit-identical.
+  std::vector<core::FitSummary> raw_180;
+  raw_180.reserve(napps);
+  for (std::size_t app_i = 0; app_i < napps; ++app_i) {
+    raw_180.push_back(sweep.results[app_i * nnodes].raw_fits);
+  }
   sweep.constants = core::qualify(raw_180);
 
-  if (use_cache) {
-    std::ofstream f(cache_path);
-    if (f) f << sweep_to_csv(sweep);
+  if (opts_.observer) {
+    const std::chrono::duration<double> wall = Clock::now() - sweep_start;
+    opts_.observer->on_sweep_end(wall.count());
   }
   return sweep;
+}
+
+SweepResult run_sweep(const EvaluationConfig& cfg, const std::string& cache_path,
+                      bool verbose) {
+  // Legacy behavior: this overload consulted RAMP_CACHE itself. New code
+  // should carry the switch in the config via EvaluationConfig::from_env().
+  EvaluationConfig legacy = cfg;
+  legacy.cache_enabled = cfg.cache_enabled && env_enabled("RAMP_CACHE");
+  SweepRunner::Options opts;
+  opts.cache_path = cache_path;
+  StderrProgress progress;
+  if (verbose) opts.observer = &progress;
+  return SweepRunner(std::move(legacy), std::move(opts)).run();
 }
 
 }  // namespace ramp::pipeline

@@ -11,11 +11,17 @@
 // hash of the configuration (set RAMP_CACHE=off to disable).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "pipeline/evaluator.hpp"
+#include "pipeline/progress.hpp"
+
+namespace ramp {
+class ThreadPool;
+}
 
 namespace ramp::pipeline {
 
@@ -50,8 +56,54 @@ struct SweepResult {
   double average_total_fit_all(scaling::TechPoint tech) const;
 };
 
-/// Runs the full sweep (or loads it from `cache_path` when the cached
-/// config hash matches). Progress lines go to stderr when `verbose`.
+/// Executes the full study — every workload × every technology node plus
+/// 180 nm qualification — on a dependency-aware parallel engine.
+///
+/// Per application, the 180 nm cell runs first (it pins that app's heat-sink
+/// temperature); the four scaled-node cells then fan out as dependent tasks.
+/// Independent applications proceed concurrently, so with `jobs` workers up
+/// to `jobs` cells are in flight. Results are merged in canonical app-major,
+/// tech-minor order and qualification runs once every 180 nm cell is done,
+/// which makes the result — including `sweep_to_csv` serialization —
+/// **bitwise identical** to a serial sweep at any job count.
+///
+/// The on-disk cache (see EvaluationConfig::cache_enabled) is read and
+/// written atomically: concurrent processes sharing one `cache_path` never
+/// observe a torn file.
+class SweepRunner {
+ public:
+  struct Options {
+    std::size_t jobs = 1;                            ///< pool size when owning
+    std::string cache_path = "ramp_sweep_cache.csv"; ///< "" disables caching
+    ProgressObserver* observer = nullptr;            ///< nullptr → silent
+    /// Reuse an externally owned pool (e.g. across several sweeps in one
+    /// process) instead of creating one per run; overrides `jobs`.
+    ThreadPool* pool = nullptr;
+  };
+
+  explicit SweepRunner(EvaluationConfig cfg)
+      : SweepRunner(std::move(cfg), Options{}) {}
+  SweepRunner(EvaluationConfig cfg, Options opts);
+
+  /// Runs the sweep (or answers it from the cache). Exceptions thrown by any
+  /// cell are re-thrown here, after all in-flight cells have drained.
+  SweepResult run() const;
+
+  const EvaluationConfig& config() const { return cfg_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  SweepResult execute(ThreadPool& pool) const;
+
+  EvaluationConfig cfg_;
+  Options opts_;
+};
+
+/// DEPRECATED — thin wrapper kept for source compatibility: constructs a
+/// SweepRunner with one job and a StderrProgress observer when `verbose`.
+/// This legacy overload also still honors RAMP_CACHE directly; new code
+/// should build its config with EvaluationConfig::from_env() and use
+/// SweepRunner.
 SweepResult run_sweep(const EvaluationConfig& cfg,
                       const std::string& cache_path = "ramp_sweep_cache.csv",
                       bool verbose = true);

@@ -1,0 +1,48 @@
+#include "util/thread_pool.hpp"
+
+namespace ramp {
+
+namespace {
+thread_local int t_worker_id = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  RAMP_REQUIRE(workers > 0, "a ThreadPool needs at least one worker");
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::uint64_t ThreadPool::next_task_id() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return next_id_;
+}
+
+int ThreadPool::current_worker_id() { return t_worker_id; }
+
+void ThreadPool::worker_loop(int worker_id) {
+  t_worker_id = worker_id;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.run();  // packaged_task captures any exception into the future
+  }
+}
+
+}  // namespace ramp

@@ -1,0 +1,84 @@
+// Fixed-size thread pool with futures, exception propagation, and
+// deterministic task IDs.
+//
+// The pool is deliberately work-stealing-free: one FIFO queue feeds a fixed
+// set of workers, so task *start* order equals submission order. Task IDs are
+// assigned under the queue lock at submission time, which makes them
+// reproducible for any deterministic submission sequence regardless of how
+// execution interleaves. Exceptions thrown by a task are captured in its
+// future and rethrown at `get()`, never on the worker thread.
+//
+// Tasks may submit further tasks (that is how the sweep fans out dependent
+// work), but must never block on a future of a task that has not yet been
+// dequeued — with a FIFO queue that can only happen when a task waits on work
+// submitted *after* itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ramp {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; throws InvalidArgument when `workers` is zero.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains the queue (all submitted tasks still run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Sequential ID the next submitted task will receive.
+  std::uint64_t next_task_id() const;
+
+  /// Enqueues `fn` and returns a future for its result. The task's
+  /// exception, if any, is captured and rethrown from `future::get()`.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      RAMP_REQUIRE(!stopping_, "submit on a stopping ThreadPool");
+      queue_.push_back(Task{next_id_++, [task] { (*task)(); }});
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Index of the worker running the calling thread, or -1 when the caller
+  /// is not a pool worker (useful for progress reporting).
+  static int current_worker_id();
+
+ private:
+  struct Task {
+    std::uint64_t id;
+    std::function<void()> run;
+  };
+
+  void worker_loop(int worker_id);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  std::uint64_t next_id_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ramp

@@ -1,0 +1,171 @@
+// Determinism and observer tests for the parallel SweepRunner: any job
+// count must serialize byte-identically to the legacy serial run_sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <vector>
+
+#include "pipeline/sweep.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ramp::pipeline {
+namespace {
+
+EvaluationConfig quick_config() {
+  EvaluationConfig cfg;
+  cfg.trace_instructions = 20'000;
+  return cfg;
+}
+
+// The three sweeps every test compares are computed once.
+const std::string& legacy_csv() {
+  static const std::string csv = sweep_to_csv(
+      run_sweep(quick_config(), /*cache_path=*/"", /*verbose=*/false));
+  return csv;
+}
+
+std::string runner_csv(std::size_t jobs, ProgressObserver* observer = nullptr) {
+  SweepRunner::Options opts;
+  opts.jobs = jobs;
+  opts.cache_path = "";
+  opts.observer = observer;
+  return sweep_to_csv(SweepRunner(quick_config(), opts).run());
+}
+
+TEST(SweepParallelTest, SingleJobMatchesLegacySerialByteForByte) {
+  EXPECT_EQ(runner_csv(1), legacy_csv());
+}
+
+TEST(SweepParallelTest, FourJobsMatchLegacySerialByteForByte) {
+  EXPECT_EQ(runner_csv(4), legacy_csv());
+}
+
+TEST(SweepParallelTest, ExternalPoolReuseMatchesToo) {
+  ThreadPool pool(3);
+  SweepRunner::Options opts;
+  opts.cache_path = "";
+  opts.pool = &pool;
+  const SweepRunner runner(quick_config(), opts);
+  EXPECT_EQ(sweep_to_csv(runner.run()), legacy_csv());
+  EXPECT_EQ(sweep_to_csv(runner.run()), legacy_csv());  // pool still usable
+}
+
+TEST(SweepParallelTest, RejectsZeroJobs) {
+  SweepRunner::Options opts;
+  opts.jobs = 0;
+  EXPECT_THROW(SweepRunner(quick_config(), opts), InvalidArgument);
+}
+
+// Records every event; SweepRunner serializes observer calls, so no locking.
+class RecordingObserver final : public ProgressObserver {
+ public:
+  void on_sweep_begin(std::size_t total_cells, std::size_t jobs) override {
+    total_cells_ = total_cells;
+    jobs_ = jobs;
+  }
+  void on_cell_start(const SweepCell& cell) override { started_.push_back(cell); }
+  void on_cell_finish(const SweepCell& cell, const AppTechResult& result,
+                      double wall_seconds) override {
+    finished_.push_back(cell);
+    EXPECT_EQ(result.app, cell.app);
+    EXPECT_EQ(result.tech, cell.tech);
+    EXPECT_GE(wall_seconds, 0.0);
+  }
+  void on_sweep_end(double wall_seconds) override {
+    end_wall_s_ = wall_seconds;
+  }
+
+  std::size_t total_cells_ = 0;
+  std::size_t jobs_ = 0;
+  std::vector<SweepCell> started_;
+  std::vector<SweepCell> finished_;
+  double end_wall_s_ = -1.0;
+};
+
+TEST(SweepParallelTest, ObserverSeesEveryCellExactlyOnce) {
+  RecordingObserver obs;
+  runner_csv(4, &obs);
+  EXPECT_EQ(obs.total_cells_, 80u);
+  EXPECT_EQ(obs.jobs_, 4u);
+  EXPECT_EQ(obs.started_.size(), 80u);
+  EXPECT_EQ(obs.finished_.size(), 80u);
+  EXPECT_GE(obs.end_wall_s_, 0.0);
+
+  // Deterministic task IDs: the finish events form a permutation of 0..79,
+  // and each ID maps to the canonical (app-major, tech-minor) cell.
+  std::set<std::uint64_t> ids;
+  for (const auto& cell : obs.finished_) {
+    EXPECT_TRUE(ids.insert(cell.task_id).second);
+    EXPECT_LT(cell.task_id, 80u);
+    EXPECT_GE(cell.worker_id, 0);
+    EXPECT_LT(cell.worker_id, 4);
+    const auto& app = workloads::spec2k_suite()[cell.task_id / 5];
+    EXPECT_EQ(cell.app, app.name);
+    if (cell.task_id % 5 == 0) {
+      EXPECT_EQ(cell.tech, scaling::TechPoint::k180nm);
+    }
+  }
+  EXPECT_EQ(ids.size(), 80u);
+
+  // Dependency order: within an app, the 180 nm cell starts before any
+  // scaled cell finishes... stronger: base start precedes scaled starts.
+  std::vector<std::size_t> start_pos(80, 0);
+  for (std::size_t i = 0; i < obs.started_.size(); ++i) {
+    start_pos[obs.started_[i].task_id] = i;
+  }
+  for (std::size_t app = 0; app < 16; ++app) {
+    for (std::size_t node = 1; node < 5; ++node) {
+      EXPECT_LT(start_pos[app * 5], start_pos[app * 5 + node]);
+    }
+  }
+}
+
+TEST(SweepParallelTest, CacheRoundtripThroughRunner) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "ramp_sweep_parallel_test_cache.csv").string();
+  fs::remove(path);
+
+  EvaluationConfig cfg;
+  cfg.trace_instructions = 5'000;
+  SweepRunner::Options opts;
+  opts.jobs = 4;
+  opts.cache_path = path;
+  const auto first = SweepRunner(cfg, opts).run();
+  ASSERT_TRUE(fs::exists(path));
+  // No torn temp files left behind by the atomic write.
+  for (const auto& e : fs::directory_iterator(fs::temp_directory_path())) {
+    EXPECT_EQ(e.path().string().find("ramp_sweep_parallel_test_cache.csv.tmp"),
+              std::string::npos);
+  }
+
+  class CacheHitObserver final : public ProgressObserver {
+   public:
+    void on_cache_hit(const std::string&) override { hits++; }
+    void on_cell_start(const SweepCell&) override { cells++; }
+    int hits = 0;
+    int cells = 0;
+  } obs;
+  opts.observer = &obs;
+  const auto second = SweepRunner(cfg, opts).run();
+  EXPECT_EQ(obs.hits, 1);
+  EXPECT_EQ(obs.cells, 0);
+  EXPECT_EQ(sweep_to_csv(second), sweep_to_csv(first));
+
+  // A config with caching disabled ignores the file entirely.
+  cfg.cache_enabled = false;
+  obs.hits = 0;
+  obs.cells = 0;
+  SweepRunner(cfg, opts).run();
+  EXPECT_EQ(obs.hits, 0);
+  EXPECT_EQ(obs.cells, 80);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace ramp::pipeline

@@ -1,0 +1,141 @@
+// Tests for the fixed-size thread pool: construction contracts, completion
+// of many more tasks than workers, exception propagation through futures,
+// nested submission, and deterministic task IDs.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ramp {
+namespace {
+
+TEST(ThreadPoolTest, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPoolTest, ReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPoolTest, CompletesManyMoreTasksThanWorkers) {
+  constexpr int kTasks = 500;
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([i, &done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(done.load(), kTasks);
+  long long expect = 0;
+  for (int i = 0; i < kTasks; ++i) expect += static_cast<long long>(i) * i;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto boom = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(
+      {
+        try {
+          boom.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIdIsValidInsideAndNegativeOutside) {
+  EXPECT_EQ(ThreadPool::current_worker_id(), -1);
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([] { return ThreadPool::current_worker_id(); }));
+  }
+  for (auto& f : futures) {
+    const int id = f.get();
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 3);
+  }
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitDependentTasks) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::vector<std::future<int>> children;
+  std::vector<std::future<void>> parents;
+  for (int i = 0; i < 8; ++i) {
+    parents.push_back(pool.submit([i, &pool, &mutex, &children] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      children.push_back(pool.submit([i] { return 10 * i; }));
+    }));
+  }
+  for (auto& f : parents) f.get();
+  int sum = 0;
+  for (auto& f : children) sum += f.get();
+  EXPECT_EQ(sum, 10 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(ThreadPoolTest, TaskIdsAreSequentialFromSubmissionOrder) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.next_task_id(), 0u);
+  auto a = pool.submit([] {});
+  auto b = pool.submit([] {});
+  EXPECT_EQ(pool.next_task_id(), 2u);
+  a.get();
+  b.get();
+  EXPECT_EQ(pool.next_task_id(), 2u);  // IDs spent at submission, not execution
+}
+
+TEST(ThreadPoolTest, RunsTasksConcurrently) {
+  // Eight 100 ms sleeps on four workers finish in ~200 ms; a serial pool
+  // would need 800 ms. Sleeps overlap even on a single-core host, so this
+  // is a reliable check that dispatch is actually parallel.
+  using Clock = std::chrono::steady_clock;
+  ThreadPool pool(4);
+  const auto start = Clock::now();
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(100)); }));
+  }
+  for (auto& f : futures) f.get();
+  const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - start);
+  EXPECT_LT(wall.count(), 600);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace ramp

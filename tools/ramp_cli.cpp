@@ -3,15 +3,18 @@
 // Subcommands:
 //   ramp list                         list workloads and technology nodes
 //   ramp evaluate <app> <node> [...]  run one (workload, node) cell
-//   ramp sweep [--trace-len N]        full 16-app x 5-node qualified sweep
-//   ramp report [--trace-len N]       markdown reliability report of a sweep
+//   ramp sweep [--trace-len N] [--jobs N]    full 16-app x 5-node sweep
+//   ramp report [--trace-len N] [--jobs N]   markdown report of a sweep
 //   ramp trace <app> <file> [N]       capture a synthetic trace to a file
 //
 // Node names accept "180", "130", "90", "65-0.9", "65-1.0".
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/qualification.hpp"
@@ -23,6 +26,7 @@
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -50,6 +54,34 @@ std::uint64_t flag_u64(std::vector<std::string>& args, const std::string& flag,
   return fallback;
 }
 
+// One pool for the whole process, sized on first use, so the sweep/report/
+// missions subcommands (and any future multi-sweep command) share workers
+// instead of spinning up a pool per sweep.
+ThreadPool& shared_pool(std::size_t jobs) {
+  static std::unique_ptr<ThreadPool> pool;
+  if (!pool) pool = std::make_unique<ThreadPool>(jobs);
+  return *pool;
+}
+
+// Shared front half of the sweep-based subcommands: environment config with
+// --trace-len / --jobs overrides, stderr progress, pooled execution.
+pipeline::SweepResult cli_sweep(std::vector<std::string>& args) {
+  pipeline::EvaluationConfig cfg =
+      pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
+  cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
+  const std::uint64_t default_jobs =
+      std::max(1u, std::thread::hardware_concurrency());
+  const auto jobs =
+      static_cast<std::size_t>(flag_u64(args, "--jobs", default_jobs));
+  RAMP_REQUIRE(jobs > 0, "--jobs must be at least 1");
+
+  static pipeline::StderrProgress progress;
+  pipeline::SweepRunner::Options opts;
+  opts.observer = &progress;
+  opts.pool = &shared_pool(jobs);
+  return pipeline::SweepRunner(cfg, opts).run();
+}
+
 int cmd_list() {
   TextTable apps("Workloads (SPEC2K, Table 3)");
   apps.set_header({"name", "suite", "IPC (paper)", "power W (paper)"});
@@ -74,8 +106,9 @@ int cmd_evaluate(std::vector<std::string> args) {
     std::fprintf(stderr, "usage: ramp evaluate <app> <node> [--trace-len N]\n");
     return 2;
   }
-  pipeline::EvaluationConfig cfg;
-  cfg.trace_instructions = flag_u64(args, "--trace-len", 200'000);
+  pipeline::EvaluationConfig cfg =
+      pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
+  cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
   const auto& w = workloads::workload(args[0]);
   const auto node = parse_node(args[1]);
 
@@ -104,9 +137,7 @@ int cmd_evaluate(std::vector<std::string> args) {
 }
 
 int cmd_sweep(std::vector<std::string> args, bool markdown) {
-  pipeline::EvaluationConfig cfg;
-  cfg.trace_instructions = flag_u64(args, "--trace-len", 200'000);
-  const auto sweep = pipeline::run_sweep(cfg);
+  const auto sweep = cli_sweep(args);
 
   if (!markdown) {
     TextTable table("Qualified total FIT (sweep)");
@@ -164,9 +195,7 @@ int cmd_sweep(std::vector<std::string> args, bool markdown) {
 }
 
 int cmd_missions(std::vector<std::string> args) {
-  pipeline::EvaluationConfig cfg;
-  cfg.trace_instructions = flag_u64(args, "--trace-len", 200'000);
-  const auto sweep = pipeline::run_sweep(cfg);
+  const auto sweep = cli_sweep(args);
   TextTable table("Example deployment missions, MTTF (years) per node");
   std::vector<std::string> header = {"mission"};
   for (const auto tp : scaling::kAllTechPoints) {
@@ -206,9 +235,9 @@ int usage() {
                "usage: ramp <command>\n"
                "  list                          workloads and nodes\n"
                "  evaluate <app> <node> [...]   one cell (e.g. ramp evaluate gcc 65-1.0)\n"
-               "  sweep [--trace-len N]         full qualified sweep table\n"
-               "  report [--trace-len N]        markdown report of the sweep\n"
-               "  missions [--trace-len N]      deployed-lifetime presets\n"
+               "  sweep [--trace-len N] [--jobs N]    full qualified sweep table\n"
+               "  report [--trace-len N] [--jobs N]   markdown report of the sweep\n"
+               "  missions [--trace-len N] [--jobs N] deployed-lifetime presets\n"
                "  trace <app> <file> [N]        capture a synthetic trace\n");
   return 2;
 }
