@@ -2,16 +2,18 @@
 //
 // Every bench regenerates one table or figure of the paper from the same
 // full sweep (16 apps × 5 nodes). The sweep result is cached on disk
-// (ramp_sweep_cache.csv in the working directory) so the suite of benches
-// pays for simulation once. Environment overrides:
+// (<out dir>/ramp_sweep_cache.csv) so the suite of benches pays for
+// simulation once. Environment overrides:
 //   RAMP_TRACE_LEN  instructions per synthetic trace (default 300000)
 //   RAMP_SEED       base RNG seed (default 42)
 //   RAMP_CACHE=off  recompute instead of using/writing the cache
 //   RAMP_JOBS       sweep worker threads (default: hardware concurrency)
+//   RAMP_OUT_DIR    directory for CSV exports and the cache (default out/)
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 
@@ -29,8 +31,10 @@ inline const pipeline::SweepResult& shared_sweep() {
   static const pipeline::SweepResult sweep = [] {
     static pipeline::StderrProgress progress;
     pipeline::SweepRunner::Options opts;
-    opts.jobs = static_cast<std::size_t>(
-        env_u64("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency())));
+    opts.jobs = env_jobs("RAMP_JOBS",
+                         std::max(1u, std::thread::hardware_concurrency()));
+    opts.cache_path =
+        (std::filesystem::path(output_dir()) / "ramp_sweep_cache.csv").string();
     opts.observer = &progress;
     return pipeline::SweepRunner(default_config(), opts).run();
   }();
@@ -45,11 +49,15 @@ inline void print_header(const std::string& artifact, const std::string& what) {
       " see EXPERIMENTS.md for paper-vs-measured discussion)\n\n");
 }
 
-/// Writes the table as CSV next to the cache for plotting, best effort.
+/// Writes the table as CSV into the output directory ($RAMP_OUT_DIR,
+/// default out/) for plotting, best effort.
 inline void export_csv(const TextTable& table, const std::string& filename) {
   try {
-    table.write_csv(filename);
-    std::printf("[csv written to %s]\n", filename.c_str());
+    const std::filesystem::path dir(output_dir());
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / filename).string();
+    table.write_csv(path);
+    std::printf("[csv written to %s]\n", path.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "csv export failed: %s\n", e.what());
   }

@@ -41,7 +41,11 @@ std::array<std::size_t, sim::kNumStructures> block_of_structure(
 
 EvaluationConfig EvaluationConfig::from_env(std::uint64_t trace_len) {
   EvaluationConfig cfg;
+  // env_u64 throws InvalidArgument on non-numeric, signed, or overflowing
+  // values — a misspelled override must fail loudly, not silently default.
   cfg.trace_instructions = env_u64("RAMP_TRACE_LEN", trace_len);
+  RAMP_REQUIRE(cfg.trace_instructions > 0,
+               "environment variable RAMP_TRACE_LEN must be positive");
   cfg.seed = env_u64("RAMP_SEED", 42);
   cfg.cache_enabled = env_enabled("RAMP_CACHE");
   return cfg;

@@ -47,7 +47,9 @@ struct EvaluationConfig {
   ///   RAMP_TRACE_LEN  instructions per synthetic trace (default `trace_len`)
   ///   RAMP_SEED       base RNG seed (default 42)
   ///   RAMP_CACHE=off  disable the sweep cache (default on)
-  /// All other fields keep their defaults.
+  /// All other fields keep their defaults. Malformed values (non-numeric,
+  /// signed, overflowing, or a zero trace length) throw InvalidArgument
+  /// instead of being silently replaced by the default.
   static EvaluationConfig from_env(std::uint64_t trace_len = 300'000);
 };
 

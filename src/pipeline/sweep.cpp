@@ -16,6 +16,7 @@
 #include "core/qualification.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/hashing.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ramp::pipeline {
@@ -27,13 +28,6 @@ int tech_index(scaling::TechPoint p) {
     if (scaling::kAllTechPoints[i] == p) return static_cast<int>(i);
   }
   throw InvalidArgument("unknown technology point");
-}
-
-void hash_mix(std::uint64_t& h, double v) {
-  std::uint64_t bits;
-  static_assert(sizeof bits == sizeof v);
-  std::memcpy(&bits, &v, sizeof bits);
-  h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
 }
 
 }  // namespace
@@ -107,25 +101,103 @@ double SweepResult::average_total_fit_all(scaling::TechPoint tech) const {
 }
 
 std::uint64_t config_hash(const EvaluationConfig& cfg) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  hash_mix(h, static_cast<double>(cfg.trace_instructions));
-  hash_mix(h, static_cast<double>(cfg.seed));
-  hash_mix(h, cfg.interval_seconds);
-  for (double w : cfg.power.unconstrained_w_180nm) hash_mix(h, w);
-  hash_mix(h, cfg.power.clock_gating_floor);
-  hash_mix(h, cfg.power.leakage_beta);
-  hash_mix(h, cfg.power.leakage_ref_temp);
-  hash_mix(h, cfg.power.base_core_area_mm2);
-  hash_mix(h, cfg.thermal.ambient_k);
-  hash_mix(h, cfg.thermal.r_convec_k_per_w);
-  hash_mix(h, cfg.thermal.r_vertical_specific);
-  hash_mix(h, cfg.thermal.r_spreader_sink);
-  hash_mix(h, cfg.thermal.k_silicon);
-  hash_mix(h, cfg.thermal.die_thickness);
-  hash_mix(h, cfg.thermal.c_silicon);
-  hash_mix(h, cfg.thermal.spreader_capacitance);
-  hash_mix(h, cfg.thermal.sink_capacitance);
-  return h;
+  // The mixing order is frozen: changing it invalidates every on-disk cache.
+  // trace_instructions/seed go through double for compatibility with the
+  // original hash (both are far below 2^53 in practice).
+  Fnv64 h;
+  h.mix(static_cast<double>(cfg.trace_instructions));
+  h.mix(static_cast<double>(cfg.seed));
+  h.mix(cfg.interval_seconds);
+  for (double w : cfg.power.unconstrained_w_180nm) h.mix(w);
+  h.mix(cfg.power.clock_gating_floor);
+  h.mix(cfg.power.leakage_beta);
+  h.mix(cfg.power.leakage_ref_temp);
+  h.mix(cfg.power.base_core_area_mm2);
+  h.mix(cfg.thermal.ambient_k);
+  h.mix(cfg.thermal.r_convec_k_per_w);
+  h.mix(cfg.thermal.r_vertical_specific);
+  h.mix(cfg.thermal.r_spreader_sink);
+  h.mix(cfg.thermal.k_silicon);
+  h.mix(cfg.thermal.die_thickness);
+  h.mix(cfg.thermal.c_silicon);
+  h.mix(cfg.thermal.spreader_capacitance);
+  h.mix(cfg.thermal.sink_capacitance);
+  return h.value();
+}
+
+std::string canonical_config(const EvaluationConfig& cfg) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "trace=" << cfg.trace_instructions << ";seed=" << cfg.seed
+      << ";interval=" << cfg.interval_seconds << ";power=";
+  for (double w : cfg.power.unconstrained_w_180nm) out << w << ',';
+  out << cfg.power.clock_gating_floor << ',' << cfg.power.leakage_beta << ','
+      << cfg.power.leakage_ref_temp << ',' << cfg.power.base_core_area_mm2
+      << ";thermal=" << cfg.thermal.ambient_k << ','
+      << cfg.thermal.r_convec_k_per_w << ',' << cfg.thermal.r_vertical_specific
+      << ',' << cfg.thermal.r_spreader_sink << ',' << cfg.thermal.k_silicon
+      << ',' << cfg.thermal.die_thickness << ',' << cfg.thermal.c_silicon
+      << ',' << cfg.thermal.spreader_capacitance << ','
+      << cfg.thermal.sink_capacitance;
+  return out.str();
+}
+
+void write_result_row(std::ostream& out, const AppTechResult& r) {
+  out << r.app << ',' << tech_index(r.tech) << ',' << r.ipc << ','
+      << r.avg_dynamic_power_w << ',' << r.avg_leakage_power_w << ','
+      << r.avg_total_power_w << ',' << r.max_structure_temp_k << ','
+      << r.sink_temp_k << ',' << r.avg_die_temp_k << ',' << r.max_activity
+      << ',' << r.raw_fits.tc_fit;
+  for (const auto& row : r.raw_fits.by_structure) {
+    for (double v : row) out << ',' << v;
+  }
+  out << ',' << r.run.cycles << ',' << r.run.instructions << ','
+      << r.run.branches << ',' << r.run.branch_mispredicts << ','
+      << r.run.l1d_accesses << ',' << r.run.l1d_misses << ','
+      << r.run.l2_accesses << ',' << r.run.l2_misses << ','
+      << r.run.l1i_misses;
+  for (double a : r.run.avg_activity) out << ',' << a;
+}
+
+std::optional<AppTechResult> parse_result_row(const std::string& line) {
+  std::istringstream row(line);
+  std::string cell;
+  auto next = [&]() -> std::string {
+    if (!std::getline(row, cell, ',')) {
+      throw InvalidArgument("truncated result row");
+    }
+    return cell;
+  };
+  try {
+    AppTechResult r;
+    r.app = next();
+    r.tech = scaling::kAllTechPoints.at(static_cast<std::size_t>(std::stoi(next())));
+    r.ipc = std::stod(next());
+    r.avg_dynamic_power_w = std::stod(next());
+    r.avg_leakage_power_w = std::stod(next());
+    r.avg_total_power_w = std::stod(next());
+    r.max_structure_temp_k = std::stod(next());
+    r.sink_temp_k = std::stod(next());
+    r.avg_die_temp_k = std::stod(next());
+    r.max_activity = std::stod(next());
+    r.raw_fits.tc_fit = std::stod(next());
+    for (auto& srow : r.raw_fits.by_structure) {
+      for (double& v : srow) v = std::stod(next());
+    }
+    r.run.cycles = std::stoull(next());
+    r.run.instructions = std::stoull(next());
+    r.run.branches = std::stoull(next());
+    r.run.branch_mispredicts = std::stoull(next());
+    r.run.l1d_accesses = std::stoull(next());
+    r.run.l1d_misses = std::stoull(next());
+    r.run.l2_accesses = std::stoull(next());
+    r.run.l2_misses = std::stoull(next());
+    r.run.l1i_misses = std::stoull(next());
+    for (double& a : r.run.avg_activity) a = std::stod(next());
+    return r;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 std::string sweep_to_csv(const SweepResult& sweep) {
@@ -135,20 +207,7 @@ std::string sweep_to_csv(const SweepResult& sweep) {
   out << "# constants em=" << sweep.constants.em << " sm=" << sweep.constants.sm
       << " tddb=" << sweep.constants.tddb << " tc=" << sweep.constants.tc << "\n";
   for (const auto& r : sweep.results) {
-    out << r.app << ',' << tech_index(r.tech) << ',' << r.ipc << ','
-        << r.avg_dynamic_power_w << ',' << r.avg_leakage_power_w << ','
-        << r.avg_total_power_w << ',' << r.max_structure_temp_k << ','
-        << r.sink_temp_k << ',' << r.avg_die_temp_k << ',' << r.max_activity
-        << ',' << r.raw_fits.tc_fit;
-    for (const auto& row : r.raw_fits.by_structure) {
-      for (double v : row) out << ',' << v;
-    }
-    out << ',' << r.run.cycles << ',' << r.run.instructions << ','
-        << r.run.branches << ',' << r.run.branch_mispredicts << ','
-        << r.run.l1d_accesses << ',' << r.run.l1d_misses << ','
-        << r.run.l2_accesses << ',' << r.run.l2_misses << ','
-        << r.run.l1i_misses;
-    for (double a : r.run.avg_activity) out << ',' << a;
+    write_result_row(out, r);
     out << '\n';
   }
   return out.str();
@@ -178,44 +237,9 @@ std::optional<SweepResult> sweep_from_csv(const std::string& csv,
 
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    std::istringstream row(line);
-    std::string cell;
-    auto next = [&]() -> std::string {
-      if (!std::getline(row, cell, ',')) {
-        throw InvalidArgument("truncated sweep cache row");
-      }
-      return cell;
-    };
-    try {
-      AppTechResult r;
-      r.app = next();
-      r.tech = scaling::kAllTechPoints.at(static_cast<std::size_t>(std::stoi(next())));
-      r.ipc = std::stod(next());
-      r.avg_dynamic_power_w = std::stod(next());
-      r.avg_leakage_power_w = std::stod(next());
-      r.avg_total_power_w = std::stod(next());
-      r.max_structure_temp_k = std::stod(next());
-      r.sink_temp_k = std::stod(next());
-      r.avg_die_temp_k = std::stod(next());
-      r.max_activity = std::stod(next());
-      r.raw_fits.tc_fit = std::stod(next());
-      for (auto& srow : r.raw_fits.by_structure) {
-        for (double& v : srow) v = std::stod(next());
-      }
-      r.run.cycles = std::stoull(next());
-      r.run.instructions = std::stoull(next());
-      r.run.branches = std::stoull(next());
-      r.run.branch_mispredicts = std::stoull(next());
-      r.run.l1d_accesses = std::stoull(next());
-      r.run.l1d_misses = std::stoull(next());
-      r.run.l2_accesses = std::stoull(next());
-      r.run.l2_misses = std::stoull(next());
-      r.run.l1i_misses = std::stoull(next());
-      for (double& a : r.run.avg_activity) a = std::stod(next());
-      sweep.results.push_back(std::move(r));
-    } catch (const std::exception&) {
-      return std::nullopt;  // malformed cache — recompute
-    }
+    auto r = parse_result_row(line);
+    if (!r) return std::nullopt;  // malformed cache — recompute
+    sweep.results.push_back(std::move(*r));
   }
   const std::size_t expected =
       workloads::spec2k_suite().size() * scaling::kAllTechPoints.size();
@@ -249,6 +273,8 @@ void store_cache(const std::string& path, const SweepResult& sweep) {
   std::error_code ec;
   const fs::path target = fs::absolute(fs::path(path), ec);
   if (ec) return;
+  if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
+  ec.clear();
   // The temp file lives in the target directory so the rename cannot cross
   // filesystems; the PID suffix keeps concurrent writers off each other.
   fs::path tmp = target;

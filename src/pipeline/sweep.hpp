@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -113,7 +114,20 @@ std::string sweep_to_csv(const SweepResult& sweep);
 std::optional<SweepResult> sweep_from_csv(const std::string& csv,
                                           const EvaluationConfig& expect_cfg);
 
+/// One AppTechResult as a single CSV row (no trailing newline) — the row
+/// format of sweep_to_csv, reused by the serve layer's persistent result
+/// cache. Callers set the stream to round-trip precision (17 digits).
+void write_result_row(std::ostream& out, const AppTechResult& r);
+
+/// Parses one write_result_row line; nullopt when malformed or truncated.
+std::optional<AppTechResult> parse_result_row(const std::string& line);
+
 /// Hash of every config field that affects results.
 std::uint64_t config_hash(const EvaluationConfig& cfg);
+
+/// Canonical one-line, human-readable rendering of every result-affecting
+/// config field (the fields config_hash covers, in the same order) — stored
+/// in persistent cache headers so stale entries are explainable.
+std::string canonical_config(const EvaluationConfig& cfg);
 
 }  // namespace ramp::pipeline

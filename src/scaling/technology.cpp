@@ -41,4 +41,24 @@ const TechnologyNode& base_node() { return node(TechPoint::k180nm); }
 
 std::string_view tech_name(TechPoint p) { return node(p).name; }
 
+std::string_view tech_token(TechPoint p) {
+  switch (p) {
+    case TechPoint::k180nm: return "180";
+    case TechPoint::k130nm: return "130";
+    case TechPoint::k90nm: return "90";
+    case TechPoint::k65nm_0V9: return "65-0.9";
+    case TechPoint::k65nm_1V0: return "65-1.0";
+  }
+  throw InvalidArgument("unknown technology point");
+}
+
+TechPoint parse_tech(const std::string& name) {
+  for (const auto p : kAllTechPoints) {
+    if (name == tech_token(p) || name == tech_name(p)) return p;
+  }
+  if (name == "65") return TechPoint::k65nm_1V0;
+  throw InvalidArgument("unknown node '" + name +
+                        "' (use 180, 130, 90, 65-0.9, 65-1.0)");
+}
+
 }  // namespace ramp::scaling

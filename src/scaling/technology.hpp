@@ -71,4 +71,12 @@ const TechnologyNode& base_node();
 /// Short display name ("180nm", "65nm (0.9V)", ...).
 std::string_view tech_name(TechPoint p);
 
+/// Canonical machine token ("180", "130", "90", "65-0.9", "65-1.0") — the
+/// spelling the CLI and the serve request codec use.
+std::string_view tech_token(TechPoint p);
+
+/// Inverse of tech_token (also accepts tech_name spellings and "65" for
+/// the 1.0 V point); throws InvalidArgument for anything else.
+TechPoint parse_tech(const std::string& name);
+
 }  // namespace ramp::scaling

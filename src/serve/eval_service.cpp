@@ -1,0 +1,299 @@
+#include "serve/eval_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "pipeline/sweep.hpp"
+#include "util/error.hpp"
+#include "util/hashing.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace ramp::serve {
+
+namespace {
+constexpr std::size_t kLatencyWindow = 512;
+}  // namespace
+
+EvalService::EvalService(pipeline::EvaluationConfig base, Options opts)
+    : base_(std::move(base)),
+      opts_(std::move(opts)),
+      lru_(opts_.cache_capacity) {
+  RAMP_REQUIRE(opts_.max_pending > 0, "max_pending must be at least 1");
+  if (opts_.pool != nullptr) {
+    pool_ = opts_.pool;
+  } else {
+    RAMP_REQUIRE(opts_.jobs > 0, "EvalService needs at least one job");
+    owned_pool_ = std::make_unique<ThreadPool>(opts_.jobs);
+    pool_ = owned_pool_.get();
+  }
+  latencies_ms_.resize(kLatencyWindow, 0.0);
+}
+
+EvalService::~EvalService() { drain(); }
+
+void EvalService::drain() {
+  // Task handles complete only after the pool task fully returned, so once
+  // every handle is ready no task can still touch this object.
+  std::vector<std::shared_future<void>> handles;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    handles = task_handles_;
+  }
+  for (auto& h : handles) h.wait();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  task_handles_.clear();
+}
+
+EvalService::Ticket EvalService::submit(const EvalRequest& req) {
+  RAMP_REQUIRE(req.op == Op::kEval, "submit() takes eval requests only");
+  workloads::workload(req.app);  // invalid names fail here, not on the pool
+  const std::string key = request_key(req, base_);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++requests_;
+
+  if (OutcomePtr* cached = lru_.get(key)) {
+    ++hits_;
+    std::promise<OutcomePtr> ready;
+    ready.set_value(*cached);
+    return {ready.get_future().share(), Source::kCache};
+  }
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    ++coalesced_;
+    return {it->second, Source::kCoalesced};
+  }
+
+  ++misses_;
+  // Backpressure: bound the number of scheduled-but-unfinished keys. The
+  // wait releases the lock, so hits/stats stay serviceable meanwhile.
+  slot_free_.wait(lock, [this] { return pending_ < opts_.max_pending; });
+  ++pending_;
+
+  auto task = std::make_shared<std::packaged_task<OutcomePtr()>>(
+      [this, key, req] { return run_scheduled(key, req); });
+  std::shared_future<OutcomePtr> future = task->get_future().share();
+  inflight_.emplace(key, future);
+
+  // Opportunistically drop completed handles so the vector stays bounded.
+  task_handles_.erase(
+      std::remove_if(task_handles_.begin(), task_handles_.end(),
+                     [](const std::shared_future<void>& h) {
+                       return h.wait_for(std::chrono::seconds(0)) ==
+                              std::future_status::ready;
+                     }),
+      task_handles_.end());
+  lock.unlock();
+
+  std::shared_future<void> handle =
+      pool_->submit([this, task, key] {
+             (*task)();  // exceptions land in `future`
+             const std::lock_guard<std::mutex> inner(mutex_);
+             inflight_.erase(key);
+             --pending_;
+             slot_free_.notify_all();
+           })
+          .share();
+  {
+    const std::lock_guard<std::mutex> inner(mutex_);
+    task_handles_.push_back(std::move(handle));
+  }
+  return {future, Source::kScheduled};
+}
+
+OutcomePtr EvalService::evaluate(const EvalRequest& req) {
+  return submit(req).future.get();
+}
+
+OutcomePtr EvalService::run_scheduled(const std::string& key,
+                                      const EvalRequest& req) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    OutcomePtr outcome;
+    bool from_disk = false;
+    if (!opts_.persist_dir.empty()) {
+      outcome = load_persisted(key);
+      from_disk = outcome != nullptr;
+    }
+    if (!outcome) {
+      auto fresh = std::make_shared<EvalOutcome>();
+      fresh->key = key;
+      fresh->result = evaluate_request(req);
+      outcome = fresh;
+      if (!opts_.persist_dir.empty()) {
+        store_persisted(*outcome, req.effective_config(base_));
+      }
+    }
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - start;
+    record_outcome(key, outcome, from_disk, wall.count());
+    return outcome;
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++failures_;
+    throw;
+  }
+}
+
+pipeline::AppTechResult EvalService::evaluate_request(const EvalRequest& req) {
+  const pipeline::EvaluationConfig cfg = req.effective_config(base_);
+  const pipeline::Evaluator evaluator(cfg);
+  const auto& w = workloads::workload(req.app);
+
+  double sink_k = req.sink_k;
+  const bool pin = req.pin_sink && sink_k <= 0.0 &&
+                   req.node != scaling::TechPoint::k180nm;
+  if (pin) {
+    // The paper's scaling rule: the scaled node holds the application's
+    // 180 nm heat-sink temperature. The base cell is itself a service
+    // citizen — cached under its own key — so one warm process pays for an
+    // app's 180 nm run once across all nodes. It is evaluated inline (not
+    // re-submitted to the pool) because a FIFO-pool worker must never block
+    // on a task queued behind itself.
+    EvalRequest base_req = req;
+    base_req.node = scaling::TechPoint::k180nm;
+    base_req.sink_k = 0.0;
+    const std::string base_key = request_key(base_req, base_);
+
+    OutcomePtr base;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (OutcomePtr* cached = lru_.get(base_key)) base = *cached;
+    }
+    if (!base && !opts_.persist_dir.empty()) base = load_persisted(base_key);
+    if (!base) {
+      auto fresh = std::make_shared<EvalOutcome>();
+      fresh->key = base_key;
+      fresh->result = evaluator.evaluate(w, scaling::TechPoint::k180nm);
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++evaluations_;
+        evictions_ += lru_.put(base_key, fresh);
+      }
+      if (!opts_.persist_dir.empty()) store_persisted(*fresh, cfg);
+      base = fresh;
+    }
+    sink_k = base->result.sink_temp_k;
+  }
+
+  pipeline::AppTechResult r = evaluator.evaluate(w, req.node, sink_k);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++evaluations_;
+  }
+  return r;
+}
+
+void EvalService::record_outcome(const std::string& key,
+                                 const OutcomePtr& outcome, bool from_disk,
+                                 double latency_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (from_disk) ++persist_hits_;
+  evictions_ += lru_.put(key, outcome);
+  latencies_ms_[latency_next_] = latency_ms;
+  latency_next_ = (latency_next_ + 1) % latencies_ms_.size();
+  if (latency_next_ == 0) latency_full_ = true;
+}
+
+ServiceStats EvalService::stats() const {
+  std::vector<double> window;
+  ServiceStats s;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s.requests = requests_;
+    s.hits = hits_;
+    s.coalesced = coalesced_;
+    s.misses = misses_;
+    s.persist_hits = persist_hits_;
+    s.evaluations = evaluations_;
+    s.failures = failures_;
+    s.evictions = evictions_;
+    s.queue_depth = pending_;
+    s.cache_size = lru_.size();
+    const std::size_t n = latency_full_ ? latencies_ms_.size() : latency_next_;
+    window.assign(latencies_ms_.begin(),
+                  latencies_ms_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    const auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(window.size() - 1) + 0.5);
+      return window[std::min(idx, window.size() - 1)];
+    };
+    s.p50_latency_ms = at(0.50);
+    s.p99_latency_ms = at(0.99);
+  }
+  return s;
+}
+
+// ---- persistent file cache ------------------------------------------------
+//
+// One file per key: <persist_dir>/<fnv64(key)>.rampres containing
+//   # ramp_serve_cache v1
+//   # key=<canonical key>
+//   # cfg=<canonical config>          (explanatory only)
+//   <result row, sweep cache format, 17-digit precision>
+// The digest names the file; the embedded key disambiguates collisions
+// (mismatch reads as a miss and the entry is rewritten). Writes follow the
+// sweep cache's atomic discipline: same-directory temp file + rename.
+
+std::string EvalService::persist_path(const std::string& key) const {
+  Fnv64 h;
+  h.mix(std::string_view(key));
+  return (std::filesystem::path(opts_.persist_dir) / (h.hex() + ".rampres"))
+      .string();
+}
+
+OutcomePtr EvalService::load_persisted(const std::string& key) {
+  std::ifstream f(persist_path(key));
+  if (!f) return nullptr;
+  std::string line;
+  if (!std::getline(f, line) || line != "# ramp_serve_cache v1") return nullptr;
+  if (!std::getline(f, line) || line != "# key=" + key) return nullptr;
+  if (!std::getline(f, line) || line.rfind("# cfg=", 0) != 0) return nullptr;
+  if (!std::getline(f, line)) return nullptr;
+  auto r = pipeline::parse_result_row(line);
+  if (!r) return nullptr;
+  auto outcome = std::make_shared<EvalOutcome>();
+  outcome->key = key;
+  outcome->result = std::move(*r);
+  return outcome;
+}
+
+void EvalService::store_persisted(const EvalOutcome& outcome,
+                                  const pipeline::EvaluationConfig& cfg) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(opts_.persist_dir, ec);
+  const fs::path target = persist_path(outcome.key);
+  fs::path tmp = target;
+  tmp += ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(ThreadPool::current_worker_id() + 1);
+  {
+    std::ofstream f(tmp);
+    if (!f) return;  // best effort, like the sweep cache
+    std::ostringstream body;
+    body.precision(17);
+    body << "# ramp_serve_cache v1\n";
+    body << "# key=" << outcome.key << "\n";
+    body << "# cfg=" << pipeline::canonical_config(cfg) << "\n";
+    pipeline::write_result_row(body, outcome.result);
+    body << '\n';
+    f << body.str();
+    if (!f) {
+      f.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+}  // namespace ramp::serve

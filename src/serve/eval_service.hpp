@@ -1,0 +1,145 @@
+// In-process RAMP evaluation service: bounded LRU result cache, optional
+// persistent file cache, single-flight request coalescing, and batched
+// execution on a ramp::ThreadPool with backpressure.
+//
+// The serving model: every request canonicalizes to a content-addressed key
+// (see request.hpp). A key is answered, in order of preference, from
+//   1. the in-memory LRU        (hit          — no work),
+//   2. an identical in-flight
+//      computation              (coalesced    — shares that future),
+//   3. the persistent file
+//      cache                    (persist hit  — one disk read, on a worker),
+//   4. the full Turandot→PowerTimer→HotSpot→RAMP pipeline (evaluation).
+// Results are bitwise-identical to calling pipeline::Evaluator directly —
+// caching never changes an answer, only when it is computed.
+//
+// Threading: submit() may be called from any thread *except* pool workers
+// (a worker blocking on backpressure or on another task's future could
+// starve the FIFO pool). All shared state sits behind one mutex; evaluation
+// itself runs unlocked on the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/evaluator.hpp"
+#include "serve/request.hpp"
+#include "util/lru_cache.hpp"
+
+namespace ramp {
+class ThreadPool;
+}
+
+namespace ramp::serve {
+
+/// One cached evaluation outcome. Shared (immutable) between the LRU, all
+/// coalesced waiters, and the wire encoder, so hits copy a pointer only.
+struct EvalOutcome {
+  std::string key;
+  pipeline::AppTechResult result;
+};
+using OutcomePtr = std::shared_ptr<const EvalOutcome>;
+
+/// Monotonic counters plus a point-in-time snapshot of service state.
+struct ServiceStats {
+  std::uint64_t requests = 0;     ///< submit() calls accepted
+  std::uint64_t hits = 0;         ///< answered from the in-memory LRU
+  std::uint64_t coalesced = 0;    ///< attached to an identical in-flight key
+  std::uint64_t misses = 0;       ///< scheduled work (persist hit or eval)
+  std::uint64_t persist_hits = 0; ///< misses answered from the file cache
+  std::uint64_t evaluations = 0;  ///< pipeline cell evaluations run (a pinned
+                                  ///< request may count 2: base + node)
+  std::uint64_t failures = 0;     ///< scheduled requests that threw
+  std::uint64_t evictions = 0;    ///< LRU entries displaced
+  std::size_t queue_depth = 0;    ///< keys scheduled but not yet finished
+  std::size_t cache_size = 0;     ///< LRU entries resident
+  double p50_latency_ms = 0.0;    ///< over recent scheduled requests
+  double p99_latency_ms = 0.0;
+};
+
+class EvalService {
+ public:
+  struct Options {
+    std::size_t jobs = 1;            ///< pool size when owning
+    ThreadPool* pool = nullptr;      ///< reuse an external pool; overrides jobs
+    std::size_t cache_capacity = 256;///< LRU entries
+    std::string persist_dir;         ///< "" disables the file cache
+    std::size_t max_pending = 64;    ///< backpressure: submit() blocks beyond
+  };
+
+  /// How submit() answered a request — reported so front-ends can tell
+  /// callers whether their answer was cached.
+  enum class Source { kCache, kCoalesced, kScheduled };
+
+  struct Ticket {
+    std::shared_future<OutcomePtr> future;
+    Source source = Source::kScheduled;
+  };
+
+  EvalService(pipeline::EvaluationConfig base, Options opts);
+  ~EvalService();  ///< drains every scheduled request before returning
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Validates and enqueues `req` (op must be kEval). Returns immediately
+  /// with a shared future unless the pending-evaluation bound is reached,
+  /// in which case it blocks until a slot frees (backpressure). Invalid
+  /// requests throw synchronously and consume no slot; failures inside the
+  /// pipeline surface from future::get().
+  Ticket submit(const EvalRequest& req);
+
+  /// submit() + get(): the blocking convenience entry point.
+  OutcomePtr evaluate(const EvalRequest& req);
+
+  /// Blocks until no scheduled request is in flight.
+  void drain();
+
+  ServiceStats stats() const;
+
+  const pipeline::EvaluationConfig& config() const { return base_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  OutcomePtr run_scheduled(const std::string& key, const EvalRequest& req);
+  pipeline::AppTechResult evaluate_request(const EvalRequest& req);
+  OutcomePtr load_persisted(const std::string& key);
+  void store_persisted(const EvalOutcome& outcome,
+                       const pipeline::EvaluationConfig& cfg);
+  std::string persist_path(const std::string& key) const;
+  void record_outcome(const std::string& key, const OutcomePtr& outcome,
+                      bool from_disk, double latency_ms);
+
+  pipeline::EvaluationConfig base_;
+  Options opts_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  LruCache<std::string, OutcomePtr> lru_;
+  std::unordered_map<std::string, std::shared_future<OutcomePtr>> inflight_;
+  std::vector<std::shared_future<void>> task_handles_;  ///< for drain/dtor
+  std::size_t pending_ = 0;
+
+  // Counters (guarded by mutex_).
+  std::uint64_t requests_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t persist_hits_ = 0;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::vector<double> latencies_ms_;  ///< bounded ring, newest overwrite
+  std::size_t latency_next_ = 0;
+  bool latency_full_ = false;
+};
+
+}  // namespace ramp::serve

@@ -1,0 +1,310 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace ramp::serve {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    Json v = value();
+    skip_ws();
+    require(pos_ == text_.size(), "trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw InvalidArgument("JSON parse error at byte " + std::to_string(pos_) +
+                          ": " + why);
+  }
+  void require(bool ok, const char* why) const {
+    if (!ok) fail(why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Json(string());
+    if (c == 't') { require(literal("true"), "invalid literal"); return Json(true); }
+    if (c == 'f') { require(literal("false"), "invalid literal"); return Json(false); }
+    if (c == 'n') { require(literal("null"), "invalid literal"); return Json(); }
+    return number();
+  }
+
+  Json object() {
+    consume('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      require(peek() == '"', "expected string key");
+      std::string key = string();
+      skip_ws();
+      require(consume(':'), "expected ':' after key");
+      obj.set(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      require(consume('}'), "expected ',' or '}' in object");
+      return obj;
+    }
+  }
+
+  Json array() {
+    consume('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push(value());
+      skip_ws();
+      if (consume(',')) continue;
+      require(consume(']'), "expected ',' or ']' in array");
+      return arr;
+    }
+  }
+
+  std::string string() {
+    consume('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        require(static_cast<unsigned char>(c) >= 0x20, "raw control character in string");
+        out += c;
+        continue;
+      }
+      require(pos_ < text_.size(), "unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += unicode_escape(); break;
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  // \uXXXX — BMP code points only (no surrogate pairs); encoded as UTF-8.
+  std::string unicode_escape() {
+    require(pos_ + 4 <= text_.size(), "truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    require(cp < 0xD800 || cp > 0xDFFF, "surrogate pairs are not supported");
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    require(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])),
+            "invalid number");
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (consume('.')) {
+      require(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])),
+              "digit expected after decimal point");
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!consume('+')) consume('-');
+      require(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])),
+              "digit expected in exponent");
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    return Json(std::strtod(text_.c_str() + start, nullptr));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; null is the conventional fallback
+    return;
+  }
+  // Integers (the common case: counters, seeds, lengths) print exactly.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void dump_value(const Json& j, std::string& out) {
+  switch (j.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += j.as_bool() ? "true" : "false"; break;
+    case Json::Type::kNumber: dump_number(j.as_number(), out); break;
+    case Json::Type::kString: dump_string(j.as_string(), out); break;
+    case Json::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : j.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_string(k, out);
+        out += ':';
+        dump_value(v, out);
+      }
+      out += '}';
+      break;
+    }
+    case Json::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : j.elements()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(v, out);
+      }
+      out += ']';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+bool Json::as_bool(const std::string& what) const {
+  RAMP_REQUIRE(type_ == Type::kBool, what + " must be a boolean");
+  return bool_;
+}
+
+double Json::as_number(const std::string& what) const {
+  RAMP_REQUIRE(type_ == Type::kNumber, what + " must be a number");
+  return num_;
+}
+
+const std::string& Json::as_string(const std::string& what) const {
+  RAMP_REQUIRE(type_ == Type::kString, what + " must be a string");
+  return str_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json value) {
+  RAMP_REQUIRE(type_ == Type::kObject, "set() on a non-object JSON value");
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  RAMP_REQUIRE(type_ == Type::kArray, "push() on a non-array JSON value");
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+}  // namespace ramp::serve

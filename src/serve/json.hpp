@@ -1,0 +1,72 @@
+// Minimal JSON value, parser, and serializer for the serve layer's
+// newline-delimited request/response protocol.
+//
+// Deliberately small: objects preserve insertion order (stable, diffable
+// responses), numbers are doubles serialized with round-trip precision
+// (integers below 2^53 print without a decimal point), and parse errors
+// throw ramp::InvalidArgument with a byte offset. No external dependency —
+// the container image pins the toolchain, so we vendor ~250 lines instead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ramp::serve {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() = default;                      ///< null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+
+  /// Parses exactly one JSON document (trailing whitespace allowed);
+  /// throws InvalidArgument on any syntax error.
+  static Json parse(const std::string& text);
+
+  /// Compact single-line serialization.
+  std::string dump() const;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw InvalidArgument on a type mismatch, naming
+  /// `what` (usually the field being read) in the message.
+  bool as_bool(const std::string& what = "value") const;
+  double as_number(const std::string& what = "value") const;
+  const std::string& as_string(const std::string& what = "value") const;
+
+  /// Object lookup: pointer to the value, or nullptr when absent (or when
+  /// this value is not an object).
+  const Json* find(const std::string& key) const;
+
+  /// Appends a key (objects keep insertion order; duplicate keys are not
+  /// checked — last one wins on lookup-by-find of the first occurrence).
+  Json& set(std::string key, Json value);
+  /// Appends an array element.
+  Json& push(Json value);
+
+  const std::vector<std::pair<std::string, Json>>& items() const { return obj_; }
+  const std::vector<Json>& elements() const { return arr_; }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> obj_;
+  std::vector<Json> arr_;
+};
+
+}  // namespace ramp::serve

@@ -1,0 +1,123 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "pipeline/sweep.hpp"
+#include "util/error.hpp"
+#include "util/hashing.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace ramp::serve {
+
+namespace {
+
+std::uint64_t as_u64_field(const Json& v, const char* what) {
+  const double d = v.as_number(what);
+  RAMP_REQUIRE(d >= 0.0 && d == std::floor(d) && d < 9.007199254740992e15,
+               std::string(what) + " must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+pipeline::EvaluationConfig EvalRequest::effective_config(
+    const pipeline::EvaluationConfig& base) const {
+  pipeline::EvaluationConfig cfg = base;
+  if (trace_len) cfg.trace_instructions = *trace_len;
+  if (seed) cfg.seed = *seed;
+  return cfg;
+}
+
+EvalRequest parse_request(const std::string& line) {
+  const Json j = Json::parse(line);
+  RAMP_REQUIRE(j.is_object(), "request must be a JSON object");
+
+  EvalRequest req;
+  if (const Json* op = j.find("op")) {
+    const std::string& name = op->as_string("op");
+    if (name == "eval") req.op = Op::kEval;
+    else if (name == "stats") req.op = Op::kStats;
+    else if (name == "shutdown") req.op = Op::kShutdown;
+    else throw InvalidArgument("unknown op '" + name +
+                               "' (use eval, stats, shutdown)");
+  }
+
+  for (const auto& [key, value] : j.items()) {
+    if (key == "op") continue;
+    if (key == "id") {
+      req.id = value.dump();
+      continue;
+    }
+    RAMP_REQUIRE(req.op == Op::kEval,
+                 "field '" + key + "' is only valid on eval requests");
+    if (key == "app") {
+      req.app = value.as_string("app");
+    } else if (key == "node") {
+      req.node = scaling::parse_tech(value.as_string("node"));
+    } else if (key == "trace_len") {
+      req.trace_len = as_u64_field(value, "trace_len");
+      RAMP_REQUIRE(*req.trace_len > 0, "trace_len must be positive");
+    } else if (key == "seed") {
+      req.seed = as_u64_field(value, "seed");
+    } else if (key == "pin_sink") {
+      req.pin_sink = value.as_bool("pin_sink");
+    } else if (key == "sink_k") {
+      req.sink_k = value.as_number("sink_k");
+      RAMP_REQUIRE(req.sink_k >= 0.0, "sink_k must be non-negative");
+    } else {
+      throw InvalidArgument("unknown request field '" + key + "'");
+    }
+  }
+
+  if (req.op == Op::kEval) {
+    RAMP_REQUIRE(!req.app.empty(), "eval request needs an \"app\" field");
+    workloads::workload(req.app);  // validates the name, throws when unknown
+  }
+  return req;
+}
+
+std::string request_key(const EvalRequest& req,
+                        const pipeline::EvaluationConfig& base) {
+  RAMP_REQUIRE(req.op == Op::kEval, "only eval requests have cache keys");
+  // Canonical form: an explicit sink target supersedes pinning, and pinning
+  // at 180 nm is the identity (the 180 nm run *is* the pin source).
+  bool pin = req.pin_sink;
+  if (req.sink_k > 0.0 || req.node == scaling::TechPoint::k180nm) pin = false;
+
+  char sink[40];
+  std::snprintf(sink, sizeof sink, "%.17g", req.sink_k);
+
+  const pipeline::EvaluationConfig cfg = req.effective_config(base);
+  Fnv64 h;
+  h.mix(pipeline::config_hash(cfg));
+  return "eval.v1|app=" + req.app +
+         "|node=" + std::string(scaling::tech_token(req.node)) +
+         "|pin=" + (pin ? "1" : "0") + "|sink=" + sink + "|cfg=" + h.hex();
+}
+
+Json result_json(const pipeline::AppTechResult& r) {
+  const auto mech = r.raw_fits.by_mechanism();
+  Json fit = Json::object();
+  fit.set("em", mech[0])
+      .set("sm", mech[1])
+      .set("tddb", mech[2])
+      .set("tc", mech[3])
+      .set("total", r.raw_fits.total());
+
+  Json out = Json::object();
+  out.set("app", r.app)
+      .set("node", std::string(scaling::tech_token(r.tech)))
+      .set("ipc", r.ipc)
+      .set("dynamic_w", r.avg_dynamic_power_w)
+      .set("leakage_w", r.avg_leakage_power_w)
+      .set("total_w", r.avg_total_power_w)
+      .set("max_temp_k", r.max_structure_temp_k)
+      .set("sink_temp_k", r.sink_temp_k)
+      .set("avg_die_temp_k", r.avg_die_temp_k)
+      .set("max_activity", r.max_activity)
+      .set("raw_fit", std::move(fit));
+  return out;
+}
+
+}  // namespace ramp::serve

@@ -1,0 +1,62 @@
+// Evaluation request codec: the JSON wire format of `ramp serve` and the
+// canonical content-addressed key the EvalService caches under.
+//
+// Request schema (one JSON object per line):
+//   {"op":"eval","app":"gcc","node":"65-1.0",          // required for eval
+//    "trace_len":200000,"seed":7,                      // optional overrides
+//    "pin_sink":true,                                  // default true
+//    "sink_k":356.0,                                   // explicit sink target
+//    "id":...}                                         // echoed verbatim
+//   {"op":"stats"}    {"op":"shutdown"}
+//
+// `pin_sink` reproduces the paper's constant-sink-temperature scaling rule:
+// the workload's 180 nm run pins the heat-sink temperature the scaled node
+// holds. An explicit positive `sink_k` overrides pinning; `pin_sink:false`
+// with no `sink_k` evaluates with the base 0.8 K/W convection resistance.
+//
+// Canonicalization: semantically identical requests (defaults spelled out
+// or omitted, node aliases, pin flags that cannot matter at 180 nm) map to
+// one key, so they coalesce and share cache entries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "pipeline/evaluator.hpp"
+#include "scaling/technology.hpp"
+#include "serve/json.hpp"
+
+namespace ramp::serve {
+
+enum class Op { kEval, kStats, kShutdown };
+
+struct EvalRequest {
+  Op op = Op::kEval;
+  std::string app;
+  scaling::TechPoint node = scaling::TechPoint::k180nm;
+  std::optional<std::uint64_t> trace_len;  ///< overrides base config
+  std::optional<std::uint64_t> seed;       ///< overrides base config
+  bool pin_sink = true;
+  double sink_k = 0.0;     ///< >0: explicit sink target (overrides pinning)
+  std::string id;          ///< raw JSON of the "id" field, "" when absent
+
+  /// The effective evaluation config: `base` with this request's overrides.
+  pipeline::EvaluationConfig effective_config(
+      const pipeline::EvaluationConfig& base) const;
+};
+
+/// Parses one request line; throws InvalidArgument on malformed JSON,
+/// unknown ops/fields of the wrong type, or unknown app/node names.
+EvalRequest parse_request(const std::string& line);
+
+/// The content-addressed cache key: canonical request fields plus a hash of
+/// every result-affecting field of the effective config. Two requests with
+/// equal keys are guaranteed byte-identical results.
+std::string request_key(const EvalRequest& req,
+                        const pipeline::EvaluationConfig& base);
+
+/// Serializes one evaluation result as the wire "result" object.
+Json result_json(const pipeline::AppTechResult& r);
+
+}  // namespace ramp::serve

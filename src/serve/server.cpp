@@ -1,0 +1,137 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "serve/eval_service.hpp"
+#include "serve/json.hpp"
+
+namespace ramp::serve {
+
+namespace {
+
+void set_id(Json& response, const std::string& id) {
+  // The id is re-parsed from its captured raw JSON so it round-trips with
+  // whatever type the client sent (number, string, object, ...).
+  if (!id.empty()) response.set("id", Json::parse(id));
+}
+
+Json error_response(const std::string& message, const std::string& id = {}) {
+  Json r = Json::object();
+  r.set("ok", false);
+  set_id(r, id);
+  r.set("error", message);
+  return r;
+}
+
+Json stats_json(const ServiceStats& s) {
+  Json j = Json::object();
+  j.set("requests", s.requests)
+      .set("hits", s.hits)
+      .set("coalesced", s.coalesced)
+      .set("misses", s.misses)
+      .set("persist_hits", s.persist_hits)
+      .set("evaluations", s.evaluations)
+      .set("failures", s.failures)
+      .set("evictions", s.evictions)
+      .set("queue_depth", static_cast<std::uint64_t>(s.queue_depth))
+      .set("cache_size", static_cast<std::uint64_t>(s.cache_size))
+      .set("p50_latency_ms", s.p50_latency_ms)
+      .set("p99_latency_ms", s.p99_latency_ms);
+  return j;
+}
+
+struct PendingEval {
+  EvalService::Ticket ticket;
+  std::string id;
+};
+
+Json eval_response(PendingEval& pending) {
+  try {
+    const OutcomePtr outcome = pending.ticket.future.get();
+    Json r = Json::object();
+    r.set("ok", true);
+    r.set("op", "eval");
+    set_id(r, pending.id);
+    r.set("key", outcome->key);
+    r.set("cached", pending.ticket.source == EvalService::Source::kCache);
+    r.set("coalesced",
+          pending.ticket.source == EvalService::Source::kCoalesced);
+    r.set("result", result_json(outcome->result));
+    return r;
+  } catch (const std::exception& e) {
+    return error_response(e.what(), pending.id);
+  }
+}
+
+}  // namespace
+
+int serve_loop(std::istream& in, std::ostream& out, EvalService& service) {
+  std::deque<PendingEval> pending;
+
+  const auto respond = [&](const Json& response) {
+    out << response.dump() << '\n';
+    out.flush();
+  };
+  // Emits responses for every completed eval at the head of the line;
+  // `all` waits the line out (the stats/shutdown barrier and EOF path).
+  const auto drain_pending = [&](bool all) {
+    while (!pending.empty()) {
+      if (!all && pending.front().ticket.future.wait_for(
+                      std::chrono::seconds(0)) != std::future_status::ready) {
+        break;
+      }
+      respond(eval_response(pending.front()));
+      pending.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    EvalRequest req;
+    try {
+      req = parse_request(line);
+    } catch (const std::exception& e) {
+      drain_pending(/*all=*/true);  // keep responses in request order
+      respond(error_response(e.what()));
+      continue;
+    }
+
+    if (req.op == Op::kShutdown) {
+      drain_pending(/*all=*/true);
+      Json r = Json::object();
+      r.set("ok", true).set("op", "shutdown");
+      set_id(r, req.id);
+      respond(r);
+      return 0;
+    }
+    if (req.op == Op::kStats) {
+      drain_pending(/*all=*/true);
+      service.drain();  // quiesce so queue_depth reflects delivered responses
+      Json r = Json::object();
+      r.set("ok", true).set("op", "stats");
+      set_id(r, req.id);
+      r.set("stats", stats_json(service.stats()));
+      respond(r);
+      continue;
+    }
+
+    try {
+      pending.push_back({service.submit(req), req.id});
+    } catch (const std::exception& e) {
+      drain_pending(/*all=*/true);
+      respond(error_response(e.what(), req.id));
+      continue;
+    }
+    drain_pending(/*all=*/false);
+  }
+  drain_pending(/*all=*/true);
+  return 0;
+}
+
+}  // namespace ramp::serve

@@ -1,0 +1,30 @@
+// The `ramp serve` front-end: newline-delimited JSON over a stream pair.
+//
+// One request per input line, one response per line, in request order.
+// Eval requests are *pipelined*: each is submitted to the EvalService
+// immediately (so identical in-flight requests coalesce and distinct ones
+// batch onto the pool), and responses are flushed as the head of the line
+// completes. `stats` and `shutdown` act as barriers — they drain every
+// outstanding eval response first, keeping the one-line-in/one-line-out
+// pairing exact for scripted drivers.
+//
+// Responses:
+//   {"ok":true,"op":"eval","id":...,"key":"...","cached":bool,
+//    "coalesced":bool,"result":{...}}
+//   {"ok":true,"op":"stats","id":...,"stats":{...}}
+//   {"ok":true,"op":"shutdown","id":...}
+//   {"ok":false,"id":...,"error":"..."}        (malformed line or failed eval)
+#pragma once
+
+#include <iosfwd>
+
+namespace ramp::serve {
+
+class EvalService;
+
+/// Runs the service loop until `shutdown` or EOF on `in`. Returns the
+/// process exit code (0 on clean shutdown/EOF). Never throws for per-request
+/// problems — those become {"ok":false} responses.
+int serve_loop(std::istream& in, std::ostream& out, EvalService& service);
+
+}  // namespace ramp::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -14,18 +15,33 @@ std::optional<std::string> env_string(const std::string& name) {
   return std::string(raw);
 }
 
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  std::uint64_t v = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v, 10);
+  if (ec == std::errc::result_out_of_range) {
+    throw InvalidArgument(what + "='" + text +
+                          "' overflows a 64-bit unsigned integer");
+  }
+  if (ec != std::errc{} || ptr != last || text.empty()) {
+    throw InvalidArgument("cannot parse " + what + "='" + text +
+                          "' as an unsigned integer (digits only; no sign, "
+                          "whitespace, or suffix)");
+  }
+  return v;
+}
+
 std::uint64_t env_u64(const std::string& name, std::uint64_t fallback) {
   const auto raw = env_string(name);
   if (!raw) return fallback;
-  try {
-    std::size_t pos = 0;
-    const unsigned long long v = std::stoull(*raw, &pos);
-    RAMP_REQUIRE(pos == raw->size(), "trailing characters in " + name);
-    return v;
-  } catch (const std::logic_error&) {
-    throw InvalidArgument("cannot parse environment variable " + name + "='" +
-                          *raw + "' as an unsigned integer");
-  }
+  return parse_u64(*raw, "environment variable " + name);
+}
+
+std::size_t env_jobs(const std::string& name, std::size_t fallback) {
+  const auto v = env_u64(name, fallback);
+  RAMP_REQUIRE(v > 0, "environment variable " + name + " must be at least 1");
+  return static_cast<std::size_t>(v);
 }
 
 bool env_enabled(const std::string& name) {
@@ -35,6 +51,10 @@ bool env_enabled(const std::string& name) {
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
   return lower != "off" && lower != "0" && lower != "false" && lower != "no";
+}
+
+std::string output_dir() {
+  return env_string("RAMP_OUT_DIR").value_or("out");
 }
 
 }  // namespace ramp

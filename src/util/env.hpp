@@ -1,5 +1,6 @@
-// Environment-variable helpers used by benches to override sweep parameters
-// (RAMP_TRACE_LEN, RAMP_CACHE) without recompiling.
+// Environment-variable helpers used by benches and the CLI to override
+// sweep/serve parameters (RAMP_TRACE_LEN, RAMP_SEED, RAMP_JOBS, RAMP_CACHE,
+// RAMP_OUT_DIR) without recompiling.
 #pragma once
 
 #include <cstdint>
@@ -11,12 +12,25 @@ namespace ramp {
 /// Returns the raw value of `name` if set and non-empty.
 std::optional<std::string> env_string(const std::string& name);
 
+/// Strict base-10 unsigned parse of `text`: the whole string must be digits
+/// (no sign, whitespace, or trailing characters) and fit in 64 bits. Throws
+/// InvalidArgument naming `what` otherwise.
+std::uint64_t parse_u64(const std::string& text, const std::string& what);
+
 /// Parses `name` as an unsigned integer; returns `fallback` when unset.
-/// Throws InvalidArgument when set but unparsable.
+/// Throws InvalidArgument when set but malformed (non-numeric, signed,
+/// or overflowing) — a misspelled override must never be silently ignored.
 std::uint64_t env_u64(const std::string& name, std::uint64_t fallback);
+
+/// Worker-count override: like env_u64 but additionally rejects 0.
+std::size_t env_jobs(const std::string& name, std::size_t fallback);
 
 /// True when `name` is unset or set to anything other than the strings
 /// "off", "0", "false", "no" (case-insensitive) — i.e. features default on.
 bool env_enabled(const std::string& name);
+
+/// Directory generated artifacts (bench CSVs, sweep/serve caches) land in:
+/// $RAMP_OUT_DIR when set, "out" otherwise. Callers create it on first write.
+std::string output_dir();
 
 }  // namespace ramp

@@ -1,0 +1,67 @@
+// Bounded least-recently-used map: O(1) get/put, strict capacity, eviction
+// count reporting. The building block of the serve layer's in-memory result
+// cache; kept generic (any hashable key) so other layers can reuse it.
+//
+// Not thread-safe — callers hold their own lock (EvalService serializes all
+// cache access under its state mutex).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ramp {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// Throws InvalidArgument when `capacity` is zero.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    RAMP_REQUIRE(capacity_ > 0, "LruCache capacity must be positive");
+  }
+
+  /// Returns the value for `key` (touching it most-recently-used), or
+  /// nullptr when absent. The pointer is valid until the next put().
+  V* get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites `key` as most-recently-used. Returns the number
+  /// of entries evicted to stay within capacity (0 or 1).
+  std::size_t put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return 0;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    if (index_.size() <= capacity_) return 0;
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    return 1;
+  }
+
+  bool contains(const K& key) const { return index_.count(key) != 0; }
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Least-recently-used key first; for tests and diagnostics.
+  std::list<std::pair<K, V>> snapshot() const {
+    return {order_.rbegin(), order_.rend()};
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  ///< front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+};
+
+}  // namespace ramp

@@ -1,0 +1,159 @@
+// End-to-end tests of the built `ramp` binary (path injected by CMake as
+// RAMP_CLI_PATH): report/missions golden shape and determinism across job
+// counts, strict flag parsing, and the NDJSON serve loop over a real pipe.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+
+namespace ramp {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout only; stderr is discarded
+};
+
+/// Runs `ramp <args>` through the shell from a scratch directory, with the
+/// artifact/cache environment pointed away from the source tree.
+RunResult run_cli(const std::string& args, const std::string& stdin_doc = "") {
+  static const std::string scratch = [] {
+    const fs::path dir = fs::temp_directory_path() / "ramp_cli_test";
+    fs::create_directories(dir);
+    return dir.string();
+  }();
+  std::string cmd = "cd '" + scratch + "' && RAMP_OUT_DIR='" + scratch +
+                    "' RAMP_CACHE=off '" RAMP_CLI_PATH "' " + args +
+                    " 2>/dev/null";
+  if (!stdin_doc.empty()) {
+    const std::string doc = scratch + "/stdin.ndjson";
+    std::FILE* f = std::fopen(doc.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    std::fwrite(stdin_doc.data(), 1, stdin_doc.size(), f);
+    std::fclose(f);
+    cmd += " < '" + doc + "'";
+  }
+
+  RunResult r;
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    r.output.append(buf, n);
+  }
+  const int status = ::pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+TEST(CliTest, NoArgumentsPrintsUsageAndFails) {
+  EXPECT_EQ(run_cli("").exit_code, 2);
+  EXPECT_EQ(run_cli("frobnicate").exit_code, 2);
+}
+
+TEST(CliTest, MalformedFlagValueFailsLoudly) {
+  // Satellite of the strict-parse fix: "12abc" used to silently parse as 12.
+  EXPECT_EQ(run_cli("evaluate gcc 90 --trace-len 12abc").exit_code, 1);
+  EXPECT_EQ(run_cli("evaluate gcc 90 --trace-len -5").exit_code, 1);
+  EXPECT_EQ(run_cli("serve --jobs zero").exit_code, 1);
+}
+
+TEST(CliTest, UnknownServeArgumentRejected) {
+  EXPECT_EQ(run_cli("serve --frobnicate").exit_code, 2);
+}
+
+TEST(CliTest, EvaluateOneCell) {
+  const auto r = run_cli("evaluate gcc 90 --trace-len 5000");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("IPC"), std::string::npos);
+  EXPECT_NE(r.output.find("FIT"), std::string::npos);
+  EXPECT_NE(r.output.find("MTTF"), std::string::npos);
+}
+
+TEST(CliTest, ReportGoldenShapeAndJobCountDeterminism) {
+  const auto serial = run_cli("report --trace-len 5000 --jobs 1");
+  ASSERT_EQ(serial.exit_code, 0);
+  EXPECT_NE(serial.output.find("# RAMP scaling report"), std::string::npos);
+  EXPECT_NE(serial.output.find("## Mechanism breakdown"), std::string::npos);
+  for (const char* node : {"| 180", "| 130", "| 90", "| 65"}) {
+    EXPECT_NE(serial.output.find(node), std::string::npos) << node;
+  }
+
+  const auto parallel = run_cli("report --trace-len 5000 --jobs 2");
+  ASSERT_EQ(parallel.exit_code, 0);
+  // The whole report, byte for byte: job count must not change any number.
+  EXPECT_EQ(parallel.output, serial.output);
+}
+
+TEST(CliTest, MissionsGoldenShape) {
+  const auto r = run_cli("missions --trace-len 5000 --jobs 2");
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Example deployment missions"), std::string::npos);
+  EXPECT_EQ(r.output, run_cli("missions --trace-len 5000 --jobs 2").output);
+}
+
+TEST(CliTest, ServeAnswersOverAPipe) {
+  const auto r = run_cli(
+      "serve --trace-len 5000 --jobs 2 --no-persist",
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":1}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":2}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(r.exit_code, 0);
+
+  std::vector<serve::Json> responses;
+  std::istringstream lines(r.output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    responses.push_back(serve::Json::parse(line));
+  }
+  ASSERT_EQ(responses.size(), 4u);
+
+  EXPECT_TRUE(responses[0].find("ok")->as_bool());
+  EXPECT_FALSE(responses[0].find("cached")->as_bool());
+  ASSERT_NE(responses[0].find("result"), nullptr);
+  const double ipc = responses[0].find("result")->find("ipc")->as_number();
+  EXPECT_GT(ipc, 0.0);
+
+  const serve::Json* stats = responses[1].find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->find("misses")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(stats->find("evaluations")->as_number(), 2.0);
+
+  // The repeat was answered from the in-memory cache, bit-identically.
+  EXPECT_TRUE(responses[2].find("cached")->as_bool());
+  EXPECT_EQ(responses[2].find("result")->dump(),
+            responses[0].find("result")->dump());
+
+  EXPECT_EQ(responses[3].find("op")->as_string(), "shutdown");
+}
+
+TEST(CliTest, SweepWritesCacheIntoOutDirNotCwd) {
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_test_outdir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // Cache explicitly enabled (RAMP_CACHE=on overrides the harness default).
+  const std::string cmd = "cd '" + dir.string() + "' && RAMP_CACHE=on '"
+                          RAMP_CLI_PATH "' sweep --trace-len 5000 --jobs 2"
+                          " --out-dir '" + (dir / "artifacts").string() +
+                          "' >/dev/null 2>&1";
+  EXPECT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 0);
+  EXPECT_TRUE(fs::exists(dir / "artifacts" / "ramp_sweep_cache.csv"));
+  EXPECT_FALSE(fs::exists(dir / "ramp_sweep_cache.csv"));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ramp

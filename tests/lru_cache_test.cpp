@@ -1,0 +1,94 @@
+// Unit tests for the bounded LRU cache backing the EvalService.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/lru_cache.hpp"
+
+namespace ramp {
+namespace {
+
+TEST(LruCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW((LruCache<int, int>(0)), InvalidArgument);
+}
+
+TEST(LruCacheTest, GetReturnsNullOnMiss) {
+  LruCache<std::string, int> cache(2);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(LruCacheTest, PutThenGetRoundtrips) {
+  LruCache<std::string, int> cache(2);
+  EXPECT_EQ(cache.put("a", 1), 0u);
+  ASSERT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(*cache.get("a"), 1);
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, PutExistingKeyUpdatesWithoutEviction) {
+  LruCache<std::string, int> cache(1);
+  cache.put("a", 1);
+  EXPECT_EQ(cache.put("a", 2), 0u);
+  EXPECT_EQ(*cache.get("a"), 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  EXPECT_EQ(cache.put("c", 3), 1u);  // evicts "a"
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+}
+
+TEST(LruCacheTest, GetTouchesEntryToMostRecent) {
+  LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  ASSERT_NE(cache.get("a"), nullptr);  // "b" is now the LRU entry
+  cache.put("c", 3);
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+}
+
+TEST(LruCacheTest, CapacityOneCyclesThroughKeys) {
+  LruCache<int, int> cache(1);
+  std::size_t evictions = 0;
+  for (int i = 0; i < 10; ++i) evictions += cache.put(i, i * i);
+  EXPECT_EQ(evictions, 9u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(9), 81);
+}
+
+TEST(LruCacheTest, SnapshotListsLeastRecentFirst) {
+  LruCache<std::string, int> cache(3);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("c", 3);
+  cache.get("a");
+  const auto entries = cache.snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  auto it = entries.begin();
+  EXPECT_EQ(it->first, "b");
+  EXPECT_EQ((++it)->first, "c");
+  EXPECT_EQ((++it)->first, "a");
+}
+
+TEST(LruCacheTest, SharedPtrValuesAliasNotCopy) {
+  LruCache<std::string, std::shared_ptr<int>> cache(2);
+  auto value = std::make_shared<int>(7);
+  cache.put("k", value);
+  auto* stored = cache.get("k");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->get(), value.get());
+}
+
+}  // namespace
+}  // namespace ramp

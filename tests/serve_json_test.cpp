@@ -1,0 +1,109 @@
+// Tests for the serve layer's vendored JSON codec: parse/dump round trips,
+// number formatting (integers below 2^53 print without a decimal point,
+// doubles round-trip), insertion-ordered objects, and parse errors that
+// carry a byte offset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "serve/json.hpp"
+#include "util/error.hpp"
+
+namespace ramp::serve {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, WhitespaceAndNesting) {
+  const Json j = Json::parse(R"(  {"a": [1, 2, {"b": null}], "c": "d"}  )");
+  ASSERT_TRUE(j.is_object());
+  const Json* a = j.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->elements().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->elements()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->elements()[2].find("b")->is_null());
+  EXPECT_EQ(j.find("c")->as_string(), "d");
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(Json::parse(R"("Aé€")").as_string(),
+            "A\xc3\xa9\xe2\x82\xac");
+  EXPECT_EQ(Json::parse(R"("Aé€")").as_string(),
+            "A\xc3\xa9\xe2\x82\xac");
+  EXPECT_THROW(Json::parse(R"("\ud834")"), InvalidArgument);  // surrogate
+  EXPECT_THROW(Json::parse(R"("\u12g4")"), InvalidArgument);
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffset) {
+  try {
+    Json::parse("{\"a\": tru}");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+  EXPECT_THROW(Json::parse(""), InvalidArgument);
+  EXPECT_THROW(Json::parse("{"), InvalidArgument);
+  EXPECT_THROW(Json::parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(Json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{} trailing"), InvalidArgument);
+  EXPECT_THROW(Json::parse("nul"), InvalidArgument);
+  EXPECT_THROW(Json::parse("\"raw \x01 control\""), InvalidArgument);
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Json(0).dump(), "0");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(std::uint64_t{1} << 50).dump(), "1125899906842624");
+}
+
+TEST(JsonDumpTest, DoublesRoundTrip) {
+  const double value = 9271.0573276256691;
+  const std::string text = Json(value).dump();
+  EXPECT_DOUBLE_EQ(Json::parse(text).as_number(), value);
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");  // non-finite degrades
+}
+
+TEST(JsonDumpTest, StringsEscapeControlCharacters) {
+  EXPECT_EQ(Json("a\"b").dump(), R"("a\"b")");
+  EXPECT_EQ(Json("a\nb").dump(), R"("a\nb")");
+  EXPECT_EQ(Json(std::string("a\x01z")).dump(), R"("a\u0001z")");
+}
+
+TEST(JsonDumpTest, ObjectsKeepInsertionOrder) {
+  Json j = Json::object();
+  j.set("z", 1).set("a", 2).set("m", Json::array().push(true).push("x"));
+  EXPECT_EQ(j.dump(), R"({"z":1,"a":2,"m":[true,"x"]})");
+}
+
+TEST(JsonDumpTest, ParseDumpIsStableOnWireShapes) {
+  const std::string wire =
+      R"({"ok":true,"op":"eval","id":7,"result":{"ipc":0.5,"apps":["gcc"]}})";
+  EXPECT_EQ(Json::parse(wire).dump(), wire);
+}
+
+TEST(JsonAccessTest, TypeMismatchNamesTheField) {
+  const Json j = Json::parse(R"({"n": "not a number"})");
+  try {
+    j.find("n")->as_number("field n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("field n"), std::string::npos);
+  }
+  EXPECT_THROW(j.as_bool(), InvalidArgument);
+  EXPECT_THROW(j.as_string(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ramp::serve

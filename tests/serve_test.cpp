@@ -1,0 +1,307 @@
+// EvalService behavior tests: answers are bitwise-identical to driving
+// pipeline::Evaluator directly (the acceptance bar — caching must never
+// change a result, only when it is computed), repeated requests hit the
+// in-memory LRU, the 180 nm base run is shared across nodes, and the
+// persistent file cache round-trips across service instances.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pipeline/evaluator.hpp"
+#include "pipeline/sweep.hpp"
+#include "scaling/technology.hpp"
+#include "serve/eval_service.hpp"
+#include "serve/json.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace ramp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+pipeline::EvaluationConfig tiny_config() {
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = 3'000;
+  return cfg;
+}
+
+EvalRequest eval_req(const std::string& app, const std::string& node) {
+  EvalRequest req;
+  req.app = app;
+  req.node = scaling::parse_tech(node);
+  return req;
+}
+
+/// The sweep-cache serialization at full precision: equal strings mean
+/// bitwise-equal results.
+std::string row(const pipeline::AppTechResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  pipeline::write_result_row(os, r);
+  return os.str();
+}
+
+TEST(EvalServiceTest, AnswerMatchesDirectEvaluatorBitwise) {
+  EvalService service(tiny_config(), {});
+
+  const pipeline::Evaluator direct(tiny_config());
+  const auto& gcc = workloads::workload("gcc");
+  const auto base = direct.evaluate(gcc, scaling::TechPoint::k180nm);
+  const auto scaled =
+      direct.evaluate(gcc, scaling::TechPoint::k90nm, base.sink_temp_k);
+
+  EXPECT_EQ(row(service.evaluate(eval_req("gcc", "90"))->result), row(scaled));
+  EXPECT_EQ(row(service.evaluate(eval_req("gcc", "180"))->result), row(base));
+}
+
+TEST(EvalServiceTest, ExplicitSinkTargetOverridesPinning) {
+  EvalService service(tiny_config(), {});
+  EvalRequest req = eval_req("twolf", "130");
+  req.sink_k = 350.0;
+
+  const pipeline::Evaluator direct(tiny_config());
+  const auto expected = direct.evaluate(workloads::workload("twolf"),
+                                        scaling::TechPoint::k130nm, 350.0);
+  const OutcomePtr outcome = service.evaluate(req);
+  EXPECT_EQ(row(outcome->result), row(expected));
+  EXPECT_NE(outcome->key.find("pin=0"), std::string::npos);
+  // Only one cell was evaluated: no 180 nm base run is needed.
+  EXPECT_EQ(service.stats().evaluations, 1u);
+}
+
+TEST(EvalServiceTest, RepeatedRequestServedFromCache) {
+  EvalService service(tiny_config(), {});
+  const OutcomePtr first = service.evaluate(eval_req("gcc", "90"));
+  auto s = service.stats();
+  EXPECT_EQ(s.requests, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.evaluations, 2u);  // 180 nm base + 90 nm cell
+  EXPECT_EQ(s.cache_size, 2u);   // both cached under their own keys
+
+  const EvalService::Ticket second = service.submit(eval_req("gcc", "90"));
+  EXPECT_EQ(second.source, EvalService::Source::kCache);
+  EXPECT_EQ(second.future.get().get(), first.get());  // same shared outcome
+  s = service.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.evaluations, 2u);  // nothing re-ran
+}
+
+TEST(EvalServiceTest, BaseRunSharedAcrossNodes) {
+  EvalService service(tiny_config(), {});
+  service.evaluate(eval_req("gcc", "90"));  // evaluates 180 base + 90
+  // The 180 nm cell was cached as a side effect; an explicit request for it
+  // is a pure hit, as is any further scaled node's base lookup.
+  const auto before = service.stats().evaluations;
+  EXPECT_EQ(service.submit(eval_req("gcc", "180")).source,
+            EvalService::Source::kCache);
+  service.evaluate(eval_req("gcc", "130"));  // reuses the cached base
+  EXPECT_EQ(service.stats().evaluations, before + 1);
+}
+
+TEST(EvalServiceTest, RequestKeyCanonicalization) {
+  const auto base = tiny_config();
+  EvalRequest pinned = eval_req("gcc", "180");
+  EvalRequest unpinned = pinned;
+  unpinned.pin_sink = false;
+  // Pinning cannot matter at 180 nm, so both spell the same key.
+  EXPECT_EQ(request_key(pinned, base), request_key(unpinned, base));
+
+  EXPECT_NE(request_key(eval_req("gcc", "90"), base),
+            request_key(eval_req("gcc", "130"), base));
+  EXPECT_NE(request_key(eval_req("gcc", "90"), base),
+            request_key(eval_req("twolf", "90"), base));
+
+  EvalRequest longer = eval_req("gcc", "90");
+  longer.trace_len = 9'999;
+  EXPECT_NE(request_key(longer, base), request_key(eval_req("gcc", "90"), base));
+}
+
+TEST(EvalServiceTest, LruEvictionIsCountedAndBounded) {
+  EvalService::Options opts;
+  opts.cache_capacity = 1;
+  EvalService service(tiny_config(), opts);
+  service.evaluate(eval_req("gcc", "180"));
+  service.evaluate(eval_req("twolf", "180"));
+  const auto s = service.stats();
+  EXPECT_EQ(s.cache_size, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST(EvalServiceTest, InvalidRequestsThrowSynchronously) {
+  EvalService service(tiny_config(), {});
+  EXPECT_THROW(service.submit(eval_req("no_such_app", "90")),
+               std::invalid_argument);
+  EvalRequest stats_req;
+  stats_req.op = Op::kStats;
+  EXPECT_THROW(service.submit(stats_req), InvalidArgument);
+  EXPECT_EQ(service.stats().requests, 0u);  // rejected before accounting
+}
+
+TEST(EvalServiceTest, RejectsBrokenOptions) {
+  EvalService::Options opts;
+  opts.max_pending = 0;
+  EXPECT_THROW(EvalService(tiny_config(), opts), InvalidArgument);
+  EvalService::Options no_jobs;
+  no_jobs.jobs = 0;
+  EXPECT_THROW(EvalService(tiny_config(), no_jobs), InvalidArgument);
+}
+
+class PersistCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "ramp_serve_test_persist").string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  EvalService::Options persist_opts() const {
+    EvalService::Options opts;
+    opts.persist_dir = dir_;
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(PersistCacheTest, RoundtripsAcrossServiceInstances) {
+  std::string first_row;
+  {
+    EvalService service(tiny_config(), persist_opts());
+    first_row = row(service.evaluate(eval_req("gcc", "90"))->result);
+  }
+  // One file per cached key: the 90 nm cell and its 180 nm base.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(e.path().extension(), ".rampres");
+    std::ifstream f(e.path());
+    std::string line;
+    ASSERT_TRUE(std::getline(f, line));
+    EXPECT_EQ(line, "# ramp_serve_cache v1");
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+
+  EvalService warm(tiny_config(), persist_opts());
+  EXPECT_EQ(row(warm.evaluate(eval_req("gcc", "90"))->result), first_row);
+  const auto s = warm.stats();
+  EXPECT_EQ(s.persist_hits, 1u);
+  EXPECT_EQ(s.evaluations, 0u);  // the disk answered; no pipeline run
+}
+
+TEST_F(PersistCacheTest, CorruptFilesAreRecomputedNotTrusted) {
+  std::string first_row;
+  {
+    EvalService service(tiny_config(), persist_opts());
+    first_row = row(service.evaluate(eval_req("gcc", "90"))->result);
+  }
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    std::ofstream(e.path()) << "not a cache file\n";
+  }
+  EvalService rebuilt(tiny_config(), persist_opts());
+  EXPECT_EQ(row(rebuilt.evaluate(eval_req("gcc", "90"))->result), first_row);
+  const auto s = rebuilt.stats();
+  EXPECT_EQ(s.persist_hits, 0u);
+  EXPECT_EQ(s.evaluations, 2u);
+}
+
+// ---- the NDJSON front-end -------------------------------------------------
+
+std::vector<Json> run_serve(const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  EvalService::Options opts;
+  opts.jobs = 2;
+  EvalService service(tiny_config(), opts);
+  EXPECT_EQ(serve_loop(in, out, service), 0);
+
+  std::vector<Json> responses;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) responses.push_back(Json::parse(line));
+  return responses;
+}
+
+TEST(ServeLoopTest, EvalStatsErrorsAndShutdown) {
+  const auto responses = run_serve(
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":1}\n"
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":\"two\"}\n"
+      "{\"op\":\"stats\"}\n"
+      "not json\n"
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"bogus\":1}\n"
+      "{\"op\":\"shutdown\",\"id\":9}\n"
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\"}\n");  // after shutdown
+  ASSERT_EQ(responses.size(), 6u);  // the post-shutdown line is never read
+
+  const Json& first = responses[0];
+  EXPECT_TRUE(first.find("ok")->as_bool());
+  EXPECT_EQ(first.find("op")->as_string(), "eval");
+  EXPECT_DOUBLE_EQ(first.find("id")->as_number(), 1.0);
+  EXPECT_FALSE(first.find("cached")->as_bool());
+  ASSERT_NE(first.find("result"), nullptr);
+
+  // Same key again: answered without re-evaluating — either from the LRU or
+  // by coalescing onto the still-running first request.
+  const Json& second = responses[1];
+  EXPECT_EQ(second.find("id")->as_string(), "two");
+  EXPECT_TRUE(second.find("cached")->as_bool() ||
+              second.find("coalesced")->as_bool());
+  // Identical payload: the service guarantees equal keys give equal results.
+  EXPECT_EQ(second.find("result")->dump(), first.find("result")->dump());
+
+  const Json* stats = responses[2].find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->find("requests")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(stats->find("misses")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(stats->find("evaluations")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(stats->find("queue_depth")->as_number(), 0.0);
+
+  EXPECT_FALSE(responses[3].find("ok")->as_bool());  // parse error
+  EXPECT_FALSE(responses[4].find("ok")->as_bool());  // unknown field
+  EXPECT_NE(responses[4].find("error")->as_string().find("bogus"),
+            std::string::npos);
+
+  EXPECT_TRUE(responses[5].find("ok")->as_bool());
+  EXPECT_EQ(responses[5].find("op")->as_string(), "shutdown");
+  EXPECT_DOUBLE_EQ(responses[5].find("id")->as_number(), 9.0);
+}
+
+TEST(ServeLoopTest, EofWithoutShutdownDrainsCleanly) {
+  const auto responses =
+      run_serve("{\"op\":\"eval\",\"app\":\"gzip\",\"node\":\"180\"}\n");
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].find("ok")->as_bool());
+}
+
+TEST(ServeLoopTest, ResponseResultMatchesDirectEvaluator) {
+  const auto responses = run_serve(
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\"}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(responses.size(), 2u);
+  const Json* result = responses[0].find("result");
+  ASSERT_NE(result, nullptr);
+
+  const pipeline::Evaluator direct(tiny_config());
+  const auto& gcc = workloads::workload("gcc");
+  const auto base = direct.evaluate(gcc, scaling::TechPoint::k180nm);
+  const auto scaled =
+      direct.evaluate(gcc, scaling::TechPoint::k90nm, base.sink_temp_k);
+  // %.17g serialization round-trips doubles exactly, so these are
+  // bit-for-bit comparisons of the wire payload against the direct run.
+  EXPECT_EQ(result->find("ipc")->as_number(), scaled.ipc);
+  EXPECT_EQ(result->find("total_w")->as_number(), scaled.avg_total_power_w);
+  EXPECT_EQ(result->find("max_temp_k")->as_number(),
+            scaled.max_structure_temp_k);
+  EXPECT_EQ(result->find("sink_temp_k")->as_number(), scaled.sink_temp_k);
+  EXPECT_EQ(result->find("raw_fit")->find("total")->as_number(),
+            scaled.raw_fits.total());
+}
+
+}  // namespace
+}  // namespace ramp::serve

@@ -5,13 +5,16 @@
 //   ramp evaluate <app> <node> [...]  run one (workload, node) cell
 //   ramp sweep [--trace-len N] [--jobs N]    full 16-app x 5-node sweep
 //   ramp report [--trace-len N] [--jobs N]   markdown report of a sweep
+//   ramp serve [--jobs N] [...]       NDJSON evaluation service on stdin/stdout
 //   ramp trace <app> <file> [N]       capture a synthetic trace to a file
 //
 // Node names accept "180", "130", "90", "65-0.9", "65-1.0".
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -20,6 +23,8 @@
 #include "core/qualification.hpp"
 #include "pipeline/mission.hpp"
 #include "pipeline/sweep.hpp"
+#include "serve/eval_service.hpp"
+#include "serve/server.hpp"
 #include "trace/synthetic_generator.hpp"
 #include "trace/trace_io.hpp"
 #include "util/constants.hpp"
@@ -33,25 +38,38 @@ namespace {
 using namespace ramp;
 
 scaling::TechPoint parse_node(const std::string& name) {
-  if (name == "180") return scaling::TechPoint::k180nm;
-  if (name == "130") return scaling::TechPoint::k130nm;
-  if (name == "90") return scaling::TechPoint::k90nm;
-  if (name == "65-0.9") return scaling::TechPoint::k65nm_0V9;
-  if (name == "65-1.0" || name == "65") return scaling::TechPoint::k65nm_1V0;
-  throw InvalidArgument("unknown node '" + name +
-                        "' (use 180, 130, 90, 65-0.9, 65-1.0)");
+  return scaling::parse_tech(name);
 }
 
 std::uint64_t flag_u64(std::vector<std::string>& args, const std::string& flag,
                        std::uint64_t fallback) {
   for (auto it = args.begin(); it != args.end(); ++it) {
     if (*it == flag && std::next(it) != args.end()) {
-      const std::uint64_t v = std::stoull(*std::next(it));
+      const std::uint64_t v = parse_u64(*std::next(it), "flag " + flag);
       args.erase(it, it + 2);
       return v;
     }
   }
   return fallback;
+}
+
+std::string flag_str(std::vector<std::string>& args, const std::string& flag,
+                     std::string fallback) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag && std::next(it) != args.end()) {
+      std::string v = *std::next(it);
+      args.erase(it, it + 2);
+      return v;
+    }
+  }
+  return fallback;
+}
+
+bool flag_present(std::vector<std::string>& args, const std::string& flag) {
+  const auto it = std::find(args.begin(), args.end(), flag);
+  if (it == args.end()) return false;
+  args.erase(it);
+  return true;
 }
 
 // One pool for the whole process, sized on first use, so the sweep/report/
@@ -64,19 +82,23 @@ ThreadPool& shared_pool(std::size_t jobs) {
 }
 
 // Shared front half of the sweep-based subcommands: environment config with
-// --trace-len / --jobs overrides, stderr progress, pooled execution.
+// --trace-len / --jobs / --out-dir overrides, stderr progress, pooled
+// execution. RAMP_JOBS sets the default worker count, like the benches.
 pipeline::SweepResult cli_sweep(std::vector<std::string>& args) {
   pipeline::EvaluationConfig cfg =
       pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
   cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
-  const std::uint64_t default_jobs =
-      std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t default_jobs =
+      env_jobs("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency()));
   const auto jobs =
       static_cast<std::size_t>(flag_u64(args, "--jobs", default_jobs));
   RAMP_REQUIRE(jobs > 0, "--jobs must be at least 1");
+  const std::string out_dir = flag_str(args, "--out-dir", output_dir());
 
   static pipeline::StderrProgress progress;
   pipeline::SweepRunner::Options opts;
+  opts.cache_path =
+      (std::filesystem::path(out_dir) / "ramp_sweep_cache.csv").string();
   opts.observer = &progress;
   opts.pool = &shared_pool(jobs);
   return pipeline::SweepRunner(cfg, opts).run();
@@ -214,13 +236,50 @@ int cmd_missions(std::vector<std::string> args) {
   return 0;
 }
 
+// NDJSON evaluation service on stdin/stdout: one request per line, one
+// response per line, `{"op":"stats"}` and `{"op":"shutdown"}` supported.
+// External drivers (sweeps, DRM loops, RPC shims) stream queries against one
+// warm process instead of paying pipeline startup per FIT estimate.
+int cmd_serve(std::vector<std::string> args) {
+  pipeline::EvaluationConfig cfg =
+      pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
+  cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
+  const std::size_t default_jobs =
+      env_jobs("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency()));
+
+  serve::EvalService::Options opts;
+  opts.jobs = static_cast<std::size_t>(flag_u64(args, "--jobs", default_jobs));
+  opts.cache_capacity =
+      static_cast<std::size_t>(flag_u64(args, "--cache-capacity", 512));
+  opts.max_pending =
+      static_cast<std::size_t>(flag_u64(args, "--max-queue", 128));
+  const std::string out_dir = flag_str(args, "--out-dir", output_dir());
+  // RAMP_CACHE=off (or --no-persist) keeps the service purely in-memory.
+  if (!flag_present(args, "--no-persist") && cfg.cache_enabled) {
+    opts.persist_dir =
+        (std::filesystem::path(out_dir) / "serve_cache").string();
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr, "serve: unknown argument '%s'\n", args.front().c_str());
+    return 2;
+  }
+
+  serve::EvalService service(cfg, opts);
+  std::fprintf(stderr,
+               "ramp serve: %zu worker(s), cache %zu entries, persist %s\n",
+               opts.jobs, opts.cache_capacity,
+               opts.persist_dir.empty() ? "off" : opts.persist_dir.c_str());
+  return serve::serve_loop(std::cin, std::cout, service);
+}
+
 int cmd_trace(std::vector<std::string> args) {
   if (args.size() < 2) {
     std::fprintf(stderr, "usage: ramp trace <app> <file> [instructions]\n");
     return 2;
   }
   const auto& w = workloads::workload(args[0]);
-  const std::uint64_t n = args.size() > 2 ? std::stoull(args[2]) : 1'000'000;
+  const std::uint64_t n =
+      args.size() > 2 ? parse_u64(args[2], "instruction count") : 1'000'000;
   trace::SyntheticTrace gen(w.profile, n, 42);
   trace::TraceWriter writer(args[1]);
   writer.append_all(gen);
@@ -238,7 +297,12 @@ int usage() {
                "  sweep [--trace-len N] [--jobs N]    full qualified sweep table\n"
                "  report [--trace-len N] [--jobs N]   markdown report of the sweep\n"
                "  missions [--trace-len N] [--jobs N] deployed-lifetime presets\n"
-               "  trace <app> <file> [N]        capture a synthetic trace\n");
+               "  serve [--jobs N] [--cache-capacity N] [--max-queue N]\n"
+               "        [--out-dir DIR] [--no-persist]\n"
+               "                                NDJSON eval service on stdin/stdout\n"
+               "  trace <app> <file> [N]        capture a synthetic trace\n"
+               "Sweep-based commands and serve also honor --out-dir (default\n"
+               "$RAMP_OUT_DIR or out/) for caches and generated artifacts.\n");
   return 2;
 }
 
@@ -255,6 +319,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(std::move(args), false);
     if (cmd == "report") return cmd_sweep(std::move(args), true);
     if (cmd == "missions") return cmd_missions(std::move(args));
+    if (cmd == "serve") return cmd_serve(std::move(args));
     if (cmd == "trace") return cmd_trace(std::move(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
