@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/fit_tracker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/ooo_core.hpp"
 #include "thermal/rc_model.hpp"
 #include "trace/synthetic_generator.hpp"
@@ -73,15 +75,76 @@ void BM_FitEvaluation(benchmark::State& state) {
   temps.fill(355.0);
   std::array<double, sim::kNumStructures> act{};
   act.fill(0.5);
+  // Per-interval bookkeeping on the process-wide registry, exactly as the
+  // instrumented pipeline does it: a pre-resolved handle that is null under
+  // RAMP_METRICS=off. CI runs this kernel with metrics off vs on and fails
+  // if the enabled path costs more than 5% (scripts/check_metrics_overhead.py).
+  obs::Counter intervals =
+      obs::MetricsRegistry::global().counter("ramp_bench_fit_intervals_total");
   std::uint64_t n = 0;
   for (auto _ : state) {
     tracker.add_interval(temps, act, 1.3, 1e-6);
+    intervals.inc();
     ++n;
   }
   benchmark::DoNotOptimize(tracker.summary().total());
   state.SetItemsProcessed(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FitEvaluation);
+
+// ---- observability hot path ------------------------------------------------
+// Absolute cost of the obs primitives themselves (the pipeline claims ~1 ns
+// per pre-resolved counter update and a couple of clock reads per Span).
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry reg;  // local, always enabled
+  obs::Counter c = reg.counter("ramp_bench_total");
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsCounterIncDisabled(benchmark::State& state) {
+  obs::MetricsRegistry reg(/*enabled=*/false);  // hands out null handles
+  obs::Counter c = reg.counter("ramp_bench_total");
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterIncDisabled);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.histogram(
+      "ramp_bench_seconds",
+      {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0});
+  double x = 0.0;
+  for (auto _ : state) {
+    h.observe(x);
+    x += 0.001;
+    if (x > 1.2) x = 0.0;  // walk every bucket incl. +Inf
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_SpanRecord(benchmark::State& state) {
+  obs::Profiler prof(/*enabled=*/true);
+  for (auto _ : state) {
+    obs::Span span(obs::Stage::kFit, prof);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanRecord);
+
+void BM_ProfilerRecord(benchmark::State& state) {
+  obs::Profiler prof(/*enabled=*/true);
+  for (auto _ : state) prof.record(obs::Stage::kFit, 1e-6);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerRecord);
 
 void BM_BranchPredictor(benchmark::State& state) {
   sim::BranchPredictor bp;

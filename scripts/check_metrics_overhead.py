@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI guard for the observability hot path.
+
+Compares two google-benchmark JSON files — one run with RAMP_METRICS=off,
+one with RAMP_METRICS=on — and fails if the enabled-mode cpu time of the
+guarded kernel exceeds the disabled-mode time by more than the allowed
+overhead fraction.
+
+Noise handling: the benchmark is run with repetitions and the *minimum*
+cpu_time per file is compared (the minimum is the best estimate of the true
+cost on a noisy shared runner; means are inflated by scheduling hiccups).
+
+Usage:
+  check_metrics_overhead.py OFF.json ON.json \
+      [--kernel BM_FitEvaluation] [--max-overhead 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def min_cpu_time(path: str, kernel: str) -> float:
+    """Minimum cpu_time (ns) across repetition runs of `kernel` in `path`."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    times = []
+    for bench in doc.get("benchmarks", []):
+        # With --benchmark_repetitions, per-repetition entries carry
+        # run_type "iteration"; skip the mean/median/stddev aggregates.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("run_name", bench.get("name", ""))
+        if name == kernel or name.startswith(kernel + "/"):
+            times.append(float(bench["cpu_time"]))
+    if not times:
+        raise SystemExit(f"error: no '{kernel}' runs found in {path}")
+    return min(times)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("off_json", help="benchmark JSON from RAMP_METRICS=off")
+    parser.add_argument("on_json", help="benchmark JSON from RAMP_METRICS=on")
+    parser.add_argument("--kernel", default="BM_FitEvaluation",
+                        help="benchmark name to guard (default: %(default)s)")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="allowed fractional overhead (default: %(default)s)")
+    args = parser.parse_args()
+
+    off = min_cpu_time(args.off_json, args.kernel)
+    on = min_cpu_time(args.on_json, args.kernel)
+    overhead = on / off - 1.0
+    print(f"{args.kernel}: metrics off {off:.1f} ns, on {on:.1f} ns, "
+          f"overhead {overhead * 100:+.2f}% (limit {args.max_overhead * 100:.1f}%)")
+    if overhead > args.max_overhead:
+        print("FAIL: enabled-mode metrics overhead exceeds the limit",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

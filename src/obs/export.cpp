@@ -1,0 +1,220 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace ramp::obs {
+
+namespace {
+
+// %.17g round-trips doubles; integers below 2^53 print without an exponent
+// or decimal point, which keeps counter samples grep-able.
+std::string num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// Minimal JSON string escape: metric names are validated identifiers and
+// cell keys are app@node tokens, but quote the full set anyway.
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void prometheus_histogram(std::ostringstream& out, const HistogramSnapshot& h) {
+  out << "# TYPE " << h.name << " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    cumulative += h.counts[i];
+    out << h.name << "_bucket{le=\""
+        << (i < h.bounds.size() ? num(h.bounds[i]) : "+Inf") << "\"} "
+        << cumulative << '\n';
+  }
+  out << h.name << "_sum " << num(h.sum) << '\n';
+  out << h.name << "_count " << h.count << '\n';
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          const StageProfile* profile) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "# TYPE " << name << " gauge\n" << name << ' ' << num(value) << '\n';
+  }
+  for (const auto& h : snap.histograms) prometheus_histogram(out, h);
+
+  if (profile != nullptr) {
+    out << "# TYPE ramp_stage_seconds_total counter\n";
+    for (int i = 0; i < kNumStages; ++i) {
+      const auto& acc = profile->totals[static_cast<std::size_t>(i)];
+      out << "ramp_stage_seconds_total{stage=\""
+          << stage_name(static_cast<Stage>(i)) << "\"} " << num(acc.seconds)
+          << '\n';
+    }
+    out << "# TYPE ramp_stage_spans_total counter\n";
+    for (int i = 0; i < kNumStages; ++i) {
+      const auto& acc = profile->totals[static_cast<std::size_t>(i)];
+      out << "ramp_stage_spans_total{stage=\""
+          << stage_name(static_cast<Stage>(i)) << "\"} " << acc.spans << '\n';
+    }
+    if (!profile->cells.empty()) {
+      out << "# TYPE ramp_stage_cell_seconds_total counter\n";
+      for (const auto& [cell, accums] : profile->cells) {
+        for (int i = 0; i < kNumStages; ++i) {
+          const auto& acc = accums[static_cast<std::size_t>(i)];
+          if (acc.spans == 0) continue;
+          out << "ramp_stage_cell_seconds_total{cell=\"" << cell
+              << "\",stage=\"" << stage_name(static_cast<Stage>(i)) << "\"} "
+              << num(acc.seconds) << '\n';
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_ndjson(const MetricsSnapshot& snap, const StageProfile* profile) {
+  std::ostringstream out;
+  out << '{';
+
+  out << "\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) out << ',';
+    out << jstr(snap.counters[i].first) << ':' << snap.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) out << ',';
+    out << jstr(snap.gauges[i].first) << ':' << num(snap.gauges[i].second);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i > 0) out << ',';
+    out << jstr(h.name) << ":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out << ',';
+      out << num(h.bounds[b]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out << ',';
+      out << h.counts[b];
+    }
+    out << "],\"sum\":" << num(h.sum) << ",\"count\":" << h.count << '}';
+  }
+  out << '}';
+
+  if (profile != nullptr) {
+    out << ",\"stages\":{";
+    for (int i = 0; i < kNumStages; ++i) {
+      const auto& acc = profile->totals[static_cast<std::size_t>(i)];
+      if (i > 0) out << ',';
+      out << jstr(std::string(stage_name(static_cast<Stage>(i))))
+          << ":{\"seconds\":" << num(acc.seconds) << ",\"spans\":" << acc.spans
+          << '}';
+    }
+    out << "},\"cells\":{";
+    bool first_cell = true;
+    for (const auto& [cell, accums] : profile->cells) {
+      if (!first_cell) out << ',';
+      first_cell = false;
+      out << jstr(cell) << ":{";
+      bool first_stage = true;
+      for (int i = 0; i < kNumStages; ++i) {
+        const auto& acc = accums[static_cast<std::size_t>(i)];
+        if (acc.spans == 0) continue;
+        if (!first_stage) out << ',';
+        first_stage = false;
+        out << jstr(std::string(stage_name(static_cast<Stage>(i))))
+            << ":{\"seconds\":" << num(acc.seconds)
+            << ",\"spans\":" << acc.spans << '}';
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << '}';
+  return out.str();
+}
+
+std::map<std::string, double> parse_prometheus_text(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // A sample is `name[{labels}] value`; the value starts after the last
+    // space (label values never contain spaces in our output).
+    const std::size_t space = line.find_last_of(' ');
+    RAMP_REQUIRE(space != std::string::npos && space > 0 &&
+                     space + 1 < line.size(),
+                 "malformed Prometheus sample line: " + line);
+    const std::string key = line.substr(0, space);
+    const std::string value_text = line.substr(space + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    RAMP_REQUIRE(end != nullptr && *end == '\0',
+                 "malformed Prometheus sample value: " + line);
+    samples[key] = value;
+  }
+  return samples;
+}
+
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snap,
+                        const StageProfile* profile) {
+  namespace fs = std::filesystem;
+  const bool json = path.size() >= 5 && path.rfind(".json") == path.size() - 5;
+  const std::string body =
+      json ? to_ndjson(snap, profile) + "\n" : to_prometheus(snap, profile);
+
+  std::error_code ec;
+  const fs::path target = fs::absolute(fs::path(path), ec);
+  RAMP_REQUIRE(!ec, "cannot resolve metrics path " + path);
+  if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
+  fs::path tmp = target;
+  tmp += ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream f(tmp);
+    RAMP_REQUIRE(f.good(), "cannot write metrics file " + tmp.string());
+    f << body;
+    RAMP_REQUIRE(f.good(), "short write to metrics file " + tmp.string());
+  }
+  ec.clear();
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw InvalidArgument("cannot publish metrics file " + target.string());
+  }
+}
+
+}  // namespace ramp::obs

@@ -1,0 +1,44 @@
+// Exporters for the observability subsystem: Prometheus text exposition
+// format and a one-line NDJSON snapshot, plus a small Prometheus-text
+// parser used for round-trip tests and by scripted consumers.
+//
+// Output is deterministic: metrics are emitted sorted by name, stage
+// samples in Stage enum order, cells in lexicographic order — so golden
+// tests can compare whole documents.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace ramp::obs {
+
+/// Prometheus text format (version 0.0.4): `# TYPE` headers, one sample per
+/// line. The stage profile (when non-null) adds
+///   ramp_stage_seconds_total{stage="sim"} / ramp_stage_spans_total{...}
+/// and per-cell
+///   ramp_stage_cell_seconds_total{cell="gcc@90",stage="sim"}.
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          const StageProfile* profile = nullptr);
+
+/// One-line JSON snapshot (NDJSON-friendly):
+///   {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+///    "counts":[...],"sum":s,"count":n}},"stages":{...},"cells":{...}}
+std::string to_ndjson(const MetricsSnapshot& snap,
+                      const StageProfile* profile = nullptr);
+
+/// Parses Prometheus text into {sample name with labels -> value}; `# ...`
+/// comment lines are skipped. Throws InvalidArgument on a malformed sample
+/// line. The inverse of to_prometheus up to float formatting.
+std::map<std::string, double> parse_prometheus_text(const std::string& text);
+
+/// Writes a snapshot to `path` (atomically: same-directory temp + rename):
+/// NDJSON when the path ends in ".json", Prometheus text otherwise.
+/// Throws Error when the file cannot be written.
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snap,
+                        const StageProfile* profile = nullptr);
+
+}  // namespace ramp::obs

@@ -1,0 +1,192 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace ramp::obs {
+
+namespace detail {
+
+HistogramCell::HistogramCell(std::vector<double> upper_bounds)
+    : bounds(std::move(upper_bounds)), buckets(bounds.size() + 1) {}
+
+void HistogramCell::observe(double x) {
+  // Branchless-enough linear scan: bucket counts are small (tens) and the
+  // common observation lands early; a binary search would not pay for itself.
+  std::size_t i = 0;
+  while (i < bounds.size() && x > bounds[i]) ++i;
+  buckets[i].fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum, x);
+}
+
+}  // namespace detail
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  counters.insert(counters.end(), other.counters.begin(), other.counters.end());
+  gauges.insert(gauges.end(), other.gauges.begin(), other.gauges.end());
+  histograms.insert(histograms.end(), other.histograms.begin(),
+                    other.histograms.end());
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  RAMP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (h.count == 0) return 0.0;
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t in_bucket = h.counts[i];
+    if (static_cast<double>(cumulative + in_bucket) < target || in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= h.bounds.size()) return h.bounds.empty() ? 0.0 : h.bounds.back();
+    const double hi = h.bounds[i];
+    double lo;
+    if (i == 0) {
+      const double width = h.bounds.size() > 1 ? h.bounds[1] - h.bounds[0] : hi;
+      lo = std::max(0.0, hi - width);
+    } else {
+      lo = h.bounds[i - 1];
+    }
+    const double frac =
+        (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+bool metrics_enabled_from_env() {
+  static const bool enabled = env_on_off("RAMP_METRICS", true);
+  return enabled;
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry(metrics_enabled_from_env());
+  return registry;
+}
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void MetricsRegistry::check_name(std::string_view name, Kind kind) const {
+  RAMP_REQUIRE(valid_metric_name(name),
+               "invalid metric name '" + std::string(name) +
+                   "' (want [a-zA-Z_:][a-zA-Z0-9_:]*)");
+  if (const auto it = kinds_.find(name); it != kinds_.end()) {
+    RAMP_REQUIRE(it->second == kind, "metric '" + std::string(name) +
+                                         "' already registered with a "
+                                         "different kind");
+  }
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_name(name, Kind::kCounter);
+  if (!enabled_) return Counter{};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::make_unique<detail::CounterCell>()).first;
+    kinds_.emplace(std::string(name), Kind::kCounter);
+  }
+  return Counter(it->second.get());
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_name(name, Kind::kGauge);
+  if (!enabled_) return Gauge{};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name),
+                         std::make_unique<detail::GaugeCell>()).first;
+    kinds_.emplace(std::string(name), Kind::kGauge);
+  }
+  return Gauge(it->second.get());
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> upper_bounds) {
+  RAMP_REQUIRE(!upper_bounds.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    RAMP_REQUIRE(std::isfinite(upper_bounds[i]),
+                 "histogram bounds must be finite (+Inf is implicit)");
+    RAMP_REQUIRE(i == 0 || upper_bounds[i - 1] < upper_bounds[i],
+                 "histogram bounds must be strictly ascending");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_name(name, Kind::kHistogram);
+  if (!enabled_) return Histogram{};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<detail::HistogramCell>(std::move(upper_bounds)))
+             .first;
+    kinds_.emplace(std::string(name), Kind::kHistogram);
+  } else {
+    RAMP_REQUIRE(it->second->bounds == upper_bounds,
+                 "histogram '" + std::string(name) +
+                     "' already registered with different bounds");
+  }
+  return Histogram(it->second.get());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace_back(name, cell->value.load(std::memory_order_relaxed));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace_back(name, cell->value.load(std::memory_order_relaxed));
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = cell->bounds;
+    h.counts.reserve(cell->buckets.size());
+    for (const auto& b : cell->buckets) {
+      h.counts.push_back(b.load(std::memory_order_relaxed));
+    }
+    h.sum = cell->sum.load(std::memory_order_relaxed);
+    h.count = cell->count.load(std::memory_order_relaxed);
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, cell] : counters_) cell->value.store(0);
+  for (auto& [name, cell] : gauges_) cell->value.store(0.0);
+  for (auto& [name, cell] : histograms_) {
+    for (auto& b : cell->buckets) b.store(0);
+    cell->sum.store(0.0);
+    cell->count.store(0);
+  }
+}
+
+}  // namespace ramp::obs

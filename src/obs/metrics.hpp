@@ -1,0 +1,190 @@
+// Low-overhead process metrics: a registry of named counters, gauges, and
+// fixed-bucket histograms.
+//
+// Design contract:
+//  - Registration (resolving a name to a handle) takes a mutex and may
+//    allocate; do it once, at setup time.
+//  - The hot path — Counter::inc, Gauge::set/add, Histogram::observe — is a
+//    handful of relaxed atomic operations on a pre-resolved cell (~1 ns), is
+//    lock-free, and never allocates. Handles are trivially copyable values.
+//  - A disabled registry (RAMP_METRICS=off for the process-wide one) hands
+//    out null handles whose operations reduce to a single predictable
+//    branch, so instrumentation can stay in place unconditionally.
+//  - Metrics never affect results: nothing in this header feeds back into
+//    the pipeline, and the sweep/serve caches exclude all of it.
+//
+// The process-wide registry is MetricsRegistry::global(), gated by the
+// RAMP_METRICS environment variable (strict on/off parse — a misspelled
+// value throws instead of silently defaulting). Subsystems that must keep
+// exact books regardless of the global switch (serve::EvalService, whose
+// `stats` wire format is contractual) construct their own always-enabled
+// registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ramp::obs {
+
+namespace detail {
+
+inline void atomic_add(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+struct CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct GaugeCell {
+  std::atomic<double> value{0.0};
+};
+
+struct HistogramCell {
+  explicit HistogramCell(std::vector<double> upper_bounds);
+  void observe(double x);
+
+  const std::vector<double> bounds;                 ///< ascending; +Inf implied
+  std::vector<std::atomic<std::uint64_t>> buckets;  ///< bounds.size() + 1
+  std::atomic<double> sum{0.0};
+  std::atomic<std::uint64_t> count{0};
+};
+
+}  // namespace detail
+
+/// Monotonic counter handle. Null handles (default-constructed or from a
+/// disabled registry) ignore inc() and read as 0.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const {
+    if (cell_ != nullptr) cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterCell* cell) : cell_(cell) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Point-in-time value handle (queue depths, cache sizes, pool occupancy).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const {
+    if (cell_ != nullptr) cell_->value.store(v, std::memory_order_relaxed);
+  }
+  void add(double v) const {
+    if (cell_ != nullptr) detail::atomic_add(cell_->value, v);
+  }
+  double value() const {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeCell* cell) : cell_(cell) {}
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle. Bucket i counts samples x <= bounds[i]
+/// (exclusive of lower bounds, Prometheus `le` semantics); one implicit
+/// +Inf bucket catches the rest.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double x) const {
+    if (cell_ != nullptr) cell_->observe(x);
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+/// One histogram's state at snapshot time. `counts` are per-bucket (not
+/// cumulative); counts.size() == bounds.size() + 1 (the +Inf bucket last).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Everything a registry holds, as plain values, sorted by name. This is
+/// the exporter input (see obs/export.hpp).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Appends another registry's metrics (names are expected disjoint; on a
+  /// clash both samples are kept and the exporter emits both).
+  void merge_from(const MetricsSnapshot& other);
+};
+
+/// Estimates the q-quantile (q in [0,1]) of a histogram by linear
+/// interpolation within the bucket that crosses the target rank — the
+/// standard Prometheus histogram_quantile estimate. The first bucket
+/// interpolates from max(0, a value one bucket-width below its bound); the
+/// +Inf bucket clamps to the highest finite bound. Returns 0 when empty.
+double histogram_quantile(const HistogramSnapshot& h, double q);
+
+/// Strict RAMP_METRICS gate: true (default) unless the variable is set to
+/// off/0/false/no; on/1/true/yes enable explicitly; anything else throws
+/// InvalidArgument. Read once, at first use of the global registry.
+bool metrics_enabled_from_env();
+
+class MetricsRegistry {
+ public:
+  /// `enabled` = false builds a registry whose handles are all null no-ops.
+  explicit MetricsRegistry(bool enabled = true);
+
+  /// The process-wide registry, enabled per RAMP_METRICS.
+  static MetricsRegistry& global();
+
+  bool enabled() const { return enabled_; }
+
+  /// Resolve (registering on first use) a metric by name. Names must match
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* (Prometheus rules); re-resolving a name
+  /// returns the same cell, and resolving it as a different kind — or a
+  /// histogram with different bounds — throws InvalidArgument.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  /// `upper_bounds` must be non-empty, finite, and strictly ascending.
+  Histogram histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (tests, or a dump-and-reset exporter).
+  void reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  void check_name(std::string_view name, Kind kind) const;
+
+  const bool enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Kind, std::less<>> kinds_;
+  std::map<std::string, std::unique_ptr<detail::CounterCell>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<detail::GaugeCell>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<detail::HistogramCell>, std::less<>> histograms_;
+};
+
+}  // namespace ramp::obs

@@ -1,0 +1,203 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace ramp::obs {
+
+std::string_view stage_name(Stage s) {
+  switch (s) {
+    case Stage::kTraceGen: return "trace_gen";
+    case Stage::kSim: return "sim";
+    case Stage::kPower: return "power";
+    case Stage::kThermal: return "thermal";
+    case Stage::kFit: return "fit";
+    case Stage::kCache: return "cache";
+    case Stage::kSchedule: return "schedule";
+    case Stage::kTotal: return "total";
+  }
+  throw InvalidArgument("unknown stage");
+}
+
+// Each thread owns one log per profiler it has touched. The log's stage
+// accumulators are relaxed atomics (writer: owner thread; readers: snapshot);
+// the cell map is guarded by a mutex that only snapshot() ever contends.
+// Logs are owned by the profiler state via shared_ptr and are never removed,
+// so a thread that exits simply leaves its final totals behind; the
+// thread-local cache also holds a shared_ptr, so a log outlives even its
+// profiler if a detached thread records after the profiler is destroyed.
+struct Profiler::ThreadLog {
+  std::array<std::atomic<std::uint64_t>, kNumStages> nanos{};
+  std::array<std::atomic<std::uint64_t>, kNumStages> spans{};
+
+  std::mutex cell_mutex;
+  std::map<std::string, std::array<StageAccum, kNumStages>> cells;
+
+  // Ring of recent spans, packed stage-in-high-bits | nanos-in-low-bits so
+  // one relaxed store publishes a record without tearing.
+  static constexpr std::size_t kRingSize = 64;
+  static constexpr std::uint64_t kNanosMask = (1ULL << 56) - 1;
+  std::array<std::atomic<std::uint64_t>, kRingSize> ring{};
+  std::atomic<std::uint64_t> ring_next{0};
+};
+
+struct Profiler::State {
+  mutable std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+};
+
+namespace {
+
+std::uint64_t next_profiler_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct CachedLog {
+  std::uint64_t profiler_id;
+  std::shared_ptr<Profiler::ThreadLog> log;
+};
+
+}  // namespace
+
+Profiler::Profiler(bool enabled)
+    : enabled_(enabled),
+      id_(enabled ? next_profiler_id() : 0),
+      state_(enabled ? std::make_shared<State>() : nullptr) {}
+
+Profiler& Profiler::global() {
+  static Profiler profiler(metrics_enabled_from_env());
+  return profiler;
+}
+
+Profiler::ThreadLog& Profiler::local_log() {
+  thread_local std::vector<CachedLog> t_logs;
+  for (const auto& entry : t_logs) {
+    if (entry.profiler_id == id_) return *entry.log;
+  }
+  auto log = std::make_shared<ThreadLog>();
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->logs.push_back(log);
+  }
+  t_logs.push_back({id_, log});
+  return *t_logs.back().log;
+}
+
+void Profiler::record(Stage s, double seconds, std::uint64_t spans) {
+  if (!enabled_) return;
+  ThreadLog& log = local_log();
+  const auto i = static_cast<std::size_t>(s);
+  const auto ns =
+      static_cast<std::uint64_t>(std::llround(std::max(0.0, seconds) * 1e9));
+  log.nanos[i].fetch_add(ns, std::memory_order_relaxed);
+  log.spans[i].fetch_add(spans, std::memory_order_relaxed);
+  const std::uint64_t slot =
+      log.ring_next.fetch_add(1, std::memory_order_relaxed) %
+      ThreadLog::kRingSize;
+  log.ring[slot].store((static_cast<std::uint64_t>(i) << 56) |
+                           (ns & ThreadLog::kNanosMask),
+                       std::memory_order_relaxed);
+}
+
+void Profiler::record_cell(Stage s, const std::string& cell, double seconds,
+                           std::uint64_t spans) {
+  if (!enabled_) return;
+  record(s, seconds, spans);
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(log.cell_mutex);
+  StageAccum& acc = log.cells[cell][static_cast<std::size_t>(s)];
+  acc.seconds += seconds;
+  acc.spans += spans;
+}
+
+StageProfile Profiler::snapshot() const {
+  StageProfile profile;
+  if (!enabled_) return profile;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    logs = state_->logs;
+  }
+  for (const auto& log : logs) {
+    for (int i = 0; i < kNumStages; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      profile.totals[si].seconds +=
+          static_cast<double>(log->nanos[si].load(std::memory_order_relaxed)) * 1e-9;
+      profile.totals[si].spans += log->spans[si].load(std::memory_order_relaxed);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(log->cell_mutex);
+      for (const auto& [cell, accums] : log->cells) {
+        auto& dst = profile.cells[cell];
+        for (int i = 0; i < kNumStages; ++i) {
+          const auto si = static_cast<std::size_t>(i);
+          dst[si].seconds += accums[si].seconds;
+          dst[si].spans += accums[si].spans;
+        }
+      }
+    }
+    const std::uint64_t written = log->ring_next.load(std::memory_order_relaxed);
+    const std::uint64_t n = std::min<std::uint64_t>(written, ThreadLog::kRingSize);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t packed = log->ring[k].load(std::memory_order_relaxed);
+      SpanRecord r;
+      r.stage = static_cast<Stage>(packed >> 56);
+      r.seconds =
+          static_cast<double>(packed & ThreadLog::kNanosMask) * 1e-9;
+      profile.recent.push_back(r);
+    }
+  }
+  return profile;
+}
+
+void Profiler::reset() {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  for (const auto& log : state_->logs) {
+    for (int i = 0; i < kNumStages; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      log->nanos[si].store(0, std::memory_order_relaxed);
+      log->spans[si].store(0, std::memory_order_relaxed);
+    }
+    const std::lock_guard<std::mutex> cell_lock(log->cell_mutex);
+    log->cells.clear();
+    log->ring_next.store(0, std::memory_order_relaxed);
+    for (auto& slot : log->ring) slot.store(0, std::memory_order_relaxed);
+  }
+}
+
+Span::Span(Stage s, Profiler& p) : profiler_(p), stage_(s) {
+  if (profiler_.enabled()) {
+    start_ = std::chrono::steady_clock::now();
+    running_ = true;
+  }
+}
+
+Span::Span(Stage s, std::string cell, Profiler& p)
+    : profiler_(p), stage_(s), cell_(std::move(cell)) {
+  if (profiler_.enabled()) {
+    start_ = std::chrono::steady_clock::now();
+    running_ = true;
+  }
+}
+
+double Span::stop() {
+  if (!running_) return 0.0;
+  running_ = false;
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start_;
+  if (cell_.empty()) {
+    profiler_.record(stage_, wall.count());
+  } else {
+    profiler_.record_cell(stage_, cell_, wall.count());
+  }
+  return wall.count();
+}
+
+}  // namespace ramp::obs

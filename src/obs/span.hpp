@@ -1,0 +1,142 @@
+// Wall-time tracing: RAII spans feeding per-thread buffers that aggregate
+// into a per-stage profile of the evaluation pipeline.
+//
+// A Span times one section of one pipeline stage (trace-gen / sim / power /
+// thermal / FIT / cache / schedule) and records the elapsed wall time when
+// it is stopped or destroyed. Records land in the calling thread's own log —
+// two relaxed atomic adds plus a slot in a small ring buffer of recent
+// spans — so the hot path takes no lock and scales across pool workers.
+// Profiler::snapshot() merges every thread's log into one StageProfile:
+// process totals per stage, per-cell ("app@node") breakdowns, and the most
+// recent raw spans.
+//
+// Hot loops that would otherwise start a span per iteration (the evaluator's
+// per-interval transient loop) accumulate into plain local doubles and
+// publish once per run via record_cell(); a Span is for section-sized work.
+//
+// Like the metrics registry, the process-wide Profiler::global() is gated
+// by RAMP_METRICS: when disabled, record() and Span reduce to one branch
+// and no clock is read.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ramp::obs {
+
+/// Pipeline stages the profile is keyed by. kTotal is the whole evaluator
+/// run (so exporters and tests can check the stage sum against it);
+/// kSchedule is time spent queued behind a thread pool, which is deliberately
+/// *not* part of kTotal.
+enum class Stage : int {
+  kTraceGen = 0,
+  kSim,
+  kPower,
+  kThermal,
+  kFit,
+  kCache,
+  kSchedule,
+  kTotal,
+};
+inline constexpr int kNumStages = 8;
+
+/// Stable lowercase identifier ("trace_gen", "sim", ..., "total"); used as
+/// the `stage` label by the exporters.
+std::string_view stage_name(Stage s);
+
+struct StageAccum {
+  double seconds = 0.0;
+  std::uint64_t spans = 0;
+};
+
+/// One recent span as drained from a thread's ring buffer (newest data only;
+/// the rings are fixed-size and overwrite).
+struct SpanRecord {
+  Stage stage = Stage::kTotal;
+  double seconds = 0.0;
+};
+
+struct StageProfile {
+  std::array<StageAccum, kNumStages> totals{};
+  /// Per-cell breakdown, keyed "app@node" (e.g. "gcc@90").
+  std::map<std::string, std::array<StageAccum, kNumStages>> cells;
+  /// Recent spans across all threads, unordered between threads.
+  std::vector<SpanRecord> recent;
+
+  double seconds(Stage s) const {
+    return totals[static_cast<std::size_t>(s)].seconds;
+  }
+};
+
+class Profiler {
+ public:
+  explicit Profiler(bool enabled);
+
+  /// The process-wide profiler, enabled per RAMP_METRICS (same strict gate
+  /// as MetricsRegistry::global()).
+  static Profiler& global();
+
+  bool enabled() const { return enabled_; }
+
+  /// Adds `seconds` of wall time (covering `spans` spans) to stage `s` in
+  /// the calling thread's log. Lock-free; no-op when disabled.
+  void record(Stage s, double seconds, std::uint64_t spans = 1);
+
+  /// record() plus a per-cell attribution under the "app@node" key `cell`.
+  /// Takes the calling thread's (uncontended) cell-map lock; intended for
+  /// once-per-run publication, not per-interval calls.
+  void record_cell(Stage s, const std::string& cell, double seconds,
+                   std::uint64_t spans = 1);
+
+  /// Merged view of every thread's log (including threads that have since
+  /// exited). Safe to call concurrently with record().
+  StageProfile snapshot() const;
+
+  /// Zeroes all logs. Call only when no spans are in flight (tests).
+  void reset();
+
+  // Implementation detail, public only so the translation unit's helpers can
+  // name it; not part of the API.
+  struct ThreadLog;
+
+ private:
+  struct State;
+  ThreadLog& local_log();
+
+  const bool enabled_;
+  std::uint64_t id_ = 0;  ///< distinguishes profiler instances in thread caches
+  std::shared_ptr<State> state_;
+};
+
+/// RAII span: starts timing at construction, records into the profiler at
+/// stop()/destruction. Costs two steady_clock reads when enabled, one branch
+/// when not.
+class Span {
+ public:
+  explicit Span(Stage s, Profiler& p = Profiler::global());
+  /// Attributes the span to `cell` ("app@node") as well as the stage total.
+  Span(Stage s, std::string cell, Profiler& p = Profiler::global());
+  ~Span() { stop(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Records now (idempotent) and returns the elapsed seconds (0 when the
+  /// profiler is disabled).
+  double stop();
+
+ private:
+  Profiler& profiler_;
+  Stage stage_;
+  std::string cell_;
+  std::chrono::steady_clock::time_point start_{};
+  bool running_ = false;
+};
+
+}  // namespace ramp::obs

@@ -1,8 +1,10 @@
 #include "pipeline/evaluator.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <functional>
 
+#include "obs/span.hpp"
 #include "sim/core_config.hpp"
 #include "sim/ooo_core.hpp"
 #include "thermal/floorplan.hpp"
@@ -48,6 +50,8 @@ EvaluationConfig EvaluationConfig::from_env(std::uint64_t trace_len) {
                "environment variable RAMP_TRACE_LEN must be positive");
   cfg.seed = env_u64("RAMP_SEED", 42);
   cfg.cache_enabled = env_enabled("RAMP_CACHE");
+  cfg.metrics_enabled = env_on_off("RAMP_METRICS", true);
+  cfg.metrics_path = env_string("RAMP_METRICS_PATH").value_or("");
   return cfg;
 }
 
@@ -71,8 +75,15 @@ Evaluator::Evaluator(EvaluationConfig cfg) : cfg_(std::move(cfg)) {
 AppTechResult Evaluator::evaluate(const workloads::Workload& w,
                                   scaling::TechPoint tech_point,
                                   double sink_target_k) const {
+  // kTraceGen covers stream *construction* only: synthesis itself is
+  // pull-driven per-instruction inside the simulator, so its cost is
+  // accounted to kSim (timing each next() would dwarf the work).
+  obs::Span trace_span(
+      obs::Stage::kTraceGen,
+      w.name + "@" + std::string(scaling::tech_token(tech_point)));
   trace::SyntheticTrace trace_stream(w.profile, cfg_.trace_instructions,
                                      app_seed(cfg_.seed, w.name));
+  trace_span.stop();
   return evaluate_stream(trace_stream, w.name, w.power_bias, tech_point,
                          sink_target_k);
 }
@@ -85,6 +96,15 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   RAMP_REQUIRE(power_bias > 0.0, "power bias must be positive");
   const scaling::TechnologyNode& tech = scaling::node(tech_point);
 
+  // Per-stage wall-time attribution for the "app@node" cell. When the
+  // profiler is disabled no clock is ever read on this path.
+  using Clock = std::chrono::steady_clock;
+  obs::Profiler& prof = obs::Profiler::global();
+  const bool profile = prof.enabled();
+  const std::string cell =
+      label + "@" + std::string(scaling::tech_token(tech_point));
+  const auto run_start = profile ? Clock::now() : Clock::time_point{};
+
   // ---- 1. timing simulation -------------------------------------------
   const sim::CoreConfig core_cfg = sim::core_config_for(tech);
   const auto interval_cycles = static_cast<std::uint64_t>(
@@ -92,7 +112,13 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   RAMP_ASSERT(interval_cycles > 0);
 
   sim::OooCore core(core_cfg);
+  const auto sim_start = profile ? Clock::now() : Clock::time_point{};
   const sim::SimResult sim_result = core.run(stream, interval_cycles);
+  if (profile) {
+    prof.record_cell(obs::Stage::kSim, cell,
+                     std::chrono::duration<double>(Clock::now() - sim_start)
+                         .count());
+  }
   RAMP_ASSERT(!sim_result.intervals.empty());
 
   // ---- 2. power / thermal setup ----------------------------------------
@@ -131,6 +157,7 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
       };
 
   // ---- 3. steady state + sink calibration ------------------------------
+  const auto steady_start = profile ? Clock::now() : Clock::time_point{};
   std::vector<double> steady = net.steady_state(avg_power_fn);
   const std::size_t sink_node = nblocks + 1;
   if (sink_target_k > 0.0) {
@@ -150,6 +177,11 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
       if (std::abs(steady[sink_node] - sink_target_k) < 1e-3) break;
     }
   }
+  if (profile) {
+    prof.record_cell(obs::Stage::kThermal, cell,
+                     std::chrono::duration<double>(Clock::now() - steady_start)
+                         .count());
+  }
 
   // ---- 4. transient rerun with RAMP attached ----------------------------
   thermal::Transient transient(net, steady, cfg_.interval_seconds);
@@ -162,17 +194,33 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   if (cfg_.record_intervals) samples.reserve(sim_result.intervals.size());
   double elapsed_s = 0.0;
 
+  // The per-interval loop is too hot for a Span per section: accumulate lap
+  // times into plain doubles and publish once after the loop (see span.hpp).
+  double power_seconds = 0.0;
+  double thermal_seconds = 0.0;
+  double fit_seconds = 0.0;
+  auto lap_mark = profile ? Clock::now() : Clock::time_point{};
+  const auto lap = [&](double& acc) {
+    if (!profile) return;
+    const auto now = Clock::now();
+    acc += std::chrono::duration<double>(now - lap_mark).count();
+    lap_mark = now;
+  };
+
   std::array<double, sim::kNumStructures> struct_temps{};
   for (const auto& iv : sim_result.intervals) {
     const double duration =
         static_cast<double>(iv.cycles) / core_cfg.frequency_hz;
 
+    lap(fit_seconds);  // charge loop restart overhead to the previous lap owner
     const power::StructurePower dyn = biased_dynamic(iv.activity);
     const std::vector<double>& temps_now = transient.temperatures();
     std::vector<double> block_temps(temps_now.begin(),
                                     temps_now.begin() + static_cast<std::ptrdiff_t>(nblocks));
     const std::vector<double> bp = block_power_at(dyn, block_temps);
+    lap(power_seconds);
     transient.step(bp);
+    lap(thermal_seconds);
 
     double dyn_total = 0.0;
     for (double v : dyn) dyn_total += v;
@@ -180,6 +228,7 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
     for (double v : bp) block_total += v;
     dyn_power_avg.add(dyn_total);
     leak_power_avg.add(block_total - dyn_total);
+    lap(power_seconds);
 
     for (int s = 0; s < sim::kNumStructures; ++s) {
       const auto si = static_cast<std::size_t>(s);
@@ -187,6 +236,7 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
     }
     tracker.add_interval(struct_temps, iv.activity, tech.vdd, duration);
     elapsed_s += duration;
+    lap(fit_seconds);
 
     if (cfg_.record_intervals) {
       IntervalSample sample;
@@ -201,7 +251,14 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
       instant.add_interval(struct_temps, iv.activity, tech.vdd, duration);
       sample.raw_mechanism_fit = instant.summary().by_mechanism();
       samples.push_back(sample);
+      lap(fit_seconds);
     }
+  }
+  if (profile) {
+    const auto n = static_cast<std::uint64_t>(sim_result.intervals.size());
+    prof.record_cell(obs::Stage::kPower, cell, power_seconds, n);
+    prof.record_cell(obs::Stage::kThermal, cell, thermal_seconds, n);
+    prof.record_cell(obs::Stage::kFit, cell, fit_seconds, n);
   }
 
   // ---- 5. collect --------------------------------------------------------
@@ -219,6 +276,11 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   r.raw_fits = tracker.summary();
   r.run = sim_result.totals;
   r.interval_trace = std::move(samples);
+  if (profile) {
+    prof.record_cell(obs::Stage::kTotal, cell,
+                     std::chrono::duration<double>(Clock::now() - run_start)
+                         .count());
+  }
   return r;
 }
 

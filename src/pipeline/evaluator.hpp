@@ -42,14 +42,24 @@ struct EvaluationConfig {
   /// Whether the sweep may read/write its on-disk result cache. Does not
   /// affect results, so it is excluded from config_hash.
   bool cache_enabled = true;
+  /// Mirror of the RAMP_METRICS switch (the obs registry/profiler read the
+  /// variable themselves; this copy lets callers branch without re-parsing).
+  /// Excluded from config_hash — metrics never affect results.
+  bool metrics_enabled = true;
+  /// Default destination for a metrics dump (RAMP_METRICS_PATH); empty means
+  /// "stderr when requested". Excluded from config_hash.
+  std::string metrics_path;
 
   /// The single place the environment overrides are read:
-  ///   RAMP_TRACE_LEN  instructions per synthetic trace (default `trace_len`)
-  ///   RAMP_SEED       base RNG seed (default 42)
-  ///   RAMP_CACHE=off  disable the sweep cache (default on)
+  ///   RAMP_TRACE_LEN     instructions per synthetic trace (default `trace_len`)
+  ///   RAMP_SEED          base RNG seed (default 42)
+  ///   RAMP_CACHE=off     disable the sweep cache (default on)
+  ///   RAMP_METRICS       strict on/off switch for the obs subsystem
+  ///   RAMP_METRICS_PATH  where `--metrics` dumps land by default
   /// All other fields keep their defaults. Malformed values (non-numeric,
-  /// signed, overflowing, or a zero trace length) throw InvalidArgument
-  /// instead of being silently replaced by the default.
+  /// signed, overflowing, a zero trace length, or a RAMP_METRICS value that
+  /// is not a recognised on/off spelling) throw InvalidArgument instead of
+  /// being silently replaced by the default.
   static EvaluationConfig from_env(std::uint64_t trace_len = 300'000);
 };
 

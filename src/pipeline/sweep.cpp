@@ -14,6 +14,8 @@
 #include <unistd.h>
 
 #include "core/qualification.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/hashing.hpp"
@@ -312,12 +314,17 @@ SweepRunner::SweepRunner(EvaluationConfig cfg, Options opts)
 }
 
 SweepResult SweepRunner::run() const {
+  auto& reg = obs::MetricsRegistry::global();
   const bool use_cache = cfg_.cache_enabled && !opts_.cache_path.empty();
   if (use_cache) {
+    obs::Span cache_span(obs::Stage::kCache);
     if (auto cached = load_cache(opts_.cache_path, cfg_)) {
+      reg.counter("ramp_sweep_cache_hits_total").inc();
+      cache_span.stop();
       if (opts_.observer) opts_.observer->on_cache_hit(opts_.cache_path);
       return *cached;
     }
+    reg.counter("ramp_sweep_cache_misses_total").inc();
   }
 
   SweepResult sweep;
@@ -328,7 +335,11 @@ SweepResult SweepRunner::run() const {
     sweep = execute(pool);
   }
 
-  if (use_cache) store_cache(opts_.cache_path, sweep);
+  if (use_cache) {
+    obs::Span cache_span(obs::Stage::kCache);
+    store_cache(opts_.cache_path, sweep);
+    reg.counter("ramp_sweep_cache_writes_total").inc();
+  }
   return sweep;
 }
 
@@ -340,6 +351,18 @@ SweepResult SweepRunner::execute(ThreadPool& pool) const {
   const std::size_t nnodes = nodes.size();
   const Evaluator evaluator(cfg_);
   const auto sweep_start = Clock::now();
+
+  // Scheduling metrics. All handles are null no-ops when RAMP_METRICS=off,
+  // and nothing below feeds back into results.
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Profiler& prof = obs::Profiler::global();
+  const bool profile = prof.enabled();
+  const obs::Counter cells_counter = reg.counter("ramp_sweep_cells_total");
+  const obs::Histogram cell_hist = reg.histogram(
+      "ramp_sweep_cell_seconds",
+      {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0});
+  const obs::Gauge queue_gauge = reg.gauge("ramp_pool_queue_depth");
+  const obs::Gauge active_gauge = reg.gauge("ramp_pool_active");
 
   if (opts_.observer) {
     opts_.observer->on_sweep_begin(napps * nnodes, pool.worker_count());
@@ -362,6 +385,8 @@ SweepResult SweepRunner::execute(ThreadPool& pool) const {
     cell.tech = nodes[node_i];
     cell.task_id = static_cast<std::uint64_t>(app_i * nnodes + node_i);
     cell.worker_id = ThreadPool::current_worker_id();
+    queue_gauge.set(static_cast<double>(pool.queued()));
+    active_gauge.set(static_cast<double>(pool.active()));
     if (opts_.observer) {
       const std::lock_guard<std::mutex> lock(observer_mutex);
       opts_.observer->on_cell_start(cell);
@@ -369,8 +394,10 @@ SweepResult SweepRunner::execute(ThreadPool& pool) const {
     const auto start = Clock::now();
     AppTechResult& slot = cells[cell.task_id];
     slot = evaluator.evaluate(suite[app_i], cell.tech, sink_target_k);
+    const std::chrono::duration<double> wall = Clock::now() - start;
+    cells_counter.inc();
+    cell_hist.observe(wall.count());
     if (opts_.observer) {
-      const std::chrono::duration<double> wall = Clock::now() - start;
       const std::lock_guard<std::mutex> lock(observer_mutex);
       opts_.observer->on_cell_finish(cell, slot, wall.count());
     }
@@ -379,16 +406,30 @@ SweepResult SweepRunner::execute(ThreadPool& pool) const {
   // Phase 1: one base task per app. Each base task, once its 180 nm run has
   // pinned the sink temperature, fans out that app's scaled nodes as
   // dependent tasks on the same pool.
+  // Queue wait (submit → dequeue) is recorded as kSchedule, which the
+  // profile keeps out of kTotal: it is pool pressure, not pipeline work.
+  const auto record_wait = [&prof, profile](Clock::time_point submitted) {
+    if (!profile) return;
+    prof.record(obs::Stage::kSchedule,
+                std::chrono::duration<double>(Clock::now() - submitted).count());
+  };
+
   std::vector<std::future<void>> base_futures;
   base_futures.reserve(napps);
   for (std::size_t app_i = 0; app_i < napps; ++app_i) {
-    base_futures.push_back(pool.submit([&, app_i] {
+    const auto submitted = profile ? Clock::now() : Clock::time_point{};
+    base_futures.push_back(pool.submit([&, app_i, submitted] {
+      record_wait(submitted);
       run_cell(app_i, 0, 0.0);
       const double sink_target = cells[app_i * nnodes].sink_temp_k;
       const std::lock_guard<std::mutex> lock(fan_out_mutex);
       for (std::size_t node_i = 1; node_i < nnodes; ++node_i) {
-        scaled_futures.push_back(pool.submit(
-            [&, app_i, node_i, sink_target] { run_cell(app_i, node_i, sink_target); }));
+        const auto scaled_submitted = profile ? Clock::now() : Clock::time_point{};
+        scaled_futures.push_back(
+            pool.submit([&, app_i, node_i, sink_target, scaled_submitted] {
+              record_wait(scaled_submitted);
+              run_cell(app_i, node_i, sink_target);
+            }));
       }
     }));
   }

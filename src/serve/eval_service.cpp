@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include "obs/span.hpp"
 #include "pipeline/sweep.hpp"
 #include "util/error.hpp"
 #include "util/hashing.hpp"
@@ -32,6 +33,27 @@ EvalService::EvalService(pipeline::EvaluationConfig base, Options opts)
     owned_pool_ = std::make_unique<ThreadPool>(opts_.jobs);
     pool_ = owned_pool_.get();
   }
+  if (opts_.registry != nullptr) {
+    registry_ = opts_.registry;
+  } else {
+    // Always enabled: the stats wire format promises exact counters whether
+    // or not the process-wide RAMP_METRICS switch is on.
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>(true);
+    registry_ = owned_registry_.get();
+  }
+  requests_ = registry_->counter("ramp_serve_requests_total");
+  hits_ = registry_->counter("ramp_serve_hits_total");
+  coalesced_ = registry_->counter("ramp_serve_coalesced_total");
+  misses_ = registry_->counter("ramp_serve_misses_total");
+  persist_hits_ = registry_->counter("ramp_serve_persist_hits_total");
+  evaluations_ = registry_->counter("ramp_serve_evaluations_total");
+  failures_ = registry_->counter("ramp_serve_failures_total");
+  evictions_ = registry_->counter("ramp_serve_evictions_total");
+  queue_depth_gauge_ = registry_->gauge("ramp_serve_queue_depth");
+  cache_entries_gauge_ = registry_->gauge("ramp_serve_cache_entries");
+  latency_hist_ = registry_->histogram(
+      "ramp_serve_latency_seconds",
+      {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5});
   latencies_ms_.resize(kLatencyWindow, 0.0);
 }
 
@@ -56,24 +78,25 @@ EvalService::Ticket EvalService::submit(const EvalRequest& req) {
   const std::string key = request_key(req, base_);
 
   std::unique_lock<std::mutex> lock(mutex_);
-  ++requests_;
+  requests_.inc();
 
   if (OutcomePtr* cached = lru_.get(key)) {
-    ++hits_;
+    hits_.inc();
     std::promise<OutcomePtr> ready;
     ready.set_value(*cached);
     return {ready.get_future().share(), Source::kCache};
   }
   if (auto it = inflight_.find(key); it != inflight_.end()) {
-    ++coalesced_;
+    coalesced_.inc();
     return {it->second, Source::kCoalesced};
   }
 
-  ++misses_;
+  misses_.inc();
   // Backpressure: bound the number of scheduled-but-unfinished keys. The
   // wait releases the lock, so hits/stats stay serviceable meanwhile.
   slot_free_.wait(lock, [this] { return pending_ < opts_.max_pending; });
   ++pending_;
+  queue_depth_gauge_.set(static_cast<double>(pending_));
 
   auto task = std::make_shared<std::packaged_task<OutcomePtr()>>(
       [this, key, req] { return run_scheduled(key, req); });
@@ -96,6 +119,7 @@ EvalService::Ticket EvalService::submit(const EvalRequest& req) {
              const std::lock_guard<std::mutex> inner(mutex_);
              inflight_.erase(key);
              --pending_;
+             queue_depth_gauge_.set(static_cast<double>(pending_));
              slot_free_.notify_all();
            })
           .share();
@@ -135,7 +159,7 @@ OutcomePtr EvalService::run_scheduled(const std::string& key,
     return outcome;
   } catch (...) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    ++failures_;
+    failures_.inc();
     throw;
   }
 }
@@ -172,8 +196,9 @@ pipeline::AppTechResult EvalService::evaluate_request(const EvalRequest& req) {
       fresh->result = evaluator.evaluate(w, scaling::TechPoint::k180nm);
       {
         const std::lock_guard<std::mutex> lock(mutex_);
-        ++evaluations_;
-        evictions_ += lru_.put(base_key, fresh);
+        evaluations_.inc();
+        evictions_.inc(lru_.put(base_key, fresh));
+        cache_entries_gauge_.set(static_cast<double>(lru_.size()));
       }
       if (!opts_.persist_dir.empty()) store_persisted(*fresh, cfg);
       base = fresh;
@@ -184,7 +209,7 @@ pipeline::AppTechResult EvalService::evaluate_request(const EvalRequest& req) {
   pipeline::AppTechResult r = evaluator.evaluate(w, req.node, sink_k);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    ++evaluations_;
+    evaluations_.inc();
   }
   return r;
 }
@@ -193,8 +218,10 @@ void EvalService::record_outcome(const std::string& key,
                                  const OutcomePtr& outcome, bool from_disk,
                                  double latency_ms) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (from_disk) ++persist_hits_;
-  evictions_ += lru_.put(key, outcome);
+  if (from_disk) persist_hits_.inc();
+  evictions_.inc(lru_.put(key, outcome));
+  cache_entries_gauge_.set(static_cast<double>(lru_.size()));
+  latency_hist_.observe(latency_ms / 1e3);
   latencies_ms_[latency_next_] = latency_ms;
   latency_next_ = (latency_next_ + 1) % latencies_ms_.size();
   if (latency_next_ == 0) latency_full_ = true;
@@ -205,14 +232,14 @@ ServiceStats EvalService::stats() const {
   ServiceStats s;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    s.requests = requests_;
-    s.hits = hits_;
-    s.coalesced = coalesced_;
-    s.misses = misses_;
-    s.persist_hits = persist_hits_;
-    s.evaluations = evaluations_;
-    s.failures = failures_;
-    s.evictions = evictions_;
+    s.requests = requests_.value();
+    s.hits = hits_.value();
+    s.coalesced = coalesced_.value();
+    s.misses = misses_.value();
+    s.persist_hits = persist_hits_.value();
+    s.evaluations = evaluations_.value();
+    s.failures = failures_.value();
+    s.evictions = evictions_.value();
     s.queue_depth = pending_;
     s.cache_size = lru_.size();
     const std::size_t n = latency_full_ ? latencies_ms_.size() : latency_next_;
@@ -251,6 +278,7 @@ std::string EvalService::persist_path(const std::string& key) const {
 }
 
 OutcomePtr EvalService::load_persisted(const std::string& key) {
+  const obs::Span cache_span(obs::Stage::kCache);
   std::ifstream f(persist_path(key));
   if (!f) return nullptr;
   std::string line;
@@ -268,6 +296,7 @@ OutcomePtr EvalService::load_persisted(const std::string& key) {
 
 void EvalService::store_persisted(const EvalOutcome& outcome,
                                   const pipeline::EvaluationConfig& cfg) {
+  const obs::Span cache_span(obs::Stage::kCache);
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(opts_.persist_dir, ec);

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pipeline/evaluator.hpp"
 #include "serve/request.hpp"
 #include "util/lru_cache.hpp"
@@ -71,6 +72,10 @@ class EvalService {
     std::size_t cache_capacity = 256;///< LRU entries
     std::string persist_dir;         ///< "" disables the file cache
     std::size_t max_pending = 64;    ///< backpressure: submit() blocks beyond
+    /// Registry the service books its counters in. Defaults to an internal
+    /// always-enabled registry: the `stats` wire format is contractual, so
+    /// service accounting must not depend on RAMP_METRICS.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   /// How submit() answered a request — reported so front-ends can tell
@@ -103,6 +108,11 @@ class EvalService {
 
   ServiceStats stats() const;
 
+  /// The registry holding the service's `ramp_serve_*` metrics (the one
+  /// passed in Options, else the internal always-enabled default). Exposed
+  /// for exporters — the server's `metrics` op snapshots it.
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
+
   const pipeline::EvaluationConfig& config() const { return base_; }
   const Options& options() const { return opts_; }
 
@@ -120,6 +130,8 @@ class EvalService {
   Options opts_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable slot_free_;
@@ -128,15 +140,22 @@ class EvalService {
   std::vector<std::shared_future<void>> task_handles_;  ///< for drain/dtor
   std::size_t pending_ = 0;
 
-  // Counters (guarded by mutex_).
-  std::uint64_t requests_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t coalesced_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t persist_hits_ = 0;
-  std::uint64_t evaluations_ = 0;
-  std::uint64_t failures_ = 0;
-  std::uint64_t evictions_ = 0;
+  // Service accounting lives on the registry as `ramp_serve_*` metrics; all
+  // increments happen under mutex_, so ServiceStats snapshots stay exactly
+  // as consistent as the plain-integer originals.
+  obs::Counter requests_;
+  obs::Counter hits_;
+  obs::Counter coalesced_;
+  obs::Counter misses_;
+  obs::Counter persist_hits_;
+  obs::Counter evaluations_;
+  obs::Counter failures_;
+  obs::Counter evictions_;
+  obs::Gauge queue_depth_gauge_;
+  obs::Gauge cache_entries_gauge_;
+  obs::Histogram latency_hist_;
+  /// Exact recent latencies for the contractual p50/p99 stats fields (the
+  /// histogram above only buckets them for Prometheus consumers).
   std::vector<double> latencies_ms_;  ///< bounded ring, newest overwrite
   std::size_t latency_next_ = 0;
   bool latency_full_ = false;

@@ -38,9 +38,10 @@ EvalRequest parse_request(const std::string& line) {
     const std::string& name = op->as_string("op");
     if (name == "eval") req.op = Op::kEval;
     else if (name == "stats") req.op = Op::kStats;
+    else if (name == "metrics") req.op = Op::kMetrics;
     else if (name == "shutdown") req.op = Op::kShutdown;
     else throw InvalidArgument("unknown op '" + name +
-                               "' (use eval, stats, shutdown)");
+                               "' (use eval, stats, metrics, shutdown)");
   }
 
   for (const auto& [key, value] : j.items()) {

@@ -7,7 +7,7 @@
 //    "pin_sink":true,                                  // default true
 //    "sink_k":356.0,                                   // explicit sink target
 //    "id":...}                                         // echoed verbatim
-//   {"op":"stats"}    {"op":"shutdown"}
+//   {"op":"stats"}    {"op":"metrics"}    {"op":"shutdown"}
 //
 // `pin_sink` reproduces the paper's constant-sink-temperature scaling rule:
 // the workload's 180 nm run pins the heat-sink temperature the scaled node
@@ -29,7 +29,7 @@
 
 namespace ramp::serve {
 
-enum class Op { kEval, kStats, kShutdown };
+enum class Op { kEval, kStats, kMetrics, kShutdown };
 
 struct EvalRequest {
   Op op = Op::kEval;

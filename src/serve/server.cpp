@@ -6,6 +6,9 @@
 #include <ostream>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/json.hpp"
 
@@ -117,6 +120,21 @@ int serve_loop(std::istream& in, std::ostream& out, EvalService& service) {
       r.set("ok", true).set("op", "stats");
       set_id(r, req.id);
       r.set("stats", stats_json(service.stats()));
+      respond(r);
+      continue;
+    }
+    if (req.op == Op::kMetrics) {
+      drain_pending(/*all=*/true);
+      service.drain();  // same barrier as stats: counters are settled
+      // Service metrics (always booked) plus whatever the process-wide
+      // registry collected, with the stage profile attached.
+      obs::MetricsSnapshot snap = service.metrics().snapshot();
+      snap.merge_from(obs::MetricsRegistry::global().snapshot());
+      const obs::StageProfile profile = obs::Profiler::global().snapshot();
+      Json r = Json::object();
+      r.set("ok", true).set("op", "metrics");
+      set_id(r, req.id);
+      r.set("prometheus", obs::to_prometheus(snap, &profile));
       respond(r);
       continue;
     }

@@ -44,13 +44,37 @@ std::size_t env_jobs(const std::string& name, std::size_t fallback) {
   return static_cast<std::size_t>(v);
 }
 
+namespace {
+
+std::string to_lower(const std::string& s) {
+  std::string lower = s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return lower;
+}
+
+}  // namespace
+
 bool env_enabled(const std::string& name) {
   auto raw = env_string(name);
   if (!raw) return true;
-  std::string lower = *raw;
-  std::transform(lower.begin(), lower.end(), lower.begin(),
-                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  const std::string lower = to_lower(*raw);
   return lower != "off" && lower != "0" && lower != "false" && lower != "no";
+}
+
+bool env_on_off(const std::string& name, bool fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  const std::string lower = to_lower(*raw);
+  if (lower == "on" || lower == "1" || lower == "true" || lower == "yes") {
+    return true;
+  }
+  if (lower == "off" || lower == "0" || lower == "false" || lower == "no") {
+    return false;
+  }
+  throw InvalidArgument("environment variable " + name + "='" + *raw +
+                        "' is not a switch (use on/1/true/yes or "
+                        "off/0/false/no)");
 }
 
 std::string output_dir() {

@@ -29,6 +29,12 @@ std::size_t env_jobs(const std::string& name, std::size_t fallback);
 /// "off", "0", "false", "no" (case-insensitive) — i.e. features default on.
 bool env_enabled(const std::string& name);
 
+/// Strict boolean switch: returns `fallback` when `name` is unset; accepts
+/// (case-insensitive) "on"/"1"/"true"/"yes" and "off"/"0"/"false"/"no";
+/// any other value throws InvalidArgument — a misspelled RAMP_METRICS must
+/// fail loudly, not silently leave metrics in the default state.
+bool env_on_off(const std::string& name, bool fallback);
+
 /// Directory generated artifacts (bench CSVs, sweep/serve caches) land in:
 /// $RAMP_OUT_DIR when set, "out" otherwise. Callers create it on first write.
 std::string output_dir();

@@ -28,6 +28,11 @@ std::uint64_t ThreadPool::next_task_id() const {
   return next_id_;
 }
 
+std::size_t ThreadPool::queued() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 int ThreadPool::current_worker_id() { return t_worker_id; }
 
 void ThreadPool::worker_loop(int worker_id) {
@@ -41,7 +46,9 @@ void ThreadPool::worker_loop(int worker_id) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
     task.run();  // packaged_task captures any exception into the future
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -14,6 +14,7 @@
 // submitted *after* itself.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -41,6 +42,16 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t worker_count() const { return threads_.size(); }
+
+  /// Tasks submitted but not yet picked up by a worker. Point-in-time (the
+  /// queue moves concurrently); intended for gauges and progress reporting,
+  /// not for synchronization.
+  std::size_t queued() const;
+
+  /// Tasks currently executing on a worker. Same point-in-time caveat: a
+  /// task's future may already be ready while active() still counts it for
+  /// an instant after run() returns.
+  std::size_t active() const { return active_.load(std::memory_order_relaxed); }
 
   /// Sequential ID the next submitted task will receive.
   std::uint64_t next_task_id() const;
@@ -76,6 +87,7 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
+  std::atomic<std::size_t> active_{0};
   std::uint64_t next_id_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> threads_;

@@ -1,0 +1,163 @@
+// Multi-threaded hammer tests for the metrics registry and profiler: many
+// writer threads increment counters, move gauges, observe histograms and
+// record spans while a reader thread snapshots concurrently. Run under
+// `ctest -L concurrency`, ideally from a -DRAMP_SANITIZE=thread build, where
+// TSan checks the lock-free hot path; the final-total assertions then verify
+// that relaxed atomics still lose no updates.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace ramp::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIters = 10'000;
+
+TEST(ObsConcurrencyTest, CountersLoseNoIncrementsUnderContention) {
+  MetricsRegistry reg;
+  Counter shared = reg.counter("ramp_hammer_total");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, shared] {
+      // Half the threads use the pre-resolved handle, half re-resolve —
+      // both paths must hit the same cell.
+      Counter mine = reg.counter("ramp_hammer_total");
+      for (int i = 0; i < kIters; ++i) {
+        shared.inc();
+        mine.inc(2);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(shared.value(),
+            static_cast<std::uint64_t>(kThreads) * kIters * 3);
+}
+
+TEST(ObsConcurrencyTest, HistogramBucketsSumAndCountStayConsistent) {
+  MetricsRegistry reg;
+  const std::vector<double> bounds = {0.25, 0.5, 0.75};
+  Histogram h = reg.histogram("ramp_hammer_seconds", bounds);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      Histogram local = h;
+      // Deterministic per-thread values covering every bucket incl. +Inf.
+      const double values[4] = {0.1, 0.3, 0.6, 1.0 + t};
+      for (int i = 0; i < kIters; ++i) local.observe(values[i % 4]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(hs.count, total);
+  ASSERT_EQ(hs.counts.size(), 4u);
+  // kIters % 4 == 0, so each of the four values lands exactly total/4 times.
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(hs.counts[b], total / 4) << "bucket " << b;
+  }
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += (kIters / 4.0) * (0.1 + 0.3 + 0.6 + (1.0 + t));
+  }
+  EXPECT_NEAR(hs.sum, expected_sum, 1e-6 * expected_sum);
+}
+
+TEST(ObsConcurrencyTest, SnapshotsRaceSafelyWithWriters) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("ramp_hammer_total");
+  Gauge g = reg.gauge("ramp_hammer_depth");
+  Histogram h = reg.histogram("ramp_hammer_seconds", {1.0});
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&reg, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = reg.snapshot();
+      // Mid-flight snapshots can lag writers, but never see more than the
+      // final totals (counters are monotonic; this mostly gives TSan a
+      // concurrent read of every cell).
+      EXPECT_EQ(snap.counters.size(), 1u);
+      EXPECT_LE(snap.counters[0].second,
+                static_cast<std::uint64_t>(kThreads) * kIters);
+      for (const auto& hist : snap.histograms) {
+        for (const std::uint64_t n : hist.counts) {
+          EXPECT_LE(n, static_cast<std::uint64_t>(kThreads) * kIters);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([c, g, h, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(t % 2 == 0 ? 1.0 : -1.0);
+        h.observe(0.5);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(c.value(), total);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);  // equal +1/-1 writers cancel exactly
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, total);
+  EXPECT_EQ(snap.histograms[0].counts[0], total);
+}
+
+TEST(ObsConcurrencyTest, ProfilerAggregatesAcrossThreadsWhileSnapshotting) {
+  Profiler prof(/*enabled=*/true);
+  std::atomic<bool> stop{false};
+  std::thread reader([&prof, &stop] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const StageProfile profile = prof.snapshot();
+      const std::uint64_t spans =
+          profile.totals[static_cast<std::size_t>(Stage::kSim)].spans;
+      EXPECT_GE(spans, last);  // per-thread totals only ever grow
+      last = spans;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&prof, t] {
+      const std::string cell = "app" + std::to_string(t % 2) + "@90";
+      for (int i = 0; i < kIters; ++i) {
+        prof.record(Stage::kSim, 1e-4);
+        if (i % 16 == 0) prof.record_cell(Stage::kFit, cell, 1e-4);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const StageProfile profile = prof.snapshot();
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(profile.totals[static_cast<std::size_t>(Stage::kSim)].spans, total);
+  EXPECT_NEAR(profile.seconds(Stage::kSim), total * 1e-4, total * 1e-9);
+  ASSERT_EQ(profile.cells.size(), 2u);
+  std::uint64_t cell_spans = 0;
+  for (const auto& [name, stages] : profile.cells) {
+    cell_spans += stages[static_cast<std::size_t>(Stage::kFit)].spans;
+  }
+  EXPECT_EQ(cell_spans, static_cast<std::uint64_t>(kThreads) * (kIters / 16));
+}
+
+}  // namespace
+}  // namespace ramp::obs

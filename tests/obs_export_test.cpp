@@ -1,0 +1,143 @@
+// Exporter tests: golden Prometheus/NDJSON documents (output is fully
+// deterministic — sorted names, enum-ordered stages, lexicographic cells),
+// the text-parser round trip, and the atomic metrics-file writer.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/error.hpp"
+
+namespace ramp::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry reg;
+  reg.counter("ramp_requests_total").inc(3);
+  reg.gauge("ramp_queue_depth").set(2.5);
+  Histogram h = reg.histogram("ramp_latency_seconds", {0.1, 0.5});
+  h.observe(0.05);
+  h.observe(0.05);
+  h.observe(0.3);
+  h.observe(2.0);
+  return reg.snapshot();
+}
+
+TEST(PrometheusExportTest, GoldenDocument) {
+  // Section order is fixed (counters, gauges, histograms), each sorted by
+  // name; bucket lines are cumulative with an explicit +Inf.
+  const std::string expected =
+      "# TYPE ramp_requests_total counter\n"
+      "ramp_requests_total 3\n"
+      "# TYPE ramp_queue_depth gauge\n"
+      "ramp_queue_depth 2.5\n"
+      "# TYPE ramp_latency_seconds histogram\n"
+      "ramp_latency_seconds_bucket{le=\"0.10000000000000001\"} 2\n"
+      "ramp_latency_seconds_bucket{le=\"0.5\"} 3\n"
+      "ramp_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "ramp_latency_seconds_sum 2.3999999999999999\n"
+      "ramp_latency_seconds_count 4\n";
+  EXPECT_EQ(to_prometheus(sample_snapshot()), expected);
+}
+
+TEST(PrometheusExportTest, StageProfileSamples) {
+  StageProfile profile;
+  profile.totals[static_cast<std::size_t>(Stage::kSim)] = {1.5, 2};
+  profile.totals[static_cast<std::size_t>(Stage::kTotal)] = {2.0, 2};
+  std::array<StageAccum, kNumStages> cell{};
+  cell[static_cast<std::size_t>(Stage::kSim)] = {0.75, 1};
+  profile.cells.emplace("gcc@90", cell);
+
+  const std::string text = to_prometheus(MetricsSnapshot{}, &profile);
+  const auto samples = parse_prometheus_text(text);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_stage_seconds_total{stage=\"sim\"}"), 1.5);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_stage_seconds_total{stage=\"total\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_stage_spans_total{stage=\"sim\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(
+      samples.at("ramp_stage_cell_seconds_total{cell=\"gcc@90\",stage=\"sim\"}"),
+      0.75);
+  // Zero-span cell stages are omitted to keep documents small.
+  EXPECT_EQ(samples.count(
+                "ramp_stage_cell_seconds_total{cell=\"gcc@90\",stage=\"fit\"}"),
+            0u);
+}
+
+TEST(PrometheusExportTest, ParserRoundTripsEverySample) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const auto samples = parse_prometheus_text(to_prometheus(snap));
+  EXPECT_DOUBLE_EQ(samples.at("ramp_requests_total"), 3.0);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_queue_depth"), 2.5);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_latency_seconds_bucket{le=\"+Inf\"}"), 4.0);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_latency_seconds_count"), 4.0);
+  EXPECT_NEAR(samples.at("ramp_latency_seconds_sum"), 2.4, 1e-12);
+}
+
+TEST(PrometheusExportTest, ParserRejectsMalformedLines) {
+  EXPECT_THROW(parse_prometheus_text("just_a_name\n"), InvalidArgument);
+  EXPECT_THROW(parse_prometheus_text("name twelve\n"), InvalidArgument);
+  EXPECT_NO_THROW(parse_prometheus_text("# any comment\n\nname 1\n"));
+}
+
+TEST(NdjsonExportTest, GoldenDocument) {
+  const std::string got = to_ndjson(sample_snapshot());
+  const std::string expected =
+      "{\"counters\":{\"ramp_requests_total\":3},"
+      "\"gauges\":{\"ramp_queue_depth\":2.5},"
+      "\"histograms\":{\"ramp_latency_seconds\":"
+      "{\"bounds\":[0.10000000000000001,0.5],\"counts\":[2,1,1],"
+      "\"sum\":2.3999999999999999,\"count\":4}}}";
+  EXPECT_EQ(got, expected);
+}
+
+TEST(NdjsonExportTest, IncludesStagesAndCells) {
+  StageProfile profile;
+  profile.totals[static_cast<std::size_t>(Stage::kSim)] = {1.5, 2};
+  std::array<StageAccum, kNumStages> cell{};
+  cell[static_cast<std::size_t>(Stage::kSim)] = {0.75, 1};
+  profile.cells.emplace("gcc@90", cell);
+  const std::string got = to_ndjson(MetricsSnapshot{}, &profile);
+  EXPECT_NE(got.find("\"stages\":{"), std::string::npos);
+  EXPECT_NE(got.find("\"sim\":{\"seconds\":1.5,\"spans\":2}"), std::string::npos);
+  EXPECT_NE(got.find("\"cells\":{\"gcc@90\":{\"sim\":{\"seconds\":0.75,\"spans\":1}}}"),
+            std::string::npos);
+}
+
+TEST(WriteMetricsFileTest, PicksFormatByExtensionAndWritesAtomically) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ramp_obs_export_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  const MetricsSnapshot snap = sample_snapshot();
+
+  const std::string prom = (dir / "metrics.prom").string();
+  write_metrics_file(prom, snap);
+  std::stringstream prom_body;
+  prom_body << std::ifstream(prom).rdbuf();
+  EXPECT_EQ(prom_body.str(), to_prometheus(snap));
+
+  const std::string json = (dir / "metrics.json").string();
+  write_metrics_file(json, snap);
+  std::stringstream json_body;
+  json_body << std::ifstream(json).rdbuf();
+  EXPECT_EQ(json_body.str(), to_ndjson(snap) + "\n");
+
+  // No temp droppings left behind.
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ramp::obs

@@ -1,0 +1,232 @@
+// Tests for the metrics registry: handle semantics (null no-ops when
+// disabled), registration contracts (name validation, kind/bounds clashes),
+// histogram bucketing cross-checked against util::Histogram on random
+// samples, and the Prometheus-style quantile estimate against an exact
+// sorted percentile.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ramp::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterCountsAndReResolvesToSameCell) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("ramp_test_total");
+  a.inc();
+  a.inc(41);
+  EXPECT_EQ(a.value(), 42u);
+  // Re-resolving the name hands back the same cell.
+  EXPECT_EQ(reg.counter("ramp_test_total").value(), 42u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetsAndAdds) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("ramp_test_depth");
+  g.set(3.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  g.set(0.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsRegistryTest, HistogramObservesWithLeSemantics) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("ramp_test_seconds", {1.0, 2.0});
+  h.observe(0.5);   // <= 1.0
+  h.observe(1.0);   // <= 1.0 (le bound is inclusive)
+  h.observe(1.5);   // <= 2.0
+  h.observe(99.0);  // +Inf
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_EQ(hs.name, "ramp_test_seconds");
+  ASSERT_EQ(hs.counts.size(), 3u);
+  EXPECT_EQ(hs.counts[0], 2u);
+  EXPECT_EQ(hs.counts[1], 1u);
+  EXPECT_EQ(hs.counts[2], 1u);
+  EXPECT_EQ(hs.count, 4u);
+  EXPECT_DOUBLE_EQ(hs.sum, 0.5 + 1.0 + 1.5 + 99.0);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryHandsOutNullNoOpHandles) {
+  MetricsRegistry reg(/*enabled=*/false);
+  Counter c = reg.counter("ramp_test_total");
+  Gauge g = reg.gauge("ramp_test_depth");
+  Histogram h = reg.histogram("ramp_test_seconds", {1.0});
+  EXPECT_FALSE(static_cast<bool>(c));
+  EXPECT_FALSE(static_cast<bool>(g));
+  EXPECT_FALSE(static_cast<bool>(h));
+  c.inc();
+  g.set(5.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsRegistryTest, DefaultConstructedHandlesAreNull) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.add(1.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsRegistryTest, RejectsInvalidNames) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), InvalidArgument);
+  EXPECT_THROW(reg.counter("9starts_with_digit"), InvalidArgument);
+  EXPECT_THROW(reg.counter("has space"), InvalidArgument);
+  EXPECT_THROW(reg.counter("has-dash"), InvalidArgument);
+  EXPECT_NO_THROW(reg.counter("ok_name:with_colon_42"));
+}
+
+TEST(MetricsRegistryTest, KindClashThrows) {
+  MetricsRegistry reg;
+  reg.counter("ramp_test_metric");
+  EXPECT_THROW(reg.gauge("ramp_test_metric"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("ramp_test_metric", {1.0}), InvalidArgument);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsAreValidated) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("ramp_test_h", {}), InvalidArgument);
+  EXPECT_THROW(reg.histogram("ramp_test_h", {1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(reg.histogram("ramp_test_h", {2.0, 1.0}), InvalidArgument);
+  reg.histogram("ramp_test_h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("ramp_test_h", {1.0, 3.0}), InvalidArgument);
+  EXPECT_NO_THROW(reg.histogram("ramp_test_h", {1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameAndResetZeroes) {
+  MetricsRegistry reg;
+  reg.counter("ramp_b_total").inc(2);
+  reg.counter("ramp_a_total").inc(1);
+  reg.gauge("ramp_z_depth").set(9.0);
+  MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "ramp_a_total");
+  EXPECT_EQ(snap.counters[1].first, "ramp_b_total");
+
+  reg.reset();
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counters[0].second, 0u);
+  EXPECT_EQ(snap.counters[1].second, 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.0);
+}
+
+TEST(MetricsSnapshotTest, MergeFromAppendsOtherRegistry) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("ramp_a_total").inc(1);
+  b.counter("ramp_b_total").inc(2);
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge_from(b.snapshot());
+  ASSERT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters[0].first, "ramp_a_total");
+  EXPECT_EQ(merged.counters[1].first, "ramp_b_total");
+}
+
+// The obs histogram with bounds {0.05, 0.10, ..., 0.95} partitions [0, 1)
+// into the same 20 cells as util::Histogram(0.0, 1.0, 20), up to the edge
+// convention (le-inclusive vs right-open) which random doubles never hit.
+TEST(MetricsHistogramTest, BucketCountsMatchUtilStatsHistogram) {
+  std::vector<double> bounds;
+  for (int i = 1; i < 20; ++i) bounds.push_back(i * 0.05);
+
+  MetricsRegistry reg;
+  Histogram obs_hist = reg.histogram("ramp_test_xcheck", bounds);
+  ramp::Histogram ref(0.0, 1.0, 20);
+
+  Xoshiro256 rng(2024);
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = rng.uniform();
+    obs_hist.observe(x);
+    ref.add(x);
+  }
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  ASSERT_EQ(hs.counts.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(hs.counts[i], ref.bin_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(hs.count, ref.total());
+  EXPECT_EQ(hs.counts[19], hs.count -
+                               [&] {
+                                 std::uint64_t below = 0;
+                                 for (int i = 0; i < 19; ++i) below += hs.counts[i];
+                                 return below;
+                               }());
+}
+
+// histogram_quantile interpolates inside one bucket, so it can never be
+// farther from the exact sorted percentile than that bucket's width.
+TEST(MetricsHistogramTest, QuantileWithinBucketWidthOfExactPercentile) {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 20; ++i) bounds.push_back(i * 0.05);
+  const double width = 0.05;
+
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("ramp_test_quantile", bounds);
+  Xoshiro256 rng(7);
+  std::vector<double> samples;
+  samples.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    // Skewed distribution: squaring biases toward small values, so several
+    // buckets carry most of the mass — a harder case than uniform.
+    const double x = rng.uniform() * rng.uniform();
+    samples.push_back(x);
+    h.observe(x);
+  }
+  std::sort(samples.begin(), samples.end());
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSnapshot& hs = snap.histograms[0];
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double est = histogram_quantile(hs, q);
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    EXPECT_NEAR(est, exact, width) << "q=" << q;
+  }
+}
+
+TEST(MetricsHistogramTest, QuantileEdgeCases) {
+  HistogramSnapshot empty;
+  empty.bounds = {1.0, 2.0};
+  empty.counts = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(empty, 0.5), 0.0);
+
+  // All mass in the +Inf bucket clamps to the highest finite bound.
+  HistogramSnapshot inf;
+  inf.bounds = {1.0, 2.0};
+  inf.counts = {0, 0, 5};
+  inf.count = 5;
+  EXPECT_DOUBLE_EQ(histogram_quantile(inf, 0.5), 2.0);
+
+  HistogramSnapshot one;
+  one.bounds = {1.0, 2.0};
+  one.counts = {4, 0, 0};
+  one.count = 4;
+  EXPECT_THROW(histogram_quantile(one, 1.5), InvalidArgument);
+  EXPECT_LE(histogram_quantile(one, 0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace ramp::obs

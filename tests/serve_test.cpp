@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/evaluator.hpp"
 #include "pipeline/sweep.hpp"
 #include "scaling/technology.hpp"
@@ -301,6 +303,69 @@ TEST(ServeLoopTest, ResponseResultMatchesDirectEvaluator) {
   EXPECT_EQ(result->find("sink_temp_k")->as_number(), scaled.sink_temp_k);
   EXPECT_EQ(result->find("raw_fit")->find("total")->as_number(),
             scaled.raw_fits.total());
+}
+
+// ---- observability --------------------------------------------------------
+
+// Satellite regression: moving the stats counters onto the metrics registry
+// must not change the NDJSON wire format. A fresh service's stats response is
+// fully deterministic, so the whole line is frozen byte-for-byte — field
+// order, zero formatting, everything.
+TEST(ServeLoopTest, StatsWireFormatFrozen) {
+  std::istringstream in("{\"op\":\"stats\"}\n");
+  std::ostringstream out;
+  EvalService service(tiny_config(), {});
+  EXPECT_EQ(serve_loop(in, out, service), 0);
+  EXPECT_EQ(out.str(),
+            "{\"ok\":true,\"op\":\"stats\",\"stats\":{"
+            "\"requests\":0,\"hits\":0,\"coalesced\":0,\"misses\":0,"
+            "\"persist_hits\":0,\"evaluations\":0,\"failures\":0,"
+            "\"evictions\":0,\"queue_depth\":0,\"cache_size\":0,"
+            "\"p50_latency_ms\":0,\"p99_latency_ms\":0}}\n");
+}
+
+TEST(ServeLoopTest, MetricsOpReturnsParseablePrometheusText) {
+  const auto responses = run_serve(
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":1}\n"
+      "{\"op\":\"metrics\",\"id\":\"m\"}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(responses.size(), 3u);
+
+  const Json& metrics = responses[1];
+  EXPECT_TRUE(metrics.find("ok")->as_bool());
+  EXPECT_EQ(metrics.find("op")->as_string(), "metrics");
+  EXPECT_EQ(metrics.find("id")->as_string(), "m");
+
+  // The payload is standard Prometheus text exposition; the service counters
+  // in it agree with what the stats op would have reported.
+  const auto samples =
+      obs::parse_prometheus_text(metrics.find("prometheus")->as_string());
+  EXPECT_DOUBLE_EQ(samples.at("ramp_serve_requests_total"), 1.0);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_serve_misses_total"), 1.0);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_serve_evaluations_total"), 2.0);
+  EXPECT_DOUBLE_EQ(samples.at("ramp_serve_latency_seconds_count"), 1.0);
+  EXPECT_GE(samples.at("ramp_serve_latency_seconds_sum"), 0.0);
+}
+
+// EvalService books its stats on a private always-on registry, so stats stay
+// contractual even when process-wide metrics are disabled via RAMP_METRICS.
+TEST(EvalServiceTest, StatsSurviveDisabledGlobalRegistry) {
+  EvalService service(tiny_config(), {});
+  service.evaluate(eval_req("gcc", "180"));
+  const auto s = service.stats();
+  EXPECT_EQ(s.requests, 1u);
+  EXPECT_EQ(s.evaluations, 1u);
+  EXPECT_GT(s.p50_latency_ms, 0.0);
+  // And the same numbers are visible through the registry snapshot.
+  const obs::MetricsSnapshot snap = service.metrics().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "ramp_serve_requests_total") {
+      EXPECT_EQ(value, 1u);
+    }
+    if (name == "ramp_serve_evaluations_total") {
+      EXPECT_EQ(value, 1u);
+    }
+  }
 }
 
 }  // namespace

@@ -126,6 +126,36 @@ TEST(ThreadPoolTest, RunsTasksConcurrently) {
   EXPECT_LT(wall.count(), 600);
 }
 
+TEST(ThreadPoolTest, QueuedAndActiveTrackPoolOccupancy) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queued(), 0u);
+  EXPECT_EQ(pool.active(), 0u);
+
+  // One blocker occupies the single worker; two more tasks sit in the queue.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  auto blocker = pool.submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+  auto second = pool.submit([] {});
+  auto third = pool.submit([] {});
+
+  EXPECT_EQ(pool.queued(), 2u);
+  EXPECT_EQ(pool.active(), 1u);
+
+  release.set_value();
+  blocker.get();
+  second.get();
+  third.get();
+  EXPECT_EQ(pool.queued(), 0u);
+  // The future can be ready an instant before the worker's decrement lands.
+  while (pool.active() != 0) std::this_thread::yield();
+  EXPECT_EQ(pool.active(), 0u);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
   std::atomic<int> done{0};
   {

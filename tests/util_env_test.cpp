@@ -98,6 +98,27 @@ TEST(OutputDirTest, DefaultsToOutAndHonorsOverride) {
   EXPECT_EQ(output_dir(), "/tmp/ramp_artifacts");
 }
 
+TEST(EnvOnOffTest, AcceptsAllSwitchSpellings) {
+  ScopedEnv unset("RAMP_TEST_SWITCH", nullptr);
+  EXPECT_TRUE(env_on_off("RAMP_TEST_SWITCH", true));
+  EXPECT_FALSE(env_on_off("RAMP_TEST_SWITCH", false));
+  for (const char* on : {"on", "1", "true", "yes", "ON", "True", "YES"}) {
+    ScopedEnv set("RAMP_TEST_SWITCH", on);
+    EXPECT_TRUE(env_on_off("RAMP_TEST_SWITCH", false)) << on;
+  }
+  for (const char* off : {"off", "0", "false", "no", "OFF", "False", "NO"}) {
+    ScopedEnv set("RAMP_TEST_SWITCH", off);
+    EXPECT_FALSE(env_on_off("RAMP_TEST_SWITCH", true)) << off;
+  }
+}
+
+TEST(EnvOnOffTest, UnrecognizedValueThrowsInsteadOfFallingBack) {
+  for (const char* bad : {"banana", "enable", "2", "o n", " on"}) {
+    ScopedEnv set("RAMP_TEST_SWITCH", bad);
+    EXPECT_THROW(env_on_off("RAMP_TEST_SWITCH", true), InvalidArgument) << bad;
+  }
+}
+
 TEST(FromEnvTest, ReadsOverrides) {
   ScopedEnv trace("RAMP_TRACE_LEN", "12345");
   ScopedEnv seed("RAMP_SEED", "99");
@@ -119,6 +140,32 @@ TEST(FromEnvTest, ZeroTraceLenThrows) {
 TEST(FromEnvTest, MalformedSeedThrows) {
   ScopedEnv seed("RAMP_SEED", "0x2a");
   EXPECT_THROW(pipeline::EvaluationConfig::from_env(), InvalidArgument);
+}
+
+TEST(FromEnvTest, ReadsMetricsSwitchStrictly) {
+  {
+    ScopedEnv off("RAMP_METRICS", "off");
+    EXPECT_FALSE(pipeline::EvaluationConfig::from_env().metrics_enabled);
+  }
+  {
+    ScopedEnv on("RAMP_METRICS", "1");
+    EXPECT_TRUE(pipeline::EvaluationConfig::from_env().metrics_enabled);
+  }
+  {
+    ScopedEnv unset("RAMP_METRICS", nullptr);
+    EXPECT_TRUE(pipeline::EvaluationConfig::from_env().metrics_enabled);
+  }
+  ScopedEnv bad("RAMP_METRICS", "banana");
+  EXPECT_THROW(pipeline::EvaluationConfig::from_env(), InvalidArgument);
+}
+
+TEST(FromEnvTest, PassesMetricsPathThrough) {
+  {
+    ScopedEnv unset("RAMP_METRICS_PATH", nullptr);
+    EXPECT_EQ(pipeline::EvaluationConfig::from_env().metrics_path, "");
+  }
+  ScopedEnv set("RAMP_METRICS_PATH", "/tmp/m.prom");
+  EXPECT_EQ(pipeline::EvaluationConfig::from_env().metrics_path, "/tmp/m.prom");
 }
 
 }  // namespace

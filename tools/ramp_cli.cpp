@@ -16,11 +16,15 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/qualification.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pipeline/mission.hpp"
 #include "pipeline/sweep.hpp"
 #include "serve/eval_service.hpp"
@@ -70,6 +74,42 @@ bool flag_present(std::vector<std::string>& args, const std::string& flag) {
   if (it == args.end()) return false;
   args.erase(it);
   return true;
+}
+
+// --metrics / --metrics=PATH: nullopt when absent; "" means "use
+// RAMP_METRICS_PATH or stderr".
+std::optional<std::string> flag_metrics(std::vector<std::string>& args) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == "--metrics") {
+      args.erase(it);
+      return std::string();
+    }
+    if (it->rfind("--metrics=", 0) == 0) {
+      std::string path = it->substr(std::strlen("--metrics="));
+      args.erase(it);
+      return path;
+    }
+  }
+  return std::nullopt;
+}
+
+// Dump-on-exit for the sweep-based subcommands: one snapshot of the global
+// registry + stage profile, written to `request` (the --metrics value),
+// falling back to RAMP_METRICS_PATH and then stderr. Prometheus text unless
+// the destination ends in ".json" (see obs::write_metrics_file).
+void dump_metrics(const std::optional<std::string>& request) {
+  if (!request) return;
+  const std::string path =
+      !request->empty() ? *request
+                        : env_string("RAMP_METRICS_PATH").value_or("");
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const obs::StageProfile profile = obs::Profiler::global().snapshot();
+  if (path.empty()) {
+    std::fputs(obs::to_prometheus(snap, &profile).c_str(), stderr);
+  } else {
+    obs::write_metrics_file(path, snap, &profile);
+    std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+  }
 }
 
 // One pool for the whole process, sized on first use, so the sweep/report/
@@ -159,6 +199,7 @@ int cmd_evaluate(std::vector<std::string> args) {
 }
 
 int cmd_sweep(std::vector<std::string> args, bool markdown) {
+  const auto metrics = flag_metrics(args);
   const auto sweep = cli_sweep(args);
 
   if (!markdown) {
@@ -176,6 +217,7 @@ int cmd_sweep(std::vector<std::string> args, bool markdown) {
       table.add_row(row);
     }
     std::printf("%s", table.str().c_str());
+    dump_metrics(metrics);
     return 0;
   }
 
@@ -213,10 +255,12 @@ int cmd_sweep(std::vector<std::string> args, bool markdown) {
     }
     std::printf("\n");
   }
+  dump_metrics(metrics);
   return 0;
 }
 
 int cmd_missions(std::vector<std::string> args) {
+  const auto metrics = flag_metrics(args);
   const auto sweep = cli_sweep(args);
   TextTable table("Example deployment missions, MTTF (years) per node");
   std::vector<std::string> header = {"mission"};
@@ -233,11 +277,13 @@ int cmd_missions(std::vector<std::string> args) {
     table.add_row(row);
   }
   std::printf("%s", table.str().c_str());
+  dump_metrics(metrics);
   return 0;
 }
 
 // NDJSON evaluation service on stdin/stdout: one request per line, one
-// response per line, `{"op":"stats"}` and `{"op":"shutdown"}` supported.
+// response per line, `{"op":"stats"}`, `{"op":"metrics"}` and
+// `{"op":"shutdown"}` supported.
 // External drivers (sweeps, DRM loops, RPC shims) stream queries against one
 // warm process instead of paying pipeline startup per FIT estimate.
 int cmd_serve(std::vector<std::string> args) {
@@ -302,7 +348,11 @@ int usage() {
                "                                NDJSON eval service on stdin/stdout\n"
                "  trace <app> <file> [N]        capture a synthetic trace\n"
                "Sweep-based commands and serve also honor --out-dir (default\n"
-               "$RAMP_OUT_DIR or out/) for caches and generated artifacts.\n");
+               "$RAMP_OUT_DIR or out/) for caches and generated artifacts.\n"
+               "sweep/report/missions take --metrics[=FILE] to dump process\n"
+               "metrics and the per-stage profile on exit (Prometheus text;\n"
+               "NDJSON when FILE ends in .json); RAMP_METRICS=off disables\n"
+               "collection.\n");
   return 2;
 }
 
