@@ -4,12 +4,16 @@
 // property the reproduction benches depend on.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/fit_tracker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "sim/ooo_core.hpp"
 #include "thermal/rc_model.hpp"
 #include "trace/synthetic_generator.hpp"
+#include "util/env.hpp"
 #include "workloads/spec2k.hpp"
 
 namespace {
@@ -77,18 +81,36 @@ void BM_FitEvaluation(benchmark::State& state) {
   act.fill(0.5);
   // Per-interval bookkeeping on the process-wide registry, exactly as the
   // instrumented pipeline does it: a pre-resolved handle that is null under
-  // RAMP_METRICS=off. CI runs this kernel with metrics off vs on and fails
-  // if the enabled path costs more than 5% (scripts/check_metrics_overhead.py).
+  // RAMP_METRICS=off, and a flight-recorder buffer that exists only when
+  // RAMP_TIMELINE is set (the evaluator's timeline-off path is this same
+  // null-pointer test). CI runs this kernel with everything off vs metrics on
+  // + timeline off and fails if the instrumented path costs more than 5%
+  // (scripts/check_obs_overhead.py).
   obs::Counter intervals =
       obs::MetricsRegistry::global().counter("ramp_bench_fit_intervals_total");
+  std::unique_ptr<obs::TimelineBuffer> timeline;
+  if (env_on_off_or_value("RAMP_TIMELINE")) {
+    timeline = std::make_unique<obs::TimelineBuffer>(512);
+  }
   std::uint64_t n = 0;
   for (auto _ : state) {
     tracker.add_interval(temps, act, 1.3, 1e-6);
     intervals.inc();
+    if (timeline) {
+      obs::TimelinePoint p;
+      p.interval = n;
+      p.time_s = 1e-6 * static_cast<double>(n + 1);
+      p.ipc = 1.3;
+      p.temp_k.assign(temps.begin(), temps.end());
+      const auto mech = tracker.summary().by_mechanism();
+      p.fit_avg.assign(mech.begin(), mech.end());
+      timeline->push(std::move(p));
+    }
     ++n;
   }
   benchmark::DoNotOptimize(tracker.summary().total());
   state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  state.SetLabel(timeline ? "timeline" : "no-timeline");
 }
 BENCHMARK(BM_FitEvaluation);
 
@@ -145,6 +167,29 @@ void BM_ProfilerRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProfilerRecord);
+
+void BM_TimelinePush(benchmark::State& state) {
+  // Absolute cost of admitting one interval into the flight recorder —
+  // includes the stride-doubling compactions amortized over a long run.
+  obs::TimelineBuffer buf(512);
+  std::vector<double> temps(sim::kNumStructures, 355.0);
+  std::vector<double> fits(core::kNumMechanisms, 100.0);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    obs::TimelinePoint p;
+    p.interval = n;
+    p.time_s = 1e-6 * static_cast<double>(n + 1);
+    p.ipc = 1.3;
+    p.temp_k = temps;
+    p.fit_inst = fits;
+    p.fit_avg = fits;
+    buf.push(std::move(p));
+    ++n;
+  }
+  benchmark::DoNotOptimize(buf.stride());
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TimelinePush);
 
 void BM_BranchPredictor(benchmark::State& state) {
   sim::BranchPredictor bp;

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI guard for the observability hot path.
+
+Compares two google-benchmark JSON files — one run with every obs feature
+off (RAMP_METRICS=off, no RAMP_TIMELINE), one with the instrumented
+configuration under test (metrics on, timeline still off: the production
+default) — and fails if the instrumented cpu time of any guarded kernel
+exceeds the baseline time by more than the allowed overhead fraction.
+
+This holds the PR 3/PR 4 promise that metrics collection and the
+flight-recorder's disabled path (a null-pointer test per interval) together
+cost at most 5% on the FIT evaluation kernel.
+
+Noise handling: the benchmark is run with repetitions and the *minimum*
+cpu_time per file is compared (the minimum is the best estimate of the true
+cost on a noisy shared runner; means are inflated by scheduling hiccups).
+
+Usage:
+  check_obs_overhead.py OFF.json ON.json \
+      [--kernel BM_FitEvaluation]... [--max-overhead 0.05]
+
+`--kernel` may repeat; every listed kernel must stay within the limit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def min_cpu_time(path: str, kernel: str) -> float:
+    """Minimum cpu_time (ns) across repetition runs of `kernel` in `path`."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    times = []
+    for bench in doc.get("benchmarks", []):
+        # With --benchmark_repetitions, per-repetition entries carry
+        # run_type "iteration"; skip the mean/median/stddev aggregates.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("run_name", bench.get("name", ""))
+        if name == kernel or name.startswith(kernel + "/"):
+            times.append(float(bench["cpu_time"]))
+    if not times:
+        raise SystemExit(f"error: no '{kernel}' runs found in {path}")
+    return min(times)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("off_json", help="benchmark JSON with all obs off")
+    parser.add_argument("on_json", help="benchmark JSON with obs instrumented")
+    parser.add_argument("--kernel", action="append", default=[],
+                        help="benchmark name(s) to guard; repeatable "
+                             "(default: BM_FitEvaluation)")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="allowed fractional overhead (default: %(default)s)")
+    args = parser.parse_args()
+    kernels = args.kernel or ["BM_FitEvaluation"]
+
+    failed = False
+    for kernel in kernels:
+        off = min_cpu_time(args.off_json, kernel)
+        on = min_cpu_time(args.on_json, kernel)
+        overhead = on / off - 1.0
+        print(f"{kernel}: obs off {off:.1f} ns, on {on:.1f} ns, overhead "
+              f"{overhead * 100:+.2f}% (limit {args.max_overhead * 100:.1f}%)")
+        if overhead > args.max_overhead:
+            print(f"FAIL: {kernel} obs overhead exceeds the limit",
+                  file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

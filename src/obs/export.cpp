@@ -30,21 +30,7 @@ std::string num(double v) {
 
 // Minimal JSON string escape: metric names are validated identifiers and
 // cell keys are app@node tokens, but quote the full set anyway.
-std::string jstr(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default: out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
+std::string jstr(const std::string& s) { return json_quote(s); }
 
 void prometheus_histogram(std::ostringstream& out, const HistogramSnapshot& h) {
   out << "# TYPE " << h.name << " histogram\n";
@@ -190,31 +176,49 @@ std::map<std::string, double> parse_prometheus_text(const std::string& text) {
   return samples;
 }
 
-void write_metrics_file(const std::string& path, const MetricsSnapshot& snap,
-                        const StageProfile* profile) {
-  namespace fs = std::filesystem;
-  const bool json = path.size() >= 5 && path.rfind(".json") == path.size() - 5;
-  const std::string body =
-      json ? to_ndjson(snap, profile) + "\n" : to_prometheus(snap, profile);
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
 
+void write_text_file_atomic(const std::string& path, const std::string& body) {
+  namespace fs = std::filesystem;
   std::error_code ec;
   const fs::path target = fs::absolute(fs::path(path), ec);
-  RAMP_REQUIRE(!ec, "cannot resolve metrics path " + path);
+  RAMP_REQUIRE(!ec, "cannot resolve output path " + path);
   if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
   fs::path tmp = target;
   tmp += ".tmp." + std::to_string(::getpid());
   {
     std::ofstream f(tmp);
-    RAMP_REQUIRE(f.good(), "cannot write metrics file " + tmp.string());
+    RAMP_REQUIRE(f.good(), "cannot write file " + tmp.string());
     f << body;
-    RAMP_REQUIRE(f.good(), "short write to metrics file " + tmp.string());
+    RAMP_REQUIRE(f.good(), "short write to file " + tmp.string());
   }
   ec.clear();
   fs::rename(tmp, target, ec);
   if (ec) {
     fs::remove(tmp, ec);
-    throw InvalidArgument("cannot publish metrics file " + target.string());
+    throw InvalidArgument("cannot publish file " + target.string());
   }
+}
+
+void write_metrics_file(const std::string& path, const MetricsSnapshot& snap,
+                        const StageProfile* profile) {
+  const bool json = path.size() >= 5 && path.rfind(".json") == path.size() - 5;
+  write_text_file_atomic(
+      path, json ? to_ndjson(snap, profile) + "\n" : to_prometheus(snap, profile));
 }
 
 }  // namespace ramp::obs

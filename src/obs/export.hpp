@@ -41,4 +41,14 @@ std::map<std::string, double> parse_prometheus_text(const std::string& text);
 void write_metrics_file(const std::string& path, const MetricsSnapshot& snap,
                         const StageProfile* profile = nullptr);
 
+/// The atomic text-file writer behind write_metrics_file, shared with the
+/// timeline/trace exporters: creates missing parent directories, writes a
+/// same-directory temp file, then renames it over `path`. Throws Error when
+/// the file cannot be written or published.
+void write_text_file_atomic(const std::string& path, const std::string& body);
+
+/// JSON string literal (quotes included) with the minimal escapes the obs
+/// exporters need; shared by the NDJSON/timeline/trace emitters.
+std::string json_quote(const std::string& s);
+
 }  // namespace ramp::obs

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ramp::obs {
 
@@ -44,11 +45,29 @@ struct Profiler::ThreadLog {
   static constexpr std::uint64_t kNanosMask = (1ULL << 56) - 1;
   std::array<std::atomic<std::uint64_t>, kRingSize> ring{};
   std::atomic<std::uint64_t> ring_next{0};
+
+  // Stable trace identity, assigned when the log is registered (see
+  // ThreadTrace for the tid scheme).
+  std::uint64_t tid = 0;
+  int worker_id = -1;
+  std::string thread_name;
+
+  // Captured trace events. Writer: the owning thread; reader: snapshots and
+  // reset. The mutex is uncontended on the hot path (the owner only ever
+  // races a snapshot) and events are only captured when tracing is on.
+  std::mutex trace_mutex;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
 };
 
 struct Profiler::State {
   mutable std::mutex mutex;
   std::vector<std::shared_ptr<ThreadLog>> logs;
+  std::uint64_t non_workers = 0;  ///< non-pool threads registered so far
+
+  std::atomic<bool> trace_on{false};
+  std::size_t trace_capacity = 0;                   ///< set by enable_trace
+  std::chrono::steady_clock::time_point trace_epoch{};  ///< set by enable_trace
 };
 
 namespace {
@@ -81,12 +100,103 @@ Profiler::ThreadLog& Profiler::local_log() {
     if (entry.profiler_id == id_) return *entry.log;
   }
   auto log = std::make_shared<ThreadLog>();
+  log->worker_id = ThreadPool::current_worker_id();
   {
     const std::lock_guard<std::mutex> lock(state_->mutex);
+    if (log->worker_id >= 0) {
+      log->tid = 2 + static_cast<std::uint64_t>(log->worker_id);
+      log->thread_name = "pool-worker-" + std::to_string(log->worker_id);
+    } else if (state_->non_workers == 0) {
+      log->tid = 1;
+      log->thread_name = "main";
+      ++state_->non_workers;
+    } else {
+      log->tid = 1000 + state_->non_workers;
+      log->thread_name = "thread-" + std::to_string(state_->non_workers);
+      ++state_->non_workers;
+    }
     state_->logs.push_back(log);
   }
   t_logs.push_back({id_, log});
   return *t_logs.back().log;
+}
+
+void Profiler::enable_trace(std::size_t capacity_per_thread) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->trace_on.load(std::memory_order_relaxed)) return;
+  state_->trace_capacity = capacity_per_thread;
+  state_->trace_epoch = std::chrono::steady_clock::now();
+  state_->trace_on.store(true, std::memory_order_release);
+}
+
+bool Profiler::trace_enabled() const {
+  return enabled_ && state_->trace_on.load(std::memory_order_acquire);
+}
+
+void Profiler::record_event(Stage s, std::string name,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end) {
+  if (!trace_enabled()) return;
+  ThreadLog& log = local_log();
+  // The epoch is written once before trace_on is published (acquire above),
+  // so this unlocked read is safe.
+  const auto epoch = state_->trace_epoch;
+  TraceEvent ev;
+  ev.stage = s;
+  ev.name = std::move(name);
+  ev.ts_ns = start <= epoch
+                 ? 0
+                 : static_cast<std::uint64_t>(
+                       std::chrono::nanoseconds(start - epoch).count());
+  ev.dur_ns = end <= start
+                  ? 0
+                  : static_cast<std::uint64_t>(
+                        std::chrono::nanoseconds(end - start).count());
+  const std::lock_guard<std::mutex> lock(log.trace_mutex);
+  if (log.events.size() >= state_->trace_capacity) {
+    ++log.dropped;
+    return;
+  }
+  log.events.push_back(std::move(ev));
+}
+
+void Profiler::record_cell_timed(Stage s, const std::string& cell,
+                                 std::chrono::steady_clock::time_point start,
+                                 std::chrono::steady_clock::time_point end,
+                                 std::uint64_t spans) {
+  if (!enabled_) return;
+  record_cell(s, cell,
+              std::chrono::duration<double>(end - start).count(), spans);
+  record_event(s, cell, start, end);
+}
+
+std::vector<ThreadTrace> Profiler::trace_snapshot() const {
+  std::vector<ThreadTrace> out;
+  if (!enabled_) return out;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    logs = state_->logs;
+  }
+  for (const auto& log : logs) {
+    ThreadTrace t;
+    t.tid = log->tid;
+    t.worker_id = log->worker_id;
+    t.name = log->thread_name;
+    {
+      const std::lock_guard<std::mutex> lock(log->trace_mutex);
+      t.dropped = log->dropped;
+      t.events = log->events;
+    }
+    if (t.events.empty() && t.dropped == 0) continue;
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadTrace& a, const ThreadTrace& b) {
+              return a.tid < b.tid;
+            });
+  return out;
 }
 
 void Profiler::record(Stage s, double seconds, std::uint64_t spans) {
@@ -165,10 +275,15 @@ void Profiler::reset() {
       log->nanos[si].store(0, std::memory_order_relaxed);
       log->spans[si].store(0, std::memory_order_relaxed);
     }
-    const std::lock_guard<std::mutex> cell_lock(log->cell_mutex);
-    log->cells.clear();
+    {
+      const std::lock_guard<std::mutex> cell_lock(log->cell_mutex);
+      log->cells.clear();
+    }
     log->ring_next.store(0, std::memory_order_relaxed);
     for (auto& slot : log->ring) slot.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> trace_lock(log->trace_mutex);
+    log->events.clear();
+    log->dropped = 0;
   }
 }
 
@@ -190,12 +305,17 @@ Span::Span(Stage s, std::string cell, Profiler& p)
 double Span::stop() {
   if (!running_) return 0.0;
   running_ = false;
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - start_;
+  const auto end = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> wall = end - start_;
   if (cell_.empty()) {
     profiler_.record(stage_, wall.count());
   } else {
     profiler_.record_cell(stage_, cell_, wall.count());
+  }
+  if (profiler_.trace_enabled()) {
+    profiler_.record_event(
+        stage_, cell_.empty() ? std::string(stage_name(stage_)) : cell_,
+        start_, end);
   }
   return wall.count();
 }

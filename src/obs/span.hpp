@@ -74,6 +74,28 @@ struct StageProfile {
   }
 };
 
+/// One complete slice captured for the Chrome-trace exporter. Timestamps are
+/// nanoseconds since the profiler's trace epoch (set by enable_trace), so
+/// events from different threads share one causal timebase.
+struct TraceEvent {
+  Stage stage = Stage::kTotal;
+  std::string name;  ///< display name: the cell, or the stage name
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// All events one thread captured, with a *stable* synthetic thread id:
+/// pool worker k maps to tid 2+k on every run, the first non-worker thread
+/// (the main/serve loop) to tid 1, and later non-workers to 1001, 1002, ...
+/// — so traces from repeated runs line up in the viewer.
+struct ThreadTrace {
+  std::uint64_t tid = 0;
+  int worker_id = -1;  ///< ThreadPool::current_worker_id(), -1 off-pool
+  std::string name;    ///< "main", "pool-worker-3", "thread-2"
+  std::uint64_t dropped = 0;  ///< events discarded once the buffer filled
+  std::vector<TraceEvent> events;  ///< in capture order
+};
+
 class Profiler {
  public:
   explicit Profiler(bool enabled);
@@ -98,7 +120,34 @@ class Profiler {
   /// exited). Safe to call concurrently with record().
   StageProfile snapshot() const;
 
-  /// Zeroes all logs. Call only when no spans are in flight (tests).
+  /// Switches on Chrome-trace event capture (requires an enabled profiler;
+  /// no-op otherwise). Sets the trace epoch on first call; idempotent after.
+  /// Each thread buffers at most `capacity_per_thread` events and counts
+  /// further ones as dropped, so capture is bounded.
+  void enable_trace(std::size_t capacity_per_thread = 1 << 16);
+  bool trace_enabled() const;
+
+  /// Appends one complete [start, end) slice to the calling thread's event
+  /// buffer. No-op unless tracing is enabled. Does *not* feed the stage
+  /// accumulators — pair with record()/record_cell() for that.
+  void record_event(Stage s, std::string name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end);
+
+  /// record_cell() plus, when tracing, a trace event named `cell` covering
+  /// [start, end). The lap-timing call sites in the evaluator already hold
+  /// both endpoints, so this adds no clock reads.
+  void record_cell_timed(Stage s, const std::string& cell,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end,
+                         std::uint64_t spans = 1);
+
+  /// Per-thread captured events, sorted by tid. Safe to call concurrently
+  /// with record_event().
+  std::vector<ThreadTrace> trace_snapshot() const;
+
+  /// Zeroes all logs (including captured trace events). Call only when no
+  /// spans are in flight (tests, the serve metrics_reset barrier).
   void reset();
 
   // Implementation detail, public only so the translation unit's helpers can

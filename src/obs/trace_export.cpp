@@ -1,0 +1,84 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace ramp::obs {
+
+namespace {
+
+// Microseconds with nanosecond resolution; the trace-event format takes
+// fractional "ts"/"dur" and both viewers render them exactly.
+std::string micros(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+struct FlatEvent {
+  std::uint64_t tid = 0;
+  const TraceEvent* ev = nullptr;
+};
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<ThreadTrace>& threads,
+                            const std::string& process_name) {
+  // One synthetic process; the tids carry the thread structure.
+  constexpr int kPid = 1;
+
+  std::vector<const ThreadTrace*> ordered;
+  ordered.reserve(threads.size());
+  for (const auto& t : threads) ordered.push_back(&t);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ThreadTrace* a, const ThreadTrace* b) {
+              return a->tid < b->tid;
+            });
+
+  std::vector<FlatEvent> events;
+  for (const auto* t : ordered) {
+    for (const auto& ev : t->events) events.push_back({t->tid, &ev});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlatEvent& a, const FlatEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ev->ts_ns != b.ev->ts_ns) return a.ev->ts_ns < b.ev->ts_ns;
+              // Longer slices first so enclosing spans precede their
+              // children at equal start times.
+              if (a.ev->dur_ns != b.ev->dur_ns) return a.ev->dur_ns > b.ev->dur_ns;
+              return a.ev->name < b.ev->name;
+            });
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"ph\":\"M\",\"pid\":" << kPid
+      << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+      << json_quote(process_name) << "}}";
+  for (const auto* t : ordered) {
+    out << ",{\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":" << t->tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+        << json_quote(t->name) << "}}";
+  }
+  for (const auto& e : events) {
+    out << ",{\"ph\":\"X\",\"pid\":" << kPid << ",\"tid\":" << e.tid
+        << ",\"ts\":" << micros(e.ev->ts_ns)
+        << ",\"dur\":" << micros(e.ev->dur_ns)
+        << ",\"cat\":" << json_quote(std::string(stage_name(e.ev->stage)))
+        << ",\"name\":" << json_quote(e.ev->name) << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<ThreadTrace>& threads,
+                      const std::string& process_name) {
+  write_text_file_atomic(path, to_chrome_trace(threads, process_name) + "\n");
+}
+
+}  // namespace ramp::obs

@@ -1,0 +1,35 @@
+// Chrome trace-event JSON exporter: turns Profiler trace snapshots into the
+// `traceEvents` format that chrome://tracing and ui.perfetto.dev load.
+//
+// Output contract (golden-tested):
+//  - one JSON object {"displayTimeUnit":"ms","traceEvents":[...]}
+//  - metadata first: a "process_name" event, then one "thread_name" event
+//    per thread in tid order, so the viewer labels pool workers stably;
+//  - then one complete event ("ph":"X") per captured slice with fields in
+//    the fixed order ph,pid,tid,ts,dur,cat,name — cat is the pipeline stage
+//    ("sim","thermal",...), name the cell or label;
+//  - events are sorted by (tid, ts, -dur, name), making the document a pure
+//    function of the snapshot (no map iteration or clock order leaks in).
+// Timestamps are microseconds with nanosecond resolution (%.3f), relative
+// to the profiler's trace epoch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace ramp::obs {
+
+/// Renders `threads` (from Profiler::trace_snapshot()) as a Chrome
+/// trace-event JSON document.
+std::string to_chrome_trace(const std::vector<ThreadTrace>& threads,
+                            const std::string& process_name = "ramp");
+
+/// to_chrome_trace + write_text_file_atomic: creates missing parent
+/// directories and publishes atomically. Throws Error on I/O failure.
+void write_trace_file(const std::string& path,
+                      const std::vector<ThreadTrace>& threads,
+                      const std::string& process_name = "ramp");
+
+}  // namespace ramp::obs

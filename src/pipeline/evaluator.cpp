@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <functional>
+#include <memory>
 
 #include "obs/span.hpp"
 #include "sim/core_config.hpp"
@@ -52,6 +53,16 @@ EvaluationConfig EvaluationConfig::from_env(std::uint64_t trace_len) {
   cfg.cache_enabled = env_enabled("RAMP_CACHE");
   cfg.metrics_enabled = env_on_off("RAMP_METRICS", true);
   cfg.metrics_path = env_string("RAMP_METRICS_PATH").value_or("");
+  const auto timeline = env_on_off_or_value("RAMP_TIMELINE");
+  cfg.timeline_enabled = timeline.has_value();
+  cfg.timeline_dir = timeline.value_or("");
+  cfg.timeline_points = env_u64("RAMP_TIMELINE_POINTS", cfg.timeline_points);
+  RAMP_REQUIRE(cfg.timeline_points >= 2,
+               "environment variable RAMP_TIMELINE_POINTS must be at least 2");
+  cfg.trace_out = env_string("RAMP_TRACE_OUT").value_or("");
+  if (const auto temp = env_double("RAMP_WATCHDOG_TEMP_K")) {
+    cfg.watchdog.max_temp_k = *temp;
+  }
   return cfg;
 }
 
@@ -115,9 +126,7 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   const auto sim_start = profile ? Clock::now() : Clock::time_point{};
   const sim::SimResult sim_result = core.run(stream, interval_cycles);
   if (profile) {
-    prof.record_cell(obs::Stage::kSim, cell,
-                     std::chrono::duration<double>(Clock::now() - sim_start)
-                         .count());
+    prof.record_cell_timed(obs::Stage::kSim, cell, sim_start, Clock::now());
   }
   RAMP_ASSERT(!sim_result.intervals.empty());
 
@@ -178,9 +187,8 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
     }
   }
   if (profile) {
-    prof.record_cell(obs::Stage::kThermal, cell,
-                     std::chrono::duration<double>(Clock::now() - steady_start)
-                         .count());
+    prof.record_cell_timed(obs::Stage::kThermal, cell, steady_start,
+                           Clock::now());
   }
 
   // ---- 4. transient rerun with RAMP attached ----------------------------
@@ -193,6 +201,19 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   std::vector<IntervalSample> samples;
   if (cfg_.record_intervals) samples.reserve(sim_result.intervals.size());
   double elapsed_s = 0.0;
+
+  // Flight recorder: bounded per-interval physics sketch plus the anomaly
+  // watchdog. Purely observational — results are identical with it off, and
+  // its work is deterministic (no clocks, no RNG), so jobs=1 and jobs=4
+  // sweeps export byte-identical timelines.
+  std::unique_ptr<obs::TimelineBuffer> timeline;
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (cfg_.timeline_enabled) {
+    timeline = std::make_unique<obs::TimelineBuffer>(
+        static_cast<std::size_t>(cfg_.timeline_points));
+    watchdog = std::make_unique<obs::Watchdog>(cell, cfg_.watchdog, prof);
+  }
+  std::uint64_t interval_index = 0;
 
   // The per-interval loop is too hot for a Span per section: accumulate lap
   // times into plain doubles and publish once after the loop (see span.hpp).
@@ -253,6 +274,28 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
       samples.push_back(sample);
       lap(fit_seconds);
     }
+
+    if (timeline) {
+      obs::TimelinePoint point;
+      point.interval = interval_index;
+      point.time_s = elapsed_s;
+      point.ipc = iv.ipc();
+      point.dyn_power_w = dyn_total;
+      point.leak_power_w = block_total - dyn_total;
+      point.temp_k.assign(struct_temps.begin(), struct_temps.end());
+      core::FitTracker instant(model);
+      instant.add_interval(struct_temps, iv.activity, tech.vdd, duration);
+      const auto inst = instant.summary().by_mechanism();
+      point.fit_inst.assign(inst.begin(), inst.end());
+      // Running cumulative average: the final point lands exactly on the
+      // reported raw_fits (the export's cross-check anchor).
+      const auto avg = tracker.summary().by_mechanism();
+      point.fit_avg.assign(avg.begin(), avg.end());
+      watchdog->check(point, *timeline);
+      timeline->push(std::move(point));
+      lap(fit_seconds);
+    }
+    ++interval_index;
   }
   if (profile) {
     const auto n = static_cast<std::uint64_t>(sim_result.intervals.size());
@@ -276,10 +319,23 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   r.raw_fits = tracker.summary();
   r.run = sim_result.totals;
   r.interval_trace = std::move(samples);
+  if (timeline) {
+    r.timeline.cell = cell;
+    for (const auto s : sim::kAllStructures) {
+      r.timeline.temp_names.emplace_back(sim::structure_name(s));
+    }
+    for (int m = 0; m < core::kNumMechanisms; ++m) {
+      r.timeline.fit_names.emplace_back(
+          core::mechanism_name(static_cast<core::Mechanism>(m)));
+    }
+    r.timeline.intervals = timeline->pushed();
+    r.timeline.stride = timeline->stride();
+    r.timeline.capacity = timeline->capacity();
+    r.timeline.points = timeline->points();
+    r.incidents = watchdog->incidents();
+  }
   if (profile) {
-    prof.record_cell(obs::Stage::kTotal, cell,
-                     std::chrono::duration<double>(Clock::now() - run_start)
-                         .count());
+    prof.record_cell_timed(obs::Stage::kTotal, cell, run_start, Clock::now());
   }
   return r;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/fit_tracker.hpp"
+#include "obs/timeline.hpp"
 #include "power/power_model.hpp"
 #include "scaling/technology.hpp"
 #include "sim/interval_stats.hpp"
@@ -49,6 +50,21 @@ struct EvaluationConfig {
   /// Default destination for a metrics dump (RAMP_METRICS_PATH); empty means
   /// "stderr when requested". Excluded from config_hash.
   std::string metrics_path;
+  /// Flight recorder: when true, AppTechResult::timeline carries the bounded
+  /// per-interval physics sketch and the watchdog checks every interval.
+  /// Recording never changes results, so all timeline/watchdog fields are
+  /// excluded from config_hash. Defaults keep the PR 3 invariant: disabled
+  /// means zero extra clock reads and byte-identical sweep output.
+  bool timeline_enabled = false;
+  /// Timeline point budget per cell (stride-doubling ring; >= 2).
+  std::uint64_t timeline_points = 512;
+  /// Default export directory for `--timeline` (RAMP_TIMELINE=DIR); empty
+  /// means "<out-dir>/timeline" at the CLI layer.
+  std::string timeline_dir;
+  /// Default `--trace-out` destination (RAMP_TRACE_OUT); empty = disabled.
+  std::string trace_out;
+  /// Anomaly rules the watchdog applies when the timeline is enabled.
+  obs::WatchdogRules watchdog{};
 
   /// The single place the environment overrides are read:
   ///   RAMP_TRACE_LEN     instructions per synthetic trace (default `trace_len`)
@@ -56,6 +72,10 @@ struct EvaluationConfig {
   ///   RAMP_CACHE=off     disable the sweep cache (default on)
   ///   RAMP_METRICS       strict on/off switch for the obs subsystem
   ///   RAMP_METRICS_PATH  where `--metrics` dumps land by default
+  ///   RAMP_TIMELINE      off (default) / on / a directory to export into
+  ///   RAMP_TIMELINE_POINTS  per-cell point budget (default 512, >= 2)
+  ///   RAMP_TRACE_OUT     default Chrome-trace output file
+  ///   RAMP_WATCHDOG_TEMP_K  over-temperature trip point (Kelvin)
   /// All other fields keep their defaults. Malformed values (non-numeric,
   /// signed, overflowing, a zero trace length, or a RAMP_METRICS value that
   /// is not a recognised on/off spelling) throw InvalidArgument instead of
@@ -114,6 +134,12 @@ struct AppTechResult {
 
   /// Transient time-series (empty unless EvaluationConfig::record_intervals).
   std::vector<IntervalSample> interval_trace;
+
+  /// Flight-recorder sketch (empty unless EvaluationConfig::timeline_enabled).
+  /// The final point's fit_avg equals raw_fits.by_mechanism() exactly.
+  obs::CellTimeline timeline;
+  /// Watchdog incidents tripped during this evaluation (timeline mode only).
+  std::vector<obs::Incident> incidents;
 };
 
 /// Scales a raw summary by qualification constants (FIT is linear in them).

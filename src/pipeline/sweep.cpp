@@ -316,7 +316,12 @@ SweepRunner::SweepRunner(EvaluationConfig cfg, Options opts)
 SweepResult SweepRunner::run() const {
   auto& reg = obs::MetricsRegistry::global();
   const bool use_cache = cfg_.cache_enabled && !opts_.cache_path.empty();
-  if (use_cache) {
+  // The cache stores result rows only — a cache hit would return cells with
+  // no timelines. Flight-recorder runs therefore skip the read (the sweep is
+  // re-evaluated so timelines exist) but still refresh the cache on the way
+  // out; the recorded results are bit-identical to a plain run.
+  const bool read_cache = use_cache && !cfg_.timeline_enabled;
+  if (read_cache) {
     obs::Span cache_span(obs::Stage::kCache);
     if (auto cached = load_cache(opts_.cache_path, cfg_)) {
       reg.counter("ramp_sweep_cache_hits_total").inc();
@@ -410,8 +415,13 @@ SweepResult SweepRunner::execute(ThreadPool& pool) const {
   // profile keeps out of kTotal: it is pool pressure, not pipeline work.
   const auto record_wait = [&prof, profile](Clock::time_point submitted) {
     if (!profile) return;
+    const auto now = Clock::now();
     prof.record(obs::Stage::kSchedule,
-                std::chrono::duration<double>(Clock::now() - submitted).count());
+                std::chrono::duration<double>(now - submitted).count());
+    // In trace mode the wait shows up as a "queue-wait" slice on the worker
+    // that eventually dequeued the task — the causal gap Perfetto renders
+    // between submission and execution.
+    prof.record_event(obs::Stage::kSchedule, "queue-wait", submitted, now);
   };
 
   std::vector<std::future<void>> base_futures;

@@ -147,14 +147,20 @@ OutcomePtr EvalService::run_scheduled(const std::string& key,
     if (!outcome) {
       auto fresh = std::make_shared<EvalOutcome>();
       fresh->key = key;
-      fresh->result = evaluate_request(req);
+      fresh->result = evaluate_request(req, req.effective_config(base_));
       outcome = fresh;
       if (!opts_.persist_dir.empty()) {
         store_persisted(*outcome, req.effective_config(base_));
       }
     }
-    const std::chrono::duration<double, std::milli> wall =
-        std::chrono::steady_clock::now() - start;
+    const auto end = std::chrono::steady_clock::now();
+    // One trace slice per scheduled request on the worker that served it —
+    // the serve-request spans of the Perfetto timeline.
+    obs::Profiler::global().record_event(
+        obs::Stage::kTotal,
+        "serve " + req.app + "@" + std::string(scaling::tech_token(req.node)),
+        start, end);
+    const std::chrono::duration<double, std::milli> wall = end - start;
     record_outcome(key, outcome, from_disk, wall.count());
     return outcome;
   } catch (...) {
@@ -164,8 +170,33 @@ OutcomePtr EvalService::run_scheduled(const std::string& key,
   }
 }
 
-pipeline::AppTechResult EvalService::evaluate_request(const EvalRequest& req) {
-  const pipeline::EvaluationConfig cfg = req.effective_config(base_);
+pipeline::AppTechResult EvalService::evaluate_timeline(const EvalRequest& req) {
+  RAMP_REQUIRE(req.op == Op::kEval || req.op == Op::kTimeline,
+               "evaluate_timeline() takes eval/timeline requests only");
+  workloads::workload(req.app);
+  pipeline::EvaluationConfig cfg = req.effective_config(base_);
+  cfg.timeline_enabled = true;
+  if (req.points) cfg.timeline_points = *req.points;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    requests_.inc();
+  }
+  return evaluate_request(req, cfg);
+}
+
+void EvalService::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  registry_->reset();
+  // Point-in-time gauges stay meaningful across a counter reset.
+  queue_depth_gauge_.set(static_cast<double>(pending_));
+  cache_entries_gauge_.set(static_cast<double>(lru_.size()));
+  std::fill(latencies_ms_.begin(), latencies_ms_.end(), 0.0);
+  latency_next_ = 0;
+  latency_full_ = false;
+}
+
+pipeline::AppTechResult EvalService::evaluate_request(
+    const EvalRequest& req, const pipeline::EvaluationConfig& cfg) {
   const pipeline::Evaluator evaluator(cfg);
   const auto& w = workloads::workload(req.app);
 
@@ -180,8 +211,10 @@ pipeline::AppTechResult EvalService::evaluate_request(const EvalRequest& req) {
     // re-submitted to the pool) because a FIFO-pool worker must never block
     // on a task queued behind itself.
     EvalRequest base_req = req;
+    base_req.op = Op::kEval;  // timeline ops share the plain eval's base key
     base_req.node = scaling::TechPoint::k180nm;
     base_req.sink_k = 0.0;
+    base_req.points.reset();
     const std::string base_key = request_key(base_req, base_);
 
     OutcomePtr base;
@@ -191,9 +224,15 @@ pipeline::AppTechResult EvalService::evaluate_request(const EvalRequest& req) {
     }
     if (!base && !opts_.persist_dir.empty()) base = load_persisted(base_key);
     if (!base) {
+      // The base cell is evaluated without the flight recorder even for
+      // timeline requests: the cached outcome must be bitwise the one a
+      // plain eval would produce (and carry no timeline payload).
+      pipeline::EvaluationConfig base_cfg = cfg;
+      base_cfg.timeline_enabled = false;
       auto fresh = std::make_shared<EvalOutcome>();
       fresh->key = base_key;
-      fresh->result = evaluator.evaluate(w, scaling::TechPoint::k180nm);
+      fresh->result =
+          pipeline::Evaluator(base_cfg).evaluate(w, scaling::TechPoint::k180nm);
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         evaluations_.inc();

@@ -103,6 +103,20 @@ class EvalService {
   /// submit() + get(): the blocking convenience entry point.
   OutcomePtr evaluate(const EvalRequest& req);
 
+  /// Flight-recorder entry point (`{"op":"timeline"}`): evaluates `req` (op
+  /// kEval or kTimeline) with the timeline recorder and watchdog enabled,
+  /// bypassing the LRU/persistent caches for the target cell — cached rows
+  /// carry no timelines. Runs synchronously on the calling thread (it is a
+  /// debug op, not a serving-path citizen); a pinned request still reuses or
+  /// populates the cached 180 nm base run. `req.points` overrides the point
+  /// budget.
+  pipeline::AppTechResult evaluate_timeline(const EvalRequest& req);
+
+  /// Zeroes the service counters and the latency window (the
+  /// `metrics_reset` op). Gauges are recomputed on the next event; call
+  /// only quiesced (after drain()) so no in-flight task is mid-increment.
+  void reset_stats();
+
   /// Blocks until no scheduled request is in flight.
   void drain();
 
@@ -118,7 +132,8 @@ class EvalService {
 
  private:
   OutcomePtr run_scheduled(const std::string& key, const EvalRequest& req);
-  pipeline::AppTechResult evaluate_request(const EvalRequest& req);
+  pipeline::AppTechResult evaluate_request(
+      const EvalRequest& req, const pipeline::EvaluationConfig& cfg);
   OutcomePtr load_persisted(const std::string& key);
   void store_persisted(const EvalOutcome& outcome,
                        const pipeline::EvaluationConfig& cfg);

@@ -39,9 +39,12 @@ EvalRequest parse_request(const std::string& line) {
     if (name == "eval") req.op = Op::kEval;
     else if (name == "stats") req.op = Op::kStats;
     else if (name == "metrics") req.op = Op::kMetrics;
+    else if (name == "metrics_reset") req.op = Op::kMetricsReset;
     else if (name == "shutdown") req.op = Op::kShutdown;
+    else if (name == "timeline") req.op = Op::kTimeline;
     else throw InvalidArgument("unknown op '" + name +
-                               "' (use eval, stats, metrics, shutdown)");
+                               "' (use eval, timeline, stats, metrics, "
+                               "metrics_reset, shutdown)");
   }
 
   for (const auto& [key, value] : j.items()) {
@@ -50,8 +53,16 @@ EvalRequest parse_request(const std::string& line) {
       req.id = value.dump();
       continue;
     }
-    RAMP_REQUIRE(req.op == Op::kEval,
-                 "field '" + key + "' is only valid on eval requests");
+    RAMP_REQUIRE(req.op == Op::kEval || req.op == Op::kTimeline,
+                 "field '" + key +
+                     "' is only valid on eval/timeline requests");
+    if (key == "points") {
+      RAMP_REQUIRE(req.op == Op::kTimeline,
+                   "field 'points' is only valid on timeline requests");
+      req.points = as_u64_field(value, "points");
+      RAMP_REQUIRE(*req.points >= 2, "points must be at least 2");
+      continue;
+    }
     if (key == "app") {
       req.app = value.as_string("app");
     } else if (key == "node") {
@@ -71,7 +82,7 @@ EvalRequest parse_request(const std::string& line) {
     }
   }
 
-  if (req.op == Op::kEval) {
+  if (req.op == Op::kEval || req.op == Op::kTimeline) {
     RAMP_REQUIRE(!req.app.empty(), "eval request needs an \"app\" field");
     workloads::workload(req.app);  // validates the name, throws when unknown
   }

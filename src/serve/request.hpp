@@ -7,7 +7,9 @@
 //    "pin_sink":true,                                  // default true
 //    "sink_k":356.0,                                   // explicit sink target
 //    "id":...}                                         // echoed verbatim
-//   {"op":"stats"}    {"op":"metrics"}    {"op":"shutdown"}
+//   {"op":"stats"}    {"op":"metrics"}    {"op":"metrics_reset"}
+//   {"op":"shutdown"}
+//   {"op":"timeline", ...eval fields..., "points":64}   // flight recorder
 //
 // `pin_sink` reproduces the paper's constant-sink-temperature scaling rule:
 // the workload's 180 nm run pins the heat-sink temperature the scaled node
@@ -29,7 +31,7 @@
 
 namespace ramp::serve {
 
-enum class Op { kEval, kStats, kMetrics, kShutdown };
+enum class Op { kEval, kStats, kMetrics, kMetricsReset, kShutdown, kTimeline };
 
 struct EvalRequest {
   Op op = Op::kEval;
@@ -39,6 +41,7 @@ struct EvalRequest {
   std::optional<std::uint64_t> seed;       ///< overrides base config
   bool pin_sink = true;
   double sink_k = 0.0;     ///< >0: explicit sink target (overrides pinning)
+  std::optional<std::uint64_t> points;  ///< timeline op: point budget override
   std::string id;          ///< raw JSON of the "id" field, "" when absent
 
   /// The effective evaluation config: `base` with this request's overrides.

@@ -9,6 +9,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/json.hpp"
 
@@ -136,6 +137,66 @@ int serve_loop(std::istream& in, std::ostream& out, EvalService& service) {
       set_id(r, req.id);
       r.set("prometheus", obs::to_prometheus(snap, &profile));
       respond(r);
+      continue;
+    }
+    if (req.op == Op::kMetricsReset) {
+      // Same quiesce barrier as stats/metrics, then zero the service
+      // counters, the process-wide registry, and the stage profile — so a
+      // long-lived server can separate load phases.
+      drain_pending(/*all=*/true);
+      service.drain();
+      service.reset_stats();
+      obs::MetricsRegistry::global().reset();
+      obs::Profiler::global().reset();
+      Json r = Json::object();
+      r.set("ok", true).set("op", "metrics_reset");
+      set_id(r, req.id);
+      respond(r);
+      continue;
+    }
+    if (req.op == Op::kTimeline) {
+      // Flight-recorder debug op: runs synchronously on the loop thread
+      // (cache-bypassing; see EvalService::evaluate_timeline), so it is a
+      // barrier like stats — pending evals are answered first.
+      drain_pending(/*all=*/true);
+      try {
+        const pipeline::AppTechResult res = service.evaluate_timeline(req);
+        Json r = Json::object();
+        r.set("ok", true).set("op", "timeline");
+        set_id(r, req.id);
+        r.set("result", result_json(res));
+        r.set("cell", res.timeline.cell);
+        r.set("intervals", res.timeline.intervals);
+        r.set("stride", res.timeline.stride);
+        Json points = Json::array();
+        for (const auto& p : res.timeline.points) {
+          Json pt = Json::object();
+          pt.set("interval", p.interval)
+              .set("time_s", p.time_s)
+              .set("ipc", p.ipc)
+              .set("dyn_w", p.dyn_power_w)
+              .set("leak_w", p.leak_power_w);
+          Json temps = Json::array();
+          for (double t : p.temp_k) temps.push(t);
+          pt.set("temp_k", std::move(temps));
+          Json inst = Json::array();
+          for (double f : p.fit_inst) inst.push(f);
+          pt.set("fit_inst", std::move(inst));
+          Json avg = Json::array();
+          for (double f : p.fit_avg) avg.push(f);
+          pt.set("fit_avg", std::move(avg));
+          points.push(std::move(pt));
+        }
+        r.set("points", std::move(points));
+        Json incidents = Json::array();
+        for (const auto& inc : res.incidents) {
+          incidents.push(Json::parse(obs::incident_to_json(inc)));
+        }
+        r.set("incidents", std::move(incidents));
+        respond(r);
+      } catch (const std::exception& e) {
+        respond(error_response(e.what(), req.id));
+      }
       continue;
     }
 

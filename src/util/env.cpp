@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -75,6 +76,31 @@ bool env_on_off(const std::string& name, bool fallback) {
   throw InvalidArgument("environment variable " + name + "='" + *raw +
                         "' is not a switch (use on/1/true/yes or "
                         "off/0/false/no)");
+}
+
+std::optional<std::string> env_on_off_or_value(const std::string& name) {
+  const auto raw = env_string(name);
+  if (!raw) return std::nullopt;
+  const std::string lower = to_lower(*raw);
+  if (lower == "off" || lower == "0" || lower == "false" || lower == "no") {
+    return std::nullopt;
+  }
+  if (lower == "on" || lower == "1" || lower == "true" || lower == "yes") {
+    return std::string();
+  }
+  return *raw;
+}
+
+std::optional<double> env_double(const std::string& name) {
+  const auto raw = env_string(name);
+  if (!raw) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(raw->c_str(), &end);
+  if (end == nullptr || *end != '\0' || raw->empty() || !std::isfinite(v)) {
+    throw InvalidArgument("environment variable " + name + "='" + *raw +
+                          "' is not a finite number");
+  }
+  return v;
 }
 
 std::string output_dir() {

@@ -35,6 +35,16 @@ bool env_enabled(const std::string& name);
 /// fail loudly, not silently leave metrics in the default state.
 bool env_on_off(const std::string& name, bool fallback);
 
+/// Three-state switch-or-value (RAMP_TIMELINE): nullopt when unset or an
+/// off-spelling ("off"/"0"/"false"/"no"), "" when an on-spelling
+/// ("on"/"1"/"true"/"yes" — enabled with the default value), and the raw
+/// string otherwise (enabled, the value is a path/argument).
+std::optional<std::string> env_on_off_or_value(const std::string& name);
+
+/// Parses `name` as a finite double (strict: the whole string must parse).
+/// Returns nullopt when unset; throws InvalidArgument when malformed.
+std::optional<double> env_double(const std::string& name);
+
 /// Directory generated artifacts (bench CSVs, sweep/serve caches) land in:
 /// $RAMP_OUT_DIR when set, "out" otherwise. Callers create it on first write.
 std::string output_dir();

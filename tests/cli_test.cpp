@@ -179,6 +179,55 @@ TEST(CliTest, MalformedMetricsSwitchFailsLoudly) {
   EXPECT_EQ(r.exit_code, 1);
 }
 
+TEST(CliTest, SweepTimelineAndTraceOutProduceArtifacts) {
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_test_flightrec";
+  fs::remove_all(dir);
+  const fs::path tl_dir = dir / "timeline";
+  const fs::path trace = dir / "nested" / "trace.json";  // parent must be made
+
+  const auto plain = run_cli("sweep --trace-len 5000 --jobs 2");
+  ASSERT_EQ(plain.exit_code, 0);
+  const auto r = run_cli("sweep --trace-len 5000 --jobs 2 --timeline='" +
+                         tl_dir.string() + "' --trace-out='" + trace.string() +
+                         "'");
+  ASSERT_EQ(r.exit_code, 0);
+  // Flight recording is purely observational: the sweep table on stdout is
+  // byte-for-byte what an unrecorded run prints.
+  EXPECT_EQ(r.output, plain.output);
+
+  // One CSV + NDJSON timeline pair per cell (16 apps x 5 nodes).
+  std::size_t csvs = 0;
+  std::size_t ndjsons = 0;
+  for (const auto& e : fs::directory_iterator(tl_dir)) {
+    if (e.path().extension() == ".csv") ++csvs;
+    if (e.path().extension() == ".ndjson" &&
+        e.path().filename() != "incidents.ndjson") {
+      ++ndjsons;
+    }
+  }
+  EXPECT_EQ(csvs, 80u);
+  EXPECT_EQ(ndjsons, 80u);
+  EXPECT_TRUE(fs::exists(tl_dir / "incidents.ndjson"));
+
+  std::stringstream csv_body;
+  csv_body << std::ifstream(tl_dir / "gcc_180.csv").rdbuf();
+  EXPECT_EQ(csv_body.str().rfind("# ramp_timeline v1 cell=gcc@180 ", 0), 0u);
+
+  // The Chrome trace parses with the vendored codec and carries real slices
+  // alongside the process/thread metadata records.
+  std::stringstream trace_body;
+  trace_body << std::ifstream(trace).rdbuf();
+  const serve::Json doc = serve::Json::parse(trace_body.str());
+  const serve::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_slice = false;
+  for (const auto& ev : events->elements()) {
+    if (ev.find("ph")->as_string() == "X") saw_slice = true;
+  }
+  EXPECT_TRUE(saw_slice);
+  fs::remove_all(dir);
+}
+
 TEST(CliTest, SweepWritesCacheIntoOutDirNotCwd) {
   const fs::path dir = fs::temp_directory_path() / "ramp_cli_test_outdir";
   fs::remove_all(dir);

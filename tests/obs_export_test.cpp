@@ -139,5 +139,44 @@ TEST(WriteMetricsFileTest, PicksFormatByExtensionAndWritesAtomically) {
   std::filesystem::remove_all(dir);
 }
 
+// Satellite regression: `--metrics=FILE` (and every writer built on
+// write_text_file_atomic) must create missing parent directories, however
+// deep, instead of failing the rename.
+TEST(WriteMetricsFileTest, CreatesDeeplyNestedParentDirectories) {
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("ramp_obs_nested_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+  const std::string path = (root / "a" / "b" / "c" / "metrics.prom").string();
+  const MetricsSnapshot snap = sample_snapshot();
+  write_metrics_file(path, snap);
+  std::stringstream body;
+  body << std::ifstream(path).rdbuf();
+  EXPECT_EQ(body.str(), to_prometheus(snap));
+  std::filesystem::remove_all(root);
+}
+
+TEST(WriteTextFileAtomicTest, PublishesBodyAndCreatesParents) {
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("ramp_obs_atomic_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+  const std::string path = (root / "sub" / "file.txt").string();
+  write_text_file_atomic(path, "hello\n");
+  std::stringstream body;
+  body << std::ifstream(path).rdbuf();
+  EXPECT_EQ(body.str(), "hello\n");
+  // Overwrite is atomic: the second publish replaces the first cleanly.
+  write_text_file_atomic(path, "world\n");
+  std::stringstream body2;
+  body2 << std::ifstream(path).rdbuf();
+  EXPECT_EQ(body2.str(), "world\n");
+  std::filesystem::remove_all(root);
+}
+
+TEST(JsonQuoteTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_quote("tab\there"), "\"tab\\there\"");
+}
+
 }  // namespace
 }  // namespace ramp::obs

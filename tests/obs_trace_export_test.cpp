@@ -1,0 +1,182 @@
+// Chrome trace-event exporter tests: golden output (the field order and
+// sorting are contractual so traces diff cleanly), validity under the
+// vendored JSON parser, atomic writes into missing directories, and the
+// end-to-end Profiler capture path with its stable ThreadPool tid scheme.
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "serve/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ramp::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<ThreadTrace> tiny_snapshot() {
+  ThreadTrace worker;
+  worker.tid = 2;
+  worker.worker_id = 0;
+  worker.name = "pool-worker-0";
+  worker.events = {
+      {Stage::kSim, "gcc@90", 1'500, 2'000'000},
+      {Stage::kThermal, "gcc@90", 2'002'000, 500'750},
+  };
+  ThreadTrace main_thread;
+  main_thread.tid = 1;
+  main_thread.name = "main";
+  main_thread.events = {{Stage::kTotal, "sweep", 0, 3'000'000}};
+  // Deliberately out of tid order: the exporter must sort.
+  return {worker, main_thread};
+}
+
+TEST(ChromeTraceTest, GoldenOutput) {
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"ramp\"}},"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"main\"}},"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"pool-worker-0\"}},"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.000,\"dur\":3000.000,"
+      "\"cat\":\"total\",\"name\":\"sweep\"},"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":1.500,\"dur\":2000.000,"
+      "\"cat\":\"sim\",\"name\":\"gcc@90\"},"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":2002.000,\"dur\":500.750,"
+      "\"cat\":\"thermal\",\"name\":\"gcc@90\"}"
+      "]}";
+  EXPECT_EQ(to_chrome_trace(tiny_snapshot()), expected);
+}
+
+TEST(ChromeTraceTest, ParsesWithTheServeCodec) {
+  const serve::Json doc = serve::Json::parse(to_chrome_trace(tiny_snapshot()));
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const auto& events = doc.find("traceEvents")->elements();
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].find("ph")->as_string(), "M");
+  EXPECT_EQ(events[3].find("ph")->as_string(), "X");
+  EXPECT_EQ(events[3].find("cat")->as_string(), "total");
+  EXPECT_DOUBLE_EQ(events[4].find("ts")->as_number(), 1.5);
+}
+
+TEST(ChromeTraceTest, EmptySnapshotIsStillValid) {
+  const std::string doc = to_chrome_trace({}, "empty");
+  const serve::Json parsed = serve::Json::parse(doc);
+  ASSERT_EQ(parsed.find("traceEvents")->elements().size(), 1u);  // process_name
+}
+
+TEST(ChromeTraceTest, EqualStartSortsLongerSliceFirst) {
+  ThreadTrace t;
+  t.tid = 1;
+  t.name = "main";
+  t.events = {
+      {Stage::kFit, "child", 100, 10},
+      {Stage::kTotal, "parent", 100, 500},
+  };
+  const serve::Json doc = serve::Json::parse(to_chrome_trace({t}));
+  const auto& events = doc.find("traceEvents")->elements();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[2].find("name")->as_string(), "parent");
+  EXPECT_EQ(events[3].find("name")->as_string(), "child");
+}
+
+TEST(WriteTraceFileTest, CreatesMissingParentDirectories) {
+  const fs::path dir =
+      fs::temp_directory_path() / "ramp_trace_test" / "nested" / "deep";
+  fs::remove_all(dir.parent_path().parent_path());
+  const fs::path file = dir / "trace.json";
+
+  write_trace_file(file.string(), tiny_snapshot());
+
+  std::ifstream in(file);
+  ASSERT_TRUE(in.good());
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(body.str(), to_chrome_trace(tiny_snapshot()) + "\n");
+  fs::remove_all(dir.parent_path().parent_path());
+}
+
+TEST(ProfilerTraceTest, DisabledProfilerCapturesNothing) {
+  Profiler prof(/*enabled=*/false);
+  prof.enable_trace();
+  EXPECT_FALSE(prof.trace_enabled());
+  const auto start = std::chrono::steady_clock::now();
+  prof.record_event(Stage::kSim, "x", start, start);
+  EXPECT_TRUE(prof.trace_snapshot().empty());
+}
+
+TEST(ProfilerTraceTest, CapturesEventsAfterEnable) {
+  Profiler prof(/*enabled=*/true);
+  const auto before = std::chrono::steady_clock::now();
+  prof.record_event(Stage::kSim, "dropped", before, before);  // not yet on
+  prof.enable_trace();
+  ASSERT_TRUE(prof.trace_enabled());
+  const auto start = std::chrono::steady_clock::now();
+  prof.record_event(Stage::kSim, "gcc@90", start,
+                    start + std::chrono::microseconds(250));
+  const auto threads = prof.trace_snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  ASSERT_EQ(threads[0].events.size(), 1u);
+  EXPECT_EQ(threads[0].events[0].name, "gcc@90");
+  EXPECT_NEAR(static_cast<double>(threads[0].events[0].dur_ns), 250e3, 1e3);
+}
+
+TEST(ProfilerTraceTest, PoolWorkersGetStableTids) {
+  Profiler prof(/*enabled=*/true);
+  prof.enable_trace();
+  ThreadPool pool(2);
+
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 8; ++i) {
+    done.push_back(pool.submit([&prof] {
+      const auto start = std::chrono::steady_clock::now();
+      prof.record_event(Stage::kFit, "cell", start,
+                        start + std::chrono::microseconds(10));
+    }));
+  }
+  for (auto& f : done) f.get();
+
+  for (const auto& t : prof.trace_snapshot()) {
+    if (t.worker_id >= 0) {
+      EXPECT_EQ(t.tid, 2u + static_cast<std::uint64_t>(t.worker_id));
+      EXPECT_EQ(t.name,
+                "pool-worker-" + std::to_string(t.worker_id));
+    }
+  }
+}
+
+TEST(ProfilerTraceTest, SpanEmitsTraceEventWhenEnabled) {
+  Profiler prof(/*enabled=*/true);
+  prof.enable_trace();
+  { Span span(Stage::kThermal, "art@130", prof); }
+  const auto threads = prof.trace_snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  ASSERT_EQ(threads[0].events.size(), 1u);
+  EXPECT_EQ(threads[0].events[0].stage, Stage::kThermal);
+  EXPECT_EQ(threads[0].events[0].name, "art@130");
+}
+
+TEST(ProfilerTraceTest, ResetClearsCapturedEvents) {
+  Profiler prof(/*enabled=*/true);
+  prof.enable_trace();
+  const auto start = std::chrono::steady_clock::now();
+  prof.record_event(Stage::kSim, "x", start,
+                    start + std::chrono::microseconds(5));
+  ASSERT_FALSE(prof.trace_snapshot().empty());
+  prof.reset();
+  EXPECT_TRUE(prof.trace_snapshot().empty());
+}
+
+}  // namespace
+}  // namespace ramp::obs

@@ -347,6 +347,96 @@ TEST(ServeLoopTest, MetricsOpReturnsParseablePrometheusText) {
   EXPECT_GE(samples.at("ramp_serve_latency_seconds_sum"), 0.0);
 }
 
+// The metrics_reset op zeroes the service counters without touching the
+// frozen stats wire format: a reset service answers exactly like a fresh one.
+TEST(ServeLoopTest, MetricsResetZeroesStats) {
+  const auto responses = run_serve(
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":1}\n"
+      "{\"op\":\"metrics_reset\",\"id\":\"r\"}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(responses.size(), 4u);
+
+  const Json& reset = responses[1];
+  EXPECT_TRUE(reset.find("ok")->as_bool());
+  EXPECT_EQ(reset.find("op")->as_string(), "metrics_reset");
+  EXPECT_EQ(reset.find("id")->as_string(), "r");
+
+  // Post-reset counters read exactly like a fresh service's in the frozen
+  // wire format; only cache_size differs, because gauges report state, not
+  // history — the LRU still holds the base + node outcomes.
+  EXPECT_EQ(responses[2].dump(),
+            "{\"ok\":true,\"op\":\"stats\",\"stats\":{"
+            "\"requests\":0,\"hits\":0,\"coalesced\":0,\"misses\":0,"
+            "\"persist_hits\":0,\"evaluations\":0,\"failures\":0,"
+            "\"evictions\":0,\"queue_depth\":0,\"cache_size\":2,"
+            "\"p50_latency_ms\":0,\"p99_latency_ms\":0}}");
+}
+
+TEST(EvalServiceTest, ResetStatsKeepsCacheGauges) {
+  EvalService service(tiny_config(), {});
+  service.evaluate(eval_req("gcc", "180"));
+  service.drain();
+  service.reset_stats();
+  const auto s = service.stats();
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.evaluations, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_latency_ms, 0.0);
+  // The cache still holds the entry — gauges reflect state, not history —
+  // and the service keeps serving from it.
+  EXPECT_EQ(s.cache_size, 1u);
+  service.evaluate(eval_req("gcc", "180"));
+  EXPECT_EQ(service.stats().hits, 1u);
+}
+
+// The timeline op returns the flight-recorder payload for one cell and its
+// result agrees with a plain eval of the same request.
+TEST(ServeLoopTest, TimelineOpReturnsPointsAndMatchingResult) {
+  const auto responses = run_serve(
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":1}\n"
+      "{\"op\":\"timeline\",\"app\":\"gcc\",\"node\":\"90\",\"points\":8,"
+      "\"id\":\"t\"}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(responses.size(), 3u);
+
+  const Json& timeline = responses[1];
+  ASSERT_TRUE(timeline.find("ok")->as_bool());
+  EXPECT_EQ(timeline.find("op")->as_string(), "timeline");
+  EXPECT_EQ(timeline.find("id")->as_string(), "t");
+  EXPECT_EQ(timeline.find("cell")->as_string(), "gcc@90");
+  EXPECT_GE(timeline.find("intervals")->as_number(), 1.0);
+
+  const auto& points = timeline.find("points")->elements();
+  ASSERT_GE(points.size(), 1u);
+  ASSERT_LE(points.size(), 9u);  // requested budget + final-point patch
+  const Json& last = points.back();
+  ASSERT_NE(last.find("fit_avg"), nullptr);
+  ASSERT_NE(last.find("temp_k"), nullptr);
+
+  // The timeline run bypasses the cache but must agree with the cached eval
+  // answer bit-for-bit — recording never changes results.
+  EXPECT_EQ(timeline.find("result")->dump(),
+            responses[0].find("result")->dump());
+  // The final recorded fit_avg reproduces the result's raw FIT exactly.
+  const Json* fit = responses[0].find("result")->find("raw_fit");
+  const auto& avg = last.find("fit_avg")->elements();
+  ASSERT_EQ(avg.size(), 4u);
+  EXPECT_EQ(avg[0].as_number(), fit->find("em")->as_number());
+  EXPECT_EQ(avg[3].as_number(), fit->find("tc")->as_number());
+
+  ASSERT_NE(timeline.find("incidents"), nullptr);
+}
+
+TEST(ServeLoopTest, TimelineOpValidatesLikeEval) {
+  const auto responses = run_serve(
+      "{\"op\":\"timeline\"}\n"
+      "{\"op\":\"timeline\",\"app\":\"gcc\",\"node\":\"90\",\"points\":1}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[0].find("ok")->as_bool());  // missing app
+  EXPECT_FALSE(responses[1].find("ok")->as_bool());  // points < 2
+}
+
 // EvalService books its stats on a private always-on registry, so stats stay
 // contractual even when process-wide metrics are disabled via RAMP_METRICS.
 TEST(EvalServiceTest, StatsSurviveDisabledGlobalRegistry) {

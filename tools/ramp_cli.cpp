@@ -25,6 +25,8 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace_export.hpp"
 #include "pipeline/mission.hpp"
 #include "pipeline/sweep.hpp"
 #include "serve/eval_service.hpp"
@@ -76,21 +78,39 @@ bool flag_present(std::vector<std::string>& args, const std::string& flag) {
   return true;
 }
 
-// --metrics / --metrics=PATH: nullopt when absent; "" means "use
-// RAMP_METRICS_PATH or stderr".
-std::optional<std::string> flag_metrics(std::vector<std::string>& args) {
+// --NAME / --NAME=VALUE: nullopt when absent; "" for the bare form (use the
+// default destination). Shared by --metrics and --timeline.
+std::optional<std::string> flag_opt_value(std::vector<std::string>& args,
+                                          const std::string& flag) {
+  const std::string eq = flag + "=";
   for (auto it = args.begin(); it != args.end(); ++it) {
-    if (*it == "--metrics") {
+    if (*it == flag) {
       args.erase(it);
       return std::string();
     }
-    if (it->rfind("--metrics=", 0) == 0) {
-      std::string path = it->substr(std::strlen("--metrics="));
+    if (it->rfind(eq, 0) == 0) {
+      std::string value = it->substr(eq.size());
+      args.erase(it);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> flag_metrics(std::vector<std::string>& args) {
+  return flag_opt_value(args, "--metrics");
+}
+
+// --trace-out FILE / --trace-out=FILE; "" when absent.
+std::string flag_trace_out(std::vector<std::string>& args) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (it->rfind("--trace-out=", 0) == 0) {
+      std::string path = it->substr(std::strlen("--trace-out="));
       args.erase(it);
       return path;
     }
   }
-  return std::nullopt;
+  return flag_str(args, "--trace-out", "");
 }
 
 // Dump-on-exit for the sweep-based subcommands: one snapshot of the global
@@ -121,10 +141,20 @@ ThreadPool& shared_pool(std::size_t jobs) {
   return *pool;
 }
 
+// The flight-recorder/metrics switches of one sweep-based invocation, as
+// resolved from flags with environment fallbacks (RAMP_METRICS_PATH,
+// RAMP_TIMELINE, RAMP_TRACE_OUT).
+struct ObsFlags {
+  std::optional<std::string> metrics;   ///< --metrics[=FILE]
+  std::optional<std::string> timeline;  ///< --timeline[=DIR]; "" = default dir
+  std::string trace_out;                ///< --trace-out FILE; "" = disabled
+  std::string out_dir;
+};
+
 // Shared front half of the sweep-based subcommands: environment config with
 // --trace-len / --jobs / --out-dir overrides, stderr progress, pooled
 // execution. RAMP_JOBS sets the default worker count, like the benches.
-pipeline::SweepResult cli_sweep(std::vector<std::string>& args) {
+pipeline::SweepResult cli_sweep(std::vector<std::string>& args, ObsFlags& fl) {
   pipeline::EvaluationConfig cfg =
       pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
   cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
@@ -133,15 +163,74 @@ pipeline::SweepResult cli_sweep(std::vector<std::string>& args) {
   const auto jobs =
       static_cast<std::size_t>(flag_u64(args, "--jobs", default_jobs));
   RAMP_REQUIRE(jobs > 0, "--jobs must be at least 1");
-  const std::string out_dir = flag_str(args, "--out-dir", output_dir());
+
+  fl.metrics = flag_metrics(args);
+  fl.timeline = flag_opt_value(args, "--timeline");
+  fl.trace_out = flag_trace_out(args);
+  fl.out_dir = flag_str(args, "--out-dir", output_dir());
+  // Environment fallbacks: RAMP_TIMELINE[=DIR] / RAMP_TRACE_OUT behave like
+  // the flags when those are absent.
+  if (!fl.timeline && cfg.timeline_enabled) fl.timeline = cfg.timeline_dir;
+  cfg.timeline_enabled = fl.timeline.has_value();
+  if (fl.trace_out.empty()) fl.trace_out = cfg.trace_out;
+  if (!fl.trace_out.empty()) obs::Profiler::global().enable_trace();
 
   static pipeline::StderrProgress progress;
   pipeline::SweepRunner::Options opts;
   opts.cache_path =
-      (std::filesystem::path(out_dir) / "ramp_sweep_cache.csv").string();
+      (std::filesystem::path(fl.out_dir) / "ramp_sweep_cache.csv").string();
   opts.observer = &progress;
   opts.pool = &shared_pool(jobs);
   return pipeline::SweepRunner(cfg, opts).run();
+}
+
+// Dump-on-exit back half: metrics snapshot, per-cell timeline CSV/NDJSON +
+// incident log, and the Chrome trace file.
+void dump_obs(const ObsFlags& fl, const pipeline::SweepResult& sweep) {
+  dump_metrics(fl.metrics);
+
+  if (fl.timeline) {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        fl.timeline->empty() ? (fs::path(fl.out_dir) / "timeline").string()
+                             : *fl.timeline;
+    std::size_t cells = 0;
+    std::size_t incidents = 0;
+    std::string incident_body;
+    for (const auto& r : sweep.results) {
+      if (r.timeline.empty()) continue;
+      ++cells;
+      const std::string stem =
+          (fs::path(dir) / obs::timeline_file_stem(r.timeline.cell)).string();
+      obs::write_text_file_atomic(stem + ".csv",
+                                  obs::timeline_to_csv(r.timeline));
+      obs::write_text_file_atomic(stem + ".ndjson",
+                                  obs::timeline_to_ndjson(r.timeline));
+      for (const auto& inc : r.incidents) {
+        ++incidents;
+        incident_body += obs::incident_to_json(inc);
+        incident_body += '\n';
+      }
+    }
+    // Always published (possibly empty): consumers can watch one file.
+    obs::write_text_file_atomic(
+        (fs::path(dir) / "incidents.ndjson").string(), incident_body);
+    std::fprintf(stderr,
+                 "timelines for %zu cell(s), %zu incident(s), written to %s\n",
+                 cells, incidents, dir.c_str());
+  }
+
+  if (!fl.trace_out.empty()) {
+    if (!obs::Profiler::global().enabled()) {
+      std::fprintf(stderr,
+                   "--trace-out ignored: RAMP_METRICS=off disables the "
+                   "profiler\n");
+    } else {
+      obs::write_trace_file(fl.trace_out,
+                            obs::Profiler::global().trace_snapshot());
+      std::fprintf(stderr, "trace written to %s\n", fl.trace_out.c_str());
+    }
+  }
 }
 
 int cmd_list() {
@@ -199,8 +288,8 @@ int cmd_evaluate(std::vector<std::string> args) {
 }
 
 int cmd_sweep(std::vector<std::string> args, bool markdown) {
-  const auto metrics = flag_metrics(args);
-  const auto sweep = cli_sweep(args);
+  ObsFlags fl;
+  const auto sweep = cli_sweep(args, fl);
 
   if (!markdown) {
     TextTable table("Qualified total FIT (sweep)");
@@ -217,7 +306,7 @@ int cmd_sweep(std::vector<std::string> args, bool markdown) {
       table.add_row(row);
     }
     std::printf("%s", table.str().c_str());
-    dump_metrics(metrics);
+    dump_obs(fl, sweep);
     return 0;
   }
 
@@ -255,13 +344,13 @@ int cmd_sweep(std::vector<std::string> args, bool markdown) {
     }
     std::printf("\n");
   }
-  dump_metrics(metrics);
+  dump_obs(fl, sweep);
   return 0;
 }
 
 int cmd_missions(std::vector<std::string> args) {
-  const auto metrics = flag_metrics(args);
-  const auto sweep = cli_sweep(args);
+  ObsFlags fl;
+  const auto sweep = cli_sweep(args, fl);
   TextTable table("Example deployment missions, MTTF (years) per node");
   std::vector<std::string> header = {"mission"};
   for (const auto tp : scaling::kAllTechPoints) {
@@ -277,13 +366,14 @@ int cmd_missions(std::vector<std::string> args) {
     table.add_row(row);
   }
   std::printf("%s", table.str().c_str());
-  dump_metrics(metrics);
+  dump_obs(fl, sweep);
   return 0;
 }
 
 // NDJSON evaluation service on stdin/stdout: one request per line, one
-// response per line, `{"op":"stats"}`, `{"op":"metrics"}` and
-// `{"op":"shutdown"}` supported.
+// response per line, `{"op":"timeline"}`, `{"op":"stats"}`,
+// `{"op":"metrics"}`, `{"op":"metrics_reset"}` and `{"op":"shutdown"}`
+// supported.
 // External drivers (sweeps, DRM loops, RPC shims) stream queries against one
 // warm process instead of paying pipeline startup per FIT estimate.
 int cmd_serve(std::vector<std::string> args) {
@@ -305,6 +395,9 @@ int cmd_serve(std::vector<std::string> args) {
     opts.persist_dir =
         (std::filesystem::path(out_dir) / "serve_cache").string();
   }
+  std::string trace_out = flag_trace_out(args);
+  if (trace_out.empty()) trace_out = cfg.trace_out;
+  if (!trace_out.empty()) obs::Profiler::global().enable_trace();
   if (!args.empty()) {
     std::fprintf(stderr, "serve: unknown argument '%s'\n", args.front().c_str());
     return 2;
@@ -315,7 +408,12 @@ int cmd_serve(std::vector<std::string> args) {
                "ramp serve: %zu worker(s), cache %zu entries, persist %s\n",
                opts.jobs, opts.cache_capacity,
                opts.persist_dir.empty() ? "off" : opts.persist_dir.c_str());
-  return serve::serve_loop(std::cin, std::cout, service);
+  const int rc = serve::serve_loop(std::cin, std::cout, service);
+  if (!trace_out.empty() && obs::Profiler::global().enabled()) {
+    obs::write_trace_file(trace_out, obs::Profiler::global().trace_snapshot());
+    std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+  }
+  return rc;
 }
 
 int cmd_trace(std::vector<std::string> args) {
@@ -344,7 +442,7 @@ int usage() {
                "  report [--trace-len N] [--jobs N]   markdown report of the sweep\n"
                "  missions [--trace-len N] [--jobs N] deployed-lifetime presets\n"
                "  serve [--jobs N] [--cache-capacity N] [--max-queue N]\n"
-               "        [--out-dir DIR] [--no-persist]\n"
+               "        [--out-dir DIR] [--no-persist] [--trace-out FILE]\n"
                "                                NDJSON eval service on stdin/stdout\n"
                "  trace <app> <file> [N]        capture a synthetic trace\n"
                "Sweep-based commands and serve also honor --out-dir (default\n"
@@ -352,7 +450,13 @@ int usage() {
                "sweep/report/missions take --metrics[=FILE] to dump process\n"
                "metrics and the per-stage profile on exit (Prometheus text;\n"
                "NDJSON when FILE ends in .json); RAMP_METRICS=off disables\n"
-               "collection.\n");
+               "collection.\n"
+               "Flight recorder: sweep/report/missions take --timeline[=DIR]\n"
+               "to record per-interval physics timelines (CSV + NDJSON per\n"
+               "cell, plus incidents.ndjson; default DIR <out-dir>/timeline)\n"
+               "and, like serve, --trace-out FILE to write a Chrome\n"
+               "trace-event JSON for ui.perfetto.dev. Env equivalents:\n"
+               "RAMP_TIMELINE[=DIR], RAMP_TRACE_OUT=FILE.\n");
   return 2;
 }
 
