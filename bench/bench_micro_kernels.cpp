@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
+#include "pipeline/evaluator.hpp"
 #include "sim/ooo_core.hpp"
 #include "thermal/rc_model.hpp"
 #include "trace/synthetic_generator.hpp"
@@ -113,6 +114,29 @@ void BM_FitEvaluation(benchmark::State& state) {
   state.SetLabel(timeline ? "timeline" : "no-timeline");
 }
 BENCHMARK(BM_FitEvaluation);
+
+void BM_PipelineEvaluate(benchmark::State& state) {
+  // End-to-end macro-benchmark: one full evaluate() — synthetic trace,
+  // timing simulation, steady-state + transient thermal, and the FIT loop.
+  // This is the unit of work a sweep runs 80 times; the per-interval
+  // workspace and FIT-kernel memoization land here. Two nodes: 180 nm
+  // (base) and 65 nm at 1.0 V (leakiest, most temperature feedback).
+  const auto point = state.range(0) == 0 ? scaling::TechPoint::k180nm
+                                         : scaling::TechPoint::k65nm_1V0;
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = 25'000;
+  const pipeline::Evaluator ev(cfg);
+  const auto& w = workloads::workload("gzip");
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    const auto r = ev.evaluate(w, point);
+    benchmark::DoNotOptimize(r.raw_fits.total());
+    n += cfg.trace_instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  state.SetLabel(std::string(scaling::tech_token(point)));
+}
+BENCHMARK(BM_PipelineEvaluate)->Arg(0)->Arg(1);
 
 // ---- observability hot path ------------------------------------------------
 // Absolute cost of the obs primitives themselves (the pipeline claims ~1 ns

@@ -45,17 +45,17 @@ void FitTracker::add_interval(
     const auto si = static_cast<std::size_t>(s);
     const auto id = static_cast<sim::StructureId>(s);
     const OperatingPoint op{temp_k[si], voltage, activity[si]};
-    const auto fits = model_.structure_fits(id, op);
+    const auto fits = model_.structure_fits(id, op, memos_[si]);
     for (int m = 0; m < kNumMechanisms; ++m) {
       means_[si][static_cast<std::size_t>(m)].add(
           fits[static_cast<std::size_t>(m)], duration_s);
     }
     max_temp_ = std::max(max_temp_, temp_k[si]);
     max_activity_ = std::max(max_activity_, activity[si]);
-    die_temp += temp_k[si] * sim::structure_area_fraction(id);
+    die_temp += temp_k[si] * model_.structure_weight(id);
   }
 
-  tc_mean_.add(model_.tc_fit(die_temp), duration_s);
+  tc_mean_.add(model_.tc_fit(die_temp, tc_memo_), duration_s);
   avg_die_temp_.add(die_temp, duration_s);
   total_time_ += duration_s;
 }

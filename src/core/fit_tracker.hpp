@@ -69,6 +69,11 @@ class FitTracker {
   double max_temp_ = 0.0;
   double max_activity_ = 0.0;
   double total_time_ = 0.0;
+  /// Per-structure exact-bits memo of the FIT kernel's exp/pow subterms
+  /// (plus one package-level slot for TC). Owned here, not by the model, so
+  /// a RampModel shared across threads stays race-free.
+  std::array<FitMemo, sim::kNumStructures> memos_{};
+  FitMemo tc_memo_{};
 };
 
 /// Evaluates the steady-state FIT summary for fixed operating conditions —

@@ -7,11 +7,14 @@
 
 namespace ramp::core {
 
-namespace {
-void check_temp(double t) {
-  RAMP_REQUIRE(t >= kMinModelTemperature && t <= kMaxModelTemperature,
+void check_model_temperature(double t_kelvin) {
+  RAMP_REQUIRE(t_kelvin >= kMinModelTemperature &&
+                   t_kelvin <= kMaxModelTemperature,
                "temperature outside the model's validity range");
 }
+
+namespace {
+void check_temp(double t) { check_model_temperature(t); }
 }  // namespace
 
 std::string_view mechanism_name(Mechanism m) {
@@ -30,8 +33,15 @@ double ElectromigrationModel::raw_fit(double j_ma_per_um2, double t_kelvin,
   RAMP_REQUIRE(j_ma_per_um2 >= 0.0, "current density must be non-negative");
   RAMP_REQUIRE(wh_relative > 0.0, "interconnect cross-section must be positive");
   if (j_ma_per_um2 == 0.0) return 0.0;  // no current flow, no migration
-  return std::pow(j_ma_per_um2, n) *
-         std::exp(-ea_ev / (kBoltzmannEv * t_kelvin)) / wh_relative;
+  return current_term(j_ma_per_um2) * arrhenius(t_kelvin) / wh_relative;
+}
+
+double ElectromigrationModel::current_term(double j_ma_per_um2) const {
+  return std::pow(j_ma_per_um2, n);
+}
+
+double ElectromigrationModel::arrhenius(double t_kelvin) const {
+  return std::exp(-ea_ev / (kBoltzmannEv * t_kelvin));
 }
 
 double StressMigrationModel::raw_fit(double t_kelvin) const {
@@ -48,13 +58,21 @@ double TddbModel::raw_fit(double v, double t_kelvin, double tox_nm,
   RAMP_REQUIRE(v > 0.0, "voltage must be positive");
   RAMP_REQUIRE(tox_nm > 0.0, "oxide thickness must be positive");
   RAMP_REQUIRE(area_relative > 0.0, "gate-oxide area must be positive");
-  const double oxide_term =
-      std::pow(10.0, (tox_ref_nm - tox_nm) / tox_scale_nm);
-  const double voltage_term = std::pow(v, voltage_exponent(t_kelvin));
-  const double field_term = std::exp(
-      -(x_ev + y_evk / t_kelvin + z_ev_per_k * t_kelvin) /
-      (kBoltzmannEv * t_kelvin));
-  return area_relative * oxide_term * voltage_term * field_term;
+  return area_relative * oxide_term(tox_nm) * voltage_term(v, t_kelvin) *
+         field_term(t_kelvin);
+}
+
+double TddbModel::oxide_term(double tox_nm) const {
+  return std::pow(10.0, (tox_ref_nm - tox_nm) / tox_scale_nm);
+}
+
+double TddbModel::voltage_term(double v, double t_kelvin) const {
+  return std::pow(v, voltage_exponent(t_kelvin));
+}
+
+double TddbModel::field_term(double t_kelvin) const {
+  return std::exp(-(x_ev + y_evk / t_kelvin + z_ev_per_k * t_kelvin) /
+                  (kBoltzmannEv * t_kelvin));
 }
 
 double ThermalCyclingModel::raw_fit(double t_average_kelvin) const {

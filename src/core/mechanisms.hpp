@@ -20,6 +20,11 @@ enum class Mechanism { kEm, kSm, kTddb, kTc };
 inline constexpr int kNumMechanisms = 4;
 std::string_view mechanism_name(Mechanism m);
 
+/// Validates a temperature against the models' shared validity range
+/// (throws InvalidArgument outside it) — the same check every raw_fit
+/// applies, exposed so hoisted fast paths can preserve it.
+void check_model_temperature(double t_kelvin);
+
 /// Electromigration (eq. 1 + §3 scaling):
 ///   FIT_EM ∝ J^n · e^{−Ea/kT} / (w·h)_rel
 /// J is the interconnect current density (activity factor × J_max for the
@@ -32,6 +37,11 @@ struct ElectromigrationModel {
   /// Raw FIT at current density `j_ma_per_um2`, temperature `t_kelvin`,
   /// and relative interconnect cross-section `wh_relative` (1.0 at 180 nm).
   double raw_fit(double j_ma_per_um2, double t_kelvin, double wh_relative) const;
+
+  /// The J^n current-density factor of raw_fit (memoizable on j).
+  double current_term(double j_ma_per_um2) const;
+  /// The e^{−Ea/kT} Arrhenius factor of raw_fit (memoizable on T).
+  double arrhenius(double t_kelvin) const;
 };
 
 /// Stress migration (eq. 2):
@@ -94,6 +104,14 @@ struct TddbModel {
 
   /// Voltage exponent a − bT at temperature `t_kelvin`.
   double voltage_exponent(double t_kelvin) const { return a - b * t_kelvin; }
+
+  /// The run-invariant oxide-acceleration factor 10^{(tox_ref − tox)/tox_scale}
+  /// of raw_fit — constant per technology node, hoistable out of the hot loop.
+  double oxide_term(double tox_nm) const;
+  /// The V^{a − bT} factor of raw_fit (memoizable on (v, T)).
+  double voltage_term(double v, double t_kelvin) const;
+  /// The e^{−(X + Y/T + Z·T)/kT} factor of raw_fit (memoizable on T).
+  double field_term(double t_kelvin) const;
 };
 
 /// Thermal cycling (eq. 4, Coffin-Manson, package-level):

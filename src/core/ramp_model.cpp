@@ -28,7 +28,24 @@ void MechanismConstants::set(Mechanism m, double value) {
 RampModel::RampModel(const scaling::TechnologyNode& tech,
                      const MechanismConstants& constants,
                      const TddbModel& tddb)
-    : tech_(tech), constants_(constants), tddb_(tddb) {}
+    : tech_(tech), constants_(constants), tddb_(tddb) {
+  // Hoist every run-invariant factor of the per-interval FIT kernel. The
+  // operand order of each product matches the memo-less evaluation paths
+  // exactly, so the hot path reproduces their bits. The oxide term is only
+  // computed for a valid tox (the fast path re-validates per call, matching
+  // raw_fit's contract of throwing at evaluation time, not construction).
+  em_wh_relative_ = tech_.em_wh_relative();
+  const double oxide =
+      tech_.tox_nm > 0.0 ? tddb_.oxide_term(tech_.tox_nm) : 0.0;
+  for (const auto s : sim::kAllStructures) {
+    StructureBases& b = per_structure_[static_cast<std::size_t>(s)];
+    b.weight = sim::structure_area_fraction(s);
+    b.em_scale = constants_.em * b.weight;
+    b.sm_scale = constants_.sm * b.weight;
+    b.area_rel = b.weight * tech_.relative_area;
+    b.tddb_base = b.area_rel * oxide;
+  }
+}
 
 double RampModel::em_fit(sim::StructureId s, const OperatingPoint& op) const {
   RAMP_REQUIRE(op.activity >= 0.0 && op.activity <= 1.0,
@@ -55,12 +72,81 @@ double RampModel::tc_fit(double avg_die_temperature_k) const {
   return constants_.tc * tc_.raw_fit(avg_die_temperature_k);
 }
 
+double RampModel::em_fit(sim::StructureId s, const OperatingPoint& op,
+                         FitMemo& memo) const {
+  RAMP_REQUIRE(op.activity >= 0.0 && op.activity <= 1.0,
+               "activity factor must lie in [0, 1]");
+  // Same checks, in the same order, as raw_fit on the memo-less path.
+  check_model_temperature(op.temperature_k);
+  const double j = op.activity * tech_.jmax_ma_per_um2;
+  RAMP_REQUIRE(j >= 0.0, "current density must be non-negative");
+  RAMP_REQUIRE(em_wh_relative_ > 0.0,
+               "interconnect cross-section must be positive");
+  const StructureBases& b = per_structure_[static_cast<std::size_t>(s)];
+  if (j == 0.0) return b.em_scale * 0.0;  // no current flow, no migration
+  if (j != memo.em_j) {
+    memo.em_pow = em_.current_term(j);
+    memo.em_j = j;
+  }
+  if (op.temperature_k != memo.em_t) {
+    memo.em_exp = em_.arrhenius(op.temperature_k);
+    memo.em_t = op.temperature_k;
+  }
+  return b.em_scale * (memo.em_pow * memo.em_exp / em_wh_relative_);
+}
+
+double RampModel::sm_fit(sim::StructureId s, const OperatingPoint& op,
+                         FitMemo& memo) const {
+  if (op.temperature_k != memo.sm_t) {
+    memo.sm_raw = sm_.raw_fit(op.temperature_k);  // validates the temperature
+    memo.sm_t = op.temperature_k;
+  }
+  return per_structure_[static_cast<std::size_t>(s)].sm_scale * memo.sm_raw;
+}
+
+double RampModel::tddb_fit(sim::StructureId s, const OperatingPoint& op,
+                           FitMemo& memo) const {
+  check_model_temperature(op.temperature_k);
+  RAMP_REQUIRE(op.voltage > 0.0, "voltage must be positive");
+  RAMP_REQUIRE(tech_.tox_nm > 0.0, "oxide thickness must be positive");
+  const StructureBases& b = per_structure_[static_cast<std::size_t>(s)];
+  RAMP_REQUIRE(b.area_rel > 0.0, "gate-oxide area must be positive");
+  if (op.voltage != memo.tddb_v || op.temperature_k != memo.tddb_vt) {
+    memo.tddb_vterm = tddb_.voltage_term(op.voltage, op.temperature_k);
+    memo.tddb_v = op.voltage;
+    memo.tddb_vt = op.temperature_k;
+  }
+  if (op.temperature_k != memo.tddb_t) {
+    memo.tddb_field = tddb_.field_term(op.temperature_k);
+    memo.tddb_t = op.temperature_k;
+  }
+  return constants_.tddb * (b.tddb_base * memo.tddb_vterm * memo.tddb_field);
+}
+
+double RampModel::tc_fit(double avg_die_temperature_k, FitMemo& memo) const {
+  if (avg_die_temperature_k != memo.tc_t) {
+    memo.tc_raw = tc_.raw_fit(avg_die_temperature_k);
+    memo.tc_t = avg_die_temperature_k;
+  }
+  return constants_.tc * memo.tc_raw;
+}
+
 std::array<double, kNumMechanisms> RampModel::structure_fits(
     sim::StructureId s, const OperatingPoint& op) const {
   std::array<double, kNumMechanisms> fits{};
   fits[static_cast<std::size_t>(Mechanism::kEm)] = em_fit(s, op);
   fits[static_cast<std::size_t>(Mechanism::kSm)] = sm_fit(s, op);
   fits[static_cast<std::size_t>(Mechanism::kTddb)] = tddb_fit(s, op);
+  fits[static_cast<std::size_t>(Mechanism::kTc)] = 0.0;  // package-level
+  return fits;
+}
+
+std::array<double, kNumMechanisms> RampModel::structure_fits(
+    sim::StructureId s, const OperatingPoint& op, FitMemo& memo) const {
+  std::array<double, kNumMechanisms> fits{};
+  fits[static_cast<std::size_t>(Mechanism::kEm)] = em_fit(s, op, memo);
+  fits[static_cast<std::size_t>(Mechanism::kSm)] = sm_fit(s, op, memo);
+  fits[static_cast<std::size_t>(Mechanism::kTddb)] = tddb_fit(s, op, memo);
   fits[static_cast<std::size_t>(Mechanism::kTc)] = 0.0;  // package-level
   return fits;
 }

@@ -42,6 +42,36 @@ struct OperatingPoint {
   double activity = 0.0;  ///< activity factor p in [0, 1]
 };
 
+/// Exact-bits memo of the transcendental subterms of one structure's FIT
+/// evaluation, keyed on the bit patterns of their inputs. Interval
+/// temperatures change slowly (and activities repeat), so consecutive
+/// evaluations often reuse the cached `exp`/`pow` results — each hit returns
+/// the identical bits the fresh computation would produce, keeping the
+/// value path bitwise unchanged.
+///
+/// The memo is owned by the caller (one per structure, e.g. inside
+/// FitTracker) rather than by RampModel, so a shared const RampModel stays
+/// safe to use from several threads.
+///
+/// Sentinels: temperatures of 0 K and current densities of −1 can never
+/// reach the cached computations (check_model_temperature rejects T ≤ 0 and
+/// j is non-negative), so the initial keys never produce a false hit.
+struct FitMemo {
+  double em_j = -1.0;    ///< key: current density of em_pow
+  double em_pow = 0.0;   ///< pow(j, n)
+  double em_t = 0.0;     ///< key: temperature of em_exp
+  double em_exp = 0.0;   ///< e^{−Ea/kT} (EM)
+  double sm_t = 0.0;     ///< key: temperature of sm_raw
+  double sm_raw = 0.0;   ///< full SM raw FIT at sm_t
+  double tddb_t = 0.0;   ///< key: temperature of tddb_field
+  double tddb_field = 0.0;
+  double tddb_vt = 0.0;  ///< key: temperature of tddb_vterm
+  double tddb_v = 0.0;   ///< key: voltage of tddb_vterm
+  double tddb_vterm = 0.0;
+  double tc_t = 0.0;     ///< key: average die temperature of tc_raw
+  double tc_raw = 0.0;   ///< full TC raw FIT at tc_t
+};
+
 class RampModel {
  public:
   /// `tddb` selects the TDDB parameter preset (TddbModel::dsn04_shape() by
@@ -64,10 +94,31 @@ class RampModel {
   /// temperature.
   double tc_fit(double avg_die_temperature_k) const;
 
+  /// Memoized fast paths: bitwise-identical to the memo-less overloads, but
+  /// hoisted run-invariant factors (tox oxide scale, per-structure
+  /// qualification × area bases) are precomputed and the exp/pow subterms
+  /// are served from `memo` when their inputs repeat exactly. Callers keep
+  /// one FitMemo per structure (plus one for TC) across intervals.
+  double em_fit(sim::StructureId s, const OperatingPoint& op, FitMemo& memo) const;
+  double sm_fit(sim::StructureId s, const OperatingPoint& op, FitMemo& memo) const;
+  double tddb_fit(sim::StructureId s, const OperatingPoint& op, FitMemo& memo) const;
+  double tc_fit(double avg_die_temperature_k, FitMemo& memo) const;
+
   /// All three structure-level mechanisms for `s`, indexed by Mechanism
   /// (the TC slot is zero — it is package-level; use tc_fit).
   std::array<double, kNumMechanisms> structure_fits(sim::StructureId s,
                                                     const OperatingPoint& op) const;
+
+  /// Memoized form of structure_fits (see the memoized fit overloads).
+  std::array<double, kNumMechanisms> structure_fits(sim::StructureId s,
+                                                    const OperatingPoint& op,
+                                                    FitMemo& memo) const;
+
+  /// Precomputed sim::structure_area_fraction(s) — identical value, no
+  /// per-call switch.
+  double structure_weight(sim::StructureId s) const {
+    return per_structure_[static_cast<std::size_t>(s)].weight;
+  }
 
   const scaling::TechnologyNode& tech() const { return tech_; }
   const MechanismConstants& constants() const { return constants_; }
@@ -78,12 +129,25 @@ class RampModel {
   const ThermalCyclingModel& tc_model() const { return tc_; }
 
  private:
+  /// Run-invariant per-structure bases, computed once at construction with
+  /// the exact operand order the memo-less paths use, so multiplying them
+  /// back in reproduces identical bits.
+  struct StructureBases {
+    double weight = 0.0;     ///< sim::structure_area_fraction(s)
+    double em_scale = 0.0;   ///< constants.em · weight
+    double sm_scale = 0.0;   ///< constants.sm · weight
+    double area_rel = 0.0;   ///< weight · tech.relative_area (TDDB gate area)
+    double tddb_base = 0.0;  ///< area_rel · oxide_term(tox)
+  };
+
   scaling::TechnologyNode tech_;
   MechanismConstants constants_;
   ElectromigrationModel em_{};
   StressMigrationModel sm_{};
   TddbModel tddb_{};
   ThermalCyclingModel tc_{};
+  std::array<StructureBases, sim::kNumStructures> per_structure_{};
+  double em_wh_relative_ = 1.0;  ///< tech.em_wh_relative(), hoisted
 };
 
 }  // namespace ramp::core

@@ -148,16 +148,24 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   };
   const power::StructurePower avg_dyn = biased_dynamic(sim_result.totals.avg_activity);
 
-  // Block powers from structure dynamic power + leakage at block temps.
-  auto block_power_at = [&](const power::StructurePower& dyn,
-                            const std::vector<double>& block_temps) {
-    std::vector<double> p(nblocks, 0.0);
+  // Block powers from structure dynamic power + leakage at block temps,
+  // written into a caller-owned buffer so the per-interval loop never
+  // allocates.
+  auto block_power_into = [&](const power::StructurePower& dyn,
+                              const std::vector<double>& block_temps,
+                              std::vector<double>& p) {
+    p.assign(nblocks, 0.0);
     for (int s = 0; s < sim::kNumStructures; ++s) {
       const auto si = static_cast<std::size_t>(s);
       const double leak = pm.leakage_power(static_cast<sim::StructureId>(s),
                                            block_temps[blk[si]]);
       p[blk[si]] += dyn[si] + leak;
     }
+  };
+  auto block_power_at = [&](const power::StructurePower& dyn,
+                            const std::vector<double>& block_temps) {
+    std::vector<double> p;
+    block_power_into(dyn, block_temps, p);
     return p;
   };
   const std::function<std::vector<double>(const std::vector<double>&)>
@@ -228,6 +236,23 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
     lap_mark = now;
   };
 
+  // Per-run workspace: every buffer the per-interval loop touches is hoisted
+  // here and reused, so steady-state operation performs zero heap
+  // allocations per interval (vector::assign reuses capacity; the transient
+  // solver and the FIT trackers are allocation-free by construction).
+  struct EvalWorkspace {
+    std::vector<double> block_temps;  ///< pre-step block temps (leakage input)
+    std::vector<double> bp;           ///< per-block power for this interval
+  };
+  EvalWorkspace ws;
+  ws.block_temps.reserve(nblocks);
+  ws.bp.reserve(nblocks);
+
+  // Whether each interval's *instantaneous* FIT is needed. Computed once and
+  // shared by the interval trace and the timeline (they used to run this
+  // kernel twice with identical inputs — same bits, double the cost).
+  const bool want_instant = cfg_.record_intervals || timeline != nullptr;
+
   std::array<double, sim::kNumStructures> struct_temps{};
   for (const auto& iv : sim_result.intervals) {
     const double duration =
@@ -235,28 +260,45 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
 
     lap(fit_seconds);  // charge loop restart overhead to the previous lap owner
     const power::StructurePower dyn = biased_dynamic(iv.activity);
-    const std::vector<double>& temps_now = transient.temperatures();
-    std::vector<double> block_temps(temps_now.begin(),
-                                    temps_now.begin() + static_cast<std::ptrdiff_t>(nblocks));
-    const std::vector<double> bp = block_power_at(dyn, block_temps);
+    {
+      const std::vector<double>& temps_now = transient.temperatures();
+      ws.block_temps.assign(
+          temps_now.begin(),
+          temps_now.begin() + static_cast<std::ptrdiff_t>(nblocks));
+    }
+    block_power_into(dyn, ws.block_temps, ws.bp);
     lap(power_seconds);
-    transient.step(bp);
+    transient.step(ws.bp);
     lap(thermal_seconds);
 
     double dyn_total = 0.0;
     for (double v : dyn) dyn_total += v;
     double block_total = 0.0;
-    for (double v : bp) block_total += v;
+    for (double v : ws.bp) block_total += v;
     dyn_power_avg.add(dyn_total);
     leak_power_avg.add(block_total - dyn_total);
     lap(power_seconds);
 
-    for (int s = 0; s < sim::kNumStructures; ++s) {
-      const auto si = static_cast<std::size_t>(s);
-      struct_temps[si] = transient.temperatures()[blk[si]];
+    {
+      // Single post-step temperature read feeding the FIT kernel, the
+      // interval trace, and the timeline.
+      const std::vector<double>& temps_after = transient.temperatures();
+      for (int s = 0; s < sim::kNumStructures; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        struct_temps[si] = temps_after[blk[si]];
+      }
     }
     tracker.add_interval(struct_temps, iv.activity, tech.vdd, duration);
     elapsed_s += duration;
+
+    // Instantaneous per-mechanism raw FIT at this interval's conditions,
+    // computed once for both consumers below.
+    std::array<double, core::kNumMechanisms> inst_mech{};
+    if (want_instant) {
+      core::FitTracker instant(model);
+      instant.add_interval(struct_temps, iv.activity, tech.vdd, duration);
+      inst_mech = instant.summary().by_mechanism();
+    }
     lap(fit_seconds);
 
     if (cfg_.record_intervals) {
@@ -267,10 +309,7 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
       }
       sample.total_power_w = block_total;
       sample.ipc = iv.ipc();
-      // Instantaneous per-mechanism raw FIT at this interval's conditions.
-      core::FitTracker instant(model);
-      instant.add_interval(struct_temps, iv.activity, tech.vdd, duration);
-      sample.raw_mechanism_fit = instant.summary().by_mechanism();
+      sample.raw_mechanism_fit = inst_mech;
       samples.push_back(sample);
       lap(fit_seconds);
     }
@@ -283,10 +322,7 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
       point.dyn_power_w = dyn_total;
       point.leak_power_w = block_total - dyn_total;
       point.temp_k.assign(struct_temps.begin(), struct_temps.end());
-      core::FitTracker instant(model);
-      instant.add_interval(struct_temps, iv.activity, tech.vdd, duration);
-      const auto inst = instant.summary().by_mechanism();
-      point.fit_inst.assign(inst.begin(), inst.end());
+      point.fit_inst.assign(inst_mech.begin(), inst_mech.end());
       // Running cumulative average: the final point lands exactly on the
       // reported raw_fits (the export's cross-check anchor).
       const auto avg = tracker.summary().by_mechanism();

@@ -45,36 +45,52 @@ void RcNetwork::build() {
   }
 
   // Spreader → sink, and sink → ambient (ambient handled as a diagonal leg
-  // with the boundary term added to the RHS at solve time).
+  // with the boundary term added to the RHS at solve time). The sink
+  // diagonal without its ambient leg is kept so set_r_convec can rebuild
+  // it exactly instead of accumulating floating-point deltas.
   couple(spreader, sink, 1.0 / cfg_.r_spreader_sink);
-  g_(sink, sink) += 1.0 / cfg_.r_convec_k_per_w;
+  sink_diag_base_ = g_(sink, sink);
+  g_(sink, sink) = sink_diag_base_ + 1.0 / cfg_.r_convec_k_per_w;
 
   cap_[spreader] = cfg_.spreader_capacitance;
   cap_[sink] = cfg_.sink_capacitance;
+  steady_lu_.emplace(g_);
 }
 
 void RcNetwork::set_r_convec(double r_k_per_w) {
   RAMP_REQUIRE(r_k_per_w > 0, "convection resistance must be positive");
-  // Swap the sink's ambient leg in the prebuilt Laplacian.
+  // Swap the sink's ambient leg in the prebuilt Laplacian, rebuilding the
+  // diagonal from the stored base so repeated calibration calls land on the
+  // exact same matrix a fresh build() would produce (no += drift).
   const std::size_t sink = fp_.size() + 1;
-  g_(sink, sink) += 1.0 / r_k_per_w - 1.0 / cfg_.r_convec_k_per_w;
+  g_(sink, sink) = sink_diag_base_ + 1.0 / r_k_per_w;
   cfg_.r_convec_k_per_w = r_k_per_w;
+  steady_lu_.emplace(g_);
 }
 
 std::vector<double> RcNetwork::steady_state(
     const std::vector<double>& block_power_w) const {
+  SteadyWorkspace ws;
+  std::vector<double> out;
+  steady_state_into(block_power_w, ws, out);
+  return out;
+}
+
+void RcNetwork::steady_state_into(const std::vector<double>& block_power_w,
+                                  SteadyWorkspace& ws,
+                                  std::vector<double>& out) const {
   const std::size_t n = fp_.size();
   RAMP_REQUIRE(block_power_w.size() == n,
                "need one power value per floorplan block");
-  std::vector<double> rhs(n + 2, 0.0);
+  ws.rhs.assign(n + 2, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     RAMP_REQUIRE(std::isfinite(block_power_w[i]) && block_power_w[i] >= 0,
                  "block power must be finite and non-negative");
-    rhs[i] = block_power_w[i];
+    ws.rhs[i] = block_power_w[i];
   }
   // Ambient boundary enters through the sink's convection leg.
-  rhs[n + 1] = cfg_.ambient_k / cfg_.r_convec_k_per_w;
-  return solve_linear(g_, rhs);
+  ws.rhs[n + 1] = cfg_.ambient_k / cfg_.r_convec_k_per_w;
+  steady_lu_->solve_into(ws.rhs, out);
 }
 
 std::vector<double> RcNetwork::steady_state(
@@ -82,26 +98,27 @@ std::vector<double> RcNetwork::steady_state(
     double tol, int max_iter) const {
   const std::size_t n = fp_.size();
   std::vector<double> temps(num_nodes(), cfg_.ambient_k);
+  SteadyWorkspace ws;
   for (int it = 0; it < max_iter; ++it) {
-    std::vector<double> block_temps(temps.begin(),
-                                    temps.begin() + static_cast<std::ptrdiff_t>(n));
-    const std::vector<double> p = power_of(block_temps);
+    ws.block_temps.assign(temps.begin(),
+                          temps.begin() + static_cast<std::ptrdiff_t>(n));
+    const std::vector<double> p = power_of(ws.block_temps);
     for (double v : p) {
       if (!std::isfinite(v)) {
         throw ConvergenceError(
             "leakage-temperature fixed point diverged (thermal runaway)");
       }
     }
-    const std::vector<double> next = steady_state(p);
+    steady_state_into(p, ws, ws.next);
     double delta = 0;
-    for (std::size_t i = 0; i < next.size(); ++i) {
-      if (!std::isfinite(next[i])) {
+    for (std::size_t i = 0; i < ws.next.size(); ++i) {
+      if (!std::isfinite(ws.next[i])) {
         throw ConvergenceError(
             "leakage-temperature fixed point diverged (thermal runaway)");
       }
-      delta = std::max(delta, std::abs(next[i] - temps[i]));
+      delta = std::max(delta, std::abs(ws.next[i] - temps[i]));
     }
-    temps = next;
+    temps.swap(ws.next);
     if (delta < tol) return temps;
   }
   throw ConvergenceError(
@@ -115,28 +132,33 @@ Transient::Transient(const RcNetwork& net, std::vector<double> initial,
   RAMP_REQUIRE(temps_.size() == net.num_nodes(),
                "initial state must cover every node");
   RAMP_REQUIRE(dt_ > 0, "time step must be positive");
-  // Implicit Euler: (C/dt + G) T' = (C/dt) T + P; factor the LHS once.
+  // Implicit Euler: (C/dt + G) T' = (C/dt) T + P; factor the LHS once and
+  // hoist the run-invariant C_i/dt coefficients out of the step loop.
   const Matrix& g = net.conductance();
   Matrix lhs = g;
+  cap_over_dt_.resize(net.num_nodes());
   for (std::size_t i = 0; i < net.num_nodes(); ++i) {
-    lhs(i, i) += net.capacitance()[i] / dt_;
+    cap_over_dt_[i] = net.capacitance()[i] / dt_;
+    lhs(i, i) += cap_over_dt_[i];
   }
-  solver_ = std::make_unique<LuSolver>(std::move(lhs));
+  solver_.emplace(std::move(lhs));
+  rhs_.resize(net.num_nodes());
 }
 
 void Transient::step(const std::vector<double>& block_power_w) {
   const std::size_t n = net_.num_blocks();
   RAMP_REQUIRE(block_power_w.size() == n,
                "need one power value per floorplan block");
-  std::vector<double> rhs(net_.num_nodes(), 0.0);
+  // One fused pass: per element this is the same power-then-capacitance sum
+  // the separate fill loops computed, so the bits are unchanged.
   for (std::size_t i = 0; i < n; ++i) {
-    rhs[i] = block_power_w[i];
+    rhs_[i] = block_power_w[i] + cap_over_dt_[i] * temps_[i];
   }
-  rhs[n + 1] = net_.ambient() / net_.r_convec();
-  for (std::size_t i = 0; i < net_.num_nodes(); ++i) {
-    rhs[i] += net_.capacitance()[i] / dt_ * temps_[i];
-  }
-  temps_ = solver_->solve(rhs);
+  rhs_[n] = 0.0 + cap_over_dt_[n] * temps_[n];  // spreader: no direct power
+  rhs_[n + 1] =
+      net_.ambient() / net_.r_convec() + cap_over_dt_[n + 1] * temps_[n + 1];
+  // The solve overwrites temps_ in place; rhs_ is the only scratch.
+  solver_->solve_into(rhs_, temps_);
   elapsed_ += dt_;
 }
 

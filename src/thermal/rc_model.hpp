@@ -15,7 +15,7 @@
 #pragma once
 
 #include <functional>
-#include <memory>
+#include <optional>
 #include <vector>
 
 #include "thermal/floorplan.hpp"
@@ -47,6 +47,14 @@ struct ThermalConfig {
   double sink_capacitance = 1200.0;     ///< J/K, large sink lump (slow pole)
 };
 
+/// Caller-owned scratch buffers for allocation-free steady-state solves
+/// (see RcNetwork::steady_state_into). Reuse one instance across calls.
+struct SteadyWorkspace {
+  std::vector<double> rhs;
+  std::vector<double> block_temps;  ///< used by the fixed-point overload
+  std::vector<double> next;         ///< used by the fixed-point overload
+};
+
 /// RC network for one floorplan. Node order: blocks [0, n), spreader = n,
 /// sink = n+1.
 class RcNetwork {
@@ -64,8 +72,15 @@ class RcNetwork {
   double r_convec() const { return cfg_.r_convec_k_per_w; }
 
   /// Steady-state temperatures for fixed per-block powers (W). Returns
-  /// num_nodes() temperatures (blocks, spreader, sink).
+  /// num_nodes() temperatures (blocks, spreader, sink). The conductance
+  /// Laplacian is factored once per build/set_r_convec, not per solve.
   std::vector<double> steady_state(const std::vector<double>& block_power_w) const;
+
+  /// Workspace form of the fixed-power steady state: solves into `out`
+  /// using `ws.rhs` as scratch, with zero heap traffic once the buffers
+  /// have capacity. Bitwise-identical to steady_state().
+  void steady_state_into(const std::vector<double>& block_power_w,
+                         SteadyWorkspace& ws, std::vector<double>& out) const;
 
   /// Steady state with temperature-dependent power (leakage feedback):
   /// `power_of` maps block temperatures to block powers. Fixed-point
@@ -89,6 +104,13 @@ class RcNetwork {
   ThermalConfig cfg_;
   Matrix g_;                  ///< (n+2)×(n+2) conductance Laplacian
   std::vector<double> cap_;   ///< per-node heat capacity
+  /// Sink diagonal entry *without* the ambient convection leg; set_r_convec
+  /// rebuilds the diagonal from this base instead of accumulating deltas,
+  /// so repeated sink calibrations cannot drift the Laplacian.
+  double sink_diag_base_ = 0.0;
+  /// LU factorization of g_, refreshed by build()/set_r_convec() so every
+  /// steady-state solve reuses it instead of refactoring per call.
+  std::optional<LuSolver> steady_lu_;
 };
 
 /// Implicit-Euler transient integrator over an RcNetwork. Unconditionally
@@ -100,7 +122,9 @@ class Transient {
   /// `initial` must have num_nodes() entries (e.g. a steady_state result).
   Transient(const RcNetwork& net, std::vector<double> initial, double dt_seconds);
 
-  /// Advances one step under the given per-block powers (W).
+  /// Advances one step under the given per-block powers (W). Allocation-free:
+  /// the RHS lands in a member scratch buffer and the factored solve writes
+  /// the new temperatures in place.
   void step(const std::vector<double>& block_power_w);
 
   /// Current node temperatures (blocks, spreader, sink).
@@ -117,7 +141,9 @@ class Transient {
   std::vector<double> temps_;
   double dt_;
   double elapsed_ = 0;
-  std::unique_ptr<LuSolver> solver_;  ///< factored (C/dt + G)
+  std::optional<LuSolver> solver_;    ///< factored (C/dt + G)
+  std::vector<double> cap_over_dt_;   ///< hoisted C_i / dt per node
+  std::vector<double> rhs_;           ///< per-step RHS scratch
 };
 
 }  // namespace ramp::thermal

@@ -12,15 +12,29 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
   RAMP_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
 }
 
+void Matrix::assign(std::size_t rows, std::size_t cols, double fill) {
+  RAMP_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
 std::vector<double> Matrix::mul(const std::vector<double>& x) const {
+  std::vector<double> y;
+  mul_into(x, y);
+  return y;
+}
+
+void Matrix::mul_into(const std::vector<double>& x,
+                      std::vector<double>& y) const {
   RAMP_REQUIRE(x.size() == cols_, "dimension mismatch in Matrix::mul");
-  std::vector<double> y(rows_, 0.0);
+  RAMP_REQUIRE(&x != &y, "Matrix::mul_into arguments must not alias");
+  y.resize(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
     y[r] = acc;
   }
-  return y;
 }
 
 Matrix Matrix::identity(std::size_t n) {
@@ -59,27 +73,69 @@ LuSolver::LuSolver(Matrix a) : lu_(std::move(a)) {
       for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
     }
   }
+
+  // Record the factors' nonzero pattern for the compressed substitution in
+  // solve_into. Only exact +0.0 entries are skipped; −0.0 (e.g. a structural
+  // zero divided by a negative pivot) stays on the list so its sign still
+  // participates (see the header note on the degenerate −0.0 case).
+  auto is_pos_zero = [](double v) { return v == 0.0 && !std::signbit(v); };
+  fwd_off_.reserve(n + 1);
+  bwd_off_.reserve(n + 1);
+  fwd_off_.push_back(0);
+  bwd_off_.push_back(0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < r; ++c) {
+      if (!is_pos_zero(lu_(r, c))) {
+        fwd_cols_.push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+    fwd_off_.push_back(static_cast<std::uint32_t>(fwd_cols_.size()));
+    for (std::size_t c = r + 1; c < n; ++c) {
+      if (!is_pos_zero(lu_(r, c))) {
+        bwd_cols_.push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+    bwd_off_.push_back(static_cast<std::uint32_t>(bwd_cols_.size()));
+  }
 }
 
 std::vector<double> LuSolver::solve(const std::vector<double>& b) const {
+  std::vector<double> x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuSolver::solve_into(const std::vector<double>& b,
+                          std::vector<double>& out) const {
   const std::size_t n = lu_.rows();
   RAMP_REQUIRE(b.size() == n, "dimension mismatch in LuSolver::solve");
+  RAMP_REQUIRE(&b != &out, "LuSolver::solve_into arguments must not alias");
+  out.resize(n);
 
-  // Forward substitution on the permuted RHS (L has implicit unit diagonal).
-  std::vector<double> y(n);
+  // Forward substitution on the permuted RHS (L has implicit unit diagonal);
+  // `out` carries the intermediate y. Both passes walk the compressed
+  // nonzero pattern in the same ascending column order as the dense loops
+  // they replace, so the summation order — and thus every bit — matches.
+  const std::uint32_t* fc = fwd_cols_.data();
   for (std::size_t r = 0; r < n; ++r) {
     double acc = b[perm_[r]];
-    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * y[c];
-    y[r] = acc;
+    for (std::uint32_t i = fwd_off_[r]; i < fwd_off_[r + 1]; ++i) {
+      const std::uint32_t c = fc[i];
+      acc -= lu_(r, c) * out[c];
+    }
+    out[r] = acc;
   }
-  // Back substitution.
-  std::vector<double> x(n);
+  // Back substitution in place: row ri only reads rows > ri, which already
+  // hold final solution values.
+  const std::uint32_t* bc = bwd_cols_.data();
   for (std::size_t ri = n; ri-- > 0;) {
-    double acc = y[ri];
-    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
-    x[ri] = acc / lu_(ri, ri);
+    double acc = out[ri];
+    for (std::uint32_t i = bwd_off_[ri]; i < bwd_off_[ri + 1]; ++i) {
+      const std::uint32_t c = bc[i];
+      acc -= lu_(ri, c) * out[c];
+    }
+    out[ri] = acc / lu_(ri, ri);
   }
-  return x;
 }
 
 std::vector<double> solve_linear(Matrix a, const std::vector<double>& b) {

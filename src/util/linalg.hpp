@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ramp {
@@ -23,8 +24,20 @@ class Matrix {
   double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
 
+  /// Re-initializes to `rows` × `cols` filled with `fill`, reusing the
+  /// existing heap block whenever its capacity allows. The in-place
+  /// counterpart of constructing a fresh Matrix — lets long-lived scratch
+  /// matrices (e.g. an RHS workspace rebuilt each calibration step) avoid
+  /// per-rebuild allocations.
+  void assign(std::size_t rows, std::size_t cols, double fill = 0.0);
+
   /// Matrix-vector product; `x.size()` must equal `cols()`.
   std::vector<double> mul(const std::vector<double>& x) const;
+
+  /// Matrix-vector product into `y` (resized to rows(); no allocation once
+  /// `y` has the capacity). `x` and `y` must not alias. Bitwise-identical
+  /// to mul().
+  void mul_into(const std::vector<double>& x, std::vector<double>& y) const;
 
   static Matrix identity(std::size_t n);
 
@@ -45,11 +58,28 @@ class LuSolver {
   /// Solves A x = b; `b.size()` must equal the matrix dimension.
   std::vector<double> solve(const std::vector<double>& b) const;
 
+  /// Solves A x = b into `out` (resized to dim(); zero heap traffic once
+  /// `out` has the capacity — forward substitution lands in `out`, which is
+  /// then back-substituted in place). `b` and `out` must be distinct
+  /// vectors. Bitwise-identical to solve().
+  void solve_into(const std::vector<double>& b, std::vector<double>& out) const;
+
   std::size_t dim() const { return lu_.rows(); }
 
  private:
   Matrix lu_;
   std::vector<std::size_t> perm_;
+  /// Compressed nonzero pattern of the factors, built once at factor time:
+  /// per row, the ascending column indices of the strict-lower (L) and
+  /// strict-upper (U) entries that are not exactly +0.0. Substitution walks
+  /// these lists instead of the dense row — for the thermal Laplacians
+  /// (sparse block coupling) that skips most of the inner-loop terms.
+  /// Skipping a +0.0 term keeps every finite result bit-identical
+  /// (x − (+0·v) == x), with one degenerate exception: a −0.0 accumulator
+  /// combined with a negative solution entry in the skipped column flips to
+  /// +0.0 — unreachable for the positive-definite thermal systems.
+  std::vector<std::uint32_t> fwd_cols_, bwd_cols_;
+  std::vector<std::uint32_t> fwd_off_, bwd_off_;  ///< n+1 row offsets each
 };
 
 /// Convenience one-shot solve of A x = b.

@@ -173,6 +173,38 @@ TEST(CliTest, MetricsOffLeavesSweepOutputByteIdentical) {
   EXPECT_NE(on.output.find("Qualified total FIT"), std::string::npos);
 }
 
+TEST(CliTest, SweepCsvMatchesCommittedGoldenByteForByte) {
+  // The hot-path optimizations (workspace solvers, memoized FIT kernel)
+  // promise bitwise-unchanged physics. This pins the full sweep grid to a
+  // committed artifact: any ulp drift anywhere in the pipeline shows up as
+  // a byte diff here, at serial and parallel job counts alike.
+  const fs::path golden = fs::path(RAMP_GOLDEN_DIR) / "sweep_trace4000.csv";
+  ASSERT_TRUE(fs::exists(golden)) << golden;
+  std::stringstream want;
+  want << std::ifstream(golden, std::ios::binary).rdbuf();
+  ASSERT_FALSE(want.str().empty());
+
+  for (const char* jobs : {"1", "4"}) {
+    const fs::path dir =
+        fs::temp_directory_path() / (std::string("ramp_cli_golden_j") + jobs);
+    fs::remove_all(dir);  // cold cache: the sweep must recompute and rewrite
+    fs::create_directories(dir);
+    const auto r = run_cli(std::string("sweep --trace-len 4000 --jobs ") +
+                               jobs,
+                           "",
+                           "RAMP_OUT_DIR='" + dir.string() +
+                               "' RAMP_CACHE=on RAMP_METRICS=off");
+    ASSERT_EQ(r.exit_code, 0);
+    const fs::path cache = dir / "ramp_sweep_cache.csv";
+    ASSERT_TRUE(fs::exists(cache));
+    std::stringstream got;
+    got << std::ifstream(cache, std::ios::binary).rdbuf();
+    EXPECT_EQ(got.str(), want.str()) << "sweep CSV diverged at --jobs "
+                                     << jobs;
+    fs::remove_all(dir);
+  }
+}
+
 TEST(CliTest, MalformedMetricsSwitchFailsLoudly) {
   const auto r = run_cli("sweep --trace-len 5000 --jobs 2", "",
                          "RAMP_METRICS=banana");

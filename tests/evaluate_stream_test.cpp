@@ -115,5 +115,33 @@ TEST(EvaluateStreamTest, RejectsNonPositiveBias) {
       InvalidArgument);
 }
 
+TEST(EvaluateStreamTest, IntervalTraceAndTimelineShareInstantaneousFit) {
+  // Regression: with both the interval trace and the timeline enabled, the
+  // instantaneous FIT used to be computed twice per interval (identical
+  // inputs, double the cost). It is now computed once and shared — and the
+  // two consumers must agree bit for bit.
+  EvaluationConfig cfg = quick_config();
+  cfg.record_intervals = true;
+  cfg.timeline_enabled = true;
+  cfg.timeline_points = 1u << 20;  // keep every interval (no downsampling)
+  const Evaluator ev(cfg);
+  const auto r =
+      ev.evaluate(workloads::workload("gzip"), scaling::TechPoint::k65nm_1V0);
+  ASSERT_FALSE(r.interval_trace.empty());
+  ASSERT_FALSE(r.timeline.empty());
+  ASSERT_EQ(r.timeline.points.size(), r.interval_trace.size());
+  for (const auto& point : r.timeline.points) {
+    const auto& sample = r.interval_trace.at(
+        static_cast<std::size_t>(point.interval));
+    ASSERT_EQ(point.fit_inst.size(),
+              static_cast<std::size_t>(core::kNumMechanisms));
+    for (int m = 0; m < core::kNumMechanisms; ++m) {
+      const auto mi = static_cast<std::size_t>(m);
+      EXPECT_EQ(point.fit_inst[mi], sample.raw_mechanism_fit[mi])
+          << "interval " << point.interval << " mechanism " << m;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ramp::pipeline

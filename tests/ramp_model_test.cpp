@@ -121,6 +121,61 @@ TEST(RampModelTest, TddbPresetInjectable) {
   EXPECT_DOUBLE_EQ(wu.tddb_model().a, 78.0);
 }
 
+TEST(RampModelTest, MemoizedFitsMatchMemolessBitwise) {
+  // The memoized overloads are the pipeline's hot path; they must reproduce
+  // the memo-less results bit for bit across hits, misses, and repeats.
+  for (const auto* tech :
+       {&scaling::base_node(), &scaling::node(TechPoint::k65nm_1V0)}) {
+    MechanismConstants k;
+    k.em = 1.7;
+    k.sm = 0.3;
+    k.tddb = 2.5;
+    k.tc = 0.9;
+    const RampModel model(*tech, k);
+    const double temps[] = {330.0, 330.0, 345.7, 345.7, 361.3, 330.0};
+    const double acts[] = {0.0, 0.4, 0.4, 0.7, 0.7, 0.4};
+    for (const auto s : sim::kAllStructures) {
+      FitMemo memo;
+      for (std::size_t i = 0; i < std::size(temps); ++i) {
+        const OperatingPoint op{temps[i], tech->vdd, acts[i]};
+        const auto slow = model.structure_fits(s, op);
+        const auto fast = model.structure_fits(s, op, memo);
+        for (int m = 0; m < kNumMechanisms; ++m) {
+          const auto mi = static_cast<std::size_t>(m);
+          EXPECT_EQ(fast[mi], slow[mi])
+              << "mechanism " << m << " at interval " << i;
+        }
+      }
+    }
+    FitMemo tc_memo;
+    for (const double t : temps) {
+      EXPECT_EQ(model.tc_fit(t, tc_memo), model.tc_fit(t));
+    }
+  }
+}
+
+TEST(RampModelTest, MemoizedFitsValidateLikeMemoless) {
+  const RampModel model(scaling::base_node());
+  FitMemo memo;
+  // Out-of-range temperature, bad activity, non-positive voltage: the fast
+  // paths must throw the same exception types as the memo-less ones.
+  EXPECT_THROW(model.em_fit(StructureId::kIfu, {10.0, 1.3, 0.5}, memo),
+               InvalidArgument);
+  EXPECT_THROW(model.em_fit(StructureId::kIfu, {355.0, 1.3, 1.5}, memo),
+               InvalidArgument);
+  EXPECT_THROW(model.sm_fit(StructureId::kIfu, {10.0, 1.3, 0.5}, memo),
+               InvalidArgument);
+  EXPECT_THROW(model.tddb_fit(StructureId::kIfu, {355.0, 0.0, 0.5}, memo),
+               InvalidArgument);
+  EXPECT_THROW(model.tddb_fit(StructureId::kIfu, {10.0, 1.3, 0.5}, memo),
+               InvalidArgument);
+  EXPECT_THROW(model.tc_fit(10.0, memo), InvalidArgument);
+  // A failed call must not poison the memo: valid evaluation still matches.
+  const OperatingPoint op{355.0, 1.3, 0.5};
+  EXPECT_EQ(model.em_fit(StructureId::kIfu, op, memo),
+            model.em_fit(StructureId::kIfu, op));
+}
+
 // Property sweep over nodes: at a fixed operating point the TC model is
 // node-independent (package-level), while EM depends on the node.
 class NodeSweepTest : public ::testing::TestWithParam<scaling::TechPoint> {};

@@ -86,6 +86,48 @@ TEST(RcNetworkTest, SetRConvecMovesSinkTemperature) {
   EXPECT_LT(t2[0], t1[0]);
 }
 
+TEST(RcNetworkTest, SetRConvecRoundTripRestoresMatrixBitwise) {
+  // Regression: the sink diagonal used to be updated with `+= 1/r_new -
+  // 1/r_old`, so repeated calibration calls accumulated rounding error and
+  // drifted the Laplacian. It must now be rebuilt from the stored base:
+  // however many times the resistance is changed, landing back on the
+  // original value must reproduce the original matrix bit for bit.
+  RcNetwork net = small_net();
+  const double r0 = net.r_convec();
+  Matrix g0 = net.conductance();
+  const auto t0 = net.steady_state(uniform_power(net.num_blocks(), 4.0));
+  for (int i = 0; i < 20; ++i) {
+    net.set_r_convec(0.3 + 0.01 * i);  // values with inexact reciprocals
+    net.set_r_convec(r0);
+  }
+  const Matrix& g1 = net.conductance();
+  ASSERT_EQ(g1.rows(), g0.rows());
+  for (std::size_t r = 0; r < g0.rows(); ++r) {
+    for (std::size_t c = 0; c < g0.cols(); ++c) {
+      EXPECT_EQ(g1(r, c), g0(r, c)) << "drift at (" << r << "," << c << ")";
+    }
+  }
+  // And the factored solver was refreshed to match: same bits out.
+  const auto t1 = net.steady_state(uniform_power(net.num_blocks(), 4.0));
+  for (std::size_t i = 0; i < t0.size(); ++i) EXPECT_EQ(t1[i], t0[i]);
+}
+
+TEST(RcNetworkTest, SteadyStateIntoMatchesSteadyStateBitwise) {
+  const RcNetwork net = small_net();
+  std::vector<double> p(net.num_blocks());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = 1.0 + 0.7 * static_cast<double>(i);
+  }
+  const auto t = net.steady_state(p);
+  SteadyWorkspace ws;
+  std::vector<double> out;
+  for (int rep = 0; rep < 3; ++rep) {  // reuse the workspace across calls
+    net.steady_state_into(p, ws, out);
+    ASSERT_EQ(out.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(out[i], t[i]);
+  }
+}
+
 TEST(RcNetworkTest, LeakageFixedPointConverges) {
   const RcNetwork net = small_net();
   // Power grows mildly with temperature (leakage-like): the fixed point

@@ -77,6 +77,75 @@ TEST(LuSolverTest, ReusableForMultipleRhs) {
   }
 }
 
+TEST(MatrixTest, AssignReinitialisesInPlace) {
+  Matrix m(2, 2);
+  m(0, 0) = 1; m(0, 1) = 2; m(1, 0) = 3; m(1, 1) = 4;
+  m.assign(3, 2, 0.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(m(r, c), 0.5);
+  }
+  // Shrinking reuses the existing block; values default to zero.
+  m.assign(1, 1);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, MulIntoMatchesMulAndRejectsAliasing) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const std::vector<double> x = {1.5, -2.0, 0.25};
+  std::vector<double> y;
+  m.mul_into(x, y);
+  EXPECT_EQ(y, m.mul(x));
+  std::vector<double> xy = {1.0, 2.0, 3.0};
+  EXPECT_THROW(m.mul_into(xy, xy), InvalidArgument);
+}
+
+TEST(LuSolverTest, SolveIntoMatchesSolveBitwise) {
+  // The workspace overload must be bit-for-bit the allocating one, including
+  // on systems that exercise partial pivoting.
+  Xoshiro256 rng(20260806);
+  for (const int n : {1, 2, 3, 7, 12, 24}) {
+    Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+            rng.uniform(-2.0, 2.0);
+      }
+      // Zero a leading diagonal entry now and then to force row swaps.
+      if (n > 1 && r % 3 == 0) {
+        a(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) = 0.0;
+      }
+      a(static_cast<std::size_t>(r), (static_cast<std::size_t>(r) + 1) %
+                                         static_cast<std::size_t>(n)) += n;
+    }
+    const LuSolver lu(a);
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+    const auto x = lu.solve(b);
+    std::vector<double> out(3, 99.0);  // wrong size: solve_into must resize
+    lu.solve_into(b, out);
+    ASSERT_EQ(out.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(out[i], x[i]) << "bit mismatch at n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(LuSolverTest, SolveIntoRejectsAliasingAndBadSize) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const LuSolver lu(a);
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(lu.solve_into(b, b), InvalidArgument);
+  std::vector<double> out;
+  std::vector<double> short_b = {1.0};
+  EXPECT_THROW(lu.solve_into(short_b, out), InvalidArgument);
+}
+
 // Property sweep: random diagonally dominant systems solve to machine
 // precision (residual check), across sizes.
 class LuRandomTest : public ::testing::TestWithParam<int> {};
