@@ -21,7 +21,9 @@ double headline_ratio(const pipeline::SweepResult& sweep) {
 
 pipeline::SweepResult run_variant(pipeline::EvaluationConfig cfg) {
   cfg.trace_instructions = env_u64("RAMP_ABLATION_LEN", 60'000);
-  return pipeline::run_sweep(cfg, /*cache_path=*/"", /*verbose=*/false);
+  pipeline::SweepRunner::Options opts;
+  opts.cache_path.clear();
+  return pipeline::SweepRunner(std::move(cfg), std::move(opts)).run();
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
 #include "pipeline/evaluator.hpp"
+#include "pipeline/stage_graph.hpp"
 #include "sim/ooo_core.hpp"
 #include "thermal/rc_model.hpp"
 #include "trace/synthetic_generator.hpp"
@@ -137,6 +138,58 @@ void BM_PipelineEvaluate(benchmark::State& state) {
   state.SetLabel(std::string(scaling::tech_token(point)));
 }
 BENCHMARK(BM_PipelineEvaluate)->Arg(0)->Arg(1);
+
+void run_stage_reuse(benchmark::State& state, bool warm) {
+  // Stage-graph memoization: the cost of a second V/f point at the same
+  // (app, node). Cold: a fresh StageStore every iteration computes all five
+  // stages. Warm: the store already holds the trace and sim outputs
+  // (populated by the 0.9 V sibling — both 65 nm points clock 2 GHz), so
+  // each evaluation re-runs only power→thermal→fit. The committed baseline
+  // pins both ops; together they hold the reuse speedup (warm must stay
+  // several times faster than cold — docs/PERFORMANCE.md).
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = 50'000;
+  const auto& w = workloads::workload("gcc");
+  obs::MetricsRegistry reg(/*enabled=*/false);  // accounting off the hot path
+  const auto make_store = [&reg] {
+    pipeline::StageStore::Options opts;
+    opts.registry = &reg;
+    return std::make_shared<pipeline::StageStore>(std::move(opts));
+  };
+  std::shared_ptr<pipeline::StageStore> shared;
+  if (warm) {
+    // Unpinned: the sink target is irrelevant here — only the shared trace
+    // and sim outputs matter, and those keys don't cover it.
+    shared = make_store();
+    pipeline::Evaluator(cfg, shared)
+        .evaluate(w, scaling::TechPoint::k65nm_0V9, 0.0);
+  }
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    // Jitter the sink target (near gcc's natural pinned sink) so thermal
+    // and fit recompute every iteration; a fixed target would degenerate
+    // into pure fit-row hits after the first pass instead of V/f-style
+    // reuse.
+    const double sink_k = 340.0 + 0.001 * static_cast<double>(n);
+    const auto store = warm ? shared : make_store();
+    const pipeline::Evaluator ev(cfg, store);
+    const auto r = ev.evaluate(w, scaling::TechPoint::k65nm_1V0, sink_k);
+    benchmark::DoNotOptimize(r.raw_fits.total());
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  state.SetLabel(warm ? "warm" : "cold");
+}
+
+void BM_StageReuseCold(benchmark::State& state) {
+  run_stage_reuse(state, /*warm=*/false);
+}
+BENCHMARK(BM_StageReuseCold);
+
+void BM_StageReuseWarm(benchmark::State& state) {
+  run_stage_reuse(state, /*warm=*/true);
+}
+BENCHMARK(BM_StageReuseWarm);
 
 // ---- observability hot path ------------------------------------------------
 // Absolute cost of the obs primitives themselves (the pipeline claims ~1 ns

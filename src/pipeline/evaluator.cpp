@@ -1,46 +1,15 @@
 #include "pipeline/evaluator.hpp"
 
 #include <chrono>
-#include <cmath>
-#include <functional>
-#include <memory>
+#include <optional>
 
 #include "obs/span.hpp"
-#include "sim/core_config.hpp"
-#include "sim/ooo_core.hpp"
-#include "thermal/floorplan.hpp"
+#include "pipeline/stage_graph.hpp"
 #include "trace/synthetic_generator.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
-#include "util/stats.hpp"
 
 namespace ramp::pipeline {
-
-namespace {
-
-// Deterministic per-app seed offset so every benchmark gets an independent
-// but reproducible stream.
-std::uint64_t app_seed(std::uint64_t base, const std::string& name) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  for (char c : name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return base ^ h;
-}
-
-// Block index (floorplan order) for each structure (StructureId order).
-std::array<std::size_t, sim::kNumStructures> block_of_structure(
-    const thermal::Floorplan& fp) {
-  std::array<std::size_t, sim::kNumStructures> map{};
-  for (int s = 0; s < sim::kNumStructures; ++s) {
-    map[static_cast<std::size_t>(s)] = fp.index_of(
-        std::string(sim::structure_name(static_cast<sim::StructureId>(s))));
-  }
-  return map;
-}
-
-}  // namespace
 
 EvaluationConfig EvaluationConfig::from_env(std::uint64_t trace_len) {
   EvaluationConfig cfg;
@@ -63,6 +32,9 @@ EvaluationConfig EvaluationConfig::from_env(std::uint64_t trace_len) {
   if (const auto temp = env_double("RAMP_WATCHDOG_TEMP_K")) {
     cfg.watchdog.max_temp_k = *temp;
   }
+  const auto stage_cache = env_on_off_or_value("RAMP_STAGE_CACHE");
+  cfg.stage_cache_enabled = stage_cache.has_value();
+  cfg.stage_cache_dir = stage_cache.value_or("");
   return cfg;
 }
 
@@ -78,14 +50,22 @@ core::FitSummary scale_summary(const core::FitSummary& raw,
   return out;
 }
 
-Evaluator::Evaluator(EvaluationConfig cfg) : cfg_(std::move(cfg)) {
+Evaluator::Evaluator(EvaluationConfig cfg, std::shared_ptr<StageStore> store)
+    : cfg_(std::move(cfg)), store_(std::move(store)) {
   RAMP_REQUIRE(cfg_.trace_instructions > 0, "trace length must be positive");
   RAMP_REQUIRE(cfg_.interval_seconds > 0.0, "interval must be positive");
+  if (store_ == nullptr && cfg_.stage_cache_enabled) {
+    StageStore::Options opts;
+    opts.dir = cfg_.stage_cache_dir;
+    store_ = std::make_shared<StageStore>(std::move(opts));
+  }
 }
 
 AppTechResult Evaluator::evaluate(const workloads::Workload& w,
                                   scaling::TechPoint tech_point,
                                   double sink_target_k) const {
+  if (store_ != nullptr) return evaluate_staged(w, tech_point, sink_target_k);
+
   // kTraceGen covers stream *construction* only: synthesis itself is
   // pull-driven per-instruction inside the simulator, so its cost is
   // accounted to kSim (timing each next() would dwarf the work).
@@ -93,10 +73,107 @@ AppTechResult Evaluator::evaluate(const workloads::Workload& w,
       obs::Stage::kTraceGen,
       w.name + "@" + std::string(scaling::tech_token(tech_point)));
   trace::SyntheticTrace trace_stream(w.profile, cfg_.trace_instructions,
-                                     app_seed(cfg_.seed, w.name));
+                                     app_trace_seed(cfg_.seed, w.name));
   trace_span.stop();
   return evaluate_stream(trace_stream, w.name, w.power_bias, tech_point,
                          sink_target_k);
+}
+
+// Store-backed path: each stage resolves through the shared StageStore under
+// its content-addressed key. Upstream stages are pulled lazily, so a
+// downstream hit (e.g. the whole fit row) never recomputes — or even looks
+// up — anything above it, and a second V/f point at the same (app, node)
+// reuses trace and sim outright.
+AppTechResult Evaluator::evaluate_staged(const workloads::Workload& w,
+                                         scaling::TechPoint tech_point,
+                                         double sink_target_k) const {
+  const scaling::TechnologyNode& tech = scaling::node(tech_point);
+  using Clock = std::chrono::steady_clock;
+  obs::Profiler& prof = obs::Profiler::global();
+  const bool profile = prof.enabled();
+  const std::string cell =
+      w.name + "@" + std::string(scaling::tech_token(tech_point));
+  const auto run_start = profile ? Clock::now() : Clock::time_point{};
+
+  const TraceStageIn tin{w.name, w.profile, cfg_.trace_instructions, cfg_.seed};
+  const StageKey tkey = trace_stage_key(tin);
+  const StageKey skey =
+      sim_stage_key(tkey, tech.frequency_hz, cfg_.interval_seconds);
+  const StageKey pkey = power_stage_key(skey, cfg_.power, w.power_bias, tech);
+  const StageKey hkey = thermal_stage_key(pkey, cfg_, tech, sink_target_k);
+  const StageKey fkey = fit_stage_key(hkey, tech);
+
+  // Lazy memoized upstream getters: each stage materializes at most once,
+  // and only when a downstream miss actually demands it.
+  std::optional<SimStageOut> sim_out;
+  const auto get_sim = [&]() -> const SimStageOut& {
+    if (!sim_out) {
+      sim_out = store_->get_or_compute<SimStageOut>(
+          StageId::kSim, skey, [&]() -> SimStageOut {
+            // Trace stage: resolve the spec through the store first, so
+            // trace reuse is visible in the stage counters. The spec *is*
+            // the canonical key — synthesis is pull-driven inside the
+            // simulator (see Evaluator::evaluate).
+            const TraceStageOut spec = store_->get_or_compute<TraceStageOut>(
+                StageId::kTrace, tkey,
+                [&] { return TraceStageOut{tkey.canonical}; });
+            RAMP_ASSERT(spec.spec == tkey.canonical);
+            obs::Span trace_span(obs::Stage::kTraceGen, cell);
+            trace::SyntheticTrace stream(w.profile, cfg_.trace_instructions,
+                                         app_trace_seed(cfg_.seed, w.name));
+            trace_span.stop();
+            return run_sim_stage(cfg_, tech, stream, cell);
+          });
+    }
+    return *sim_out;
+  };
+  std::optional<PowerStageOut> power_out;
+  const auto get_power = [&]() -> const PowerStageOut& {
+    if (!power_out) {
+      power_out = store_->get_or_compute<PowerStageOut>(
+          StageId::kPower, pkey, [&] {
+            return run_power_stage(cfg_, tech, w.power_bias, get_sim().result,
+                                   cell);
+          });
+    }
+    return *power_out;
+  };
+  std::optional<ThermalStageOut> thermal_out;
+  const auto get_thermal = [&]() -> const ThermalStageOut& {
+    if (!thermal_out) {
+      thermal_out = store_->get_or_compute<ThermalStageOut>(
+          StageId::kThermal, hkey, [&] {
+            return run_thermal_stage(cfg_, tech, sink_target_k, get_power(),
+                                     cell);
+          });
+    }
+    return *thermal_out;
+  };
+
+  // Fit rows are cached only when they carry no interval trace or timeline
+  // (the payload cannot represent those); recorder runs still reuse every
+  // upstream stage.
+  const bool cache_fit = !cfg_.record_intervals && !cfg_.timeline_enabled;
+  AppTechResult r;
+  if (cache_fit) {
+    r = store_->get_or_compute<AppTechResult>(StageId::kFit, fkey, [&] {
+      AppTechResult fresh =
+          run_fit_stage(cfg_, tech, get_sim().result, get_power(),
+                        get_thermal(), cell);
+      fresh.app = w.name;
+      fresh.tech = tech_point;
+      return fresh;
+    });
+  } else {
+    r = run_fit_stage(cfg_, tech, get_sim().result, get_power(), get_thermal(),
+                      cell);
+  }
+  r.app = w.name;
+  r.tech = tech_point;
+  if (profile) {
+    prof.record_cell_timed(obs::Stage::kTotal, cell, run_start, Clock::now());
+  }
+  return r;
 }
 
 AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
@@ -107,8 +184,10 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
   RAMP_REQUIRE(power_bias > 0.0, "power bias must be positive");
   const scaling::TechnologyNode& tech = scaling::node(tech_point);
 
-  // Per-stage wall-time attribution for the "app@node" cell. When the
-  // profiler is disabled no clock is ever read on this path.
+  // External streams are not content-addressable, so this path never
+  // consults the stage store: it is the plain sequential stage chain.
+  // Per-stage wall-time attribution happens inside the stage bodies; when
+  // the profiler is disabled no clock is ever read on this path.
   using Clock = std::chrono::steady_clock;
   obs::Profiler& prof = obs::Profiler::global();
   const bool profile = prof.enabled();
@@ -116,260 +195,15 @@ AppTechResult Evaluator::evaluate_stream(trace::TraceReader& stream,
       label + "@" + std::string(scaling::tech_token(tech_point));
   const auto run_start = profile ? Clock::now() : Clock::time_point{};
 
-  // ---- 1. timing simulation -------------------------------------------
-  const sim::CoreConfig core_cfg = sim::core_config_for(tech);
-  const auto interval_cycles = static_cast<std::uint64_t>(
-      std::llround(core_cfg.frequency_hz * cfg_.interval_seconds));
-  RAMP_ASSERT(interval_cycles > 0);
-
-  sim::OooCore core(core_cfg);
-  const auto sim_start = profile ? Clock::now() : Clock::time_point{};
-  const sim::SimResult sim_result = core.run(stream, interval_cycles);
-  if (profile) {
-    prof.record_cell_timed(obs::Stage::kSim, cell, sim_start, Clock::now());
-  }
-  RAMP_ASSERT(!sim_result.intervals.empty());
-
-  // ---- 2. power / thermal setup ----------------------------------------
-  const power::PowerModel pm(cfg_.power, tech);
-  const thermal::Floorplan fp =
-      thermal::power4_floorplan().scaled(std::sqrt(tech.relative_area));
-  thermal::RcNetwork net(fp, cfg_.thermal);
-  const auto blk = block_of_structure(fp);
-  const std::size_t nblocks = fp.size();
-
-  // Average dynamic power per structure over the whole run — the "first
-  // run" of the paper's two-run methodology. The workload's power_bias
-  // calibrates per-app energy-per-op to Table 3 (see workloads/spec2k.hpp).
-  auto biased_dynamic = [&](const std::array<double, sim::kNumStructures>& act) {
-    power::StructurePower p = pm.dynamic_power(act);
-    for (double& v : p) v *= power_bias;
-    return p;
-  };
-  const power::StructurePower avg_dyn = biased_dynamic(sim_result.totals.avg_activity);
-
-  // Block powers from structure dynamic power + leakage at block temps,
-  // written into a caller-owned buffer so the per-interval loop never
-  // allocates.
-  auto block_power_into = [&](const power::StructurePower& dyn,
-                              const std::vector<double>& block_temps,
-                              std::vector<double>& p) {
-    p.assign(nblocks, 0.0);
-    for (int s = 0; s < sim::kNumStructures; ++s) {
-      const auto si = static_cast<std::size_t>(s);
-      const double leak = pm.leakage_power(static_cast<sim::StructureId>(s),
-                                           block_temps[blk[si]]);
-      p[blk[si]] += dyn[si] + leak;
-    }
-  };
-  auto block_power_at = [&](const power::StructurePower& dyn,
-                            const std::vector<double>& block_temps) {
-    std::vector<double> p;
-    block_power_into(dyn, block_temps, p);
-    return p;
-  };
-  const std::function<std::vector<double>(const std::vector<double>&)>
-      avg_power_fn = [&](const std::vector<double>& block_temps) {
-        return block_power_at(avg_dyn, block_temps);
-      };
-
-  // ---- 3. steady state + sink calibration ------------------------------
-  const auto steady_start = profile ? Clock::now() : Clock::time_point{};
-  std::vector<double> steady = net.steady_state(avg_power_fn);
-  const std::size_t sink_node = nblocks + 1;
-  if (sink_target_k > 0.0) {
-    // Choose R_convec so the sink settles at the target temperature:
-    // R = (T_target − T_amb) / P_total, iterated with the leakage loop.
-    RAMP_REQUIRE(sink_target_k > cfg_.thermal.ambient_k,
-                 "sink target must exceed ambient");
-    for (int it = 0; it < 20; ++it) {
-      std::vector<double> block_temps(steady.begin(),
-                                      steady.begin() + static_cast<std::ptrdiff_t>(nblocks));
-      const std::vector<double> p = avg_power_fn(block_temps);
-      double total = 0.0;
-      for (double v : p) total += v;
-      RAMP_ASSERT(total > 0.0);
-      net.set_r_convec((sink_target_k - cfg_.thermal.ambient_k) / total);
-      steady = net.steady_state(avg_power_fn);
-      if (std::abs(steady[sink_node] - sink_target_k) < 1e-3) break;
-    }
-  }
-  if (profile) {
-    prof.record_cell_timed(obs::Stage::kThermal, cell, steady_start,
-                           Clock::now());
-  }
-
-  // ---- 4. transient rerun with RAMP attached ----------------------------
-  thermal::Transient transient(net, steady, cfg_.interval_seconds);
-  const core::RampModel model(tech);  // unit constants => raw FITs
-  core::FitTracker tracker(model);
-
-  RunningMean dyn_power_avg;
-  RunningMean leak_power_avg;
-  std::vector<IntervalSample> samples;
-  if (cfg_.record_intervals) samples.reserve(sim_result.intervals.size());
-  double elapsed_s = 0.0;
-
-  // Flight recorder: bounded per-interval physics sketch plus the anomaly
-  // watchdog. Purely observational — results are identical with it off, and
-  // its work is deterministic (no clocks, no RNG), so jobs=1 and jobs=4
-  // sweeps export byte-identical timelines.
-  std::unique_ptr<obs::TimelineBuffer> timeline;
-  std::unique_ptr<obs::Watchdog> watchdog;
-  if (cfg_.timeline_enabled) {
-    timeline = std::make_unique<obs::TimelineBuffer>(
-        static_cast<std::size_t>(cfg_.timeline_points));
-    watchdog = std::make_unique<obs::Watchdog>(cell, cfg_.watchdog, prof);
-  }
-  std::uint64_t interval_index = 0;
-
-  // The per-interval loop is too hot for a Span per section: accumulate lap
-  // times into plain doubles and publish once after the loop (see span.hpp).
-  double power_seconds = 0.0;
-  double thermal_seconds = 0.0;
-  double fit_seconds = 0.0;
-  auto lap_mark = profile ? Clock::now() : Clock::time_point{};
-  const auto lap = [&](double& acc) {
-    if (!profile) return;
-    const auto now = Clock::now();
-    acc += std::chrono::duration<double>(now - lap_mark).count();
-    lap_mark = now;
-  };
-
-  // Per-run workspace: every buffer the per-interval loop touches is hoisted
-  // here and reused, so steady-state operation performs zero heap
-  // allocations per interval (vector::assign reuses capacity; the transient
-  // solver and the FIT trackers are allocation-free by construction).
-  struct EvalWorkspace {
-    std::vector<double> block_temps;  ///< pre-step block temps (leakage input)
-    std::vector<double> bp;           ///< per-block power for this interval
-  };
-  EvalWorkspace ws;
-  ws.block_temps.reserve(nblocks);
-  ws.bp.reserve(nblocks);
-
-  // Whether each interval's *instantaneous* FIT is needed. Computed once and
-  // shared by the interval trace and the timeline (they used to run this
-  // kernel twice with identical inputs — same bits, double the cost).
-  const bool want_instant = cfg_.record_intervals || timeline != nullptr;
-
-  std::array<double, sim::kNumStructures> struct_temps{};
-  for (const auto& iv : sim_result.intervals) {
-    const double duration =
-        static_cast<double>(iv.cycles) / core_cfg.frequency_hz;
-
-    lap(fit_seconds);  // charge loop restart overhead to the previous lap owner
-    const power::StructurePower dyn = biased_dynamic(iv.activity);
-    {
-      const std::vector<double>& temps_now = transient.temperatures();
-      ws.block_temps.assign(
-          temps_now.begin(),
-          temps_now.begin() + static_cast<std::ptrdiff_t>(nblocks));
-    }
-    block_power_into(dyn, ws.block_temps, ws.bp);
-    lap(power_seconds);
-    transient.step(ws.bp);
-    lap(thermal_seconds);
-
-    double dyn_total = 0.0;
-    for (double v : dyn) dyn_total += v;
-    double block_total = 0.0;
-    for (double v : ws.bp) block_total += v;
-    dyn_power_avg.add(dyn_total);
-    leak_power_avg.add(block_total - dyn_total);
-    lap(power_seconds);
-
-    {
-      // Single post-step temperature read feeding the FIT kernel, the
-      // interval trace, and the timeline.
-      const std::vector<double>& temps_after = transient.temperatures();
-      for (int s = 0; s < sim::kNumStructures; ++s) {
-        const auto si = static_cast<std::size_t>(s);
-        struct_temps[si] = temps_after[blk[si]];
-      }
-    }
-    tracker.add_interval(struct_temps, iv.activity, tech.vdd, duration);
-    elapsed_s += duration;
-
-    // Instantaneous per-mechanism raw FIT at this interval's conditions,
-    // computed once for both consumers below.
-    std::array<double, core::kNumMechanisms> inst_mech{};
-    if (want_instant) {
-      core::FitTracker instant(model);
-      instant.add_interval(struct_temps, iv.activity, tech.vdd, duration);
-      inst_mech = instant.summary().by_mechanism();
-    }
-    lap(fit_seconds);
-
-    if (cfg_.record_intervals) {
-      IntervalSample sample;
-      sample.time_s = elapsed_s;
-      for (double t : struct_temps) {
-        sample.hottest_temp_k = std::max(sample.hottest_temp_k, t);
-      }
-      sample.total_power_w = block_total;
-      sample.ipc = iv.ipc();
-      sample.raw_mechanism_fit = inst_mech;
-      samples.push_back(sample);
-      lap(fit_seconds);
-    }
-
-    if (timeline) {
-      obs::TimelinePoint point;
-      point.interval = interval_index;
-      point.time_s = elapsed_s;
-      point.ipc = iv.ipc();
-      point.dyn_power_w = dyn_total;
-      point.leak_power_w = block_total - dyn_total;
-      point.temp_k.assign(struct_temps.begin(), struct_temps.end());
-      point.fit_inst.assign(inst_mech.begin(), inst_mech.end());
-      // Running cumulative average: the final point lands exactly on the
-      // reported raw_fits (the export's cross-check anchor).
-      const auto avg = tracker.summary().by_mechanism();
-      point.fit_avg.assign(avg.begin(), avg.end());
-      watchdog->check(point, *timeline);
-      timeline->push(std::move(point));
-      lap(fit_seconds);
-    }
-    ++interval_index;
-  }
-  if (profile) {
-    const auto n = static_cast<std::uint64_t>(sim_result.intervals.size());
-    prof.record_cell(obs::Stage::kPower, cell, power_seconds, n);
-    prof.record_cell(obs::Stage::kThermal, cell, thermal_seconds, n);
-    prof.record_cell(obs::Stage::kFit, cell, fit_seconds, n);
-  }
-
-  // ---- 5. collect --------------------------------------------------------
-  AppTechResult r;
+  const SimStageOut sim = run_sim_stage(cfg_, tech, stream, cell);
+  const PowerStageOut power =
+      run_power_stage(cfg_, tech, power_bias, sim.result, cell);
+  const ThermalStageOut thermal =
+      run_thermal_stage(cfg_, tech, sink_target_k, power, cell);
+  AppTechResult r =
+      run_fit_stage(cfg_, tech, sim.result, power, thermal, cell);
   r.app = label;
   r.tech = tech_point;
-  r.ipc = sim_result.totals.ipc();
-  r.avg_dynamic_power_w = dyn_power_avg.mean();
-  r.avg_leakage_power_w = leak_power_avg.mean();
-  r.avg_total_power_w = r.avg_dynamic_power_w + r.avg_leakage_power_w;
-  r.max_structure_temp_k = tracker.max_temperature();
-  r.sink_temp_k = steady[sink_node];
-  r.avg_die_temp_k = tracker.avg_die_temperature();
-  r.max_activity = tracker.max_activity();
-  r.raw_fits = tracker.summary();
-  r.run = sim_result.totals;
-  r.interval_trace = std::move(samples);
-  if (timeline) {
-    r.timeline.cell = cell;
-    for (const auto s : sim::kAllStructures) {
-      r.timeline.temp_names.emplace_back(sim::structure_name(s));
-    }
-    for (int m = 0; m < core::kNumMechanisms; ++m) {
-      r.timeline.fit_names.emplace_back(
-          core::mechanism_name(static_cast<core::Mechanism>(m)));
-    }
-    r.timeline.intervals = timeline->pushed();
-    r.timeline.stride = timeline->stride();
-    r.timeline.capacity = timeline->capacity();
-    r.timeline.points = timeline->points();
-    r.incidents = watchdog->incidents();
-  }
   if (profile) {
     prof.record_cell_timed(obs::Stage::kTotal, cell, run_start, Clock::now());
   }

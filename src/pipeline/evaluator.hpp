@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,15 @@ struct EvaluationConfig {
   std::string trace_out;
   /// Anomaly rules the watchdog applies when the timeline is enabled.
   obs::WatchdogRules watchdog{};
+  /// Content-addressed per-stage memoization (see stage_graph.hpp). When
+  /// true, an Evaluator constructed without an explicit StageStore creates
+  /// its own; stage outputs are reused across evaluations whose stage keys
+  /// match. Caching never changes results (staged output is byte-identical
+  /// to the monolithic path), so both fields are excluded from config_hash.
+  bool stage_cache_enabled = false;
+  /// Persist directory for the stage store; empty = in-memory only. At the
+  /// CLI layer a bare `--stage-cache` means "<out-dir>/stage_cache".
+  std::string stage_cache_dir;
 
   /// The single place the environment overrides are read:
   ///   RAMP_TRACE_LEN     instructions per synthetic trace (default `trace_len`)
@@ -76,6 +86,7 @@ struct EvaluationConfig {
   ///   RAMP_TIMELINE_POINTS  per-cell point budget (default 512, >= 2)
   ///   RAMP_TRACE_OUT     default Chrome-trace output file
   ///   RAMP_WATCHDOG_TEMP_K  over-temperature trip point (Kelvin)
+  ///   RAMP_STAGE_CACHE   off (default) / on (in-memory) / a persist directory
   /// All other fields keep their defaults. Malformed values (non-numeric,
   /// signed, overflowing, a zero trace length, or a RAMP_METRICS value that
   /// is not a recognised on/off spelling) throw InvalidArgument instead of
@@ -146,9 +157,16 @@ struct AppTechResult {
 core::FitSummary scale_summary(const core::FitSummary& raw,
                                const core::MechanismConstants& k);
 
+class StageStore;
+
 class Evaluator {
  public:
-  explicit Evaluator(EvaluationConfig cfg);
+  /// When `store` is null and `cfg.stage_cache_enabled` is set, the
+  /// evaluator creates a private StageStore from the config's stage-cache
+  /// fields; pass a shared store to reuse stage outputs across evaluators
+  /// (SweepRunner and serve::EvalService do).
+  explicit Evaluator(EvaluationConfig cfg,
+                     std::shared_ptr<StageStore> store = nullptr);
 
   /// Evaluates `w` at `tech`. When `sink_target_k > 0`, the sink-to-ambient
   /// resistance is calibrated so the steady-state sink temperature equals
@@ -172,8 +190,16 @@ class Evaluator {
 
   const EvaluationConfig& config() const { return cfg_; }
 
+  /// The stage store evaluations schedule against (null = memoization off).
+  const std::shared_ptr<StageStore>& stage_store() const { return store_; }
+
  private:
+  AppTechResult evaluate_staged(const workloads::Workload& w,
+                                scaling::TechPoint tech,
+                                double sink_target_k) const;
+
   EvaluationConfig cfg_;
+  std::shared_ptr<StageStore> store_;
 };
 
 }  // namespace ramp::pipeline

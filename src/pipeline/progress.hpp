@@ -1,8 +1,7 @@
 // Progress reporting for sweep execution.
 //
 // SweepRunner reports cell-level lifecycle events through this interface
-// instead of printing to stderr itself (the `bool verbose` flag of the
-// deprecated run_sweep overload). Observer methods are invoked from pool
+// instead of printing to stderr itself. Observer methods are invoked from pool
 // worker threads, but SweepRunner serializes the calls: no two observer
 // methods ever run concurrently, so implementations need no locking of
 // their own.
@@ -51,7 +50,7 @@ class ProgressObserver {
 };
 
 /// Default observer: one stderr line per finished cell plus begin/end
-/// summaries — the replacement for `run_sweep(..., verbose=true)`.
+/// summaries (what `ramp_cli sweep` prints).
 class StderrProgress final : public ProgressObserver {
  public:
   void on_sweep_begin(std::size_t total_cells, std::size_t jobs) override;

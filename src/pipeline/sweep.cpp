@@ -16,6 +16,7 @@
 #include "core/qualification.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "pipeline/stage_graph.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/hashing.hpp"
@@ -33,6 +34,11 @@ int tech_index(scaling::TechPoint p) {
 }
 
 }  // namespace
+
+std::string default_sweep_cache_path() {
+  return (std::filesystem::path(output_dir()) / "ramp_sweep_cache.csv")
+      .string();
+}
 
 const AppTechResult& SweepResult::at(const std::string& app,
                                      scaling::TechPoint tech) const {
@@ -311,6 +317,11 @@ SweepRunner::SweepRunner(EvaluationConfig cfg, Options opts)
     : cfg_(std::move(cfg)), opts_(std::move(opts)) {
   RAMP_REQUIRE(opts_.pool != nullptr || opts_.jobs > 0,
                "SweepRunner needs at least one job");
+  if (opts_.stage_store == nullptr && cfg_.stage_cache_enabled) {
+    StageStore::Options store_opts;
+    store_opts.dir = cfg_.stage_cache_dir;
+    opts_.stage_store = std::make_shared<StageStore>(std::move(store_opts));
+  }
 }
 
 SweepResult SweepRunner::run() const {
@@ -354,7 +365,7 @@ SweepResult SweepRunner::execute(ThreadPool& pool) const {
   const auto nodes = canonical_node_order();
   const std::size_t napps = suite.size();
   const std::size_t nnodes = nodes.size();
-  const Evaluator evaluator(cfg_);
+  const Evaluator evaluator(cfg_, opts_.stage_store);
   const auto sweep_start = Clock::now();
 
   // Scheduling metrics. All handles are null no-ops when RAMP_METRICS=off,
@@ -481,17 +492,5 @@ SweepResult SweepRunner::execute(ThreadPool& pool) const {
   return sweep;
 }
 
-SweepResult run_sweep(const EvaluationConfig& cfg, const std::string& cache_path,
-                      bool verbose) {
-  // Legacy behavior: this overload consulted RAMP_CACHE itself. New code
-  // should carry the switch in the config via EvaluationConfig::from_env().
-  EvaluationConfig legacy = cfg;
-  legacy.cache_enabled = cfg.cache_enabled && env_enabled("RAMP_CACHE");
-  SweepRunner::Options opts;
-  opts.cache_path = cache_path;
-  StderrProgress progress;
-  if (verbose) opts.observer = &progress;
-  return SweepRunner(std::move(legacy), std::move(opts)).run();
-}
 
 }  // namespace ramp::pipeline

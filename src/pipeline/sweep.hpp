@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,13 @@ class ThreadPool;
 }
 
 namespace ramp::pipeline {
+
+class StageStore;
+
+/// Default sweep-cache location: "ramp_sweep_cache.csv" under the artifact
+/// output directory ($RAMP_OUT_DIR, "out" when unset) — resolved at call
+/// time like every other artifact, never relative to the CWD.
+std::string default_sweep_cache_path();
 
 struct SweepResult {
   EvaluationConfig config;
@@ -74,12 +82,19 @@ struct SweepResult {
 class SweepRunner {
  public:
   struct Options {
-    std::size_t jobs = 1;                            ///< pool size when owning
-    std::string cache_path = "ramp_sweep_cache.csv"; ///< "" disables caching
-    ProgressObserver* observer = nullptr;            ///< nullptr → silent
+    std::size_t jobs = 1;                 ///< pool size when owning
+    /// Sweep result cache; "" disables caching. Defaults under RAMP_OUT_DIR
+    /// (see default_sweep_cache_path).
+    std::string cache_path = default_sweep_cache_path();
+    ProgressObserver* observer = nullptr; ///< nullptr → silent
     /// Reuse an externally owned pool (e.g. across several sweeps in one
     /// process) instead of creating one per run; overrides `jobs`.
     ThreadPool* pool = nullptr;
+    /// Shared per-stage memoization store every cell schedules against
+    /// (see stage_graph.hpp). Null: the runner creates one itself when
+    /// cfg.stage_cache_enabled, so same-frequency cells share sim outputs
+    /// within the sweep; otherwise stage caching is off.
+    std::shared_ptr<StageStore> stage_store;
   };
 
   explicit SweepRunner(EvaluationConfig cfg)
@@ -99,15 +114,6 @@ class SweepRunner {
   EvaluationConfig cfg_;
   Options opts_;
 };
-
-/// DEPRECATED — thin wrapper kept for source compatibility: constructs a
-/// SweepRunner with one job and a StderrProgress observer when `verbose`.
-/// This legacy overload also still honors RAMP_CACHE directly; new code
-/// should build its config with EvaluationConfig::from_env() and use
-/// SweepRunner.
-SweepResult run_sweep(const EvaluationConfig& cfg,
-                      const std::string& cache_path = "ramp_sweep_cache.csv",
-                      bool verbose = true);
 
 /// Serialization used by the cache (exposed for tests).
 std::string sweep_to_csv(const SweepResult& sweep);

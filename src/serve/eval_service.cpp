@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "obs/span.hpp"
+#include "pipeline/stage_graph.hpp"
 #include "pipeline/sweep.hpp"
 #include "util/error.hpp"
 #include "util/hashing.hpp"
@@ -40,6 +41,12 @@ EvalService::EvalService(pipeline::EvaluationConfig base, Options opts)
     // or not the process-wide RAMP_METRICS switch is on.
     owned_registry_ = std::make_unique<obs::MetricsRegistry>(true);
     registry_ = owned_registry_.get();
+  }
+  if (opts_.stage_store == nullptr && base_.stage_cache_enabled) {
+    pipeline::StageStore::Options store_opts;
+    store_opts.dir = base_.stage_cache_dir;
+    opts_.stage_store =
+        std::make_shared<pipeline::StageStore>(std::move(store_opts));
   }
   requests_ = registry_->counter("ramp_serve_requests_total");
   hits_ = registry_->counter("ramp_serve_hits_total");
@@ -197,7 +204,12 @@ void EvalService::reset_stats() {
 
 pipeline::AppTechResult EvalService::evaluate_request(
     const EvalRequest& req, const pipeline::EvaluationConfig& cfg) {
-  const pipeline::Evaluator evaluator(cfg);
+  // Per-stage memoization: requests share the service-wide store unless
+  // they opted out. The store never changes an answer (staged output is
+  // byte-identical), so stage_cache is excluded from the request key.
+  const std::shared_ptr<pipeline::StageStore> store =
+      req.stage_cache ? opts_.stage_store : nullptr;
+  const pipeline::Evaluator evaluator(cfg, store);
   const auto& w = workloads::workload(req.app);
 
   double sink_k = req.sink_k;
@@ -231,8 +243,8 @@ pipeline::AppTechResult EvalService::evaluate_request(
       base_cfg.timeline_enabled = false;
       auto fresh = std::make_shared<EvalOutcome>();
       fresh->key = base_key;
-      fresh->result =
-          pipeline::Evaluator(base_cfg).evaluate(w, scaling::TechPoint::k180nm);
+      fresh->result = pipeline::Evaluator(base_cfg, store)
+                          .evaluate(w, scaling::TechPoint::k180nm);
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         evaluations_.inc();

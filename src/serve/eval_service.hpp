@@ -76,6 +76,11 @@ class EvalService {
     /// always-enabled registry: the `stats` wire format is contractual, so
     /// service accounting must not depend on RAMP_METRICS.
     obs::MetricsRegistry* registry = nullptr;
+    /// Shared per-stage memoization store evaluations schedule against (see
+    /// pipeline/stage_graph.hpp). Null: the service creates one itself when
+    /// the base config has stage_cache_enabled, else stage caching is off.
+    /// Requests opt out individually with `"stage_cache": false`.
+    std::shared_ptr<pipeline::StageStore> stage_store;
   };
 
   /// How submit() answered a request — reported so front-ends can tell

@@ -77,6 +77,8 @@ EvalRequest parse_request(const std::string& line) {
     } else if (key == "sink_k") {
       req.sink_k = value.as_number("sink_k");
       RAMP_REQUIRE(req.sink_k >= 0.0, "sink_k must be non-negative");
+    } else if (key == "stage_cache") {
+      req.stage_cache = value.as_bool("stage_cache");
     } else {
       throw InvalidArgument("unknown request field '" + key + "'");
     }

@@ -6,6 +6,7 @@
 //    "trace_len":200000,"seed":7,                      // optional overrides
 //    "pin_sink":true,                                  // default true
 //    "sink_k":356.0,                                   // explicit sink target
+//    "stage_cache":true,                               // default true
 //    "id":...}                                         // echoed verbatim
 //   {"op":"stats"}    {"op":"metrics"}    {"op":"metrics_reset"}
 //   {"op":"shutdown"}
@@ -41,6 +42,11 @@ struct EvalRequest {
   std::optional<std::uint64_t> seed;       ///< overrides base config
   bool pin_sink = true;
   double sink_k = 0.0;     ///< >0: explicit sink target (overrides pinning)
+  /// Whether this request may schedule against the service's shared
+  /// pipeline::StageStore. Memoization never changes an answer (staged
+  /// output is byte-identical to the monolithic path), so this is excluded
+  /// from request_key — it only trades compute for reuse.
+  bool stage_cache = true;
   std::optional<std::uint64_t> points;  ///< timeline op: point budget override
   std::string id;          ///< raw JSON of the "id" field, "" when absent
 

@@ -33,10 +33,15 @@ class LruCache {
   }
 
   /// Inserts or overwrites `key` as most-recently-used. Returns the number
-  /// of entries evicted to stay within capacity (0 or 1).
-  std::size_t put(const K& key, V value) {
+  /// of entries evicted to stay within capacity (0 or 1). When `displaced`
+  /// is non-null it receives the value removed to make room — the old value
+  /// on an overwrite or the evicted LRU victim — so callers keeping
+  /// secondary accounting (e.g. total resident bytes) can subtract it; at
+  /// most one of the two can happen per put.
+  std::size_t put(const K& key, V value, V* displaced = nullptr) {
     auto it = index_.find(key);
     if (it != index_.end()) {
+      if (displaced != nullptr) *displaced = std::move(it->second->second);
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
       return 0;
@@ -44,6 +49,7 @@ class LruCache {
     order_.emplace_front(key, std::move(value));
     index_.emplace(key, order_.begin());
     if (index_.size() <= capacity_) return 0;
+    if (displaced != nullptr) *displaced = std::move(order_.back().second);
     index_.erase(order_.back().first);
     order_.pop_back();
     return 1;

@@ -205,6 +205,75 @@ TEST(CliTest, SweepCsvMatchesCommittedGoldenByteForByte) {
   }
 }
 
+TEST(CliTest, StageCacheSweepColdAndWarmMatchGolden) {
+  // The stage-graph memoization contract: a sweep scheduling against the
+  // content-addressed stage store — cold or fully warm, serial or parallel
+  // — serializes byte-for-byte like the store-less monolithic path, pinned
+  // by the same committed golden artifact as the test above.
+  const fs::path golden = fs::path(RAMP_GOLDEN_DIR) / "sweep_trace4000.csv";
+  ASSERT_TRUE(fs::exists(golden)) << golden;
+  std::stringstream want;
+  want << std::ifstream(golden, std::ios::binary).rdbuf();
+  ASSERT_FALSE(want.str().empty());
+
+  for (const char* jobs : {"1", "4"}) {
+    const fs::path dir = fs::temp_directory_path() /
+                         (std::string("ramp_cli_stage_cache_j") + jobs);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string env = "RAMP_OUT_DIR='" + dir.string() +
+                            "' RAMP_CACHE=on RAMP_METRICS=off";
+    const std::string cmd = std::string("sweep --trace-len 4000 --jobs ") +
+                            jobs + " --stage-cache";
+    const fs::path cache = dir / "ramp_sweep_cache.csv";
+
+    // Cold: every stage computes, populating <out-dir>/stage_cache.
+    const auto cold = run_cli(cmd, "", env);
+    ASSERT_EQ(cold.exit_code, 0);
+    ASSERT_TRUE(fs::exists(cache));
+    std::stringstream got_cold;
+    got_cold << std::ifstream(cache, std::ios::binary).rdbuf();
+    EXPECT_EQ(got_cold.str(), want.str())
+        << "cold stage-cache sweep diverged at --jobs " << jobs;
+    std::size_t blobs = 0;
+    ASSERT_TRUE(fs::exists(dir / "stage_cache"));
+    for (const auto& e : fs::directory_iterator(dir / "stage_cache")) {
+      if (e.path().extension() == ".rampblob") ++blobs;
+    }
+    EXPECT_GT(blobs, 0u);
+
+    // Warm: drop the sweep-level CSV so the grid re-runs entirely from the
+    // persisted stage outputs — still byte-identical.
+    fs::remove(cache);
+    const auto warm = run_cli(cmd, "", env);
+    ASSERT_EQ(warm.exit_code, 0);
+    ASSERT_TRUE(fs::exists(cache));
+    std::stringstream got_warm;
+    got_warm << std::ifstream(cache, std::ios::binary).rdbuf();
+    EXPECT_EQ(got_warm.str(), want.str())
+        << "warm stage-cache sweep diverged at --jobs " << jobs;
+    EXPECT_EQ(warm.output, cold.output);  // stdout table too
+    fs::remove_all(dir);
+  }
+}
+
+TEST(CliTest, StageCacheEnvDoesNotChangeEvaluateOutput) {
+  const auto plain = run_cli("evaluate gcc 65-1.0 --trace-len 5000");
+  ASSERT_EQ(plain.exit_code, 0);
+
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_stage_env";
+  fs::remove_all(dir);
+  const std::string env = "RAMP_STAGE_CACHE='" + dir.string() + "'";
+  const auto cold = run_cli("evaluate gcc 65-1.0 --trace-len 5000", "", env);
+  ASSERT_EQ(cold.exit_code, 0);
+  EXPECT_EQ(cold.output, plain.output);
+  EXPECT_TRUE(fs::exists(dir));
+  const auto warm = run_cli("evaluate gcc 65-1.0 --trace-len 5000", "", env);
+  ASSERT_EQ(warm.exit_code, 0);
+  EXPECT_EQ(warm.output, plain.output);
+  fs::remove_all(dir);
+}
+
 TEST(CliTest, MalformedMetricsSwitchFailsLoudly) {
   const auto r = run_cli("sweep --trace-len 5000 --jobs 2", "",
                          "RAMP_METRICS=banana");

@@ -15,7 +15,9 @@ const SweepResult& sweep() {
     // Long enough to amortize cache/predictor warmup — the IPC/power
     // calibration checks below compare against steady-state Table 3 values.
     cfg.trace_instructions = 120'000;
-    return run_sweep(cfg, /*cache_path=*/"", /*verbose=*/false);
+    SweepRunner::Options opts;
+    opts.cache_path.clear();
+    return SweepRunner(std::move(cfg), std::move(opts)).run();
   }();
   return s;
 }

@@ -12,7 +12,9 @@ const SweepResult& quick_sweep() {
   static const SweepResult sweep = [] {
     EvaluationConfig cfg;
     cfg.trace_instructions = 20'000;
-    return run_sweep(cfg, /*cache_path=*/"", /*verbose=*/false);
+    SweepRunner::Options opts;
+    opts.cache_path.clear();
+    return SweepRunner(std::move(cfg), std::move(opts)).run();
   }();
   return sweep;
 }

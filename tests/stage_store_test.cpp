@@ -1,0 +1,458 @@
+// Robustness and key-derivation tests for the content-addressed stage
+// graph: BlobStore file-format hardening (corrupt / truncated /
+// wrong-version / mis-keyed entries read as misses), stage-key invalidation
+// properties, codec round trips, and byte-identity of the staged evaluator
+// against the monolithic path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "pipeline/evaluator.hpp"
+#include "pipeline/stage_graph.hpp"
+#include "pipeline/sweep.hpp"
+#include "scaling/technology.hpp"
+#include "util/blob_store.hpp"
+#include "workloads/spec2k.hpp"
+
+namespace ramp::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test, removed on destruction.
+struct TempDir {
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path = (fs::temp_directory_path() /
+            ("ramp_stage_store_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++)))
+               .string();
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+EvaluationConfig quick_config() {
+  EvaluationConfig cfg;
+  cfg.trace_instructions = 5'000;
+  cfg.cache_enabled = false;
+  return cfg;
+}
+
+std::string row_of(const AppTechResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  write_result_row(os, r);
+  return os.str();
+}
+
+std::shared_ptr<StageStore> make_store(obs::MetricsRegistry* reg,
+                                       std::string dir = "") {
+  StageStore::Options opts;
+  opts.registry = reg;
+  opts.dir = std::move(dir);
+  return std::make_shared<StageStore>(std::move(opts));
+}
+
+std::uint64_t count(obs::MetricsRegistry& reg, const std::string& name) {
+  return reg.counter(name).value();
+}
+
+// The evaluator's exact key chain for (app, tech) with `cfg`, so tests can
+// locate (and corrupt) specific stage files.
+struct KeyChain {
+  StageKey trace, sim, power, thermal, fit;
+};
+KeyChain keys_for(const EvaluationConfig& cfg, const std::string& app,
+                  scaling::TechPoint point, double sink_target_k = 0.0) {
+  const workloads::Workload& w = workloads::workload(app);
+  const scaling::TechnologyNode& tech = scaling::node(point);
+  KeyChain k;
+  k.trace = trace_stage_key(
+      TraceStageIn{w.name, w.profile, cfg.trace_instructions, cfg.seed});
+  k.sim = sim_stage_key(k.trace, tech.frequency_hz, cfg.interval_seconds);
+  k.power = power_stage_key(k.sim, cfg.power, w.power_bias, tech);
+  k.thermal = thermal_stage_key(k.power, cfg, tech, sink_target_k);
+  k.fit = fit_stage_key(k.thermal, tech);
+  return k;
+}
+
+// ---- BlobStore file-format hardening ---------------------------------------
+
+TEST(BlobStoreTest, ComputesOnceThenHitsMemory) {
+  BlobStore store;
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return std::string("payload");
+  };
+  const auto first = store.get_or_compute("k", compute);
+  EXPECT_EQ(first.outcome, BlobStore::Outcome::kComputed);
+  EXPECT_EQ(*first.blob, "payload");
+  const auto second = store.get_or_compute("k", compute);
+  EXPECT_EQ(second.outcome, BlobStore::Outcome::kMemoryHit);
+  EXPECT_EQ(second.blob, first.blob);  // shared, not copied
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(store.memory_entries(), 1u);
+  EXPECT_EQ(store.memory_bytes(), 7u);
+}
+
+TEST(BlobStoreTest, PersistsAndReloadsAcrossStores) {
+  TempDir tmp;
+  BlobStore::Options opts;
+  opts.dir = tmp.path;
+  {
+    BlobStore store(opts);
+    store.get_or_compute("k", [] { return std::string("payload"); });
+    ASSERT_TRUE(fs::exists(store.path_for("k")));
+  }
+  BlobStore fresh(opts);
+  bool validated = false;
+  const auto res = fresh.get_or_compute(
+      "k", [] { return std::string("WRONG"); },
+      [&](const std::string& p) {
+        validated = true;
+        return p == "payload";
+      });
+  EXPECT_EQ(res.outcome, BlobStore::Outcome::kDiskHit);
+  EXPECT_EQ(*res.blob, "payload");
+  EXPECT_TRUE(validated);
+}
+
+TEST(BlobStoreTest, CorruptFilesReadAsMissesAndGetRewritten) {
+  TempDir tmp;
+  BlobStore::Options opts;
+  opts.dir = tmp.path;
+  const std::string good = [&] {
+    BlobStore store(opts);
+    store.get_or_compute("k", [] { return std::string("payload"); });
+    return store.path_for("k");
+  }();
+
+  const auto original = [&] {
+    std::ifstream in(good, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+
+  const auto expect_recompute = [&](const std::string& contents) {
+    {
+      std::ofstream out(good, std::ios::binary | std::ios::trunc);
+      out << contents;
+    }
+    BlobStore fresh(opts);
+    int computes = 0;
+    const auto res = fresh.get_or_compute("k", [&] {
+      ++computes;
+      return std::string("payload");
+    });
+    EXPECT_EQ(res.outcome, BlobStore::Outcome::kComputed);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(*res.blob, "payload");
+    // The miss rewrites the entry, so a further fresh store disk-hits again.
+    BlobStore reread(opts);
+    EXPECT_EQ(reread.get_or_compute("k", [] { return std::string("x"); })
+                  .outcome,
+              BlobStore::Outcome::kDiskHit);
+  };
+
+  expect_recompute("");                                    // empty file
+  expect_recompute(original.substr(0, original.size() / 2));  // truncated
+  expect_recompute("garbage\n");                           // no header at all
+  {  // wrong format version
+    std::string v2 = original;
+    v2.replace(v2.find("v1"), 2, "v2");
+    expect_recompute(v2);
+  }
+  {  // byte count inconsistent with the payload
+    std::string bad = original;
+    bad.replace(bad.find("bytes=7"), 7, "bytes=8");
+    expect_recompute(bad);
+  }
+}
+
+TEST(BlobStoreTest, MisKeyedFileReadsAsMiss) {
+  // A digest collision (or a stray rename) puts key A's bytes at key B's
+  // path; the verbatim key header must turn that into a miss, not a wrong
+  // answer.
+  TempDir tmp;
+  BlobStore::Options opts;
+  opts.dir = tmp.path;
+  {
+    BlobStore store(opts);
+    store.get_or_compute("a", [] { return std::string("payload-a"); });
+    fs::copy_file(store.path_for("a"), store.path_for("b"));
+  }
+  BlobStore fresh(opts);
+  const auto res =
+      fresh.get_or_compute("b", [] { return std::string("payload-b"); });
+  EXPECT_EQ(res.outcome, BlobStore::Outcome::kComputed);
+  EXPECT_EQ(*res.blob, "payload-b");
+}
+
+TEST(BlobStoreTest, ValidateRejectionRecomputes) {
+  TempDir tmp;
+  BlobStore::Options opts;
+  opts.dir = tmp.path;
+  {
+    BlobStore store(opts);
+    store.get_or_compute("k", [] { return std::string("stale"); });
+  }
+  BlobStore fresh(opts);
+  const auto res = fresh.get_or_compute(
+      "k", [] { return std::string("fresh"); },
+      [](const std::string&) { return false; });
+  EXPECT_EQ(res.outcome, BlobStore::Outcome::kComputed);
+  EXPECT_EQ(*res.blob, "fresh");
+}
+
+TEST(BlobStoreTest, ComputeExceptionLeavesNoEntry) {
+  BlobStore store;
+  EXPECT_THROW(store.get_or_compute(
+                   "k", []() -> std::string { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  EXPECT_EQ(store.memory_entries(), 0u);
+  const auto res = store.get_or_compute("k", [] { return std::string("ok"); });
+  EXPECT_EQ(res.outcome, BlobStore::Outcome::kComputed);
+  EXPECT_EQ(*res.blob, "ok");
+}
+
+// ---- stage keys ------------------------------------------------------------
+
+TEST(StageKeyTest, VoltageChangeInvalidatesPowerButNotSim) {
+  // The paper's 65 nm V/f study: 0.9 V and 1.0 V run the same 2 GHz clock,
+  // so trace and sim outputs are shared and only power→thermal→fit re-run.
+  const EvaluationConfig cfg = quick_config();
+  const KeyChain lo = keys_for(cfg, "gcc", scaling::TechPoint::k65nm_0V9);
+  const KeyChain hi = keys_for(cfg, "gcc", scaling::TechPoint::k65nm_1V0);
+  EXPECT_EQ(lo.trace.canonical, hi.trace.canonical);
+  EXPECT_EQ(lo.sim.canonical, hi.sim.canonical);
+  EXPECT_NE(lo.power.canonical, hi.power.canonical);
+  EXPECT_NE(lo.thermal.canonical, hi.thermal.canonical);
+  EXPECT_NE(lo.fit.canonical, hi.fit.canonical);
+}
+
+TEST(StageKeyTest, UpstreamChangesCascadeDownstream) {
+  EvaluationConfig cfg = quick_config();
+  const KeyChain base = keys_for(cfg, "gcc", scaling::TechPoint::k180nm);
+
+  // A different app changes everything from the trace on down.
+  const KeyChain other_app = keys_for(cfg, "mesa", scaling::TechPoint::k180nm);
+  EXPECT_NE(base.trace.canonical, other_app.trace.canonical);
+  EXPECT_NE(base.fit.canonical, other_app.fit.canonical);
+
+  // Seed feeds the trace stage; every downstream key embeds it.
+  cfg.seed += 1;
+  const KeyChain reseeded = keys_for(cfg, "gcc", scaling::TechPoint::k180nm);
+  EXPECT_NE(base.trace.canonical, reseeded.trace.canonical);
+  EXPECT_NE(base.sim.canonical, reseeded.sim.canonical);
+  EXPECT_NE(base.fit.canonical, reseeded.fit.canonical);
+  cfg.seed -= 1;
+
+  // The sink target feeds thermal calibration only: power and above reuse.
+  const KeyChain pinned =
+      keys_for(cfg, "gcc", scaling::TechPoint::k180nm, 360.0);
+  EXPECT_EQ(base.power.canonical, pinned.power.canonical);
+  EXPECT_NE(base.thermal.canonical, pinned.thermal.canonical);
+  EXPECT_NE(base.fit.canonical, pinned.fit.canonical);
+
+  // Keys embed their upstream key verbatim — no digest chaining.
+  EXPECT_NE(base.sim.canonical.find(base.trace.canonical), std::string::npos);
+  EXPECT_NE(base.fit.canonical.find(base.thermal.canonical),
+            std::string::npos);
+}
+
+// ---- codecs ----------------------------------------------------------------
+
+TEST(StageCodecTest, PowerPayloadRoundTripsBitExactly) {
+  PowerStageOut v;
+  for (double& d : v.avg_dynamic) d = 0.1 + d;
+  v.dynamic.resize(3);
+  v.dynamic[1][2] = 1.0 / 3.0;
+  v.dynamic_total = {0.25, -0.0, 6.02214076e23};
+  const std::string payload = encode_payload(v);
+  PowerStageOut back;
+  ASSERT_TRUE(decode_payload(payload, back));
+  EXPECT_EQ(back.dynamic.size(), 3u);
+  for (std::size_t i = 0; i < v.avg_dynamic.size(); ++i) {
+    EXPECT_EQ(back.avg_dynamic[i], v.avg_dynamic[i]);
+  }
+  EXPECT_EQ(back.dynamic[1][2], 1.0 / 3.0);
+  ASSERT_EQ(back.dynamic_total.size(), 3u);
+  EXPECT_EQ(back.dynamic_total[2], 6.02214076e23);
+  EXPECT_TRUE(std::signbit(back.dynamic_total[1]));  // -0.0 preserved
+}
+
+TEST(StageCodecTest, DecodeRejectsCorruptPayloads) {
+  ThermalStageOut v;
+  v.sink_temp_k = 345.0;
+  v.struct_temps.resize(2);
+  v.block_total = {1.0, 2.0};
+  const std::string payload = encode_payload(v);
+
+  ThermalStageOut out;
+  EXPECT_TRUE(decode_payload(payload, out));
+  EXPECT_FALSE(decode_payload(payload.substr(0, payload.size() - 1), out));
+  EXPECT_FALSE(decode_payload(payload + "x", out));
+  EXPECT_FALSE(decode_payload(std::string(), out));
+  std::string wrong_magic = payload;
+  wrong_magic[0] ^= 0x5a;
+  EXPECT_FALSE(decode_payload(wrong_magic, out));
+  // A corrupt interval count must fail the size check, not attempt a
+  // matching (potentially enormous) resize.
+  std::string huge_count = payload;
+  huge_count[8] = '\xff';  // low byte of the first u64 count
+  EXPECT_FALSE(decode_payload(huge_count, out));
+  // Payloads of one stage must not decode as another.
+  SimStageOut sim;
+  EXPECT_FALSE(decode_payload(payload, sim));
+}
+
+// ---- StageStore end to end -------------------------------------------------
+
+TEST(StageStoreTest, StagedMatchesMonolithicByteForByte) {
+  const EvaluationConfig cfg = quick_config();
+  const Evaluator mono(cfg);
+  obs::MetricsRegistry reg(true);
+  const Evaluator staged(cfg, make_store(&reg));
+  const workloads::Workload& w = workloads::workload("gcc");
+  for (const auto point :
+       {scaling::TechPoint::k180nm, scaling::TechPoint::k65nm_1V0}) {
+    const std::string expect = row_of(mono.evaluate(w, point));
+    EXPECT_EQ(row_of(staged.evaluate(w, point)), expect);  // cold
+    EXPECT_EQ(row_of(staged.evaluate(w, point)), expect);  // warm
+  }
+}
+
+TEST(StageStoreTest, SecondVfPointSkipsTraceAndSim) {
+  // The headline reuse property: after gcc@65-0.9, evaluating gcc@65-1.0
+  // answers the sim stage from the store and never touches the trace stage.
+  const EvaluationConfig cfg = quick_config();
+  obs::MetricsRegistry reg(true);
+  const Evaluator ev(cfg, make_store(&reg));
+  const workloads::Workload& w = workloads::workload("gcc");
+
+  ev.evaluate(w, scaling::TechPoint::k65nm_0V9);
+  EXPECT_EQ(count(reg, "ramp_stage_trace_misses_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_sim_misses_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_fit_misses_total"), 1u);
+
+  ev.evaluate(w, scaling::TechPoint::k65nm_1V0);
+  EXPECT_EQ(count(reg, "ramp_stage_sim_hits_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_sim_misses_total"), 1u);
+  // A sim hit short-circuits its compute lambda, so the trace stage is
+  // never even looked up — zero hits, still one miss.
+  EXPECT_EQ(count(reg, "ramp_stage_trace_hits_total"), 0u);
+  EXPECT_EQ(count(reg, "ramp_stage_trace_misses_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_power_misses_total"), 2u);
+  EXPECT_EQ(count(reg, "ramp_stage_thermal_misses_total"), 2u);
+  EXPECT_EQ(count(reg, "ramp_stage_fit_misses_total"), 2u);
+}
+
+TEST(StageStoreTest, WarmPersistentStoreAnswersFromFitAlone) {
+  TempDir tmp;
+  const EvaluationConfig cfg = quick_config();
+  const workloads::Workload& w = workloads::workload("gcc");
+  std::string cold_row;
+  {
+    obs::MetricsRegistry reg(true);
+    const Evaluator ev(cfg, make_store(&reg, tmp.path));
+    cold_row = row_of(ev.evaluate(w, scaling::TechPoint::k180nm));
+    EXPECT_EQ(count(reg, "ramp_stage_fit_writes_total"), 1u);
+    EXPECT_EQ(count(reg, "ramp_stage_sim_writes_total"), 1u);
+  }
+  // A fresh process (fresh store, fresh registry) disk-hits the fit row and
+  // pulls nothing upstream — the lazy getters never fire.
+  obs::MetricsRegistry reg(true);
+  const Evaluator ev(cfg, make_store(&reg, tmp.path));
+  EXPECT_EQ(row_of(ev.evaluate(w, scaling::TechPoint::k180nm)), cold_row);
+  EXPECT_EQ(count(reg, "ramp_stage_fit_hits_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_fit_misses_total"), 0u);
+  for (const char* stage : {"trace", "sim", "power", "thermal"}) {
+    EXPECT_EQ(count(reg, "ramp_stage_" + std::string(stage) + "_hits_total"),
+              0u)
+        << stage;
+    EXPECT_EQ(count(reg, "ramp_stage_" + std::string(stage) + "_misses_total"),
+              0u)
+        << stage;
+  }
+  EXPECT_EQ(count(reg, "ramp_stage_fit_writes_total"), 0u);
+}
+
+TEST(StageStoreTest, CorruptStageFileFallsBackToUpstreamHits) {
+  TempDir tmp;
+  const EvaluationConfig cfg = quick_config();
+  const workloads::Workload& w = workloads::workload("gcc");
+  const KeyChain keys = keys_for(cfg, "gcc", scaling::TechPoint::k180nm);
+  std::string cold_row;
+  std::string fit_path;
+  {
+    obs::MetricsRegistry reg(true);
+    const auto store = make_store(&reg, tmp.path);
+    const Evaluator ev(cfg, store);
+    cold_row = row_of(ev.evaluate(w, scaling::TechPoint::k180nm));
+    fit_path = store->blobs().path_for(keys.fit.canonical);
+    ASSERT_TRUE(fs::exists(fit_path));
+  }
+  // Corrupt the fit payload's magic but keep the blob header intact: the
+  // codec (not the file parser) must reject it, and the recompute should
+  // disk-hit the intact thermal stage instead of redoing the pipeline.
+  {
+    std::ifstream in(fit_path, std::ios::binary);
+    std::string contents(std::istreambuf_iterator<char>(in), {});
+    in.close();
+    std::size_t payload_at = 0;
+    for (int nl = 0; nl < 3; ++nl) payload_at = contents.find('\n', payload_at) + 1;
+    ASSERT_LT(payload_at + 8, contents.size());
+    for (int i = 0; i < 8; ++i) contents[payload_at + i] ^= 0x5a;
+    std::ofstream out(fit_path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+  obs::MetricsRegistry reg(true);
+  const Evaluator ev(cfg, make_store(&reg, tmp.path));
+  EXPECT_EQ(row_of(ev.evaluate(w, scaling::TechPoint::k180nm)), cold_row);
+  EXPECT_EQ(count(reg, "ramp_stage_fit_misses_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_thermal_hits_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_sim_hits_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_sim_misses_total"), 0u);
+  EXPECT_EQ(count(reg, "ramp_stage_fit_writes_total"), 1u);  // re-persisted
+}
+
+TEST(StageStoreTest, RecorderRunsBypassFitCacheButReuseUpstream) {
+  EvaluationConfig cfg = quick_config();
+  cfg.record_intervals = true;
+  obs::MetricsRegistry reg(true);
+  const Evaluator ev(cfg, make_store(&reg));
+  const workloads::Workload& w = workloads::workload("gcc");
+
+  const auto first = ev.evaluate(w, scaling::TechPoint::k180nm);
+  const auto second = ev.evaluate(w, scaling::TechPoint::k180nm);
+  // Interval traces are not representable in the fit payload, so recorder
+  // runs never consult the fit cache — but both runs carry the trace, and
+  // the second reuses every upstream stage.
+  EXPECT_FALSE(first.interval_trace.empty());
+  EXPECT_EQ(second.interval_trace.size(), first.interval_trace.size());
+  EXPECT_EQ(count(reg, "ramp_stage_fit_hits_total"), 0u);
+  EXPECT_EQ(count(reg, "ramp_stage_fit_misses_total"), 0u);
+  EXPECT_EQ(count(reg, "ramp_stage_thermal_hits_total"), 1u);
+  EXPECT_EQ(count(reg, "ramp_stage_thermal_misses_total"), 1u);
+  EXPECT_EQ(row_of(first), row_of(second));
+}
+
+}  // namespace
+}  // namespace ramp::pipeline

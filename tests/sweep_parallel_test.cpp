@@ -1,5 +1,5 @@
 // Determinism and observer tests for the parallel SweepRunner: any job
-// count must serialize byte-identically to the legacy serial run_sweep.
+// count must serialize byte-identically to a serial (jobs = 1) run.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -22,14 +22,15 @@ EvaluationConfig quick_config() {
   return cfg;
 }
 
-// The three sweeps every test compares are computed once.
-const std::string& legacy_csv() {
-  static const std::string csv = sweep_to_csv(
-      run_sweep(quick_config(), /*cache_path=*/"", /*verbose=*/false));
+std::string runner_csv(std::size_t jobs, ProgressObserver* observer = nullptr);
+
+// The serial baseline every test compares against, computed once.
+const std::string& serial_csv() {
+  static const std::string csv = runner_csv(1);
   return csv;
 }
 
-std::string runner_csv(std::size_t jobs, ProgressObserver* observer = nullptr) {
+std::string runner_csv(std::size_t jobs, ProgressObserver* observer) {
   SweepRunner::Options opts;
   opts.jobs = jobs;
   opts.cache_path = "";
@@ -37,12 +38,12 @@ std::string runner_csv(std::size_t jobs, ProgressObserver* observer = nullptr) {
   return sweep_to_csv(SweepRunner(quick_config(), opts).run());
 }
 
-TEST(SweepParallelTest, SingleJobMatchesLegacySerialByteForByte) {
-  EXPECT_EQ(runner_csv(1), legacy_csv());
+TEST(SweepParallelTest, SerialRerunIsByteForByteDeterministic) {
+  EXPECT_EQ(runner_csv(1), serial_csv());
 }
 
-TEST(SweepParallelTest, FourJobsMatchLegacySerialByteForByte) {
-  EXPECT_EQ(runner_csv(4), legacy_csv());
+TEST(SweepParallelTest, FourJobsMatchSerialByteForByte) {
+  EXPECT_EQ(runner_csv(4), serial_csv());
 }
 
 TEST(SweepParallelTest, ExternalPoolReuseMatchesToo) {
@@ -51,8 +52,8 @@ TEST(SweepParallelTest, ExternalPoolReuseMatchesToo) {
   opts.cache_path = "";
   opts.pool = &pool;
   const SweepRunner runner(quick_config(), opts);
-  EXPECT_EQ(sweep_to_csv(runner.run()), legacy_csv());
-  EXPECT_EQ(sweep_to_csv(runner.run()), legacy_csv());  // pool still usable
+  EXPECT_EQ(sweep_to_csv(runner.run()), serial_csv());
+  EXPECT_EQ(sweep_to_csv(runner.run()), serial_csv());  // pool still usable
 }
 
 TEST(SweepParallelTest, RejectsZeroJobs) {

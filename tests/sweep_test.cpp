@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -15,7 +16,9 @@ const SweepResult& quick_sweep() {
   static const SweepResult sweep = [] {
     EvaluationConfig cfg;
     cfg.trace_instructions = 20'000;
-    return run_sweep(cfg, /*cache_path=*/"", /*verbose=*/false);
+    SweepRunner::Options opts;
+    opts.cache_path.clear();
+    return SweepRunner(std::move(cfg), std::move(opts)).run();
   }();
   return sweep;
 }
@@ -132,6 +135,25 @@ TEST(SweepTest, CacheRejectsGarbage) {
   EvaluationConfig cfg;
   EXPECT_FALSE(sweep_from_csv("not a cache file", cfg).has_value());
   EXPECT_FALSE(sweep_from_csv("", cfg).has_value());
+}
+
+TEST(SweepTest, DefaultCachePathResolvesUnderOutDir) {
+  // Regression: the default used to be the CWD-relative literal
+  // "ramp_sweep_cache.csv", escaping the RAMP_OUT_DIR artifact convention
+  // every other output follows.
+  const char* saved = std::getenv("RAMP_OUT_DIR");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::setenv("RAMP_OUT_DIR", "/tmp/ramp_sweep_path_test", 1);
+  EXPECT_EQ(default_sweep_cache_path(),
+            "/tmp/ramp_sweep_path_test/ramp_sweep_cache.csv");
+  EXPECT_EQ(SweepRunner::Options{}.cache_path,
+            "/tmp/ramp_sweep_path_test/ramp_sweep_cache.csv");
+
+  ::unsetenv("RAMP_OUT_DIR");
+  EXPECT_EQ(SweepRunner::Options{}.cache_path, "out/ramp_sweep_cache.csv");
+
+  if (saved != nullptr) ::setenv("RAMP_OUT_DIR", restore.c_str(), 1);
 }
 
 TEST(SweepTest, ConfigHashSensitivity) {

@@ -28,6 +28,7 @@
 #include "obs/timeline.hpp"
 #include "obs/trace_export.hpp"
 #include "pipeline/mission.hpp"
+#include "pipeline/stage_graph.hpp"
 #include "pipeline/sweep.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/server.hpp"
@@ -132,6 +133,28 @@ void dump_metrics(const std::optional<std::string>& request) {
   }
 }
 
+// --stage-cache[=DIR] with the RAMP_STAGE_CACHE fallback (already resolved
+// into `cfg` by from_env): returns the per-stage memoization store for this
+// invocation, or null when stage caching is off. The bare flag (and
+// RAMP_STAGE_CACHE=on) persists under <out_dir>/stage_cache, like the
+// other artifact defaults; an explicit DIR wins.
+std::shared_ptr<pipeline::StageStore> resolve_stage_store(
+    std::vector<std::string>& args, pipeline::EvaluationConfig& cfg,
+    const std::string& out_dir) {
+  if (const auto flag = flag_opt_value(args, "--stage-cache")) {
+    cfg.stage_cache_enabled = true;
+    cfg.stage_cache_dir = *flag;
+  }
+  if (!cfg.stage_cache_enabled) return nullptr;
+  if (cfg.stage_cache_dir.empty()) {
+    cfg.stage_cache_dir =
+        (std::filesystem::path(out_dir) / "stage_cache").string();
+  }
+  pipeline::StageStore::Options opts;
+  opts.dir = cfg.stage_cache_dir;
+  return std::make_shared<pipeline::StageStore>(std::move(opts));
+}
+
 // One pool for the whole process, sized on first use, so the sweep/report/
 // missions subcommands (and any future multi-sweep command) share workers
 // instead of spinning up a pool per sweep.
@@ -181,6 +204,7 @@ pipeline::SweepResult cli_sweep(std::vector<std::string>& args, ObsFlags& fl) {
       (std::filesystem::path(fl.out_dir) / "ramp_sweep_cache.csv").string();
   opts.observer = &progress;
   opts.pool = &shared_pool(jobs);
+  opts.stage_store = resolve_stage_store(args, cfg, fl.out_dir);
   return pipeline::SweepRunner(cfg, opts).run();
 }
 
@@ -260,10 +284,12 @@ int cmd_evaluate(std::vector<std::string> args) {
   pipeline::EvaluationConfig cfg =
       pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
   cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
+  const std::string out_dir = flag_str(args, "--out-dir", output_dir());
+  const auto stage_store = resolve_stage_store(args, cfg, out_dir);
   const auto& w = workloads::workload(args[0]);
   const auto node = parse_node(args[1]);
 
-  const pipeline::Evaluator ev(cfg);
+  const pipeline::Evaluator ev(cfg, stage_store);
   const auto base = ev.evaluate(w, scaling::TechPoint::k180nm);
   const auto r = node == scaling::TechPoint::k180nm
                      ? base
@@ -395,6 +421,7 @@ int cmd_serve(std::vector<std::string> args) {
     opts.persist_dir =
         (std::filesystem::path(out_dir) / "serve_cache").string();
   }
+  opts.stage_store = resolve_stage_store(args, cfg, out_dir);
   std::string trace_out = flag_trace_out(args);
   if (trace_out.empty()) trace_out = cfg.trace_out;
   if (!trace_out.empty()) obs::Profiler::global().enable_trace();
@@ -456,7 +483,12 @@ int usage() {
                "cell, plus incidents.ndjson; default DIR <out-dir>/timeline)\n"
                "and, like serve, --trace-out FILE to write a Chrome\n"
                "trace-event JSON for ui.perfetto.dev. Env equivalents:\n"
-               "RAMP_TIMELINE[=DIR], RAMP_TRACE_OUT=FILE.\n");
+               "RAMP_TIMELINE[=DIR], RAMP_TRACE_OUT=FILE.\n"
+               "Stage cache: evaluate/sweep/report/missions/serve take\n"
+               "--stage-cache[=DIR] to memoize per-stage pipeline outputs\n"
+               "(trace/sim/power/thermal/fit) content-addressed on disk\n"
+               "(default DIR <out-dir>/stage_cache; results are identical,\n"
+               "only faster). Env equivalent: RAMP_STAGE_CACHE[=DIR].\n");
   return 2;
 }
 
