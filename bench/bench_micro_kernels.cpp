@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "core/fit_tracker.hpp"
+#include "fleet/fleet_simulator.hpp"
+#include "fleet/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
@@ -296,6 +298,44 @@ void BM_CacheAccess(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_CacheAccess);
+
+// Fleet-engine costs. prepare() runs the 16 physics evaluations once
+// outside the timed loop, so both benches measure the pure per-chip Monte
+// Carlo path (substream seeding, threshold draws, the analytic event loop)
+// that dominates a million-chip run.
+fleet::FleetScenario fleet_bench_scenario(std::uint64_t chips) {
+  fleet::FleetScenario sc = fleet::FleetScenario::preset("baseline");
+  sc.chips = chips;
+  sc.cell.trace_instructions = 2000;
+  sc.cell.cache_enabled = false;
+  return sc;
+}
+
+void BM_FleetChip(benchmark::State& state) {
+  const fleet::FleetScenario sc = fleet_bench_scenario(64);
+  const fleet::FleetSimulator sim(sc);
+  sim.prepare();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run().summary.failed);
+    n += sc.chips;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FleetChip);
+
+void BM_Fleet1k(benchmark::State& state) {
+  const fleet::FleetScenario sc = fleet_bench_scenario(1000);
+  const fleet::FleetSimulator sim(sc);
+  sim.prepare();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run().summary.failed);
+    n += sc.chips;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fleet1k);
 
 }  // namespace
 

@@ -34,10 +34,14 @@ LifetimeMonteCarlo::LifetimeMonteCarlo(const FitSummary& fits,
 LifetimeEstimate LifetimeMonteCarlo::estimate(std::uint64_t samples,
                                               std::uint64_t seed) const {
   RAMP_REQUIRE(samples > 0, "need at least one sample");
-  Xoshiro256 rng(seed);
   std::vector<double> lifetimes;
   lifetimes.reserve(samples);
+  // One SplitMix64 substream per sample: sample s depends only on (seed, s),
+  // never on how many draws earlier samples consumed, so the same master
+  // seed governs any sample count (and any future sharding) reproducibly.
+  Xoshiro256 rng;
   for (std::uint64_t s = 0; s < samples; ++s) {
+    rng.reseed(stream_seed(seed, s));
     double first_failure = std::numeric_limits<double>::infinity();
     for (const auto& inst : instances_) {
       first_failure = std::min(first_failure, inst->sample(rng));

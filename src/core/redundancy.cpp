@@ -76,11 +76,15 @@ double RedundantLifetimeMonteCarlo::sample_structure_instance(
 LifetimeEstimate RedundantLifetimeMonteCarlo::estimate(
     std::uint64_t samples, std::uint64_t seed) const {
   RAMP_REQUIRE(samples > 0, "need at least one sample");
-  Xoshiro256 rng(seed);
   std::vector<double> lifetimes;
   lifetimes.reserve(samples);
 
+  // Per-sample SplitMix64 substreams, mirroring LifetimeMonteCarlo: draw k
+  // is a pure function of (seed, k) regardless of spare counts or sample
+  // totals.
+  Xoshiro256 rng;
   for (std::uint64_t k = 0; k < samples; ++k) {
+    rng.reseed(stream_seed(seed, k));
     double chip = std::numeric_limits<double>::infinity();
     for (int s = 0; s < sim::kNumStructures; ++s) {
       const auto si = static_cast<std::size_t>(s);

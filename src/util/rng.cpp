@@ -7,19 +7,11 @@
 
 namespace ramp {
 
-namespace {
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-}  // namespace
-
 void Xoshiro256::reseed(std::uint64_t seed) {
-  std::uint64_t s = seed;
-  for (auto& word : state_) word = splitmix64(s);
+  // Seed expansion via SplitMix64, bit-identical to the historical inline
+  // implementation (same Weyl increment, same finalizer).
+  SplitMix64 s(seed);
+  for (auto& word : state_) word = s();
   // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
   // produce four zero words from any seed, but guard anyway.
   if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {

@@ -14,6 +14,57 @@
 
 namespace ramp {
 
+/// SplitMix64 (Steele, Lea & Flood / Vigna; public domain algorithm): a
+/// 64-bit counter-based generator whose output is a bijective mix of an
+/// additive Weyl sequence. Two roles here:
+///  - seed expansion for Xoshiro256 (its historical use in this library),
+///  - *stream splitting*: `stream_seed(base, k)` derives statistically
+///    independent child seeds from one master seed, so a whole fleet of
+///    per-chip generators is governed by a single `--seed` and a chip index,
+///    independent of iteration or sharding order.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed = 0) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// The golden-ratio Weyl increment of the reference implementation.
+  static constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+  /// The stateless finalizer (Stafford's mix13 variant used by the
+  /// reference SplitMix64): a bijection on 64-bit words.
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  result_type operator()() {
+    state_ += kGamma;
+    return mix(state_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic substream seed: child `stream` of master seed `base`.
+/// Distinct (base, stream) pairs give uncorrelated seeds (the counter jump
+/// lands each stream kGamma·(stream+1) apart on the Weyl orbit before the
+/// mix), so per-chip/per-sample generators seeded this way behave as
+/// independent streams while one master seed reproduces the entire set.
+constexpr std::uint64_t stream_seed(std::uint64_t base, std::uint64_t stream) {
+  return SplitMix64::mix(base + SplitMix64::kGamma * (stream + 1));
+}
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm).
 /// Fast, high-quality 64-bit generator with 2^256-1 period.
 class Xoshiro256 {

@@ -5,6 +5,7 @@
 
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -342,6 +343,58 @@ TEST(CliTest, SweepWritesCacheIntoOutDirNotCwd) {
   EXPECT_TRUE(fs::exists(dir / "artifacts" / "ramp_sweep_cache.csv"));
   EXPECT_FALSE(fs::exists(dir / "ramp_sweep_cache.csv"));
   fs::remove_all(dir);
+}
+
+TEST(CliTest, FleetCurveIsJobAndRerunInvariant) {
+  const std::string flags =
+      "fleet --chips 1500 --trace-len 2000 --seed 7 --bin 5";
+  const auto serial = run_cli(flags + " --jobs 1");
+  ASSERT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(serial.output.rfind("# ramp_fleet v1\n", 0), 0u);
+  EXPECT_NE(serial.output.find("t_end_years,failures,survivors"),
+            std::string::npos);
+  // 30-year horizon in 5-year bins: 2 comments + header + 6 rows.
+  EXPECT_EQ(std::count(serial.output.begin(), serial.output.end(), '\n'), 9);
+
+  const auto parallel = run_cli(flags + " --jobs 4");
+  ASSERT_EQ(parallel.exit_code, 0);
+  EXPECT_EQ(serial.output, parallel.output);
+  EXPECT_EQ(serial.output, run_cli(flags + " --jobs 4").output);
+  // A different seed is a different fleet.
+  EXPECT_NE(serial.output,
+            run_cli("fleet --chips 1500 --trace-len 2000 --seed 8 --bin 5")
+                .output);
+}
+
+TEST(CliTest, FleetWritesArtifactsAndAbDeltas) {
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_test_fleet";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // Scenario passed positionally (`--scenario baseline` also works).
+  const auto r = run_cli(
+      "fleet baseline --chips 800 --trace-len 2000 --policy dvfs --ab none "
+      "--out-dir '" + dir.string() + "'");
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("# ramp_fleet_ab v1"), std::string::npos);
+  EXPECT_TRUE(fs::exists(dir / "fleet_curve.csv"));
+  EXPECT_TRUE(fs::exists(dir / "fleet.ndjson"));
+  EXPECT_TRUE(fs::exists(dir / "fleet_ab.csv"));
+  std::stringstream nd;
+  nd << std::ifstream(dir / "fleet.ndjson").rdbuf();
+  EXPECT_EQ(nd.str().rfind("{\"type\":\"summary\"", 0), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(CliTest, FleetRejectsGarbage) {
+  EXPECT_EQ(run_cli("fleet --chips twelve").exit_code, 1);
+  EXPECT_EQ(run_cli("fleet --years zero").exit_code, 1);
+  EXPECT_EQ(run_cli("fleet --policy turbo").exit_code, 1);
+  EXPECT_EQ(run_cli("fleet --scenario warp-core").exit_code, 1);
+  EXPECT_EQ(run_cli("fleet warp-core").exit_code, 1);  // positional scenario
+  EXPECT_EQ(run_cli("fleet --frobnicate").exit_code, 2);
+  // Strict RAMP_FLEET_* environment: garbage throws instead of defaulting.
+  EXPECT_EQ(run_cli("fleet", "", "RAMP_FLEET_CHIPS=ten").exit_code, 1);
+  EXPECT_EQ(run_cli("fleet", "", "RAMP_FLEET_POLICY=turbo").exit_code, 1);
 }
 
 }  // namespace

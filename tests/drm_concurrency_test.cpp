@@ -1,0 +1,89 @@
+// Shared-state audit regression for the DRM layer (run under TSan via the
+// `concurrency` ctest label). DrmController and ThermalSensor keep all
+// state per-instance — no globals, no statics, no shared caches — so many
+// independent controller/sensor loops running on pool threads must produce
+// exactly the sequences a serial run produces. A hidden global (e.g. a
+// shared RNG or a memoized table) would show up here as a TSan race or a
+// sequence mismatch under --jobs N.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "drm/drm_controller.hpp"
+#include "drm/thermal_sensor.hpp"
+#include "scaling/technology.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ramp::drm {
+namespace {
+
+// One deterministic closed-loop run: a sensor watching a noisy temperature
+// schedule and a controller stepping the ladder on the implied FIT signal.
+// Returns every decision and reading so comparisons are exact.
+std::vector<double> run_loop(std::uint64_t seed) {
+  const auto node = scaling::node(scaling::TechPoint::k130nm);
+  DrmConfig cfg;
+  cfg.fit_budget = 4000.0;
+  DrmController ctrl(cfg, dvfs_ladder(node, 4));
+  ThermalSensor sensor(SensorConfig{}, seed);
+  Xoshiro256 stimulus(stream_seed(seed, 99));
+
+  std::vector<double> trail;
+  trail.reserve(3 * 200);
+  for (int i = 0; i < 200; ++i) {
+    const double junction_k = 340.0 + 30.0 * stimulus.uniform();
+    const double reading = sensor.read(junction_k, 20e-6);
+    // A toy FIT signal that swings around the budget with temperature.
+    const double fit = 4000.0 * (1.0 + (reading - 355.0) / 40.0);
+    const DrmDecision d = ctrl.update(fit, 20e-6);
+    trail.push_back(reading);
+    trail.push_back(static_cast<double>(d.point_index));
+    trail.push_back(d.avg_fit);
+  }
+  trail.push_back(static_cast<double>(ctrl.switches()));
+  trail.push_back(ctrl.average_performance());
+  return trail;
+}
+
+TEST(DrmConcurrencyTest, ParallelLoopsMatchSerialLoops) {
+  constexpr int kLoops = 16;
+  std::vector<std::vector<double>> serial;
+  serial.reserve(kLoops);
+  for (int i = 0; i < kLoops; ++i) {
+    serial.push_back(run_loop(static_cast<std::uint64_t>(i)));
+  }
+
+  ThreadPool pool(4);
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(kLoops);
+  for (int i = 0; i < kLoops; ++i) {
+    futures.push_back(
+        pool.submit([i] { return run_loop(static_cast<std::uint64_t>(i)); }));
+  }
+  for (int i = 0; i < kLoops; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(),
+              serial[static_cast<std::size_t>(i)])
+        << "loop " << i;
+  }
+}
+
+TEST(DrmConcurrencyTest, RepeatedParallelRunsAreStable) {
+  ThreadPool pool(4);
+  const auto once = [&pool] {
+    std::vector<std::future<std::vector<double>>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.submit(
+          [i] { return run_loop(static_cast<std::uint64_t>(i) + 100); }));
+    }
+    std::vector<std::vector<double>> out;
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace ramp::drm

@@ -122,5 +122,45 @@ TEST(RedundantLifetimeTest, AllZeroThrows) {
                InvalidArgument);
 }
 
+// With per-sample SplitMix64 substreams, zero spares consume the identical
+// draw sequence as the plain engine (same instance order, one uniform per
+// exponential draw), so the two estimates agree bit-for-bit — not just
+// statistically.
+TEST(RedundantLifetimeTest, ZeroSparesBitIdenticalToPlainEngine) {
+  const FitSummary s = uniform_summary(180.0);
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kExponential;
+  const auto a = RedundantLifetimeMonteCarlo(s, SparePlan{}, cfg)
+                     .estimate(20000, 9);
+  const auto b = LifetimeMonteCarlo(s, cfg).estimate(20000, 9);
+  EXPECT_DOUBLE_EQ(a.mean_years, b.mean_years);
+  EXPECT_DOUBLE_EQ(a.median_years, b.median_years);
+  EXPECT_DOUBLE_EQ(a.p05_years, b.p05_years);
+  EXPECT_DOUBLE_EQ(a.p95_years, b.p95_years);
+}
+
+// Closed form for one exponential unit with one cold spare: the structure's
+// death time is Erlang(2, lambda), so the mean is 2/lambda and the median
+// solves (1 + lambda t) e^{-lambda t} = 1/2, i.e. t = 1.67835 / lambda.
+TEST(RedundantLifetimeTest, OneColdSpareMatchesErlangClosedForm) {
+  FitSummary s;
+  s.by_structure[sim::idx(sim::StructureId::kFxu)]
+                [static_cast<std::size_t>(Mechanism::kEm)] = 500.0;
+  const double mttf = mttf_years_from_fit(500.0);
+  LifetimeModelConfig cfg;
+  cfg.family = LifetimeFamily::kExponential;
+  SparePlan plan;
+  plan.spares[sim::idx(sim::StructureId::kFxu)] = 1;
+
+  const auto est =
+      RedundantLifetimeMonteCarlo(s, plan, cfg).estimate(200000, 17);
+  EXPECT_NEAR(est.mean_years, 2.0 * mttf, 2.0 * mttf * 0.02);
+  EXPECT_NEAR(est.median_years, 1.67835 * mttf, 1.67835 * mttf * 0.02);
+  // Survival at the single-unit MTTF: (1 + 1) e^{-1} = 0.7358, so the 5th
+  // percentile sits well below it and the 95th well above.
+  EXPECT_LT(est.p05_years, mttf);
+  EXPECT_GT(est.p95_years, 2.0 * mttf);
+}
+
 }  // namespace
 }  // namespace ramp::core

@@ -6,11 +6,14 @@
 //   ramp sweep [--trace-len N] [--jobs N]    full 16-app x 5-node sweep
 //   ramp report [--trace-len N] [--jobs N]   markdown report of a sweep
 //   ramp serve [--jobs N] [...]       NDJSON evaluation service on stdin/stdout
+//   ramp fleet [--chips N] [...]      fleet-scale population scenario
 //   ramp trace <app> <file> [N]       capture a synthetic trace to a file
 //
 // Node names accept "180", "130", "90", "65-0.9", "65-1.0".
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +25,8 @@
 #include <vector>
 
 #include "core/qualification.hpp"
+#include "fleet/fleet_simulator.hpp"
+#include "fleet/scenario.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -70,6 +75,18 @@ std::string flag_str(std::vector<std::string>& args, const std::string& flag,
     }
   }
   return fallback;
+}
+
+double flag_double(std::vector<std::string>& args, const std::string& flag,
+                   double fallback) {
+  const std::string s = flag_str(args, flag, "");
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  RAMP_REQUIRE(end != nullptr && *end == '\0' && end != s.c_str() &&
+                   std::isfinite(v),
+               "flag " + flag + " expects a finite number, got '" + s + "'");
+  return v;
 }
 
 bool flag_present(std::vector<std::string>& args, const std::string& flag) {
@@ -443,6 +460,101 @@ int cmd_serve(std::vector<std::string> args) {
   return rc;
 }
 
+// Fleet-scale population scenario: N chips over a multi-decade horizon,
+// with per-chip process variation, workload schedules, DRM policies, and
+// optional redundancy. Scenario defaults come from the preset and the
+// RAMP_FLEET_* environment; flags override both. stdout carries the
+// deterministic curve CSV (byte-identical at any --jobs and across reruns
+// with one --seed); fleet_curve.csv and fleet.ndjson land in --out-dir.
+int cmd_fleet(std::vector<std::string> args) {
+  std::string scenario_name = flag_str(args, "--scenario", "");
+  // Also accepted positionally: `ramp fleet attack --chips N`.
+  if (scenario_name.empty() && !args.empty() &&
+      args.front().rfind("--", 0) != 0) {
+    scenario_name = args.front();
+    args.erase(args.begin());
+  }
+  fleet::FleetScenario sc =
+      fleet::FleetScenario::from_env(scenario_name, /*trace_len=*/200'000);
+  sc.chips = flag_u64(args, "--chips", sc.chips);
+  sc.seed = flag_u64(args, "--seed", sc.seed);
+  sc.horizon_years = flag_double(args, "--years", sc.horizon_years);
+  sc.phase_years = flag_double(args, "--phase", sc.phase_years);
+  sc.curve_bin_years = flag_double(args, "--bin", sc.curve_bin_years);
+  sc.ladder_points = static_cast<int>(
+      flag_u64(args, "--ladder", static_cast<std::uint64_t>(sc.ladder_points)));
+  if (const std::string node = flag_str(args, "--node", ""); !node.empty()) {
+    sc.tech = parse_node(node);
+  }
+  if (const std::string policy = flag_str(args, "--policy", "");
+      !policy.empty()) {
+    sc.policy = fleet::parse_policy(policy);
+  }
+  if (std::string apps = flag_str(args, "--apps", ""); !apps.empty()) {
+    sc.apps.clear();
+    std::size_t start = 0;
+    while (start <= apps.size()) {
+      const std::size_t comma = apps.find(',', start);
+      const std::size_t end = comma == std::string::npos ? apps.size() : comma;
+      if (end > start) sc.apps.push_back(apps.substr(start, end - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  sc.cell.trace_instructions =
+      flag_u64(args, "--trace-len", sc.cell.trace_instructions);
+
+  const std::size_t default_jobs =
+      env_jobs("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency()));
+  const auto jobs =
+      static_cast<std::size_t>(flag_u64(args, "--jobs", default_jobs));
+  RAMP_REQUIRE(jobs > 0, "--jobs must be at least 1");
+  const auto metrics = flag_metrics(args);
+  const std::string out_dir = flag_str(args, "--out-dir", output_dir());
+  const std::string ab_policy = flag_str(args, "--ab", "");
+
+  fleet::FleetSimulator::Options opts;
+  opts.stage_store = resolve_stage_store(args, sc.cell, out_dir);
+  opts.pool = &shared_pool(jobs);
+  if (!args.empty()) {
+    std::fprintf(stderr, "fleet: unknown argument '%s'\n", args.front().c_str());
+    return 2;
+  }
+  sc.validate();
+
+  const fleet::FleetSimulator sim(sc, opts);
+  const fleet::FleetResult result = sim.run();
+  const std::string csv = fleet::fleet_curve_csv(result);
+  std::fputs(csv.c_str(), stdout);
+
+  namespace fs = std::filesystem;
+  obs::write_text_file_atomic((fs::path(out_dir) / "fleet_curve.csv").string(),
+                              csv);
+  obs::write_text_file_atomic((fs::path(out_dir) / "fleet.ndjson").string(),
+                              fleet::fleet_ndjson(result));
+
+  if (!ab_policy.empty()) {
+    // Same scenario, same seed, alternate policy: identical chips see both
+    // policies, so the per-bin deltas are pure policy signal.
+    fleet::FleetScenario alt = sc;
+    alt.policy = fleet::parse_policy(ab_policy);
+    const fleet::FleetSimulator sim_b(alt, opts);
+    const std::string ab = fleet::fleet_ab_csv(result, sim_b.run());
+    std::fputs(ab.c_str(), stdout);
+    obs::write_text_file_atomic((fs::path(out_dir) / "fleet_ab.csv").string(),
+                                ab);
+  }
+
+  std::fprintf(stderr,
+               "fleet: %llu chips, %llu failed, survival %.4f, artifacts in "
+               "%s\n",
+               static_cast<unsigned long long>(result.summary.chips),
+               static_cast<unsigned long long>(result.summary.failed),
+               result.summary.survival_at_horizon, out_dir.c_str());
+  dump_metrics(metrics);
+  return 0;
+}
+
 int cmd_trace(std::vector<std::string> args) {
   if (args.size() < 2) {
     std::fprintf(stderr, "usage: ramp trace <app> <file> [instructions]\n");
@@ -471,6 +583,14 @@ int usage() {
                "  serve [--jobs N] [--cache-capacity N] [--max-queue N]\n"
                "        [--out-dir DIR] [--no-persist] [--trace-out FILE]\n"
                "                                NDJSON eval service on stdin/stdout\n"
+               "  fleet [baseline|attack|monitor] [--chips N]\n"
+               "        [--years Y] [--phase Y] [--bin Y] [--seed N]\n"
+               "        [--node NAME] [--policy none|dvfs|migration]\n"
+               "        [--ladder N] [--apps a,b,c] [--ab POLICY] [--jobs N]\n"
+               "                                population scenario: survival and\n"
+               "                                failure-rate curves on stdout and\n"
+               "                                fleet_curve.csv / fleet.ndjson in\n"
+               "                                --out-dir (RAMP_FLEET_* env too)\n"
                "  trace <app> <file> [N]        capture a synthetic trace\n"
                "Sweep-based commands and serve also honor --out-dir (default\n"
                "$RAMP_OUT_DIR or out/) for caches and generated artifacts.\n"
@@ -506,6 +626,7 @@ int main(int argc, char** argv) {
     if (cmd == "report") return cmd_sweep(std::move(args), true);
     if (cmd == "missions") return cmd_missions(std::move(args));
     if (cmd == "serve") return cmd_serve(std::move(args));
+    if (cmd == "fleet") return cmd_fleet(std::move(args));
     if (cmd == "trace") return cmd_trace(std::move(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
