@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Find the TCP serve saturation knee and emit BENCH_serve.json.
+
+Boots `ramp serve --listen 127.0.0.1:0` on an ephemeral port, warms the
+request key pool with a closed-loop pass, then sweeps *open-loop* offered
+load upward (geometric doubling plus a bisection refine) until the server
+stops keeping up. Open loop is the honest probe: requests are sent on
+schedule whether or not earlier ones completed, so a saturated server
+cannot slow the offered load down and hide the knee (coordinated
+omission).
+
+A sweep point is "good" when the server kept up: achieved throughput
+within 5% of offered, zero transport errors, zero `overloaded` sheds, and
+every request answered. The knee is the highest good rate; the summary
+records its achieved throughput and p50/p99 latency.
+
+The result is written in the same ``ramp-bench-micro/1`` schema the
+micro-kernel gate uses, so scripts/check_bench_regression.py works
+unchanged:
+
+  serve_knee_request          ns_per_iter = 1e9 / knee throughput
+  serve_half_knee_p50_latency p50 at half the knee rate, in ns
+  serve_half_knee_p99_latency p99 at half the knee rate, in ns
+  serve_closed_loop_rtt       warm single-in-flight round trip, p50 ns
+
+Latency is sampled at *half* the knee rate, not at the knee itself: right
+at the knee the queue is on the edge of instability and percentiles swing
+wildly run to run, while at 50% utilization they are reproducible.
+
+All four scale together with machine speed, so the checker's normalized
+(geomean) mode compares shape, not hardware: a regression in tail latency
+or in the knee sticks out of the pack. Use --absolute only on the machine
+the baseline was recorded on.
+
+The server is told to drain with SIGTERM at the end and must exit 0 —
+a bench run doubles as a graceful-drain check.
+
+Usage:
+  bench_serve.py [--out out/BENCH_serve.json] [--smoke]
+      [--ramp build/tools/ramp] [--loadgen build/tools/ramp_loadgen]
+      [--duration 4.0] [--start-rate 500] [--max-rate 2000000]
+      [--connections 16] [--jobs N] [--trace-len 3000]
+
+--smoke shortens every phase (CI: prove the loop end-to-end under ASan in
+seconds); the knee it finds is still real, just noisier.
+
+Exit status: 0 on success, 1 when the bench itself failed (server died,
+warm-up errored, no good point found, unclean drain), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+DEFAULT_OUT = "out/BENCH_serve.json"
+SCHEMA = "ramp-bench-micro/1"
+
+
+def log(msg: str) -> None:
+    print(f"bench_serve: {msg}", flush=True)
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_loadgen(loadgen: str, port_file: str, args: list[str],
+                timeout_s: float) -> dict | None:
+    """Runs one loadgen pass; returns its summary dict (None on failure)."""
+    cmd = [loadgen, "--port-file", port_file] + args
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        log(f"loadgen timed out: {' '.join(cmd)}")
+        return None
+    line = proc.stdout.strip().splitlines()
+    if not line:
+        log(f"loadgen produced no summary (rc {proc.returncode}): "
+            f"{proc.stderr.strip()}")
+        return None
+    try:
+        summary = json.loads(line[-1])
+    except json.JSONDecodeError:
+        log(f"loadgen summary is not JSON: {line[-1]!r}")
+        return None
+    summary["loadgen_rc"] = proc.returncode
+    return summary
+
+
+def point_is_good(s: dict) -> bool:
+    """The server kept up with this offered load."""
+    return (s["loadgen_rc"] == 0
+            and s["errors"] == 0
+            and s["overloaded"] == 0
+            and s["sent"] > 0
+            and s["completed"] == s["sent"]
+            and s["achieved_rps"] >= 0.95 * s["offered_rps"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--ramp", default="build/tools/ramp")
+    parser.add_argument("--loadgen", default="build/tools/ramp_loadgen")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds per open-loop sweep point")
+    parser.add_argument("--start-rate", type=float, default=500.0)
+    parser.add_argument("--max-rate", type=float, default=2e6,
+                        help="sweep ceiling, requests/second")
+    parser.add_argument("--connections", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="server worker threads (0 = ramp default)")
+    parser.add_argument("--trace-len", type=int, default=3000,
+                        help="per-key trace length; small keeps warm-up "
+                             "fast and puts the load on the serving stack, "
+                             "not the physics")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI pass: 1s points, no bisection "
+                             "refine (knee granularity is a factor of 2)")
+    args = parser.parse_args()
+
+    duration = 1.0 if args.smoke else args.duration
+    refine_steps = 0 if args.smoke else 2
+    max_doublings = 14
+
+    tmp = tempfile.mkdtemp(prefix="bench_serve.")
+    port_file = os.path.join(tmp, "port")
+    server_cmd = [args.ramp, "serve", "--listen", "127.0.0.1:0",
+                  "--port-file", port_file, "--no-persist",
+                  "--trace-len", str(args.trace_len),
+                  "--out-dir", tmp]
+    if args.jobs > 0:
+        server_cmd += ["--jobs", str(args.jobs)]
+    log(f"starting server: {' '.join(server_cmd)}")
+    server = subprocess.Popen(server_cmd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.PIPE, text=True)
+    try:
+        # Warm every key in the loadgen's default app x node pool so the
+        # sweep measures the serving stack on cache hits, not first-touch
+        # physics. Closed loop: self-limits while the cache is cold.
+        warm = run_loadgen(args.loadgen, port_file,
+                           ["--mode", "closed", "--connections", "4",
+                            "--duration", str(max(2.0, duration)),
+                            "--trace-len", str(args.trace_len),
+                            "--hot-frac", "0"],
+                           timeout_s=120.0)
+        if warm is None or warm["loadgen_rc"] != 0 or warm["errors"] != 0:
+            log(f"FAIL: warm-up pass failed: {warm}")
+            return 1
+        log(f"warm: {warm['completed']} requests, "
+            f"p50 {warm['p50_ms']:.3f} ms")
+
+        # Warm closed-loop RTT at single occupancy: the floor latency a
+        # client sees when the server is idle.
+        rtt = run_loadgen(args.loadgen, port_file,
+                          ["--mode", "closed", "--connections", "1",
+                           "--duration", str(duration),
+                           "--trace-len", str(args.trace_len)],
+                          timeout_s=60.0 + duration)
+        if rtt is None or rtt["loadgen_rc"] != 0 or rtt["errors"] != 0:
+            log(f"FAIL: closed-loop RTT pass failed: {rtt}")
+            return 1
+        log(f"closed-loop RTT: p50 {rtt['p50_ms']:.3f} ms "
+            f"({rtt['achieved_rps']:.0f} rps at 1 in flight)")
+
+        def sweep_point(rate: float) -> dict | None:
+            s = run_loadgen(args.loadgen, port_file,
+                            ["--mode", "open", "--rate", str(rate),
+                             "--connections", str(args.connections),
+                             "--duration", str(duration),
+                             "--trace-len", str(args.trace_len)],
+                            timeout_s=60.0 + duration * 4)
+            if s is None:
+                return None
+            verdict = "ok" if point_is_good(s) else "saturated"
+            log(f"  offered {rate:>10.0f} rps -> achieved "
+                f"{s['achieved_rps']:>10.0f} rps, p50 {s['p50_ms']:.3f} ms, "
+                f"p99 {s['p99_ms']:.3f} ms, overloaded {s['overloaded']}, "
+                f"errors {s['errors']} [{verdict}]")
+            return s
+
+        log(f"open-loop sweep: {duration:.0f}s points, "
+            f"{args.connections} connections")
+        knee: dict | None = None
+        first_bad: float | None = None
+        rate = args.start_rate
+        for _ in range(max_doublings):
+            point = sweep_point(rate)
+            if point is None:
+                log("FAIL: sweep point did not complete")
+                return 1
+            if point_is_good(point):
+                knee = point
+                rate *= 2.0
+                if rate > args.max_rate:
+                    break
+            else:
+                first_bad = rate
+                break
+        if knee is None:
+            log(f"FAIL: server cannot sustain even "
+                f"{args.start_rate:.0f} rps")
+            return 1
+
+        # Bisect between the last good and first bad rate to tighten the
+        # knee estimate beyond factor-of-two.
+        if first_bad is not None:
+            lo, hi = knee["offered_rps"], first_bad
+            for _ in range(refine_steps):
+                mid = (lo + hi) / 2.0
+                point = sweep_point(mid)
+                if point is None:
+                    break
+                if point_is_good(point):
+                    knee, lo = point, mid
+                else:
+                    hi = mid
+
+        knee_rps = knee["achieved_rps"]
+        log(f"knee: {knee_rps:.0f} rps "
+            f"(p50 {knee['p50_ms']:.3f} ms, p99 {knee['p99_ms']:.3f} ms)")
+
+        # Latency figures come from a point at HALF the knee rate: stable
+        # 50% utilization, where percentiles reproduce run to run.
+        log("latency point at half the knee rate:")
+        half = sweep_point(knee_rps / 2.0)
+        if half is None or not point_is_good(half):
+            log("FAIL: half-knee latency point did not hold "
+                "(knee estimate unstable)")
+            return 1
+
+        doc = {
+            "schema": SCHEMA,
+            "commit": git_commit(),
+            "benchmarks": [
+                {
+                    "op": "serve_knee_request",
+                    "ns_per_iter": 1e9 / knee_rps,
+                    "iterations": int(knee["completed"]),
+                    "items_per_second": knee_rps,
+                },
+                {
+                    "op": "serve_half_knee_p50_latency",
+                    "ns_per_iter": half["p50_ms"] * 1e6,
+                    "iterations": int(half["completed"]),
+                    "items_per_second": 1e3 / half["p50_ms"],
+                },
+                {
+                    "op": "serve_half_knee_p99_latency",
+                    "ns_per_iter": half["p99_ms"] * 1e6,
+                    "iterations": int(half["completed"]),
+                    "items_per_second": 1e3 / half["p99_ms"],
+                },
+                {
+                    "op": "serve_closed_loop_rtt",
+                    "ns_per_iter": rtt["p50_ms"] * 1e6,
+                    "iterations": int(rtt["completed"]),
+                    "items_per_second": 1e3 / rtt["p50_ms"],
+                },
+            ],
+        }
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        log(f"wrote {args.out}")
+    finally:
+        # SIGTERM must drain gracefully: finish in-flight work, flush,
+        # exit 0. An unclean exit fails the bench.
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+        try:
+            rc = server.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            log("FAIL: server did not drain within 30s of SIGTERM")
+            return 1
+        stderr_tail = (server.stderr.read() or "").strip()
+    if rc != 0:
+        log(f"FAIL: server exited {rc} after SIGTERM (wanted a clean "
+            f"drain): {stderr_tail}")
+        return 1
+    log("server drained cleanly on SIGTERM (exit 0)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace ramp::net {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop()
+    : epoll_(::epoll_create1(EPOLL_CLOEXEC)),
+      wake_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (!epoll_.valid()) throw_errno("epoll_create1");
+  if (!wake_.valid()) throw_errno("eventfd");
+  add(wake_.get(), EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t n = 0;
+    // Drain the counter; the wake is level-triggered otherwise.
+    while (::read(wake_.get(), &n, sizeof n) > 0) {}
+  });
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add(int fd, std::uint32_t events, Callback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0)
+    throw_errno("epoll_ctl(ADD)");
+  callbacks_[fd] = std::move(cb);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) != 0)
+    throw_errno("epoll_ctl(MOD)");
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EventLoop::run_once(int timeout_ms) {
+  std::array<epoll_event, 64> events;
+  int n;
+  do {
+    n = ::epoll_wait(epoll_.get(), events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait");
+
+  int delivered = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    // A prior callback this round may have removed (and closed) this fd;
+    // look it up fresh so we never deliver to a dead registration.
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    // Invoke a copy: the callback may remove() its own fd, which would
+    // otherwise destroy the std::function mid-call.
+    const Callback cb = it->second;
+    cb(events[static_cast<std::size_t>(i)].events);
+    ++delivered;
+  }
+  return delivered;
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // write(2) is async-signal-safe; a full counter (EAGAIN) already means
+  // "wake pending", so the result is deliberately ignored.
+  [[maybe_unused]] ssize_t r = ::write(wake_.get(), &one, sizeof one);
+}
+
+}  // namespace ramp::net

@@ -1,0 +1,52 @@
+// Minimal epoll event loop with a thread-safe wakeup.
+//
+// One thread owns and runs the loop (add/modify/remove and run_once are NOT
+// thread-safe); any thread may call wake() — it writes an eventfd the loop
+// watches, so pool workers completing an evaluation can nudge the server to
+// pump its pending responses without the loop ever blocking on a future.
+//
+// Callbacks may add or remove fds (including their own) freely: dispatch
+// re-checks registration before every delivery, so a callback that closes a
+// sibling connection cannot cause a stale delivery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/socket.hpp"
+
+namespace ramp::net {
+
+class EventLoop {
+ public:
+  /// `events` is the epoll event mask that fired (EPOLLIN, EPOLLOUT, ...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events`; `cb` fires from run_once. The caller
+  /// keeps ownership of the fd and must remove() it before closing.
+  void add(int fd, std::uint32_t events, Callback cb);
+  void modify(int fd, std::uint32_t events);
+  void remove(int fd);
+  bool watched(int fd) const { return callbacks_.count(fd) != 0; }
+
+  /// Waits up to timeout_ms for events (or a wake()) and dispatches them.
+  /// Returns the number of callbacks delivered (0 on timeout).
+  int run_once(int timeout_ms);
+
+  /// Thread-safe, async-signal-safe nudge: the next (or current) run_once
+  /// returns promptly. Coalesces.
+  void wake();
+
+ private:
+  OwnedFd epoll_;
+  OwnedFd wake_;
+  std::unordered_map<int, Callback> callbacks_;
+};
+
+}  // namespace ramp::net

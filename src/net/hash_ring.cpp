@@ -1,0 +1,51 @@
+#include "net/hash_ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/hashing.hpp"
+
+namespace ramp::net {
+
+namespace {
+std::uint64_t hash_of(std::string_view s) {
+  Fnv64 h;
+  h.mix(s);
+  // FNV alone clusters on short sequential strings (the vnode point names
+  // differ in a couple of trailing digits), which skews shard shares badly.
+  // A splitmix64 finalizer scatters the low-entropy tail across the ring.
+  std::uint64_t z = h.value() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes) : shards_(shards) {
+  RAMP_REQUIRE(shards >= 1, "hash ring needs at least one shard");
+  RAMP_REQUIRE(vnodes >= 1, "hash ring needs at least one vnode per shard");
+  ring_.reserve(shards * vnodes);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      const std::string point =
+          "shard-" + std::to_string(s) + "-vnode-" + std::to_string(v);
+      ring_.push_back({hash_of(point), static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    // Hash ties (astronomically unlikely) break by shard id so the ring is
+    // still a deterministic function of (shards, vnodes).
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+std::size_t HashRing::shard_for(std::string_view key) const {
+  const std::uint64_t h = hash_of(key);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  return it == ring_.end() ? ring_.front().shard : it->shard;
+}
+
+}  // namespace ramp::net

@@ -1,0 +1,503 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "net/event_loop.hpp"
+#include "obs/metrics.hpp"
+#include "serve/eval_service.hpp"
+#include "serve/session.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+namespace ramp::net {
+
+namespace {
+
+/// Result cell an aux-thread job fills in; the slot holds the same pointer,
+/// so a connection dying mid-computation just orphans the cell harmlessly.
+struct AuxResult {
+  std::atomic<bool> done{false};
+  std::string line;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  // ---- wiring --------------------------------------------------------------
+
+  struct Slot {
+    enum class Kind { kReady, kEval, kControl, kAux };
+    Kind kind = Kind::kReady;
+    std::string line;  ///< kReady: the serialized response
+    serve::EvalService::Ticket ticket;  ///< kEval
+    std::string id;                     ///< kEval
+    serve::EvalRequest req;   ///< kControl: computed at head of line
+    std::shared_ptr<AuxResult> aux;     ///< kAux
+    bool counts_as_work = false;        ///< held a max_queued_requests unit
+  };
+
+  struct Conn {
+    OwnedFd fd;
+    std::string inbuf;
+    std::string outbuf;
+    std::deque<Slot> slots;
+    std::uint32_t mask = 0;      ///< epoll mask currently armed
+    bool discarding = false;     ///< over-long line: drop to next newline
+    bool peer_eof = false;
+    bool saw_shutdown = false;   ///< ignore lines after a shutdown op
+    bool dead = false;           ///< error path: reap without delivering
+  };
+
+  struct AuxJob {
+    serve::EvalRequest req;
+    std::shared_ptr<AuxResult> result;
+  };
+
+  serve::EvalService& service;
+  ServerOptions opts;
+  EventLoop loop;
+  OwnedFd listener;
+  std::map<int, std::unique_ptr<Conn>> conns;
+  int rr_next_fd = -1;  ///< response-pump round-robin cursor
+  bool draining = false;
+  std::size_t queued_work = 0;  ///< eval+aux slots outstanding (global cap)
+  ServerCounters counters;
+
+  std::thread aux_thread;
+  std::mutex aux_mu;
+  std::condition_variable aux_cv;
+  std::deque<AuxJob> aux_jobs;
+  bool aux_stop = false;
+
+  obs::Counter m_conns_accepted, m_conns_rejected, m_requests, m_shed,
+      m_parse_errors, m_responses, m_dropped;
+  obs::Gauge m_open_conns;
+
+  Impl(serve::EvalService& svc, ServerOptions o)
+      : service(svc), opts(std::move(o)) {
+    if (opts.listen_fd >= 0) {
+      listener = OwnedFd(opts.listen_fd);
+    } else {
+      listener = listen_tcp(opts.host, opts.port);
+    }
+    auto& reg = service.registry();
+    m_conns_accepted = reg.counter("ramp_net_connections_accepted");
+    m_conns_rejected = reg.counter("ramp_net_connections_rejected");
+    m_requests = reg.counter("ramp_net_requests");
+    m_shed = reg.counter("ramp_net_requests_shed");
+    m_parse_errors = reg.counter("ramp_net_parse_errors");
+    m_responses = reg.counter("ramp_net_responses");
+    m_dropped = reg.counter("ramp_net_responses_dropped");
+    m_open_conns = reg.gauge("ramp_net_open_connections");
+  }
+
+  ~Impl() {
+    if (aux_thread.joinable()) {
+      {
+        std::lock_guard<std::mutex> l(aux_mu);
+        aux_stop = true;
+      }
+      aux_cv.notify_all();
+      aux_thread.join();
+    }
+  }
+
+  // ---- epoll mask management ----------------------------------------------
+
+  std::uint32_t desired_mask(const Conn& c) const {
+    std::uint32_t m = 0;
+    const bool paused = c.slots.size() >= opts.max_pipeline_per_conn ||
+                        c.outbuf.size() >= opts.max_outbuf_bytes;
+    if (!c.peer_eof && !c.saw_shutdown && !draining && !paused) m |= EPOLLIN;
+    if (!c.outbuf.empty()) m |= EPOLLOUT;
+    return m;
+  }
+
+  void update_mask(Conn& c) {
+    const std::uint32_t want = desired_mask(c);
+    if (want == c.mask) return;
+    loop.modify(c.fd.get(), want);
+    c.mask = want;
+  }
+
+  // ---- request intake ------------------------------------------------------
+
+  void push_ready(Conn& c, std::string line) {
+    Slot s;
+    s.kind = Slot::Kind::kReady;
+    s.line = std::move(line);
+    c.slots.push_back(std::move(s));
+    counters.accepted_requests++;
+    m_requests.inc();
+  }
+
+  void push_shed(Conn& c, const std::string& id) {
+    push_ready(c, serve::overloaded_response(id).dump());
+    counters.shed_requests++;
+    m_shed.inc();
+  }
+
+  void handle_line(Conn& c, const std::string& line) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) return;
+    if (line.size() > serve::kMaxRequestLine) {
+      push_ready(c, serve::error_response(serve::oversize_line_message())
+                        .dump());
+      counters.parse_errors++;
+      m_parse_errors.inc();
+      return;
+    }
+
+    serve::EvalRequest req;
+    try {
+      req = serve::parse_request(line);
+    } catch (const std::exception& e) {
+      push_ready(c, serve::error_response(e.what()).dump());
+      counters.parse_errors++;
+      m_parse_errors.inc();
+      return;
+    }
+
+    switch (req.op) {
+      case serve::Op::kShutdown:
+        push_ready(c, serve::shutdown_response(req).dump());
+        c.saw_shutdown = true;
+        begin_drain();
+        return;
+      case serve::Op::kStats:
+      case serve::Op::kMetrics:
+      case serve::Op::kMetricsReset: {
+        // Cheap control ops: computed when the slot reaches the head of
+        // this connection's line, so they sit *after* the evals pipelined
+        // before them — same per-client ordering as the stdio barrier.
+        Slot s;
+        s.kind = Slot::Kind::kControl;
+        s.req = std::move(req);
+        c.slots.push_back(std::move(s));
+        counters.accepted_requests++;
+        m_requests.inc();
+        return;
+      }
+      case serve::Op::kEval: {
+        if (queued_work >= opts.max_queued_requests) {
+          push_shed(c, req.id);
+          return;
+        }
+        serve::EvalService::Ticket t;
+        bool scheduled = false;
+        try {
+          scheduled = service.try_submit(req, &t);
+        } catch (const std::exception& e) {
+          push_ready(c, serve::error_response(e.what(), req.id).dump());
+          return;
+        }
+        if (!scheduled) {  // service backpressure: shed, never block the loop
+          push_shed(c, req.id);
+          return;
+        }
+        Slot s;
+        s.kind = Slot::Kind::kEval;
+        s.ticket = std::move(t);
+        s.id = req.id;
+        s.counts_as_work = true;
+        c.slots.push_back(std::move(s));
+        queued_work++;
+        counters.accepted_requests++;
+        m_requests.inc();
+        return;
+      }
+      case serve::Op::kTimeline:
+      case serve::Op::kFleet: {
+        if (queued_work >= opts.max_queued_requests) {
+          push_shed(c, req.id);
+          return;
+        }
+        Slot s;
+        s.kind = Slot::Kind::kAux;
+        s.aux = std::make_shared<AuxResult>();
+        s.counts_as_work = true;
+        {
+          std::lock_guard<std::mutex> l(aux_mu);
+          aux_jobs.push_back({std::move(req), s.aux});
+        }
+        aux_cv.notify_one();
+        c.slots.push_back(std::move(s));
+        queued_work++;
+        counters.accepted_requests++;
+        m_requests.inc();
+        return;
+      }
+    }
+  }
+
+  void process_inbuf(Conn& c) {
+    std::size_t start = 0;
+    while (!c.saw_shutdown) {
+      const std::size_t nl = c.inbuf.find('\n', start);
+      if (nl == std::string::npos) break;
+      if (c.discarding) {
+        c.discarding = false;  // the over-long line ended; already answered
+      } else {
+        handle_line(c, c.inbuf.substr(start, nl - start));
+      }
+      start = nl + 1;
+    }
+    c.inbuf.erase(0, start);
+    if (c.saw_shutdown) {
+      c.inbuf.clear();
+      return;
+    }
+    if (!c.discarding && c.inbuf.size() > serve::kMaxRequestLine) {
+      // Stop buffering: no client may grow our memory by withholding '\n'.
+      push_ready(c, serve::error_response(serve::oversize_line_message())
+                        .dump());
+      counters.parse_errors++;
+      m_parse_errors.inc();
+      c.inbuf.clear();
+      c.discarding = true;
+    } else if (c.discarding) {
+      c.inbuf.clear();
+    }
+  }
+
+  /// `to_eof`: the peer hung up (EPOLLHUP) — drain everything it sent
+  /// before its close, so a fire-and-disconnect client still gets every
+  /// complete request accepted. Otherwise one bounded read per readiness
+  /// event: level-triggered epoll re-arms if more is buffered, so hot
+  /// clients round-robin with everyone else.
+  void on_readable(Conn& c, bool to_eof) {
+    while (true) {
+      char buf[65536];
+      const ssize_t n = ::read(c.fd.get(), buf, sizeof buf);
+      if (n == 0) {
+        c.peer_eof = true;  // half-close: still answer what was accepted
+        break;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) kill_conn(c);
+        break;
+      }
+      c.inbuf.append(buf, static_cast<std::size_t>(n));
+      process_inbuf(c);
+      if (!to_eof) break;
+    }
+  }
+
+  // ---- response delivery ---------------------------------------------------
+
+  /// Moves every deliverable head-of-line response into the out buffer.
+  void resolve_slots(Conn& c) {
+    while (!c.slots.empty()) {
+      Slot& s = c.slots.front();
+      std::string line;
+      switch (s.kind) {
+        case Slot::Kind::kReady:
+          line = std::move(s.line);
+          break;
+        case Slot::Kind::kEval:
+          if (s.ticket.future.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+            return;
+          }
+          line = serve::eval_response(s.ticket, s.id).dump();
+          break;
+        case Slot::Kind::kControl:
+          // Multi-client server: snapshot live counters, don't quiesce —
+          // other clients keep the service busy by design.
+          line = serve::control_response(service, s.req, /*quiesce=*/false)
+                     .dump();
+          break;
+        case Slot::Kind::kAux:
+          if (!s.aux->done.load(std::memory_order_acquire)) return;
+          line = std::move(s.aux->line);
+          break;
+      }
+      if (s.counts_as_work) queued_work--;
+      c.outbuf += line;
+      c.outbuf += '\n';
+      c.slots.pop_front();
+      counters.responses_sent++;
+      m_responses.inc();
+    }
+  }
+
+  void flush(Conn& c) {
+    while (!c.outbuf.empty()) {
+      const ssize_t n = ::write(c.fd.get(), c.outbuf.data(), c.outbuf.size());
+      if (n > 0) {
+        c.outbuf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      kill_conn(c);  // EPIPE & friends: the client is gone
+      return;
+    }
+  }
+
+  void pump(Conn& c) {
+    if (c.dead) return;
+    resolve_slots(c);
+    flush(c);
+    if (c.dead) return;
+    if (c.slots.empty() && c.outbuf.empty() &&
+        (c.peer_eof || c.saw_shutdown || draining)) {
+      c.dead = true;  // conversation over
+      return;
+    }
+    update_mask(c);
+  }
+
+  /// Pumps every connection, rotating the start so delivery is fair.
+  void pump_all() {
+    if (conns.empty()) return;
+    auto it = conns.lower_bound(rr_next_fd);
+    if (it == conns.end()) it = conns.begin();
+    const int first = it->first;
+    do {
+      pump(*it->second);
+      ++it;
+      if (it == conns.end()) it = conns.begin();
+    } while (it->first != first);
+    rr_next_fd = first + 1;
+  }
+
+  void reap_dead() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      Conn& c = *it->second;
+      if (!c.dead) {
+        ++it;
+        continue;
+      }
+      for (const Slot& s : c.slots) {
+        if (s.counts_as_work) queued_work--;
+        counters.dropped_responses++;
+        m_dropped.inc();
+      }
+      loop.remove(c.fd.get());
+      it = conns.erase(it);
+    }
+    m_open_conns.set(static_cast<double>(conns.size()));
+  }
+
+  void kill_conn(Conn& c) { c.dead = true; }
+
+  // ---- accept & drain ------------------------------------------------------
+
+  void on_accept() {
+    while (true) {
+      OwnedFd fd = accept_client(listener.get());
+      if (!fd.valid()) return;
+      if (draining) continue;  // closing fd refuses the late arrival
+      if (conns.size() >= opts.max_connections) {
+        // One explicit overloaded line, then close: the client learns why.
+        const std::string line = serve::overloaded_response().dump() + "\n";
+        [[maybe_unused]] ssize_t r =
+            ::write(fd.get(), line.data(), line.size());
+        counters.rejected_connections++;
+        m_conns_rejected.inc();
+        continue;
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = std::move(fd);
+      const int cfd = conn->fd.get();
+      Conn* raw = conn.get();
+      conn->mask = EPOLLIN;
+      loop.add(cfd, EPOLLIN, [this, raw](std::uint32_t events) {
+        if (events & EPOLLERR) {
+          kill_conn(*raw);
+        } else if (events & (EPOLLIN | EPOLLHUP)) {
+          on_readable(*raw, /*to_eof=*/(events & EPOLLHUP) != 0);
+        }
+        pump(*raw);
+      });
+      conns.emplace(cfd, std::move(conn));
+      counters.accepted_connections++;
+      m_conns_accepted.inc();
+      m_open_conns.set(static_cast<double>(conns.size()));
+    }
+  }
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    if (loop.watched(listener.get())) loop.remove(listener.get());
+    listener.reset();  // new connects are refused at the kernel
+    // Connections stop reading (mask update on next pump); complete lines
+    // already read were handled at read time — only a partial line can be
+    // in an inbuf, and an unterminated request was never accepted.
+  }
+
+  void aux_main() {
+    while (true) {
+      AuxJob job;
+      {
+        std::unique_lock<std::mutex> l(aux_mu);
+        aux_cv.wait(l, [&] { return aux_stop || !aux_jobs.empty(); });
+        if (aux_jobs.empty()) return;  // stop requested and queue drained
+        job = std::move(aux_jobs.front());
+        aux_jobs.pop_front();
+      }
+      std::string line;
+      try {
+        line = serve::control_response(service, job.req, /*quiesce=*/false)
+                   .dump();
+      } catch (const std::exception& e) {  // control_response shouldn't
+        line = serve::error_response(e.what(), job.req.id).dump();  // throw,
+      }                                                             // but belt
+      job.result->line = std::move(line);
+      job.result->done.store(true, std::memory_order_release);
+      loop.wake();
+    }
+  }
+
+  int run() {
+    service.set_completion_hook([this] { loop.wake(); });
+    aux_thread = std::thread([this] { aux_main(); });
+    loop.add(listener.get(), EPOLLIN, [this](std::uint32_t) { on_accept(); });
+
+    while (true) {
+      if (serve::drain_requested(opts.drain_flag)) begin_drain();
+      pump_all();
+      reap_dead();
+      if (draining && conns.empty()) break;
+      loop.run_once(/*timeout_ms=*/100);
+    }
+
+    service.set_completion_hook(nullptr);
+    {
+      std::lock_guard<std::mutex> l(aux_mu);
+      aux_stop = true;
+    }
+    aux_cv.notify_all();
+    aux_thread.join();
+    return 0;
+  }
+};
+
+Server::Server(serve::EvalService& service, ServerOptions opts)
+    : impl_(new Impl(service, std::move(opts))) {}
+
+Server::~Server() { delete impl_; }
+
+std::uint16_t Server::port() const { return local_port(impl_->listener.get()); }
+
+int Server::run() {
+  const int rc = impl_->run();
+  counters_ = impl_->counters;
+  return rc;
+}
+
+}  // namespace ramp::net

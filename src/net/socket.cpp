@@ -1,0 +1,94 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace ramp::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  RAMP_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "not an IPv4 address: '" + host + "'");
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+void OwnedFd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+OwnedFd listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  const sockaddr_in addr = make_addr(host, port);
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw_errno("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+OwnedFd connect_tcp(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0) {
+    if (errno == EINTR) continue;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+OwnedFd accept_client(int listen_fd) {
+  const int fd =
+      ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) return OwnedFd();  // EAGAIN / ECONNABORTED: nothing to accept
+  set_nodelay(fd);
+  return OwnedFd(fd);
+}
+
+}  // namespace ramp::net

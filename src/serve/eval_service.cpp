@@ -1,6 +1,7 @@
 #include "serve/eval_service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -102,6 +103,47 @@ EvalService::Ticket EvalService::submit(const EvalRequest& req) {
   // Backpressure: bound the number of scheduled-but-unfinished keys. The
   // wait releases the lock, so hits/stats stay serviceable meanwhile.
   slot_free_.wait(lock, [this] { return pending_ < opts_.max_pending; });
+  return submit_locked(req, key, lock);
+}
+
+bool EvalService::try_submit(const EvalRequest& req, Ticket* out) {
+  RAMP_REQUIRE(out != nullptr, "try_submit needs an output ticket");
+  RAMP_REQUIRE(req.op == Op::kEval, "try_submit() takes eval requests only");
+  workloads::workload(req.app);
+  const std::string key = request_key(req, base_);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (OutcomePtr* cached = lru_.get(key)) {
+    requests_.inc();
+    hits_.inc();
+    std::promise<OutcomePtr> ready;
+    ready.set_value(*cached);
+    *out = {ready.get_future().share(), Source::kCache};
+    return true;
+  }
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    requests_.inc();
+    coalesced_.inc();
+    *out = {it->second, Source::kCoalesced};
+    return true;
+  }
+  // Would have to schedule: refuse instead of blocking when the pending
+  // bound is full. No counters move — the request was not accepted.
+  if (pending_ >= opts_.max_pending) return false;
+  requests_.inc();
+  misses_.inc();
+  *out = submit_locked(req, key, lock);
+  return true;
+}
+
+void EvalService::set_completion_hook(std::function<void()> hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  completion_hook_ = std::move(hook);
+}
+
+EvalService::Ticket EvalService::submit_locked(
+    const EvalRequest& req, const std::string& key,
+    std::unique_lock<std::mutex>& lock) {
   ++pending_;
   queue_depth_gauge_.set(static_cast<double>(pending_));
 
@@ -123,11 +165,18 @@ EvalService::Ticket EvalService::submit(const EvalRequest& req) {
   std::shared_future<void> handle =
       pool_->submit([this, task, key] {
              (*task)();  // exceptions land in `future`
-             const std::lock_guard<std::mutex> inner(mutex_);
-             inflight_.erase(key);
-             --pending_;
-             queue_depth_gauge_.set(static_cast<double>(pending_));
-             slot_free_.notify_all();
+             std::function<void()> hook;
+             {
+               const std::lock_guard<std::mutex> inner(mutex_);
+               inflight_.erase(key);
+               --pending_;
+               queue_depth_gauge_.set(static_cast<double>(pending_));
+               slot_free_.notify_all();
+               hook = completion_hook_;
+             }
+             // Outside the lock: the hook typically writes an eventfd to
+             // wake an event loop, which may itself call back in.
+             if (hook) hook();
            })
           .share();
   {
@@ -352,9 +401,13 @@ void EvalService::store_persisted(const EvalOutcome& outcome,
   std::error_code ec;
   fs::create_directories(opts_.persist_dir, ec);
   const fs::path target = persist_path(outcome.key);
+  // Same unique-temp discipline as util::BlobStore: PID + process-wide
+  // counter, so concurrent writers (threads or whole processes sharing one
+  // persist directory) never interleave bytes in one temp file.
+  static std::atomic<std::uint64_t> temp_seq{0};
   fs::path tmp = target;
   tmp += ".tmp." + std::to_string(::getpid()) + "." +
-         std::to_string(ThreadPool::current_worker_id() + 1);
+         std::to_string(temp_seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream f(tmp);
     if (!f) return;  // best effort, like the sweep cache

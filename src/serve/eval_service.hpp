@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -105,6 +106,21 @@ class EvalService {
   /// pipeline surface from future::get().
   Ticket submit(const EvalRequest& req);
 
+  /// Non-blocking submit for event-loop callers that must never stall
+  /// (net::Server). Cache hits and coalesced joins always succeed; a request
+  /// that would have to *schedule* work while the pending bound is full
+  /// returns false instead of blocking (the caller sheds or retries), and
+  /// consumes no slot and books no counters. Same validation as submit().
+  bool try_submit(const EvalRequest& req, Ticket* out);
+
+  /// Installs a hook invoked (on a worker thread, outside the service lock)
+  /// every time a scheduled key finishes — successfully or not. Event-loop
+  /// front-ends use it to wake and re-poll their pending tickets; cache-hit
+  /// and coalesced tickets never fire it (their futures are ready at, or
+  /// before, submit return). Pass nullptr to clear. Not thread-safe against
+  /// in-flight work: install before serving.
+  void set_completion_hook(std::function<void()> hook);
+
   /// submit() + get(): the blocking convenience entry point.
   OutcomePtr evaluate(const EvalRequest& req);
 
@@ -132,10 +148,24 @@ class EvalService {
   /// for exporters — the server's `metrics` op snapshots it.
   const obs::MetricsRegistry& metrics() const { return *registry_; }
 
+  /// Mutable registry access for co-located front-ends (net::Server books
+  /// its `ramp_net_*` connection/shed/drain counters here so one `metrics`
+  /// op exports service and transport together).
+  obs::MetricsRegistry& registry() { return *registry_; }
+
+  /// The shared per-stage store requests schedule against (null when stage
+  /// caching is off). The `fleet` op runs its physics cells through it so a
+  /// fleet scenario and the eval path never duplicate stage work.
+  std::shared_ptr<pipeline::StageStore> stage_store() const {
+    return opts_.stage_store;
+  }
+
   const pipeline::EvaluationConfig& config() const { return base_; }
   const Options& options() const { return opts_; }
 
  private:
+  Ticket submit_locked(const EvalRequest& req, const std::string& key,
+                       std::unique_lock<std::mutex>& lock);
   OutcomePtr run_scheduled(const std::string& key, const EvalRequest& req);
   pipeline::AppTechResult evaluate_request(
       const EvalRequest& req, const pipeline::EvaluationConfig& cfg);
@@ -159,6 +189,7 @@ class EvalService {
   std::unordered_map<std::string, std::shared_future<OutcomePtr>> inflight_;
   std::vector<std::shared_future<void>> task_handles_;  ///< for drain/dtor
   std::size_t pending_ = 0;
+  std::function<void()> completion_hook_;  ///< see set_completion_hook
 
   // Service accounting lives on the registry as `ramp_serve_*` metrics; all
   // increments happen under mutex_, so ServiceStats snapshots stay exactly

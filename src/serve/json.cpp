@@ -62,6 +62,11 @@ class Parser {
     return false;
   }
 
+  // Containers nest recursively, so untrusted input could otherwise drive
+  // the parser (and the destructor of the value it builds) arbitrarily deep
+  // into the stack. 64 levels is far beyond any legitimate request.
+  static constexpr int kMaxDepth = 64;
+
   Json value() {
     skip_ws();
     const char c = peek();
@@ -76,9 +81,10 @@ class Parser {
 
   Json object() {
     consume('{');
+    require(++depth_ <= kMaxDepth, "nesting deeper than 64 levels");
     Json obj = Json::object();
     skip_ws();
-    if (consume('}')) return obj;
+    if (consume('}')) { --depth_; return obj; }
     while (true) {
       skip_ws();
       require(peek() == '"', "expected string key");
@@ -89,20 +95,23 @@ class Parser {
       skip_ws();
       if (consume(',')) continue;
       require(consume('}'), "expected ',' or '}' in object");
+      --depth_;
       return obj;
     }
   }
 
   Json array() {
     consume('[');
+    require(++depth_ <= kMaxDepth, "nesting deeper than 64 levels");
     Json arr = Json::array();
     skip_ws();
-    if (consume(']')) return arr;
+    if (consume(']')) { --depth_; return arr; }
     while (true) {
       arr.push(value());
       skip_ws();
       if (consume(',')) continue;
       require(consume(']'), "expected ',' or ']' in array");
+      --depth_;
       return arr;
     }
   }
@@ -186,6 +195,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_string(const std::string& s, std::string& out) {

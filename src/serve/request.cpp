@@ -42,15 +42,42 @@ EvalRequest parse_request(const std::string& line) {
     else if (name == "metrics_reset") req.op = Op::kMetricsReset;
     else if (name == "shutdown") req.op = Op::kShutdown;
     else if (name == "timeline") req.op = Op::kTimeline;
+    else if (name == "fleet") req.op = Op::kFleet;
     else throw InvalidArgument("unknown op '" + name +
-                               "' (use eval, timeline, stats, metrics, "
-                               "metrics_reset, shutdown)");
+                               "' (use eval, timeline, fleet, stats, "
+                               "metrics, metrics_reset, shutdown)");
   }
 
   for (const auto& [key, value] : j.items()) {
     if (key == "op") continue;
     if (key == "id") {
       req.id = value.dump();
+      continue;
+    }
+    if (req.op == Op::kFleet) {
+      // The fleet schema: scenario preset plus a few bounded overrides
+      // (node and seed are shared with the eval schema below).
+      if (key == "scenario") {
+        req.fleet_scenario = value.as_string("scenario");
+      } else if (key == "chips") {
+        req.chips = as_u64_field(value, "chips");
+        RAMP_REQUIRE(*req.chips > 0, "chips must be positive");
+      } else if (key == "years") {
+        req.years = value.as_number("years");
+        RAMP_REQUIRE(*req.years > 0.0, "years must be positive");
+      } else if (key == "bin") {
+        req.bin = value.as_number("bin");
+        RAMP_REQUIRE(*req.bin > 0.0, "bin must be positive");
+      } else if (key == "policy") {
+        req.fleet_policy = value.as_string("policy");
+      } else if (key == "node") {
+        req.node = scaling::parse_tech(value.as_string("node"));
+        req.has_node = true;
+      } else if (key == "seed") {
+        req.seed = as_u64_field(value, "seed");
+      } else {
+        throw InvalidArgument("unknown fleet request field '" + key + "'");
+      }
       continue;
     }
     RAMP_REQUIRE(req.op == Op::kEval || req.op == Op::kTimeline,
@@ -67,6 +94,7 @@ EvalRequest parse_request(const std::string& line) {
       req.app = value.as_string("app");
     } else if (key == "node") {
       req.node = scaling::parse_tech(value.as_string("node"));
+      req.has_node = true;
     } else if (key == "trace_len") {
       req.trace_len = as_u64_field(value, "trace_len");
       RAMP_REQUIRE(*req.trace_len > 0, "trace_len must be positive");

@@ -11,6 +11,9 @@
 //   {"op":"stats"}    {"op":"metrics"}    {"op":"metrics_reset"}
 //   {"op":"shutdown"}
 //   {"op":"timeline", ...eval fields..., "points":64}   // flight recorder
+//   {"op":"fleet","scenario":"baseline",               // bounded population
+//    "chips":2000,"years":10,"bin":1,"policy":"dvfs",  // scenario overrides
+//    "node":"90","seed":7,"id":...}                    // (see session.hpp)
 //
 // `pin_sink` reproduces the paper's constant-sink-temperature scaling rule:
 // the workload's 180 nm run pins the heat-sink temperature the scaled node
@@ -32,12 +35,23 @@
 
 namespace ramp::serve {
 
-enum class Op { kEval, kStats, kMetrics, kMetricsReset, kShutdown, kTimeline };
+enum class Op {
+  kEval,
+  kStats,
+  kMetrics,
+  kMetricsReset,
+  kShutdown,
+  kTimeline,
+  kFleet,
+};
 
 struct EvalRequest {
   Op op = Op::kEval;
   std::string app;
   scaling::TechPoint node = scaling::TechPoint::k180nm;
+  bool has_node = false;   ///< whether the request spelled `node` out (the
+                           ///< fleet op only overrides its preset's tech
+                           ///< when it did)
   std::optional<std::uint64_t> trace_len;  ///< overrides base config
   std::optional<std::uint64_t> seed;       ///< overrides base config
   bool pin_sink = true;
@@ -48,6 +62,13 @@ struct EvalRequest {
   /// from request_key — it only trades compute for reuse.
   bool stage_cache = true;
   std::optional<std::uint64_t> points;  ///< timeline op: point budget override
+  // Fleet-op fields (op == kFleet only). The preset supplies everything not
+  // spelled out; `node` and `seed` above are shared with the eval schema.
+  std::string fleet_scenario;            ///< preset name; "" = "baseline"
+  std::optional<std::uint64_t> chips;    ///< population size override
+  std::optional<double> years;           ///< horizon override
+  std::optional<double> bin;             ///< curve bin width override
+  std::string fleet_policy;              ///< none|dvfs|migration; "" = preset
   std::string id;          ///< raw JSON of the "id" field, "" when absent
 
   /// The effective evaluation config: `base` with this request's overrides.

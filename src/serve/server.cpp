@@ -1,215 +1,132 @@
 #include "serve/server.hpp"
 
-#include <chrono>
-#include <deque>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <istream>
 #include <ostream>
 #include <string>
 
-#include "obs/export.hpp"
-#include "obs/metrics.hpp"
-#include "obs/span.hpp"
-#include "obs/timeline.hpp"
 #include "serve/eval_service.hpp"
-#include "serve/json.hpp"
+#include "serve/session.hpp"
 
 namespace ramp::serve {
 
-namespace {
-
-void set_id(Json& response, const std::string& id) {
-  // The id is re-parsed from its captured raw JSON so it round-trips with
-  // whatever type the client sent (number, string, object, ...).
-  if (!id.empty()) response.set("id", Json::parse(id));
-}
-
-Json error_response(const std::string& message, const std::string& id = {}) {
-  Json r = Json::object();
-  r.set("ok", false);
-  set_id(r, id);
-  r.set("error", message);
-  return r;
-}
-
-Json stats_json(const ServiceStats& s) {
-  Json j = Json::object();
-  j.set("requests", s.requests)
-      .set("hits", s.hits)
-      .set("coalesced", s.coalesced)
-      .set("misses", s.misses)
-      .set("persist_hits", s.persist_hits)
-      .set("evaluations", s.evaluations)
-      .set("failures", s.failures)
-      .set("evictions", s.evictions)
-      .set("queue_depth", static_cast<std::uint64_t>(s.queue_depth))
-      .set("cache_size", static_cast<std::uint64_t>(s.cache_size))
-      .set("p50_latency_ms", s.p50_latency_ms)
-      .set("p99_latency_ms", s.p99_latency_ms);
-  return j;
-}
-
-struct PendingEval {
-  EvalService::Ticket ticket;
-  std::string id;
-};
-
-Json eval_response(PendingEval& pending) {
-  try {
-    const OutcomePtr outcome = pending.ticket.future.get();
-    Json r = Json::object();
-    r.set("ok", true);
-    r.set("op", "eval");
-    set_id(r, pending.id);
-    r.set("key", outcome->key);
-    r.set("cached", pending.ticket.source == EvalService::Source::kCache);
-    r.set("coalesced",
-          pending.ticket.source == EvalService::Source::kCoalesced);
-    r.set("result", result_json(outcome->result));
-    return r;
-  } catch (const std::exception& e) {
-    return error_response(e.what(), pending.id);
-  }
-}
-
-}  // namespace
-
 int serve_loop(std::istream& in, std::ostream& out, EvalService& service) {
-  std::deque<PendingEval> pending;
-
-  const auto respond = [&](const Json& response) {
-    out << response.dump() << '\n';
+  Session session(service, [&](const std::string& line) {
+    out << line << '\n';
     out.flush();
-  };
-  // Emits responses for every completed eval at the head of the line;
-  // `all` waits the line out (the stats/shutdown barrier and EOF path).
-  const auto drain_pending = [&](bool all) {
-    while (!pending.empty()) {
-      if (!all && pending.front().ticket.future.wait_for(
-                      std::chrono::seconds(0)) != std::future_status::ready) {
-        break;
-      }
-      respond(eval_response(pending.front()));
-      pending.pop_front();
-    }
-  };
+    return out.good();
+  });
 
   std::string line;
   while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-
-    EvalRequest req;
-    try {
-      req = parse_request(line);
-    } catch (const std::exception& e) {
-      drain_pending(/*all=*/true);  // keep responses in request order
-      respond(error_response(e.what()));
-      continue;
-    }
-
-    if (req.op == Op::kShutdown) {
-      drain_pending(/*all=*/true);
-      Json r = Json::object();
-      r.set("ok", true).set("op", "shutdown");
-      set_id(r, req.id);
-      respond(r);
-      return 0;
-    }
-    if (req.op == Op::kStats) {
-      drain_pending(/*all=*/true);
-      service.drain();  // quiesce so queue_depth reflects delivered responses
-      Json r = Json::object();
-      r.set("ok", true).set("op", "stats");
-      set_id(r, req.id);
-      r.set("stats", stats_json(service.stats()));
-      respond(r);
-      continue;
-    }
-    if (req.op == Op::kMetrics) {
-      drain_pending(/*all=*/true);
-      service.drain();  // same barrier as stats: counters are settled
-      // Service metrics (always booked) plus whatever the process-wide
-      // registry collected, with the stage profile attached.
-      obs::MetricsSnapshot snap = service.metrics().snapshot();
-      snap.merge_from(obs::MetricsRegistry::global().snapshot());
-      const obs::StageProfile profile = obs::Profiler::global().snapshot();
-      Json r = Json::object();
-      r.set("ok", true).set("op", "metrics");
-      set_id(r, req.id);
-      r.set("prometheus", obs::to_prometheus(snap, &profile));
-      respond(r);
-      continue;
-    }
-    if (req.op == Op::kMetricsReset) {
-      // Same quiesce barrier as stats/metrics, then zero the service
-      // counters, the process-wide registry, and the stage profile — so a
-      // long-lived server can separate load phases.
-      drain_pending(/*all=*/true);
-      service.drain();
-      service.reset_stats();
-      obs::MetricsRegistry::global().reset();
-      obs::Profiler::global().reset();
-      Json r = Json::object();
-      r.set("ok", true).set("op", "metrics_reset");
-      set_id(r, req.id);
-      respond(r);
-      continue;
-    }
-    if (req.op == Op::kTimeline) {
-      // Flight-recorder debug op: runs synchronously on the loop thread
-      // (cache-bypassing; see EvalService::evaluate_timeline), so it is a
-      // barrier like stats — pending evals are answered first.
-      drain_pending(/*all=*/true);
-      try {
-        const pipeline::AppTechResult res = service.evaluate_timeline(req);
-        Json r = Json::object();
-        r.set("ok", true).set("op", "timeline");
-        set_id(r, req.id);
-        r.set("result", result_json(res));
-        r.set("cell", res.timeline.cell);
-        r.set("intervals", res.timeline.intervals);
-        r.set("stride", res.timeline.stride);
-        Json points = Json::array();
-        for (const auto& p : res.timeline.points) {
-          Json pt = Json::object();
-          pt.set("interval", p.interval)
-              .set("time_s", p.time_s)
-              .set("ipc", p.ipc)
-              .set("dyn_w", p.dyn_power_w)
-              .set("leak_w", p.leak_power_w);
-          Json temps = Json::array();
-          for (double t : p.temp_k) temps.push(t);
-          pt.set("temp_k", std::move(temps));
-          Json inst = Json::array();
-          for (double f : p.fit_inst) inst.push(f);
-          pt.set("fit_inst", std::move(inst));
-          Json avg = Json::array();
-          for (double f : p.fit_avg) avg.push(f);
-          pt.set("fit_avg", std::move(avg));
-          points.push(std::move(pt));
-        }
-        r.set("points", std::move(points));
-        Json incidents = Json::array();
-        for (const auto& inc : res.incidents) {
-          incidents.push(Json::parse(obs::incident_to_json(inc)));
-        }
-        r.set("incidents", std::move(incidents));
-        respond(r);
-      } catch (const std::exception& e) {
-        respond(error_response(e.what(), req.id));
-      }
-      continue;
-    }
-
-    try {
-      pending.push_back({service.submit(req), req.id});
-    } catch (const std::exception& e) {
-      drain_pending(/*all=*/true);
-      respond(error_response(e.what(), req.id));
-      continue;
-    }
-    drain_pending(/*all=*/false);
+    if (!session.handle_line(line)) return 0;
   }
-  drain_pending(/*all=*/true);
+  session.finish();
+  return 0;
+}
+
+// ---- signal plumbing -------------------------------------------------------
+
+namespace {
+volatile std::sig_atomic_t g_drain_flag = 0;
+void drain_handler(int) { request_drain(&g_drain_flag); }
+}  // namespace
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+volatile std::sig_atomic_t* install_drain_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = drain_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked syscalls wake with EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  return &g_drain_flag;
+}
+
+// ---- fd-based stdio loop ---------------------------------------------------
+
+int serve_stdio(EvalService& service, const StdioOptions& opts) {
+  Session session(service, [&](const std::string& line) {
+    std::string buf = line;
+    buf += '\n';
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t n =
+          ::write(opts.out_fd, buf.data() + off, buf.size() - off);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EPIPE & friends: the client is gone — clean shutdown
+    }
+    return true;
+  });
+
+  std::string buffer;
+  bool discarding = false;  // inside an over-long line: drop to next newline
+  bool open = true;
+  while (open) {
+    if (drain_requested(opts.drain_flag)) break;
+
+    struct pollfd pfd{};
+    pfd.fd = opts.in_fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the drain flag
+      break;
+    }
+    if (pr == 0) {
+      // Timeout: deliver any evals that completed while input was idle —
+      // an interactive client is waiting on them — then re-check the flag.
+      if (!session.pump()) break;
+      continue;
+    }
+
+    char chunk[65536];
+    const ssize_t n = ::read(opts.in_fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;  // unreadable stdin: treat as EOF
+    }
+    if (n == 0) break;  // EOF
+
+    std::size_t start = 0;
+    for (ssize_t i = 0; i < n && open; ++i) {
+      if (chunk[i] != '\n') continue;
+      if (discarding) {
+        discarding = false;  // the over-long line finally ended; already
+      } else {               // answered when the cap tripped
+        buffer.append(chunk + start, static_cast<std::size_t>(i) - start);
+        if (!session.handle_line(buffer)) open = false;
+        buffer.clear();
+      }
+      start = static_cast<std::size_t>(i) + 1;
+    }
+    if (open && !discarding && start < static_cast<std::size_t>(n)) {
+      buffer.append(chunk + start, static_cast<std::size_t>(n) - start);
+      if (buffer.size() > kMaxRequestLine) {
+        // Answer now and stop buffering: no client may grow our memory
+        // without bound by withholding a newline.
+        if (!session.reject_line(oversize_line_message())) open = false;
+        buffer.clear();
+        discarding = true;
+      }
+    }
+  }
+
+  if (session.shutdown_requested() || session.sink_dead()) return 0;
+  // EOF or drain signal: a final unterminated line still counts (a dying
+  // client may not have flushed its newline), then answer everything
+  // accepted, in order. Nothing accepted is lost.
+  if (!buffer.empty() && !discarding) session.handle_line(buffer);
+  session.finish();
   return 0;
 }
 

@@ -1,0 +1,350 @@
+#include "serve/session.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "fleet/fleet_simulator.hpp"
+#include "fleet/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/timeline.hpp"
+#include "scaling/technology.hpp"
+#include "util/error.hpp"
+
+namespace ramp::serve {
+
+namespace {
+
+Json stats_json(const ServiceStats& s) {
+  Json j = Json::object();
+  j.set("requests", s.requests)
+      .set("hits", s.hits)
+      .set("coalesced", s.coalesced)
+      .set("misses", s.misses)
+      .set("persist_hits", s.persist_hits)
+      .set("evaluations", s.evaluations)
+      .set("failures", s.failures)
+      .set("evictions", s.evictions)
+      .set("queue_depth", static_cast<std::uint64_t>(s.queue_depth))
+      .set("cache_size", static_cast<std::uint64_t>(s.cache_size))
+      .set("p50_latency_ms", s.p50_latency_ms)
+      .set("p99_latency_ms", s.p99_latency_ms);
+  return j;
+}
+
+Json cause_counts_json(
+    const std::array<std::uint64_t, fleet::kNumFailureCauses>& counts) {
+  Json j = Json::object();
+  for (int c = 0; c < fleet::kNumFailureCauses; ++c) {
+    j.set(std::string(fleet::cause_name(static_cast<fleet::FailureCause>(c))),
+          counts[static_cast<std::size_t>(c)]);
+  }
+  return j;
+}
+
+}  // namespace
+
+std::string oversize_line_message() {
+  return "request line exceeds " + std::to_string(kMaxRequestLine) +
+         " bytes";
+}
+
+void set_id(Json& response, const std::string& id) {
+  // The id is re-parsed from its captured raw JSON so it round-trips with
+  // whatever type the client sent (number, string, object, ...).
+  if (!id.empty()) response.set("id", Json::parse(id));
+}
+
+Json error_response(const std::string& message, const std::string& id) {
+  Json r = Json::object();
+  r.set("ok", false);
+  set_id(r, id);
+  r.set("error", message);
+  return r;
+}
+
+Json overloaded_response(const std::string& id) {
+  Json r = error_response("overloaded", id);
+  r.set("overloaded", true);
+  return r;
+}
+
+Json shutdown_response(const EvalRequest& req) {
+  Json r = Json::object();
+  r.set("ok", true).set("op", "shutdown");
+  set_id(r, req.id);
+  return r;
+}
+
+Json stats_response(EvalService& service, const EvalRequest& req,
+                    bool quiesce) {
+  if (quiesce) service.drain();  // queue_depth reflects delivered responses
+  Json r = Json::object();
+  r.set("ok", true).set("op", "stats");
+  set_id(r, req.id);
+  r.set("stats", stats_json(service.stats()));
+  return r;
+}
+
+Json metrics_response(EvalService& service, const EvalRequest& req,
+                      bool quiesce) {
+  if (quiesce) service.drain();  // counters are settled
+  // Service metrics (always booked) plus whatever the process-wide registry
+  // collected, with the stage profile attached.
+  obs::MetricsSnapshot snap = service.metrics().snapshot();
+  snap.merge_from(obs::MetricsRegistry::global().snapshot());
+  const obs::StageProfile profile = obs::Profiler::global().snapshot();
+  Json r = Json::object();
+  r.set("ok", true).set("op", "metrics");
+  set_id(r, req.id);
+  r.set("prometheus", obs::to_prometheus(snap, &profile));
+  return r;
+}
+
+Json metrics_reset_response(EvalService& service, const EvalRequest& req,
+                            bool quiesce) {
+  // Zero the service counters, the process-wide registry, and the stage
+  // profile — so a long-lived server can separate load phases.
+  if (quiesce) service.drain();
+  service.reset_stats();
+  obs::MetricsRegistry::global().reset();
+  obs::Profiler::global().reset();
+  Json r = Json::object();
+  r.set("ok", true).set("op", "metrics_reset");
+  set_id(r, req.id);
+  return r;
+}
+
+Json timeline_response(EvalService& service, const EvalRequest& req) {
+  try {
+    const pipeline::AppTechResult res = service.evaluate_timeline(req);
+    Json r = Json::object();
+    r.set("ok", true).set("op", "timeline");
+    set_id(r, req.id);
+    r.set("result", result_json(res));
+    r.set("cell", res.timeline.cell);
+    r.set("intervals", res.timeline.intervals);
+    r.set("stride", res.timeline.stride);
+    Json points = Json::array();
+    for (const auto& p : res.timeline.points) {
+      Json pt = Json::object();
+      pt.set("interval", p.interval)
+          .set("time_s", p.time_s)
+          .set("ipc", p.ipc)
+          .set("dyn_w", p.dyn_power_w)
+          .set("leak_w", p.leak_power_w);
+      Json temps = Json::array();
+      for (double t : p.temp_k) temps.push(t);
+      pt.set("temp_k", std::move(temps));
+      Json inst = Json::array();
+      for (double f : p.fit_inst) inst.push(f);
+      pt.set("fit_inst", std::move(inst));
+      Json avg = Json::array();
+      for (double f : p.fit_avg) avg.push(f);
+      pt.set("fit_avg", std::move(avg));
+      points.push(std::move(pt));
+    }
+    r.set("points", std::move(points));
+    Json incidents = Json::array();
+    for (const auto& inc : res.incidents) {
+      incidents.push(Json::parse(obs::incident_to_json(inc)));
+    }
+    r.set("incidents", std::move(incidents));
+    return r;
+  } catch (const std::exception& e) {
+    return error_response(e.what(), req.id);
+  }
+}
+
+Json fleet_response(EvalService& service, const EvalRequest& req) {
+  try {
+    fleet::FleetScenario sc = fleet::FleetScenario::preset(
+        req.fleet_scenario.empty() ? "baseline" : req.fleet_scenario);
+    if (req.chips) sc.chips = *req.chips;
+    if (req.years) sc.horizon_years = *req.years;
+    if (req.bin) sc.curve_bin_years = *req.bin;
+    if (!req.fleet_policy.empty())
+      sc.policy = fleet::parse_policy(req.fleet_policy);
+    if (req.has_node) sc.tech = req.node;
+    if (req.seed) sc.seed = *req.seed;
+    // The scenario's physics cells run with the service's base config and
+    // through the service's stage store, so a fleet op and the eval path
+    // share per-stage work instead of duplicating it.
+    sc.cell = service.config();
+    // A serve request must not be able to wedge the process for hours: the
+    // CLI handles unbounded studies, the wire op handles bounded ones.
+    RAMP_REQUIRE(sc.chips <= 200'000,
+                 "fleet op caps chips at 200000 (use `ramp fleet` for "
+                 "larger populations)");
+    RAMP_REQUIRE(sc.horizon_years <= 100.0, "fleet op caps years at 100");
+    sc.validate();
+
+    fleet::FleetSimulator::Options opts;
+    opts.jobs = service.options().jobs;
+    opts.stage_store = service.stage_store();
+    opts.registry = &service.registry();
+    const fleet::FleetResult res = fleet::FleetSimulator(sc, opts).run();
+
+    Json scenario = Json::object();
+    scenario.set("name", sc.name)
+        .set("chips", sc.chips)
+        .set("years", sc.horizon_years)
+        .set("bin", sc.curve_bin_years)
+        .set("policy", std::string(fleet::policy_name(sc.policy)))
+        .set("node", std::string(scaling::tech_token(sc.tech)))
+        .set("seed", sc.seed);
+
+    const fleet::FleetSummary& s = res.summary;
+    Json summary = Json::object();
+    summary.set("chips", s.chips)
+        .set("failed", s.failed)
+        .set("survival_at_horizon", s.survival_at_horizon)
+        .set("mean_failure_age_years", s.mean_failure_age_years)
+        .set("by_cause", cause_counts_json(s.failures_by_cause))
+        .set("avg_relative_performance", s.avg_relative_performance)
+        .set("throttle_switches", s.throttle_switches)
+        .set("migrations", s.migrations)
+        .set("spare_activations", s.spare_activations)
+        .set("monitor_reconfigs", s.monitor_reconfigs);
+
+    Json curve = Json::array();
+    for (const auto& p : res.curve) {
+      Json bin = Json::object();
+      bin.set("t_end_years", p.t_end_years)
+          .set("failures", p.failures)
+          .set("survivors", p.survivors)
+          .set("survival", p.survival)
+          .set("hazard_per_year", p.hazard_per_year)
+          .set("by_cause", cause_counts_json(p.by_cause));
+      curve.push(std::move(bin));
+    }
+
+    Json r = Json::object();
+    r.set("ok", true).set("op", "fleet");
+    set_id(r, req.id);
+    r.set("scenario", std::move(scenario));
+    r.set("summary", std::move(summary));
+    r.set("curve", std::move(curve));
+    return r;
+  } catch (const std::exception& e) {
+    return error_response(e.what(), req.id);
+  }
+}
+
+Json control_response(EvalService& service, const EvalRequest& req,
+                      bool quiesce) {
+  switch (req.op) {
+    case Op::kStats: return stats_response(service, req, quiesce);
+    case Op::kMetrics: return metrics_response(service, req, quiesce);
+    case Op::kMetricsReset:
+      return metrics_reset_response(service, req, quiesce);
+    case Op::kTimeline: return timeline_response(service, req);
+    case Op::kFleet: return fleet_response(service, req);
+    case Op::kEval:
+    case Op::kShutdown:
+      break;
+  }
+  return error_response("internal: not a control op", req.id);
+}
+
+Json eval_response(const EvalService::Ticket& ticket, const std::string& id) {
+  try {
+    const OutcomePtr outcome = ticket.future.get();
+    Json r = Json::object();
+    r.set("ok", true);
+    r.set("op", "eval");
+    set_id(r, id);
+    r.set("key", outcome->key);
+    r.set("cached", ticket.source == EvalService::Source::kCache);
+    r.set("coalesced", ticket.source == EvalService::Source::kCoalesced);
+    r.set("result", result_json(outcome->result));
+    return r;
+  } catch (const std::exception& e) {
+    return error_response(e.what(), id);
+  }
+}
+
+// ---- Session ---------------------------------------------------------------
+
+Session::Session(EvalService& service, Sink sink)
+    : service_(service), sink_(std::move(sink)) {}
+
+bool Session::respond(const Json& response) {
+  if (sink_dead_) return false;
+  if (!sink_(response.dump())) {
+    sink_dead_ = true;
+    pending_.clear();  // nobody left to deliver to; futures self-complete
+    return false;
+  }
+  return true;
+}
+
+bool Session::drain_pending(bool all) {
+  while (!pending_.empty()) {
+    if (!all && pending_.front().ticket.future.wait_for(
+                    std::chrono::seconds(0)) != std::future_status::ready) {
+      break;
+    }
+    if (!respond(eval_response(pending_.front().ticket, pending_.front().id)))
+      return false;
+    pending_.pop_front();
+  }
+  return true;
+}
+
+bool Session::handle_line(const std::string& line) {
+  if (shutdown_ || sink_dead_) return false;
+
+  if (line.size() > kMaxRequestLine) return reject_line(oversize_line_message());
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
+
+  EvalRequest req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    // Errors keep request order too: answer everything in front first.
+    if (!drain_pending(/*all=*/true)) return false;
+    return respond(error_response(e.what()));
+  }
+
+  if (req.op == Op::kShutdown) {
+    if (!drain_pending(/*all=*/true)) return false;
+    shutdown_ = true;
+    respond(shutdown_response(req));
+    return false;
+  }
+  if (req.op != Op::kEval) {
+    // Control ops are barriers on the blocking path: pending evals answer
+    // first, then the op runs synchronously (quiesced — single client).
+    if (!drain_pending(/*all=*/true)) return false;
+    return respond(control_response(service_, req, /*quiesce=*/true));
+  }
+
+  try {
+    pending_.push_back({service_.submit(req), req.id});
+  } catch (const std::exception& e) {
+    if (!drain_pending(/*all=*/true)) return false;
+    return respond(error_response(e.what(), req.id));
+  }
+  return drain_pending(/*all=*/false);
+}
+
+bool Session::reject_line(const std::string& message) {
+  if (shutdown_ || sink_dead_) return false;
+  if (!drain_pending(/*all=*/true)) return false;
+  return respond(error_response(message));
+}
+
+bool Session::pump() {
+  if (sink_dead_) return false;
+  return drain_pending(/*all=*/false);
+}
+
+bool Session::finish() {
+  if (sink_dead_) return false;
+  return drain_pending(/*all=*/true);
+}
+
+}  // namespace ramp::serve

@@ -1,5 +1,6 @@
 #include "util/blob_store.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -9,7 +10,6 @@
 
 #include "util/error.hpp"
 #include "util/hashing.hpp"
-#include "util/thread_pool.hpp"
 
 namespace ramp {
 
@@ -75,11 +75,16 @@ void BlobStore::store_disk(const std::string& key,
   std::error_code ec;
   fs::create_directories(opts_.dir, ec);
   const fs::path target = path_for(key);
-  // Same-directory temp file so the rename cannot cross filesystems; the
-  // PID + worker suffix keeps concurrent writers off each other's files.
+  // Same-directory temp file so the rename cannot cross filesystems. The
+  // PID separates processes sharing one cache directory and the monotonic
+  // counter separates every writer thread inside a process (pool workers
+  // and plain threads alike), so no two writers — even two stores on the
+  // same directory racing on one key — can interleave bytes in one temp
+  // file. The rename then publishes a complete file or nothing.
+  static std::atomic<std::uint64_t> temp_seq{0};
   fs::path tmp = target;
   tmp += ".tmp." + std::to_string(::getpid()) + "." +
-         std::to_string(ThreadPool::current_worker_id() + 1);
+         std::to_string(temp_seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream f(tmp, std::ios::binary);
     if (!f) return;  // best effort: an unwritable dir degrades to memory-only

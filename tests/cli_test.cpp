@@ -397,5 +397,255 @@ TEST(CliTest, FleetRejectsGarbage) {
   EXPECT_EQ(run_cli("fleet", "", "RAMP_FLEET_POLICY=turbo").exit_code, 1);
 }
 
+// ---- Serving: fleet op, client death, signals, TCP, sharding ---------------
+
+/// Writes `body` to a scratch script and runs `bash script <args...>`.
+/// Returns the script's exit code (-1 if it died on a signal).
+int run_bash(const std::string& body, const std::vector<std::string>& args) {
+  static int seq = 0;
+  const fs::path script = fs::temp_directory_path() /
+                          ("ramp_cli_script_" + std::to_string(::getpid()) +
+                           "_" + std::to_string(seq++) + ".sh");
+  std::ofstream(script) << body;
+  std::string cmd = "bash '" + script.string() + "'";
+  for (const std::string& a : args) cmd += " '" + a + "'";
+  const int status = std::system(cmd.c_str());
+  fs::remove(script);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CliTest, ServeFleetOpOverStdio) {
+  const std::string request =
+      "{\"op\":\"fleet\",\"chips\":64,\"years\":6,\"bin\":2,\"seed\":3,"
+      "\"id\":9}\n{\"op\":\"shutdown\"}\n";
+  const auto r =
+      run_cli("serve --trace-len 2000 --jobs 2 --no-persist", request);
+  ASSERT_EQ(r.exit_code, 0);
+
+  std::istringstream lines(r.output);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const serve::Json fleet = serve::Json::parse(line);
+  EXPECT_TRUE(fleet.find("ok")->as_bool()) << line;
+  EXPECT_EQ(fleet.find("op")->as_string(), "fleet");
+  EXPECT_DOUBLE_EQ(fleet.find("id")->as_number(), 9.0);
+  ASSERT_NE(fleet.find("summary"), nullptr);
+  EXPECT_DOUBLE_EQ(fleet.find("summary")->find("chips")->as_number(), 64.0);
+  ASSERT_NE(fleet.find("curve"), nullptr);
+  EXPECT_EQ(fleet.find("curve")->elements().size(), 3u);  // 6 y / 2 y bins
+
+  // Same seed, same scenario: the simulation is deterministic over the wire.
+  const auto again =
+      run_cli("serve --trace-len 2000 --jobs 2 --no-persist", request);
+  ASSERT_EQ(again.exit_code, 0);
+  EXPECT_EQ(again.output, r.output);
+
+  // Bounds are enforced before any work happens.
+  const auto huge = run_cli(
+      "serve --trace-len 2000 --no-persist",
+      "{\"op\":\"fleet\",\"chips\":999999999}\n{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(huge.exit_code, 0);
+  ASSERT_FALSE(huge.output.empty());
+  std::istringstream huge_lines(huge.output);
+  std::string huge_line;
+  ASSERT_TRUE(std::getline(huge_lines, huge_line));
+  EXPECT_FALSE(serve::Json::parse(huge_line).find("ok")->as_bool());
+}
+
+TEST(CliTest, ServeSurvivesClientDeathMidStream) {
+  // The satellite regression: a client that reads one line and dies used to
+  // kill serve with SIGPIPE (exit 141). Now EPIPE on stdout is a clean
+  // shutdown. 200 pipelined responses overflow the 64 KiB pipe buffer, so
+  // the write after `head` exits MUST hit the dead pipe.
+  const std::string script = R"SH(
+set -u
+ramp=$1; dir=$2
+req='{"op":"eval","app":"gcc","node":"90","trace_len":2000}'
+{ for i in $(seq 1 200); do echo "$req"; done; } > "$dir/reqs.ndjson"
+"$ramp" serve --trace-len 2000 --no-persist < "$dir/reqs.ndjson" 2>/dev/null \
+  | head -n 1 > /dev/null
+exit "${PIPESTATUS[0]}"
+)SH";
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_epipe";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  EXPECT_EQ(run_bash(script, {RAMP_CLI_PATH, dir.string()}), 0)
+      << "serve must exit 0 when its client dies mid-stream";
+  fs::remove_all(dir);
+}
+
+TEST(CliTest, ServeSigintDrainsGracefully) {
+  // SIGINT mid-stream (client still connected, more input possibly coming)
+  // is a graceful drain: answer what was read, flush, exit 0.
+  const std::string script = R"SH(
+set -u
+ramp=$1; dir=$2
+mkfifo "$dir/in"
+"$ramp" serve --trace-len 2000 --no-persist < "$dir/in" \
+  > "$dir/out.ndjson" 2>/dev/null &
+pid=$!
+exec 3> "$dir/in"
+printf '{"op":"eval","app":"gcc","node":"90","trace_len":2000}\n' >&3
+# Wait for the response so the kill provably lands mid-stream, not pre-work.
+for i in $(seq 1 100); do [ -s "$dir/out.ndjson" ] && break; sleep 0.1; done
+kill -INT "$pid"
+wait "$pid"; rc=$?
+exec 3>&-
+exit "$rc"
+)SH";
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_sigint";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  EXPECT_EQ(run_bash(script, {RAMP_CLI_PATH, dir.string()}), 0)
+      << "SIGINT must drain and exit 0, not die with 130";
+  // The answered request made it out before the drain.
+  std::stringstream out;
+  out << std::ifstream(dir / "out.ndjson").rdbuf();
+  EXPECT_NE(out.str().find("\"ok\":true"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CliTest, ServeTcpAnswersMatchAndDrainOnShutdownOp) {
+  // End-to-end TCP mode through the real binary: bash's /dev/tcp talks to
+  // `serve --listen`, the answer matches the stdio answer for the same
+  // request, and the `shutdown` op drains the process to exit 0.
+  const std::string script = R"SH(
+set -u
+ramp=$1; dir=$2
+"$ramp" serve --listen 127.0.0.1:0 --port-file "$dir/port" --trace-len 2000 \
+  --out-dir "$dir/out" > /dev/null 2>&1 &
+pid=$!
+for i in $(seq 1 100); do [ -s "$dir/port" ] && break; sleep 0.1; done
+port=$(cat "$dir/port")
+exec 3<> "/dev/tcp/127.0.0.1/$port"
+printf '{"op":"eval","app":"gcc","node":"90","trace_len":2000,"id":1}\n' >&3
+IFS= read -r line <&3
+printf '%s\n' "$line" > "$dir/tcp_answer"
+printf '{"op":"shutdown"}\n' >&3
+IFS= read -r bye <&3
+exec 3<&- 3>&-
+wait "$pid"
+exit $?
+)SH";
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_tcp";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ASSERT_EQ(run_bash(script, {RAMP_CLI_PATH, dir.string()}), 0);
+
+  std::stringstream tcp;
+  tcp << std::ifstream(dir / "tcp_answer").rdbuf();
+  ASSERT_FALSE(tcp.str().empty());
+  const serve::Json answer = serve::Json::parse(tcp.str());
+  EXPECT_TRUE(answer.find("ok")->as_bool());
+
+  const auto stdio = run_cli(
+      "serve --trace-len 2000 --no-persist",
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"trace_len\":2000,"
+      "\"id\":1}\n{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(stdio.exit_code, 0);
+  std::istringstream lines(stdio.output);
+  std::string stdio_line;
+  ASSERT_TRUE(std::getline(lines, stdio_line));
+  // Byte-identical result payloads (the `cached` provenance flag may differ
+  // between a cold stdio service and the TCP server's persist dir).
+  const serve::Json expected = serve::Json::parse(stdio_line);
+  ASSERT_NE(answer.find("result"), nullptr);
+  ASSERT_NE(expected.find("result"), nullptr);
+  EXPECT_EQ(answer.find("result")->dump(), expected.find("result")->dump());
+  EXPECT_EQ(answer.find("key")->as_string(),
+            expected.find("key")->as_string());
+  fs::remove_all(dir);
+}
+
+TEST(CliTest, ShardedServeRoutesKeysToDisjointCaches) {
+  // Two shard workers, one front. Each eval key must persist in exactly one
+  // shard's cache directory — the consistent-hash routing is what makes the
+  // per-key single-flight guarantee hold fleet-wide.
+  const std::string script = R"SH(
+set -u
+ramp=$1; dir=$2
+RAMP_CACHE=on "$ramp" serve --listen 127.0.0.1:0 --shards 2 \
+  --port-file "$dir/port" --trace-len 2000 --out-dir "$dir/out" \
+  > /dev/null 2>&1 &
+pid=$!
+for i in $(seq 1 100); do [ -s "$dir/port" ] && break; sleep 0.1; done
+port=$(cat "$dir/port")
+# 180 nm keys only: a scaled node would drag the shared 180 nm base-run
+# entry into BOTH shard caches as a dependency and muddy the disjointness
+# check; at 180 nm each key's dependency closure is itself.
+for app in gcc gzip twolf crafty ammp mesa; do
+  exec 3<> "/dev/tcp/127.0.0.1/$port"
+  printf '{"op":"eval","app":"%s","node":"180","trace_len":2000}\n' \
+    "$app" >&3
+  IFS= read -r line <&3 || exit 3
+  case "$line" in *'"ok":true'*) ;; *) echo "$line"; exit 4 ;; esac
+  exec 3<&- 3>&-
+done
+exec 3<> "/dev/tcp/127.0.0.1/$port"
+printf '{"op":"shutdown"}\n' >&3
+IFS= read -r bye <&3 || true
+exec 3<&- 3>&-
+wait "$pid"
+exit $?
+)SH";
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_shards";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ASSERT_EQ(run_bash(script, {RAMP_CLI_PATH, dir.string()}), 0);
+
+  // Both shards persisted something, and no blob digest appears in both —
+  // the keyspace split is real, not cosmetic.
+  std::vector<std::string> shard0, shard1;
+  for (const auto& e :
+       fs::directory_iterator(dir / "out" / "serve_cache" / "shard-0")) {
+    shard0.push_back(e.path().filename().string());
+  }
+  for (const auto& e :
+       fs::directory_iterator(dir / "out" / "serve_cache" / "shard-1")) {
+    shard1.push_back(e.path().filename().string());
+  }
+  EXPECT_FALSE(shard0.empty());
+  EXPECT_FALSE(shard1.empty());
+  for (const std::string& f : shard0) {
+    EXPECT_EQ(std::find(shard1.begin(), shard1.end(), f), shard1.end())
+        << f << " persisted in both shards";
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CliTest, LoadgenDrivesTcpServeEndToEnd) {
+  // The benchmark harness path: serve --listen + ramp_loadgen closed loop.
+  // Zero errors, everything sent gets answered, and SIGTERM drains to 0.
+  const std::string script = R"SH(
+set -u
+ramp=$1; loadgen=$2; dir=$3
+"$ramp" serve --listen 127.0.0.1:0 --port-file "$dir/port" --trace-len 2000 \
+  --out-dir "$dir/out" > /dev/null 2>&1 &
+pid=$!
+"$loadgen" --port-file "$dir/port" --mode closed --connections 4 \
+  --duration 2 --trace-len 2000 > "$dir/loadgen.json" || exit 5
+kill -TERM "$pid"
+wait "$pid"
+exit $?
+)SH";
+  const fs::path dir = fs::temp_directory_path() / "ramp_cli_loadgen";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ASSERT_EQ(run_bash(script,
+                     {RAMP_CLI_PATH, RAMP_LOADGEN_PATH, dir.string()}),
+            0);
+
+  std::stringstream body;
+  body << std::ifstream(dir / "loadgen.json").rdbuf();
+  const serve::Json summary = serve::Json::parse(body.str());
+  EXPECT_GT(summary.find("sent")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.find("completed")->as_number(),
+                   summary.find("sent")->as_number());
+  EXPECT_DOUBLE_EQ(summary.find("errors")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.find("overloaded")->as_number(), 0.0);
+  EXPECT_GT(summary.find("p99_ms")->as_number(), 0.0);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace ramp

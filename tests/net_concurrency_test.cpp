@@ -1,0 +1,305 @@
+// The tentpole acceptance test (ctest label: concurrency; run from a
+// -DRAMP_SANITIZE=thread build): >= 32 concurrent TCP clients throwing
+// mixed eval/stats/metrics traffic at one net::Server — some disconnecting
+// mid-request — while
+//   * every eval answer is byte-identical to the stdio-mode answer for the
+//     same request (modulo the cached/coalesced provenance flags),
+//   * a hot key evaluates exactly once fleet-wide (single-flight holds
+//     ACROSS clients, not just within one),
+//   * a tiny queue cap sheds with explicit `overloaded` responses instead
+//     of queueing without bound, and
+//   * graceful drain accounts for every accepted request:
+//     responses_sent + dropped_responses == accepted_requests, with the
+//     sent side equal to what clients actually received.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net_tcp_client.hpp"
+#include "pipeline/evaluator.hpp"
+#include "serve/eval_service.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+namespace ramp::net {
+namespace {
+
+using testing::LineClient;
+
+constexpr int kClients = 32;
+
+pipeline::EvaluationConfig tiny_config() {
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = 3'000;
+  return cfg;
+}
+
+std::string normalized(const std::string& line) {
+  const serve::Json parsed = serve::Json::parse(line);
+  serve::Json out = serve::Json::object();
+  for (const auto& [key, value] : parsed.items()) {
+    if (key == "cached" || key == "coalesced") {
+      out.set(key, serve::Json(false));
+    } else {
+      out.set(key, value);
+    }
+  }
+  return out.dump();
+}
+
+std::string stdio_answer(const std::string& line) {
+  serve::EvalService service(tiny_config(), {});
+  std::istringstream in(line + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve::serve_loop(in, out, service), 0);
+  std::string text = out.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+TEST(NetConcurrencyTest, MixedOpsFrom32ClientsMatchStdioAnswers) {
+  // 180 nm keys only: every key is exactly one evaluation, so the
+  // single-flight assertion at the bottom is exact, not a bound.
+  const std::vector<std::string> apps = {"gcc", "gzip", "twolf", "crafty"};
+  std::map<std::string, std::string> reference;  // request -> stdio answer
+  std::vector<std::string> eval_reqs;
+  for (const std::string& app : apps) {
+    const std::string req =
+        R"({"op":"eval","app":")" + app + R"(","node":"180"})";
+    eval_reqs.push_back(req);
+    reference[req] = normalized(stdio_answer(req));
+  }
+
+  serve::EvalService::Options sopts;
+  sopts.jobs = 4;
+  serve::EvalService service(tiny_config(), sopts);
+  Server server(service, {});
+  const std::uint16_t port = server.port();
+  int rc = -1;
+  std::thread server_thread([&] { rc = server.run(); });
+
+  std::atomic<int> failures{0};
+  std::atomic<int> disconnectors{0};
+  std::barrier start(kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        LineClient client(static_cast<std::uint16_t>(port));
+        start.arrive_and_wait();  // maximize real concurrency
+        if (t % 8 == 7) {
+          // Mid-request disconnectors: fire a valid eval plus a HALF line
+          // (no newline) and vanish. The complete line must be accepted
+          // and answered into the void; the partial must be dropped.
+          client.send(eval_reqs[static_cast<std::size_t>(t) % 4]);
+          client.send_raw_no_newline(R"({"op":"eval","app":"gc)");
+          client.close();
+          disconnectors.fetch_add(1);
+          return;
+        }
+        constexpr int kRounds = 6;
+        for (int i = 0; i < kRounds; ++i) {
+          const std::string& req =
+              eval_reqs[static_cast<std::size_t>(t + i) % 4];
+          if (!client.send(req)) { failures.fetch_add(1); return; }
+          const auto reply = client.recv_line();
+          if (!reply || normalized(*reply) != reference.at(req)) {
+            failures.fetch_add(1);
+            return;
+          }
+          // Interleave control ops; their answers must keep order and be
+          // well-formed (values are load-dependent, bytes are not checked).
+          const std::string control =
+              (i % 2 == 0) ? R"({"op":"stats"})" : R"({"op":"metrics"})";
+          if (!client.send(control)) { failures.fetch_add(1); return; }
+          const auto creply = client.recv_line();
+          if (!creply ||
+              serve::Json::parse(*creply).find("op")->as_string() !=
+                  ((i % 2 == 0) ? "stats" : "metrics")) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  {
+    LineClient quit(port);
+    quit.send(R"({"op":"shutdown"})");
+    quit.recv_line();
+  }
+  server_thread.join();
+  EXPECT_EQ(rc, 0);
+
+  const ServerCounters& c = server.counters();
+  // The disconnectors' answers were either written into their dead sockets
+  // or dropped when the connection died — never silently lost.
+  EXPECT_EQ(c.responses_sent + c.dropped_responses, c.accepted_requests);
+  EXPECT_EQ(disconnectors.load(), kClients / 8);
+  // 4 distinct 180 nm keys served to 32 clients: exactly 4 evaluations —
+  // per-key single-flight and the cache held across every client.
+  EXPECT_EQ(service.stats().evaluations, 4u);
+}
+
+TEST(NetConcurrencyTest, HotKeyEvaluatesOnceAcrossAllClients) {
+  serve::EvalService::Options sopts;
+  sopts.jobs = 2;
+  serve::EvalService service(tiny_config(), sopts);
+  Server server(service, {});
+  const std::uint16_t port = server.port();
+  std::thread server_thread([&] { server.run(); });
+
+  const std::string req = R"({"op":"eval","app":"gcc","node":"180"})";
+  std::atomic<int> ok{0};
+  std::vector<std::string> answers(kClients);
+  std::barrier start(kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        LineClient client(port);
+        start.arrive_and_wait();  // all 32 hit the cold key together
+        if (!client.send(req)) return;
+        const auto reply = client.recv_line();
+        if (reply) {
+          answers[static_cast<std::size_t>(t)] = normalized(*reply);
+          ok.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  {
+    LineClient quit(port);
+    quit.send(R"({"op":"shutdown"})");
+    quit.recv_line();
+  }
+  server_thread.join();
+
+  EXPECT_EQ(ok.load(), kClients);
+  for (int t = 1; t < kClients; ++t) EXPECT_EQ(answers[0], answers[t]);
+  EXPECT_EQ(service.stats().evaluations, 1u)
+      << "hot key must single-flight across clients";
+}
+
+TEST(NetConcurrencyTest, FloodShedsWithOverloadedInsteadOfQueueing) {
+  serve::EvalService::Options sopts;
+  sopts.jobs = 1;
+  serve::EvalService service(tiny_config(), sopts);
+  ServerOptions opts;
+  opts.max_queued_requests = 4;
+  Server server(service, opts);
+  const std::uint16_t port = server.port();
+  std::thread server_thread([&] { server.run(); });
+
+  constexpr int kPerClient = 8;
+  std::atomic<int> answered{0}, overloaded{0}, out_of_order{0};
+  std::barrier start(kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        LineClient client(port);
+        start.arrive_and_wait();
+        for (int i = 0; i < kPerClient; ++i) {
+          // Distinct key per request: nothing caches, nothing coalesces —
+          // the 4-deep queue cannot absorb 32 * 8 of these.
+          client.send(R"({"op":"eval","app":"gcc","node":"90","trace_len":)" +
+                      std::to_string(2'000 + t * kPerClient + i) +
+                      R"(,"id":)" + std::to_string(i) + "}");
+        }
+        for (int i = 0; i < kPerClient; ++i) {
+          const auto reply = client.recv_line();
+          if (!reply) return;  // lost answers show up in the totals below
+          answered.fetch_add(1);
+          const serve::Json j = serve::Json::parse(*reply);
+          if (static_cast<int>(j.find("id")->as_number()) != i)
+            out_of_order.fetch_add(1);
+          if (!j.find("ok")->as_bool() && j.find("overloaded") != nullptr)
+            overloaded.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  {
+    LineClient quit(port);
+    quit.send(R"({"op":"shutdown"})");
+    quit.recv_line();
+  }
+  server_thread.join();
+
+  EXPECT_EQ(answered.load(), kClients * kPerClient)
+      << "every request gets an answer, shed or not";
+  EXPECT_EQ(out_of_order.load(), 0);
+  EXPECT_GE(overloaded.load(), 1) << "the flood must shed somewhere";
+  EXPECT_EQ(server.counters().shed_requests,
+            static_cast<std::uint64_t>(overloaded.load()));
+}
+
+TEST(NetConcurrencyTest, DrainUnderLoadDeliversEverythingAccepted) {
+  static volatile std::sig_atomic_t drain;
+  drain = 0;
+  serve::EvalService::Options sopts;
+  sopts.jobs = 2;
+  serve::EvalService service(tiny_config(), sopts);
+  ServerOptions opts;
+  opts.drain_flag = &drain;
+  Server server(service, opts);
+  const std::uint16_t port = server.port();
+  int rc = -1;
+  std::thread server_thread([&] { rc = server.run(); });
+
+  // Closed-loop clients stream until the server drains mid-flight; count
+  // every response that actually reached a client.
+  std::atomic<std::uint64_t> received{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        LineClient client(port);
+        for (int i = 0; i < 1'000; ++i) {
+          if (!client.send(R"({"op":"eval","app":"gcc","node":"180","id":)" +
+                           std::to_string(t * 10'000 + i) + "}")) {
+            break;  // server went away mid-send: drain reached us
+          }
+          const auto reply = client.recv_line();
+          if (!reply) break;  // EOF: drained
+          received.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        // connect raced the drain: nothing sent, nothing owed
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  serve::request_drain(&drain);  // SIGTERM equivalent, mid-load
+  for (auto& c : clients) c.join();
+  server_thread.join();
+
+  EXPECT_EQ(rc, 0);
+  const ServerCounters& c = server.counters();
+  EXPECT_GT(c.accepted_requests, 0u);
+  EXPECT_EQ(c.responses_sent + c.dropped_responses, c.accepted_requests)
+      << "drain must account for every accepted request";
+  EXPECT_EQ(c.responses_sent, received.load())
+      << "every response the server counts as sent was actually received";
+}
+
+}  // namespace
+}  // namespace ramp::net

@@ -1,0 +1,87 @@
+// Blocking NDJSON-over-TCP client for the net tests: one line out, one line
+// in, no cleverness — the test harness end of the wire protocol.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <optional>
+#include <string>
+
+#include "net/socket.hpp"
+#include "serve/server.hpp"
+
+namespace ramp::net::testing {
+
+/// Tests write to sockets the server may close first (drain, overload
+/// rejection); without this the default SIGPIPE disposition kills the test
+/// binary instead of surfacing EPIPE.
+inline const bool kSigpipeIgnored = (serve::ignore_sigpipe(), true);
+
+class LineClient {
+ public:
+  explicit LineClient(std::uint16_t port)
+      : fd_(connect_tcp("127.0.0.1", port)) {}
+
+  int fd() const { return fd_.get(); }
+  void close() { fd_.reset(); }
+
+  /// Writes `line` plus a newline; false when the server hung up (EPIPE /
+  /// ECONNRESET), which some tests deliberately provoke.
+  bool send(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(fd_.get(), out.data() + off, out.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Raw bytes, no newline appended — for sending deliberately incomplete
+  /// lines before disconnecting.
+  bool send_raw_no_newline(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::write(fd_.get(), bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Blocks for the next complete line; nullopt on EOF. Strips the newline.
+  std::optional<std::string> recv_line() {
+    while (true) {
+      const std::size_t nl = inbuf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = inbuf_.substr(0, nl);
+        inbuf_.erase(0, nl + 1);
+        return line;
+      }
+      char buf[65536];
+      const ssize_t n = ::read(fd_.get(), buf, sizeof buf);
+      if (n > 0) {
+        inbuf_.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;  // EOF or reset
+    }
+  }
+
+ private:
+  OwnedFd fd_;
+  std::string inbuf_;
+};
+
+}  // namespace ramp::net::testing

@@ -105,5 +105,121 @@ TEST(JsonAccessTest, TypeMismatchNamesTheField) {
   EXPECT_THROW(j.as_string(), InvalidArgument);
 }
 
+// ---- Adversarial input -----------------------------------------------------
+// The serve front-ends hand every network-supplied line to this parser; a
+// crash or hang here is a remote denial of service. These tests feed the
+// classic parser-killers — unbounded nesting, truncated UTF-8, embedded
+// NULs, bit-flipped and truncated real requests, seeded random bytes — and
+// require exactly two outcomes: a parsed value or InvalidArgument.
+
+TEST(JsonAdversarialTest, DeepNestingIsRejectedNotStackOverflow) {
+  // Without a depth cap each '[' recursed once: 200k of them overflowed
+  // the stack long before the parse failed for any other reason.
+  EXPECT_THROW(Json::parse(std::string(200'000, '[')), InvalidArgument);
+  const std::string bombs = R"({"a":)";
+  std::string object_bomb;
+  for (int i = 0; i < 100'000; ++i) object_bomb += bombs;
+  EXPECT_THROW(Json::parse(object_bomb), InvalidArgument);
+}
+
+TEST(JsonAdversarialTest, ModestNestingStillParses) {
+  constexpr int kDepth = 32;  // well under the cap; real requests use ~3
+  std::string text(kDepth, '[');
+  text += "1";
+  text.append(kDepth, ']');
+  const Json j = Json::parse(text);
+  const Json* inner = &j;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_EQ(inner->elements().size(), 1u);
+    inner = &inner->elements()[0];
+  }
+  EXPECT_DOUBLE_EQ(inner->as_number(), 1.0);
+}
+
+TEST(JsonAdversarialTest, TruncatedUtf8BytesDoNotCrash) {
+  // The codec is byte-oriented: invalid UTF-8 inside a string must either
+  // round-trip verbatim or throw — never crash or mangle lengths.
+  for (const std::string& bytes :
+       {std::string("\xC3"), std::string("\xE2\x82"),
+        std::string("\xF0\x9F\x92"), std::string("\xFF\xFE"),
+        std::string("a\xC3\x28z")}) {
+    const std::string doc = "{\"k\":\"" + bytes + "\"}";
+    try {
+      const Json j = Json::parse(doc);
+      ASSERT_NE(j.find("k"), nullptr);
+      EXPECT_EQ(j.find("k")->as_string(), bytes);
+      EXPECT_NO_THROW(j.dump());
+    } catch (const InvalidArgument&) {
+      // rejecting malformed UTF-8 outright is also acceptable
+    }
+  }
+}
+
+TEST(JsonAdversarialTest, NulBytesInsideInput) {
+  // Escaped NUL is legal JSON and must survive as a real NUL byte.
+  const Json j = Json::parse("{\"k\":\"a\\u0000b\"}");
+  ASSERT_NE(j.find("k"), nullptr);
+  EXPECT_EQ(j.find("k")->as_string().size(), 3u);
+  EXPECT_EQ(j.find("k")->as_string()[1], '\0');
+
+  // A raw NUL in the byte stream is not whitespace: parse or throw, no UB.
+  std::string raw = R"({"k":1})";
+  raw[3] = '\0';
+  try {
+    (void)Json::parse(raw);
+  } catch (const InvalidArgument&) {
+  }
+}
+
+TEST(JsonAdversarialTest, MutatedRealRequestsParseOrThrow) {
+  const std::string base =
+      R"({"op":"eval","app":"gcc","node":"90","trace_len":3000,"id":7})";
+  // Every truncation point and every single-byte corruption of a real
+  // request line: the parser must decide, not die.
+  for (std::size_t cut = 0; cut < base.size(); ++cut) {
+    try {
+      (void)Json::parse(base.substr(0, cut));
+    } catch (const InvalidArgument&) {
+    }
+  }
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    for (const char c : {'\0', '"', '{', '}', '\\', '\x80', '\x1f'}) {
+      std::string mutated = base;
+      mutated[pos] = c;
+      try {
+        (void)Json::parse(mutated);
+      } catch (const InvalidArgument&) {
+      }
+    }
+  }
+}
+
+TEST(JsonAdversarialTest, SeededRandomCorpusParsesOrThrows) {
+  // Deterministic fuzz-lite: random bytes, and random bytes drawn from the
+  // JSON alphabet (which reaches deeper parser states far more often).
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string alphabet = R"({}[]",:.-+eE0123456789truefalsnl\ )";
+  for (int round = 0; round < 2'000; ++round) {
+    const std::size_t len = next() % 64;
+    std::string doc;
+    for (std::size_t i = 0; i < len; ++i) {
+      doc.push_back(round % 2 == 0
+                        ? static_cast<char>(next() & 0xff)
+                        : alphabet[next() % alphabet.size()]);
+    }
+    try {
+      const Json j = Json::parse(doc);
+      EXPECT_NO_THROW(j.dump());  // anything accepted must serialize
+    } catch (const InvalidArgument&) {
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ramp::serve

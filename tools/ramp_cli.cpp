@@ -12,6 +12,7 @@
 // Node names accept "180", "130", "90", "65-0.9", "65-1.0".
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,9 @@
 #include "core/qualification.hpp"
 #include "fleet/fleet_simulator.hpp"
 #include "fleet/scenario.hpp"
+#include "net/server.hpp"
+#include "net/shard.hpp"
+#include "net/socket.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -413,12 +417,37 @@ int cmd_missions(std::vector<std::string> args) {
   return 0;
 }
 
-// NDJSON evaluation service on stdin/stdout: one request per line, one
-// response per line, `{"op":"timeline"}`, `{"op":"stats"}`,
-// `{"op":"metrics"}`, `{"op":"metrics_reset"}` and `{"op":"shutdown"}`
-// supported.
-// External drivers (sweeps, DRM loops, RPC shims) stream queries against one
-// warm process instead of paying pipeline startup per FIT estimate.
+// `--listen ADDR:PORT` for the TCP mode ("ADDR:0" binds an ephemeral
+// port); PORT alone means 127.0.0.1:PORT.
+void parse_listen(const std::string& listen, std::string* host,
+                  std::uint16_t* port) {
+  const std::size_t colon = listen.rfind(':');
+  std::string port_str = listen;
+  if (colon != std::string::npos) {
+    *host = listen.substr(0, colon);
+    port_str = listen.substr(colon + 1);
+  }
+  const std::uint64_t p = parse_u64(port_str, "--listen port");
+  RAMP_REQUIRE(p <= 65535, "--listen port out of range");
+  *port = static_cast<std::uint16_t>(p);
+}
+
+// The bound port, written atomically so a launcher polling for the file
+// never reads a partial line.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  if (path.empty()) return;
+  obs::write_text_file_atomic(path, std::to_string(port) + "\n");
+}
+
+// NDJSON evaluation service: one request per line, one response per line
+// (`eval`, `timeline`, `fleet`, `stats`, `metrics`, `metrics_reset`,
+// `shutdown`). Default transport is stdin/stdout; `--listen ADDR:PORT`
+// serves many concurrent TCP clients from one epoll loop, and `--shards N`
+// additionally forks N workers that each own a disjoint slice of the cache
+// keyspace (consistent hash on the canonical request key) behind a proxying
+// front. External drivers (sweeps, DRM loops, RPC shims, loadgens) stream
+// queries against warm processes instead of paying pipeline startup per FIT
+// estimate.
 int cmd_serve(std::vector<std::string> args) {
   pipeline::EvaluationConfig cfg =
       pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
@@ -426,19 +455,23 @@ int cmd_serve(std::vector<std::string> args) {
   const std::size_t default_jobs =
       env_jobs("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency()));
 
-  serve::EvalService::Options opts;
-  opts.jobs = static_cast<std::size_t>(flag_u64(args, "--jobs", default_jobs));
-  opts.cache_capacity =
+  const auto jobs =
+      static_cast<std::size_t>(flag_u64(args, "--jobs", default_jobs));
+  const auto cache_capacity =
       static_cast<std::size_t>(flag_u64(args, "--cache-capacity", 512));
-  opts.max_pending =
+  const auto max_pending =
       static_cast<std::size_t>(flag_u64(args, "--max-queue", 128));
   const std::string out_dir = flag_str(args, "--out-dir", output_dir());
-  // RAMP_CACHE=off (or --no-persist) keeps the service purely in-memory.
-  if (!flag_present(args, "--no-persist") && cfg.cache_enabled) {
-    opts.persist_dir =
-        (std::filesystem::path(out_dir) / "serve_cache").string();
-  }
-  opts.stage_store = resolve_stage_store(args, cfg, out_dir);
+  const bool no_persist = flag_present(args, "--no-persist");
+  const std::string listen = flag_str(args, "--listen", "");
+  const auto shards = static_cast<std::size_t>(flag_u64(args, "--shards", 1));
+  const std::string port_file = flag_str(args, "--port-file", "");
+  const auto max_conns =
+      static_cast<std::size_t>(flag_u64(args, "--max-conns", 256));
+  const auto max_queued =
+      static_cast<std::size_t>(flag_u64(args, "--max-queued", 1024));
+  const std::optional<std::string> stage_flag =
+      flag_opt_value(args, "--stage-cache");
   std::string trace_out = flag_trace_out(args);
   if (trace_out.empty()) trace_out = cfg.trace_out;
   if (!trace_out.empty()) obs::Profiler::global().enable_trace();
@@ -446,13 +479,115 @@ int cmd_serve(std::vector<std::string> args) {
     std::fprintf(stderr, "serve: unknown argument '%s'\n", args.front().c_str());
     return 2;
   }
+  RAMP_REQUIRE(shards >= 1, "--shards must be at least 1");
+  RAMP_REQUIRE(shards == 1 || !listen.empty(),
+               "--shards needs --listen (sharding is a TCP-mode feature)");
 
-  serve::EvalService service(cfg, opts);
-  std::fprintf(stderr,
-               "ramp serve: %zu worker(s), cache %zu entries, persist %s\n",
-               opts.jobs, opts.cache_capacity,
-               opts.persist_dir.empty() ? "off" : opts.persist_dir.c_str());
-  const int rc = serve::serve_loop(std::cin, std::cout, service);
+  // A client dying mid-stream must be a clean shutdown, not a SIGPIPE
+  // kill; SIGINT/SIGTERM request a graceful drain (answer everything
+  // accepted, flush, exit 0).
+  serve::ignore_sigpipe();
+  volatile std::sig_atomic_t* drain = serve::install_drain_handlers();
+
+  // Builds one service's options; `suffix` keeps shard workers' persistent
+  // and stage caches disjoint (each shard owns its keyspace slice).
+  const auto make_service_opts = [&](const std::string& suffix,
+                                     pipeline::EvaluationConfig& c) {
+    serve::EvalService::Options o;
+    o.jobs = jobs;
+    o.cache_capacity = cache_capacity;
+    o.max_pending = max_pending;
+    if (!no_persist && c.cache_enabled) {
+      o.persist_dir =
+          (std::filesystem::path(out_dir) / ("serve_cache" + suffix))
+              .string();
+    }
+    if (stage_flag) {
+      c.stage_cache_enabled = true;
+      c.stage_cache_dir = *stage_flag;
+    }
+    if (c.stage_cache_enabled) {
+      if (c.stage_cache_dir.empty()) {
+        c.stage_cache_dir =
+            (std::filesystem::path(out_dir) / ("stage_cache" + suffix))
+                .string();
+      } else if (!suffix.empty()) {
+        c.stage_cache_dir += suffix;
+      }
+      pipeline::StageStore::Options so;
+      so.dir = c.stage_cache_dir;
+      o.stage_store = std::make_shared<pipeline::StageStore>(std::move(so));
+    }
+    return o;
+  };
+
+  int rc = 0;
+  if (listen.empty()) {
+    // stdio mode.
+    serve::EvalService::Options opts = make_service_opts("", cfg);
+    serve::EvalService service(cfg, opts);
+    std::fprintf(stderr,
+                 "ramp serve: %zu worker(s), cache %zu entries, persist %s\n",
+                 opts.jobs, opts.cache_capacity,
+                 opts.persist_dir.empty() ? "off" : opts.persist_dir.c_str());
+    serve::StdioOptions sopts;
+    sopts.drain_flag = drain;
+    rc = serve::serve_stdio(service, sopts);
+  } else if (shards == 1) {
+    // Single-process TCP mode.
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    parse_listen(listen, &host, &port);
+    serve::EvalService::Options opts = make_service_opts("", cfg);
+    serve::EvalService service(cfg, opts);
+    net::ServerOptions sopts;
+    sopts.host = host;
+    sopts.port = port;
+    sopts.max_connections = max_conns;
+    sopts.max_queued_requests = max_queued;
+    sopts.drain_flag = drain;
+    net::Server server(service, sopts);
+    write_port_file(port_file, server.port());
+    std::fprintf(stderr,
+                 "ramp serve: listening on %s:%u, %zu worker(s), cache %zu "
+                 "entries, persist %s\n",
+                 host.c_str(), server.port(), opts.jobs, opts.cache_capacity,
+                 opts.persist_dir.empty() ? "off" : opts.persist_dir.c_str());
+    rc = server.run();
+  } else {
+    // Sharded TCP mode: the parent proxies, the forked workers serve.
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    parse_listen(listen, &host, &port);
+    net::ShardFrontOptions fopts;
+    fopts.host = host;
+    fopts.port = port;
+    fopts.shards = shards;
+    fopts.max_connections = max_conns;
+    fopts.base_config = cfg;
+    fopts.drain_flag = drain;
+    fopts.on_listening = [&](std::uint16_t bound) {
+      write_port_file(port_file, bound);
+      std::fprintf(stderr,
+                   "ramp serve: front on %s:%u, %zu shard worker(s)\n",
+                   host.c_str(), bound, shards);
+    };
+    rc = net::run_sharded_front(
+        fopts, [&](std::size_t shard, net::OwnedFd listener) {
+          pipeline::EvaluationConfig ccfg = cfg;
+          serve::EvalService::Options copts = make_service_opts(
+              "/shard-" + std::to_string(shard), ccfg);
+          serve::EvalService service(ccfg, copts);
+          net::ServerOptions sopts;
+          sopts.listen_fd = listener.release();
+          sopts.max_connections = max_conns;
+          sopts.max_queued_requests = max_queued;
+          sopts.drain_flag = serve::install_drain_handlers();
+          net::Server server(service, sopts);
+          return server.run();
+        });
+  }
+
   if (!trace_out.empty() && obs::Profiler::global().enabled()) {
     obs::write_trace_file(trace_out, obs::Profiler::global().trace_snapshot());
     std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
@@ -582,7 +717,12 @@ int usage() {
                "  missions [--trace-len N] [--jobs N] deployed-lifetime presets\n"
                "  serve [--jobs N] [--cache-capacity N] [--max-queue N]\n"
                "        [--out-dir DIR] [--no-persist] [--trace-out FILE]\n"
-               "                                NDJSON eval service on stdin/stdout\n"
+               "        [--listen ADDR:PORT] [--shards N] [--port-file FILE]\n"
+               "        [--max-conns N] [--max-queued N]\n"
+               "                                NDJSON eval service; stdin/stdout by\n"
+               "                                default, TCP with --listen (port 0 =\n"
+               "                                ephemeral, reported via --port-file),\n"
+               "                                forked keyspace shards with --shards\n"
                "  fleet [baseline|attack|monitor] [--chips N]\n"
                "        [--years Y] [--phase Y] [--bin Y] [--seed N]\n"
                "        [--node NAME] [--policy none|dvfs|migration]\n"
