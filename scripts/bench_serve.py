@@ -32,6 +32,16 @@ All four scale together with machine speed, so the checker's normalized
 or in the knee sticks out of the pack. Use --absolute only on the machine
 the baseline was recorded on.
 
+After the knee is found, a second server is started with per-request
+tracing on (``--request-trace``) and driven open-loop at the knee rate.
+The server's ``ramp_net_phase_ns_total_*`` counters attribute every traced
+nanosecond to a serving phase (read/parse/admission/queue/cache/compute/
+serialize/flush); the result lands in the output as a top-level
+``attribution`` block — phase totals, fractions that sum to 1, and the
+traced-over-plain throughput ratio (the cost of tracing at the knee).
+The regression gate only reads the ``benchmarks`` array, so the block is
+additive; scripts/check_serve_attribution.py validates its schema.
+
 The server is told to drain with SIGTERM at the end and must exit 0 —
 a bench run doubles as a graceful-drain check.
 
@@ -54,6 +64,7 @@ import argparse
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -108,6 +119,129 @@ def point_is_good(s: dict) -> bool:
             and s["sent"] > 0
             and s["completed"] == s["sent"]
             and s["achieved_rps"] >= 0.95 * s["offered_rps"])
+
+
+def read_port(port_file: str, timeout_s: float = 15.0) -> int | None:
+    """Polls the server's --port-file until it holds a port number."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with open(port_file, encoding="utf-8") as f:
+                text = f.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    return None
+
+
+def send_op(port: int, line: str, timeout_s: float = 30.0) -> dict | None:
+    """One NDJSON request/response round trip on a fresh connection."""
+    try:
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=timeout_s) as sock:
+            sock.sendall((line + "\n").encode())
+            buf = b""
+            while not buf.endswith(b"\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+        return json.loads(buf.decode())
+    except (OSError, json.JSONDecodeError) as e:
+        log(f"control op failed ({line}): {e}")
+        return None
+
+
+def drain_server(server: subprocess.Popen, what: str) -> int | None:
+    """SIGTERMs `server` and waits for a graceful exit; returns its rc."""
+    if server.poll() is None:
+        server.send_signal(signal.SIGTERM)
+    try:
+        return server.wait(timeout=30.0)
+    except subprocess.TimeoutExpired:
+        server.kill()
+        log(f"FAIL: {what} did not drain within 30s of SIGTERM")
+        return None
+
+
+def attribution_pass(args: argparse.Namespace, tmp: str, knee_rps: float,
+                     duration: float) -> dict | None:
+    """Drives the knee rate against a tracing-on server; attributes it.
+
+    Returns the ``attribution`` block for BENCH_serve.json, or None when
+    the pass failed. Phase totals come from the server's own
+    ``ramp_net_phase_ns_total_*`` counters, so they include time the
+    client cannot see (queue wait, flush).
+    """
+    port_file = os.path.join(tmp, "traced_port")
+    cmd = [args.ramp, "serve", "--listen", "127.0.0.1:0",
+           "--port-file", port_file, "--no-persist", "--request-trace",
+           "--trace-len", str(args.trace_len), "--out-dir", tmp]
+    if args.jobs > 0:
+        cmd += ["--jobs", str(args.jobs)]
+    log(f"attribution: starting traced server: {' '.join(cmd)}")
+    server = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+    try:
+        port = read_port(port_file)
+        if port is None:
+            log("attribution: traced server never published a port")
+            return None
+        warm = run_loadgen(args.loadgen, port_file,
+                           ["--mode", "closed", "--connections", "4",
+                            "--duration", str(max(2.0, duration)),
+                            "--trace-len", str(args.trace_len),
+                            "--hot-frac", "0"],
+                           timeout_s=120.0)
+        if warm is None or warm["loadgen_rc"] != 0 or warm["errors"] != 0:
+            log("attribution: warm-up on the traced server failed")
+            return None
+        # Zero the counters so the snapshot attributes the knee-rate pass
+        # alone, not the warm-up.
+        if send_op(port, '{"op":"metrics_reset"}') is None:
+            return None
+        traced = run_loadgen(args.loadgen, port_file,
+                             ["--mode", "open", "--rate", str(knee_rps),
+                              "--connections", str(args.connections),
+                              "--duration", str(duration),
+                              "--trace-len", str(args.trace_len)],
+                             timeout_s=60.0 + duration * 4)
+        if traced is None or traced["completed"] == 0:
+            log("attribution: traced load pass failed")
+            return None
+        snap = send_op(port, '{"op":"metrics","format":"json"}')
+        if snap is None or not snap.get("ok"):
+            log("attribution: metrics snapshot failed")
+            return None
+        counters = snap.get("snapshot", {}).get("counters", {})
+        prefix = "ramp_net_phase_ns_total_"
+        phase_ns = {name[len(prefix):]: int(v)
+                    for name, v in counters.items()
+                    if name.startswith(prefix)}
+        total = sum(phase_ns.values())
+        if not phase_ns or total <= 0:
+            log("attribution: no traced nanoseconds booked")
+            return None
+        ratio = traced["achieved_rps"] / knee_rps if knee_rps > 0 else 0.0
+        log("attribution: phase breakdown at the knee rate "
+            f"({traced['achieved_rps']:.0f} rps traced, "
+            f"{ratio:.2f}x the plain knee):")
+        for name, ns in sorted(phase_ns.items(), key=lambda kv: -kv[1]):
+            log(f"    {name:<10} {ns / total:7.2%}  ({ns} ns)")
+        return {
+            "rate_rps": knee_rps,
+            "requests": int(traced["completed"]),
+            "traced_achieved_rps": traced["achieved_rps"],
+            "traced_over_plain": ratio,
+            "phase_ns": phase_ns,
+            "phase_fraction": {n: ns / total for n, ns in phase_ns.items()},
+        }
+    finally:
+        rc = drain_server(server, "traced server")
+        if rc != 0:
+            log(f"attribution: traced server exited {rc} after SIGTERM")
 
 
 def main() -> int:
@@ -242,9 +376,18 @@ def main() -> int:
                 "(knee estimate unstable)")
             return 1
 
+        # Attribute the knee: same offered rate, tracing on, the server's
+        # own phase counters. Runs on a second server so the gated numbers
+        # above always come from a tracing-off configuration.
+        attribution = attribution_pass(args, tmp, knee_rps, duration)
+        if attribution is None:
+            log("FAIL: knee attribution pass failed")
+            return 1
+
         doc = {
             "schema": SCHEMA,
             "commit": git_commit(),
+            "attribution": attribution,
             "benchmarks": [
                 {
                     "op": "serve_knee_request",

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -56,11 +57,18 @@ void EventLoop::remove(int fd) {
 
 int EventLoop::run_once(int timeout_ms) {
   std::array<epoll_event, 64> events;
+  const auto wait_start = std::chrono::steady_clock::now();
   int n;
   do {
     n = ::epoll_wait(epoll_.get(), events.data(),
                      static_cast<int>(events.size()), timeout_ms);
   } while (n < 0 && errno == EINTR);
+  const auto wait_end = std::chrono::steady_clock::now();
+  last_wait_ns_ = wait_end <= wait_start
+                      ? 0
+                      : static_cast<std::uint64_t>(
+                            std::chrono::nanoseconds(wait_end - wait_start)
+                                .count());
   if (n < 0) throw_errno("epoll_wait");
 
   int delivered = 0;

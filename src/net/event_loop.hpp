@@ -43,10 +43,17 @@ class EventLoop {
   /// returns promptly. Coalesces.
   void wake();
 
+  /// Nanoseconds the last run_once spent blocked in epoll_wait. The owner
+  /// thread subtracts it from the iteration's wall time to get dispatch
+  /// (busy) time — the event-loop health signal — without instrumenting
+  /// every callback.
+  std::uint64_t last_wait_ns() const { return last_wait_ns_; }
+
  private:
   OwnedFd epoll_;
   OwnedFd wake_;
   std::unordered_map<int, Callback> callbacks_;
+  std::uint64_t last_wait_ns_ = 0;
 };
 
 }  // namespace ramp::net

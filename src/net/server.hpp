@@ -61,6 +61,21 @@ struct ServerOptions {
   std::size_t max_outbuf_bytes = 4u << 20;
   /// Graceful-drain request flag (see serve::install_drain_handlers).
   volatile std::sig_atomic_t* drain_flag = nullptr;
+  /// Per-request tracing for every eval (`--request-trace`): phase clock
+  /// pairs on, every request lands in the trace ring. Off (default), only
+  /// requests with `"trace":true` pay for their own breakdown — the serve
+  /// hot path reads no phase clock.
+  bool request_trace = false;
+  /// NDJSON slow-request log (`--slow-log`): every traced request whose
+  /// total latency reaches slow_ms is appended as one line (0 logs every
+  /// traced request). "" disables; a non-empty path implies tracing.
+  std::string slow_log_path;
+  double slow_ms = 10.0;
+  /// Capacity of the recent-trace ring behind the `trace_dump` op.
+  std::size_t trace_ring = 512;
+  /// Shard count the `health` op reports (a sharded worker inherits the
+  /// front's count; a standalone server is its own single shard).
+  std::uint64_t shards = 1;
 };
 
 /// Monotonic transport counters; also exported as ramp_net_* metrics on the

@@ -5,7 +5,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <stdexcept>
@@ -16,6 +18,8 @@
 
 #include "net/event_loop.hpp"
 #include "net/hash_ring.hpp"
+#include "serve/json.hpp"
+#include "serve/metrics_merge.hpp"
 #include "serve/request.hpp"
 #include "serve/session.hpp"
 #include "serve/server.hpp"
@@ -56,6 +60,18 @@ struct Upstream {
   bool connected = false;
 };
 
+/// One client request answered by *all* shards: the front forwards a copy
+/// to every worker, holds the client's slot until each part lands, then
+/// merges. Used for `metrics` (histogram/counter merge across shards) and
+/// `metrics_reset` (one coherent ack once every shard has reset).
+struct Fanout {
+  EntryPtr client;              ///< the client's reserved in-order slot
+  std::vector<EntryPtr> parts;  ///< one per shard, in shard order
+  serve::Op op = serve::Op::kMetrics;
+  std::string id;      ///< client's request id, echoed on the merged line
+  std::string format;  ///< "prometheus" (default) or "json"
+};
+
 struct Front {
   const ShardFrontOptions& opts;
   const std::vector<std::uint16_t>& shard_ports;
@@ -64,6 +80,10 @@ struct Front {
   OwnedFd listener;
   std::map<int, std::unique_ptr<Client>> clients;
   std::vector<Upstream> upstreams;
+  std::vector<Fanout> fanouts;
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+  std::uint64_t accepted_total = 0;
   bool draining = false;
 
   Front(const ShardFrontOptions& o, const std::vector<std::uint16_t>& ports)
@@ -217,6 +237,26 @@ struct Front {
       draining = true;  // whole-front drain; workers shut down afterwards
       return;
     }
+    if (req.op == serve::Op::kHealth) {
+      // Per-transport state lives here, not in any one worker.
+      serve::HealthInfo info;
+      info.mode = "front";
+      info.uptime_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+      info.accepted_connections = accepted_total;
+      info.active_connections = clients.size();
+      info.draining = draining;
+      info.shards = opts.shards;
+      answer(c, serve::health_response(req, info).dump());
+      return;
+    }
+    if (req.op == serve::Op::kMetrics || req.op == serve::Op::kMetricsReset) {
+      // One shard's registry is a keyspace slice, not the fleet: both ops
+      // go to *every* worker, and the client's slot settles on the merge.
+      start_fanout(c, req);
+      return;
+    }
 
     // The canonical cache key for evals; a stable line hash for ops that
     // have no key. One key → one shard, always.
@@ -234,6 +274,105 @@ struct Front {
     u.outbuf += line;
     u.outbuf += '\n';
     flush_upstream(u);
+  }
+
+  // ---- whole-fleet fan-out (metrics / metrics_reset) -----------------------
+
+  void start_fanout(Client& c, const serve::EvalRequest& req) {
+    Fanout f;
+    f.op = req.op;
+    f.id = req.id;
+    f.format = req.metrics_format;
+    f.client = std::make_shared<Entry>();
+    c.entries.push_back(f.client);
+    // Workers always report the mergeable JSON snapshot; the client's
+    // requested format is applied to the *merged* result at the front.
+    const std::string fwd = req.op == serve::Op::kMetrics
+                                ? "{\"op\":\"metrics\",\"format\":\"json\"}"
+                                : "{\"op\":\"metrics_reset\"}";
+    for (std::size_t s = 0; s < opts.shards; ++s) {
+      auto part = std::make_shared<Entry>();
+      Upstream& u = upstream(s);
+      u.fifo.push_back(part);
+      u.outbuf += fwd;
+      u.outbuf += '\n';
+      f.parts.push_back(std::move(part));
+      flush_upstream(u);
+    }
+    fanouts.push_back(std::move(f));
+  }
+
+  /// Resolves every fan-out whose parts have all landed. Called each loop
+  /// iteration; the client's slot stays un-ready (holding its response
+  /// order) until the merge happens here.
+  void settle_fanouts() {
+    for (auto it = fanouts.begin(); it != fanouts.end();) {
+      const bool done =
+          std::all_of(it->parts.begin(), it->parts.end(),
+                      [](const EntryPtr& p) { return p->ready; });
+      if (!done) {
+        ++it;
+        continue;
+      }
+      it->client->response = merge_fanout(*it);
+      it->client->ready = true;
+      it = fanouts.erase(it);
+    }
+  }
+
+  std::string merge_fanout(const Fanout& f) {
+    std::vector<serve::Json> snaps;
+    snaps.reserve(f.parts.size());
+    for (std::size_t s = 0; s < f.parts.size(); ++s) {
+      serve::Json part;
+      try {
+        part = serve::Json::parse(f.parts[s]->response);
+      } catch (const std::exception&) {
+        return serve::error_response("shard metrics fan-out: unparseable "
+                                     "response from a worker",
+                                     f.id)
+            .dump();
+      }
+      const serve::Json* ok = part.find("ok");
+      if (ok == nullptr || !ok->as_bool()) {
+        // Typically "shard connection lost" stamped by fail_upstream.
+        const serve::Json* err = part.find("error");
+        return serve::error_response(
+                   "shard metrics fan-out: " +
+                       (err != nullptr ? err->as_string()
+                                       : std::string("worker error")),
+                   f.id)
+            .dump();
+      }
+      if (f.op == serve::Op::kMetrics) {
+        const serve::Json* snap = part.find("snapshot");
+        if (snap == nullptr) {
+          return serve::error_response(
+                     "shard metrics fan-out: worker response lacks snapshot",
+                     f.id)
+              .dump();
+        }
+        snaps.push_back(*snap);
+      }
+    }
+
+    serve::Json r = serve::Json::object();
+    if (f.op == serve::Op::kMetricsReset) {
+      r.set("ok", true).set("op", "metrics_reset");
+      // f.id is the raw JSON of the request's "id" (string or number);
+      // re-parse so it round-trips with its original type.
+      if (!f.id.empty()) r.set("id", serve::Json::parse(f.id));
+      return r.dump();
+    }
+    const serve::MergedMetrics merged = serve::merge_metrics_snapshots(snaps);
+    r.set("ok", true).set("op", "metrics");
+    if (!f.id.empty()) r.set("id", serve::Json::parse(f.id));
+    if (f.format == "json") {
+      r.set("snapshot", serve::Json::parse(serve::merged_ndjson(merged)));
+    } else {
+      r.set("prometheus", serve::merged_prometheus(merged));
+    }
+    return r.dump();
   }
 
   void process_inbuf(Client& c) {
@@ -327,6 +466,7 @@ struct Front {
         continue;
       }
       auto client = std::make_unique<Client>();
+      ++accepted_total;
       client->fd = std::move(fd);
       const int cfd = client->fd.get();
       Client* raw = client.get();
@@ -351,6 +491,7 @@ struct Front {
         listener.reset();
         accepting = false;
       }
+      settle_fanouts();
       for (auto& [fd, c] : clients) pump_client(*c);
       for (auto it = clients.begin(); it != clients.end();) {
         if (it->second->dead) {

@@ -10,9 +10,13 @@
 // (serve::request_key, the same key the caches use — see hash_ring.hpp), so
 // each shard's LRU, persistent cache, and stage store own a disjoint slice
 // of the keyspace, and per-key single-flight coalescing holds across every
-// client of the whole front. Ops without a cache key (stats, metrics,
-// fleet, timeline) route by a stable hash of the raw line; malformed lines
-// are answered by the front directly.
+// client of the whole front. Ops without a cache key (stats, fleet,
+// timeline, trace_dump) route by a stable hash of the raw line; `health`
+// is answered by the front itself (it owns the transport state); `metrics`
+// and `metrics_reset` fan out to *every* worker and the front merges the
+// parts (per-bucket histogram sums) into one coherent payload — a single
+// shard's registry only ever saw its slice of the keyspace. Malformed
+// lines are answered by the front directly.
 //
 // Ordering. The front keeps one upstream connection per shard, shared by
 // all clients. Each forwarded line is remembered in that upstream's FIFO;

@@ -215,6 +215,17 @@ void Profiler::record(Stage s, double seconds, std::uint64_t spans) {
                        std::memory_order_relaxed);
 }
 
+std::array<std::uint64_t, kNumStages> Profiler::thread_stage_nanos() {
+  std::array<std::uint64_t, kNumStages> out{};
+  if (!enabled_) return out;
+  ThreadLog& log = local_log();
+  for (int i = 0; i < kNumStages; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    out[si] = log.nanos[si].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void Profiler::record_cell(Stage s, const std::string& cell, double seconds,
                            std::uint64_t spans) {
   if (!enabled_) return;

@@ -120,6 +120,13 @@ class Profiler {
   /// exited). Safe to call concurrently with record().
   StageProfile snapshot() const;
 
+  /// The *calling thread's* cumulative per-stage nanoseconds. Two reads
+  /// bracketing a section attribute exactly that section's stage work to it
+  /// (a pool worker runs one evaluation at a time), which is how the serve
+  /// path splits a request's compute phase by pipeline stage without adding
+  /// clock reads. All zeros when the profiler is disabled.
+  std::array<std::uint64_t, kNumStages> thread_stage_nanos();
+
   /// Switches on Chrome-trace event capture (requires an enabled profiler;
   /// no-op otherwise). Sets the trace epoch on first call; idempotent after.
   /// Each thread buffers at most `capacity_per_thread` events and counts

@@ -96,7 +96,7 @@ EvalService::Ticket EvalService::submit(const EvalRequest& req) {
   }
   if (auto it = inflight_.find(key); it != inflight_.end()) {
     coalesced_.inc();
-    return {it->second, Source::kCoalesced};
+    return {it->second.future, Source::kCoalesced, it->second.phases};
   }
 
   misses_.inc();
@@ -124,7 +124,7 @@ bool EvalService::try_submit(const EvalRequest& req, Ticket* out) {
   if (auto it = inflight_.find(key); it != inflight_.end()) {
     requests_.inc();
     coalesced_.inc();
-    *out = {it->second, Source::kCoalesced};
+    *out = {it->second.future, Source::kCoalesced, it->second.phases};
     return true;
   }
   // Would have to schedule: refuse instead of blocking when the pending
@@ -147,10 +147,15 @@ EvalService::Ticket EvalService::submit_locked(
   ++pending_;
   queue_depth_gauge_.set(static_cast<double>(pending_));
 
+  // The phase cell costs one allocation and one clock read per *scheduled*
+  // request — noise against the ms-scale evaluation it times (cache hits,
+  // the knee-determining path, never get here).
+  auto phases = std::make_shared<EvalPhases>();
+  phases->submitted = std::chrono::steady_clock::now();
   auto task = std::make_shared<std::packaged_task<OutcomePtr()>>(
-      [this, key, req] { return run_scheduled(key, req); });
+      [this, key, req, phases] { return run_scheduled(key, req, phases); });
   std::shared_future<OutcomePtr> future = task->get_future().share();
-  inflight_.emplace(key, future);
+  inflight_.emplace(key, Inflight{future, phases});
 
   // Opportunistically drop completed handles so the vector stays bounded.
   task_handles_.erase(
@@ -183,7 +188,7 @@ EvalService::Ticket EvalService::submit_locked(
     const std::lock_guard<std::mutex> inner(mutex_);
     task_handles_.push_back(std::move(handle));
   }
-  return {future, Source::kScheduled};
+  return {future, Source::kScheduled, phases};
 }
 
 OutcomePtr EvalService::evaluate(const EvalRequest& req) {
@@ -191,8 +196,16 @@ OutcomePtr EvalService::evaluate(const EvalRequest& req) {
 }
 
 OutcomePtr EvalService::run_scheduled(const std::string& key,
-                                      const EvalRequest& req) {
+                                      const EvalRequest& req,
+                                      const std::shared_ptr<EvalPhases>& phases) {
   const auto start = std::chrono::steady_clock::now();
+  const auto delta_ns = [](std::chrono::steady_clock::time_point a,
+                           std::chrono::steady_clock::time_point b) {
+    return b <= a ? std::uint64_t{0}
+                  : static_cast<std::uint64_t>(
+                        std::chrono::nanoseconds(b - a).count());
+  };
+  phases->queue_ns = delta_ns(phases->submitted, start);
   try {
     OutcomePtr outcome;
     bool from_disk = false;
@@ -200,16 +213,32 @@ OutcomePtr EvalService::run_scheduled(const std::string& key,
       outcome = load_persisted(key);
       from_disk = outcome != nullptr;
     }
+    const auto after_probe = std::chrono::steady_clock::now();
+    phases->cache_ns = delta_ns(start, after_probe);
     if (!outcome) {
       auto fresh = std::make_shared<EvalOutcome>();
       fresh->key = key;
+      // Stage attribution by bracketing the worker's cumulative per-stage
+      // counters: this thread runs exactly one evaluation at a time, so the
+      // deltas are this request's stage work (zeros when RAMP_METRICS off).
+      const auto stages_before = obs::Profiler::global().thread_stage_nanos();
       fresh->result = evaluate_request(req, req.effective_config(base_));
+      const auto after_eval = std::chrono::steady_clock::now();
+      const auto stages_after = obs::Profiler::global().thread_stage_nanos();
+      phases->compute_ns = delta_ns(after_probe, after_eval);
+      for (int i = 0; i < obs::kNumStages; ++i) {
+        const auto si = static_cast<std::size_t>(i);
+        phases->stage_ns[si] = stages_after[si] >= stages_before[si]
+                                   ? stages_after[si] - stages_before[si]
+                                   : 0;
+      }
       outcome = fresh;
       if (!opts_.persist_dir.empty()) {
         store_persisted(*outcome, req.effective_config(base_));
       }
     }
     const auto end = std::chrono::steady_clock::now();
+    phases->total_ns = delta_ns(start, end);
     // One trace slice per scheduled request on the worker that served it —
     // the serve-request spans of the Perfetto timeline.
     obs::Profiler::global().record_event(

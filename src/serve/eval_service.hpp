@@ -19,6 +19,8 @@
 // itself runs unlocked on the pool.
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pipeline/evaluator.hpp"
 #include "serve/request.hpp"
 #include "util/lru_cache.hpp"
@@ -88,9 +91,28 @@ class EvalService {
   /// callers whether their answer was cached.
   enum class Source { kCache, kCoalesced, kScheduled };
 
+  /// Where a scheduled request's time went, filled by the worker that ran
+  /// it. Plain (non-atomic) fields: the worker's writes complete before the
+  /// packaged_task fulfills the ticket's future, and front-ends only read
+  /// after the future is ready, so fulfillment is the happens-before edge.
+  /// Coalesced tickets share the scheduling request's cell.
+  struct EvalPhases {
+    std::chrono::steady_clock::time_point submitted{};  ///< set at submit
+    std::uint64_t queue_ns = 0;    ///< submit → worker pickup
+    std::uint64_t cache_ns = 0;    ///< persistent-cache probe
+    std::uint64_t compute_ns = 0;  ///< pipeline evaluation wall time
+    std::uint64_t total_ns = 0;    ///< worker pickup → outcome recorded
+    /// compute_ns split by pipeline stage: the worker thread's Profiler
+    /// deltas around the evaluation (all zero when RAMP_METRICS is off).
+    std::array<std::uint64_t, obs::kNumStages> stage_ns{};
+  };
+
   struct Ticket {
     std::shared_future<OutcomePtr> future;
     Source source = Source::kScheduled;
+    /// Non-null iff source != kCache: the breakdown of the scheduled run
+    /// answering this ticket. Read only once `future` is ready.
+    std::shared_ptr<EvalPhases> phases;
   };
 
   EvalService(pipeline::EvaluationConfig base, Options opts);
@@ -166,7 +188,8 @@ class EvalService {
  private:
   Ticket submit_locked(const EvalRequest& req, const std::string& key,
                        std::unique_lock<std::mutex>& lock);
-  OutcomePtr run_scheduled(const std::string& key, const EvalRequest& req);
+  OutcomePtr run_scheduled(const std::string& key, const EvalRequest& req,
+                           const std::shared_ptr<EvalPhases>& phases);
   pipeline::AppTechResult evaluate_request(
       const EvalRequest& req, const pipeline::EvaluationConfig& cfg);
   OutcomePtr load_persisted(const std::string& key);
@@ -186,7 +209,13 @@ class EvalService {
   mutable std::mutex mutex_;
   std::condition_variable slot_free_;
   LruCache<std::string, OutcomePtr> lru_;
-  std::unordered_map<std::string, std::shared_future<OutcomePtr>> inflight_;
+  /// In-flight scheduled keys. Coalescing joiners copy both members, so all
+  /// waiters on one key share one future and one phase cell.
+  struct Inflight {
+    std::shared_future<OutcomePtr> future;
+    std::shared_ptr<EvalPhases> phases;
+  };
+  std::unordered_map<std::string, Inflight> inflight_;
   std::vector<std::shared_future<void>> task_handles_;  ///< for drain/dtor
   std::size_t pending_ = 0;
   std::function<void()> completion_hook_;  ///< see set_completion_hook

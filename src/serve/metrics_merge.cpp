@@ -1,0 +1,136 @@
+#include "serve/metrics_merge.hpp"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "util/error.hpp"
+
+namespace ramp::serve {
+
+namespace {
+
+int stage_index(const std::string& name) {
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    if (name == obs::stage_name(static_cast<obs::Stage>(i))) return i;
+  }
+  throw InvalidArgument("unknown stage '" + name + "' in metrics snapshot");
+}
+
+std::uint64_t as_count(const Json& v, const char* what) {
+  const double d = v.as_number(what);
+  RAMP_REQUIRE(d >= 0.0, std::string(what) + " must be non-negative");
+  return static_cast<std::uint64_t>(d);
+}
+
+void merge_histogram(std::map<std::string, obs::HistogramSnapshot>& into,
+                     const std::string& name, const Json& h) {
+  const Json* bounds = h.find("bounds");
+  const Json* counts = h.find("counts");
+  const Json* sum = h.find("sum");
+  const Json* count = h.find("count");
+  RAMP_REQUIRE(bounds != nullptr && counts != nullptr && sum != nullptr &&
+                   count != nullptr,
+               "histogram '" + name + "' needs bounds/counts/sum/count");
+
+  auto [it, inserted] = into.try_emplace(name);
+  obs::HistogramSnapshot& dst = it->second;
+  if (inserted) {
+    dst.name = name;
+    for (const Json& b : bounds->elements()) {
+      dst.bounds.push_back(b.as_number("bound"));
+    }
+    dst.counts.assign(counts->elements().size(), 0);
+  } else {
+    // Per-bucket sums are only meaningful over one bucket layout. Shards
+    // run the same binary, so a mismatch means the inputs are not shards
+    // of one front — refuse rather than fabricate a histogram.
+    RAMP_REQUIRE(bounds->elements().size() == dst.bounds.size(),
+                 "histogram '" + name + "' bounds differ across shards");
+    for (std::size_t b = 0; b < dst.bounds.size(); ++b) {
+      RAMP_REQUIRE(bounds->elements()[b].as_number("bound") == dst.bounds[b],
+                   "histogram '" + name + "' bounds differ across shards");
+    }
+  }
+  RAMP_REQUIRE(counts->elements().size() == dst.counts.size(),
+               "histogram '" + name + "' bucket count mismatch");
+  for (std::size_t b = 0; b < dst.counts.size(); ++b) {
+    dst.counts[b] += as_count(counts->elements()[b], "bucket count");
+  }
+  dst.sum += sum->as_number("sum");
+  dst.count += as_count(*count, "count");
+}
+
+}  // namespace
+
+MergedMetrics merge_metrics_snapshots(const std::vector<Json>& snapshots) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, obs::HistogramSnapshot> histograms;
+  MergedMetrics out;
+
+  for (const Json& s : snapshots) {
+    RAMP_REQUIRE(s.is_object(), "metrics snapshot must be a JSON object");
+    if (const Json* c = s.find("counters")) {
+      for (const auto& [name, v] : c->items()) {
+        counters[name] += as_count(v, "counter");
+      }
+    }
+    if (const Json* g = s.find("gauges")) {
+      for (const auto& [name, v] : g->items()) {
+        // Gauges sum: every ramp gauge is a per-shard quantity (queue
+        // depth, cache entries, buffered bytes) whose fleet meaning is the
+        // total across workers.
+        gauges[name] += v.as_number("gauge");
+      }
+    }
+    if (const Json* h = s.find("histograms")) {
+      for (const auto& [name, v] : h->items()) {
+        merge_histogram(histograms, name, v);
+      }
+    }
+    if (const Json* stages = s.find("stages")) {
+      out.has_profile = true;
+      for (const auto& [name, v] : stages->items()) {
+        auto& acc =
+            out.profile.totals[static_cast<std::size_t>(stage_index(name))];
+        if (const Json* sec = v.find("seconds"))
+          acc.seconds += sec->as_number("seconds");
+        if (const Json* spans = v.find("spans"))
+          acc.spans += as_count(*spans, "spans");
+      }
+    }
+    if (const Json* cells = s.find("cells")) {
+      for (const auto& [cell, per_stage] : cells->items()) {
+        auto& dst = out.profile.cells[cell];
+        for (const auto& [name, v] : per_stage.items()) {
+          auto& acc = dst[static_cast<std::size_t>(stage_index(name))];
+          if (const Json* sec = v.find("seconds"))
+            acc.seconds += sec->as_number("seconds");
+          if (const Json* spans = v.find("spans"))
+            acc.spans += as_count(*spans, "spans");
+        }
+      }
+    }
+  }
+
+  for (auto& [name, v] : counters) out.snap.counters.emplace_back(name, v);
+  for (auto& [name, v] : gauges) out.snap.gauges.emplace_back(name, v);
+  for (auto& [name, h] : histograms) {
+    out.snap.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+std::string merged_prometheus(const MergedMetrics& merged) {
+  return obs::to_prometheus(merged.snap,
+                            merged.has_profile ? &merged.profile : nullptr);
+}
+
+std::string merged_ndjson(const MergedMetrics& merged) {
+  return obs::to_ndjson(merged.snap,
+                        merged.has_profile ? &merged.profile : nullptr);
+}
+
+}  // namespace ramp::serve

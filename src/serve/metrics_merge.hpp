@@ -1,0 +1,45 @@
+// Shard-metrics merging for the sharded serve front (`--shards N`).
+//
+// Each shard worker owns a private registry and stage profile; a `metrics`
+// op against the front must answer for the whole fleet, not one worker. The
+// front fans `{"op":"metrics","format":"json"}` out to every shard, collects
+// the machine-readable snapshots (obs::to_ndjson documents), and merges them
+// here: counters and gauges sum across shards, histograms sum per-bucket
+// (which is only well-defined when bounds agree — all shards run the same
+// binary, so a mismatch is a protocol error, not a degradation), and stage
+// profiles accumulate seconds/spans per stage and per cell. The merged
+// result renders as one coherent Prometheus payload via obs::to_prometheus.
+//
+// Pure functions over parsed JSON — no sockets, no fork — so the merge
+// logic is unit-testable without standing up a sharded front.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "serve/json.hpp"
+
+namespace ramp::serve {
+
+struct MergedMetrics {
+  obs::MetricsSnapshot snap;
+  obs::StageProfile profile;
+  bool has_profile = false;  ///< any input carried a "stages" section
+};
+
+/// Merges the `"snapshot"` objects of `format:"json"` metrics responses.
+/// Throws InvalidArgument on a malformed snapshot or on histograms that
+/// share a name but disagree on bucket bounds.
+MergedMetrics merge_metrics_snapshots(const std::vector<Json>& snapshots);
+
+/// The merged fleet view as Prometheus text (what the front's `metrics` op
+/// returns by default).
+std::string merged_prometheus(const MergedMetrics& merged);
+
+/// The merged fleet view re-encoded as one to_ndjson document (what the
+/// front returns for `format:"json"`).
+std::string merged_ndjson(const MergedMetrics& merged);
+
+}  // namespace ramp::serve

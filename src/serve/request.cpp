@@ -43,9 +43,12 @@ EvalRequest parse_request(const std::string& line) {
     else if (name == "shutdown") req.op = Op::kShutdown;
     else if (name == "timeline") req.op = Op::kTimeline;
     else if (name == "fleet") req.op = Op::kFleet;
+    else if (name == "health") req.op = Op::kHealth;
+    else if (name == "trace_dump") req.op = Op::kTraceDump;
     else throw InvalidArgument("unknown op '" + name +
                                "' (use eval, timeline, fleet, stats, "
-                               "metrics, metrics_reset, shutdown)");
+                               "metrics, metrics_reset, health, "
+                               "trace_dump, shutdown)");
   }
 
   for (const auto& [key, value] : j.items()) {
@@ -80,9 +83,32 @@ EvalRequest parse_request(const std::string& line) {
       }
       continue;
     }
+    if (key == "format") {
+      RAMP_REQUIRE(req.op == Op::kMetrics,
+                   "field 'format' is only valid on metrics requests");
+      req.metrics_format = value.as_string("format");
+      RAMP_REQUIRE(req.metrics_format == "prometheus" ||
+                       req.metrics_format == "json",
+                   "format must be \"prometheus\" or \"json\"");
+      continue;
+    }
     RAMP_REQUIRE(req.op == Op::kEval || req.op == Op::kTimeline,
                  "field '" + key +
                      "' is only valid on eval/timeline requests");
+    if (key == "trace") {
+      req.trace = value.as_bool("trace");
+      continue;
+    }
+    if (key == "trace_id") {
+      req.trace_id = value.as_string("trace_id");
+      RAMP_REQUIRE(!req.trace_id.empty() && req.trace_id.size() <= 128,
+                   "trace_id must be 1..128 bytes");
+      for (const char c : req.trace_id) {
+        RAMP_REQUIRE(static_cast<unsigned char>(c) >= 0x20 && c != 0x7f,
+                     "trace_id must be printable");
+      }
+      continue;
+    }
     if (key == "points") {
       RAMP_REQUIRE(req.op == Op::kTimeline,
                    "field 'points' is only valid on timeline requests");

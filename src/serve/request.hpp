@@ -8,8 +8,10 @@
 //    "sink_k":356.0,                                   // explicit sink target
 //    "stage_cache":true,                               // default true
 //    "id":...}                                         // echoed verbatim
-//   {"op":"stats"}    {"op":"metrics"}    {"op":"metrics_reset"}
-//   {"op":"shutdown"}
+//   {"op":"stats"}    {"op":"metrics","format":"prometheus"|"json"}
+//   {"op":"metrics_reset"}    {"op":"shutdown"}
+//   {"op":"health"}      // readiness probe (uptime, conns, drain state)
+//   {"op":"trace_dump"}  // recent request traces as Perfetto JSON
 //   {"op":"timeline", ...eval fields..., "points":64}   // flight recorder
 //   {"op":"fleet","scenario":"baseline",               // bounded population
 //    "chips":2000,"years":10,"bin":1,"policy":"dvfs",  // scenario overrides
@@ -43,6 +45,8 @@ enum class Op {
   kShutdown,
   kTimeline,
   kFleet,
+  kHealth,
+  kTraceDump,
 };
 
 struct EvalRequest {
@@ -70,6 +74,16 @@ struct EvalRequest {
   std::optional<double> bin;             ///< curve bin width override
   std::string fleet_policy;              ///< none|dvfs|migration; "" = preset
   std::string id;          ///< raw JSON of the "id" field, "" when absent
+  /// Per-request tracing: `"trace":true` asks the server to attach the phase
+  /// breakdown to this response; `"trace_id"` names the trace (1..128
+  /// printable bytes; server-generated when absent). Neither affects the
+  /// result, so both are excluded from request_key.
+  bool trace = false;
+  std::string trace_id;
+  /// Metrics op only: response payload format, "prometheus" (default) or
+  /// "json" (the to_ndjson snapshot — what the sharded front fans out to
+  /// merge shard registries).
+  std::string metrics_format;
 
   /// The effective evaluation config: `base` with this request's overrides.
   pipeline::EvaluationConfig effective_config(

@@ -67,6 +67,7 @@ int serve_stdio(EvalService& service, const StdioOptions& opts) {
     }
     return true;
   });
+  if (opts.request_trace) session.enable_request_trace();
 
   std::string buffer;
   bool discarding = false;  // inside an over-long line: drop to next newline

@@ -59,6 +59,10 @@ struct StdioOptions {
   /// When non-null and set (by a signal handler), the loop stops reading,
   /// answers everything accepted, and returns 0.
   volatile std::sig_atomic_t* drain_flag = nullptr;
+  /// Per-request tracing for every eval (`--request-trace`): phase clocks
+  /// on, records land in the session's trace ring. Off: only requests with
+  /// `"trace":true` are timed.
+  bool request_trace = false;
 };
 
 /// The hardened fd-based stdio loop the CLI runs: poll()-driven reads (so a

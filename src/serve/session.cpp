@@ -1,6 +1,7 @@
 #include "serve/session.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -10,12 +11,20 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
+#include "obs/trace_export.hpp"
 #include "scaling/technology.hpp"
 #include "util/error.hpp"
 
 namespace ramp::serve {
 
 namespace {
+
+std::uint64_t delta_ns(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return b <= a ? std::uint64_t{0}
+                : static_cast<std::uint64_t>(
+                      std::chrono::nanoseconds(b - a).count());
+}
 
 Json stats_json(const ServiceStats& s) {
   Json j = Json::object();
@@ -99,7 +108,68 @@ Json metrics_response(EvalService& service, const EvalRequest& req,
   Json r = Json::object();
   r.set("ok", true).set("op", "metrics");
   set_id(r, req.id);
-  r.set("prometheus", obs::to_prometheus(snap, &profile));
+  if (req.metrics_format == "json") {
+    // The machine-mergeable form: raw bucket counts and counters, which is
+    // what the sharded front fans out to sum shard registries (Prometheus
+    // text would lose the per-bucket structure behind formatting).
+    r.set("snapshot", Json::parse(obs::to_ndjson(snap, &profile)));
+  } else {
+    r.set("prometheus", obs::to_prometheus(snap, &profile));
+  }
+  return r;
+}
+
+Json health_response(const EvalRequest& req, const HealthInfo& info) {
+  Json r = Json::object();
+  r.set("ok", true).set("op", "health");
+  set_id(r, req.id);
+  r.set("mode", info.mode)
+      .set("uptime_s", info.uptime_s)
+      .set("accepted_connections", info.accepted_connections)
+      .set("active_connections", info.active_connections)
+      .set("draining", info.draining)
+      .set("shards", info.shards);
+  return r;
+}
+
+Json trace_object(const obs::RequestTrace& rec) {
+  Json t = Json::object();
+  t.set("trace_id", rec.trace_id).set("op", rec.op);
+  if (!rec.label.empty()) t.set("label", rec.label);
+  t.set("start_ns", rec.start_ns)
+      .set("total_ns", rec.total_ns)
+      .set("cached", rec.cached)
+      .set("coalesced", rec.coalesced);
+  Json phases = Json::object();
+  for (int p = 0; p < obs::kNumPhases; ++p) {
+    phases.set(std::string(obs::phase_name(static_cast<obs::Phase>(p))),
+               rec.phase_ns[static_cast<std::size_t>(p)]);
+  }
+  t.set("phases", std::move(phases));
+  bool any_stage = false;
+  for (const auto ns : rec.stage_ns) any_stage = any_stage || ns != 0;
+  if (any_stage) {
+    Json stages = Json::object();
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      const auto ns = rec.stage_ns[static_cast<std::size_t>(s)];
+      if (ns == 0) continue;
+      stages.set(std::string(obs::stage_name(static_cast<obs::Stage>(s))), ns);
+    }
+    t.set("stages", std::move(stages));
+  }
+  return t;
+}
+
+Json trace_dump_response(const EvalRequest& req, const obs::TraceRing& ring) {
+  const std::vector<obs::RequestTrace> recs = ring.snapshot();
+  Json r = Json::object();
+  r.set("ok", true).set("op", "trace_dump");
+  set_id(r, req.id);
+  r.set("count", static_cast<std::uint64_t>(recs.size()))
+      .set("capacity", static_cast<std::uint64_t>(ring.capacity()))
+      .set("total_traced", ring.total_pushed())
+      .set("perfetto", obs::to_chrome_trace(obs::request_lanes(recs),
+                                            "ramp-serve requests"));
   return r;
 }
 
@@ -242,6 +312,12 @@ Json control_response(EvalService& service, const EvalRequest& req,
       return metrics_reset_response(service, req, quiesce);
     case Op::kTimeline: return timeline_response(service, req);
     case Op::kFleet: return fleet_response(service, req);
+    case Op::kHealth:
+    case Op::kTraceDump:
+      // Per-transport state (connections, trace ring) lives in the
+      // front-end, which answers these itself before dispatching here.
+      return error_response("internal: op is handled by the front-end",
+                            req.id);
     case Op::kEval:
     case Op::kShutdown:
       break;
@@ -287,11 +363,61 @@ bool Session::drain_pending(bool all) {
                     std::chrono::seconds(0)) != std::future_status::ready) {
       break;
     }
-    if (!respond(eval_response(pending_.front().ticket, pending_.front().id)))
-      return false;
+    if (!respond(answer_pending(pending_.front()))) return false;
     pending_.pop_front();
   }
   return true;
+}
+
+Json Session::answer_pending(const Pending& p) {
+  if (!p.traced) return eval_response(p.ticket, p.id);
+
+  // Barrier drains reach here with the ticket possibly still in flight;
+  // finish that wait before the clock pair, or the blocking get() inside
+  // eval_response would be billed to the serialize phase (the wait is
+  // already attributed as queue/compute by the worker's cell).
+  p.ticket.future.wait();
+  // The ready/after pair times serialization; everything before it comes
+  // from the pending record and the worker's phase cell.
+  const auto ready = std::chrono::steady_clock::now();
+  Json r = eval_response(p.ticket, p.id);
+  const auto after = std::chrono::steady_clock::now();
+
+  obs::RequestTrace rec;
+  rec.trace_id = p.trace_id;
+  rec.op = "eval";
+  rec.label = p.label;
+  rec.cached = p.ticket.source == EvalService::Source::kCache;
+  rec.coalesced = p.ticket.source == EvalService::Source::kCoalesced;
+  const Json* ok = r.find("ok");
+  rec.ok = ok != nullptr && ok->as_bool("ok");
+
+  const std::uint64_t accepted_ns = ring_.to_epoch_ns(p.accepted);
+  rec.start_ns =
+      accepted_ns >= p.read_parse_ns ? accepted_ns - p.read_parse_ns : 0;
+  auto& ph = rec.phase_ns;
+  ph[static_cast<std::size_t>(obs::Phase::kParse)] = p.read_parse_ns;
+  ph[static_cast<std::size_t>(obs::Phase::kAdmission)] = p.admission_ns;
+  if (p.ticket.source == EvalService::Source::kScheduled &&
+      p.ticket.phases != nullptr) {
+    ph[static_cast<std::size_t>(obs::Phase::kQueue)] = p.ticket.phases->queue_ns;
+    ph[static_cast<std::size_t>(obs::Phase::kCache)] = p.ticket.phases->cache_ns;
+    ph[static_cast<std::size_t>(obs::Phase::kCompute)] =
+        p.ticket.phases->compute_ns;
+    rec.stage_ns = p.ticket.phases->stage_ns;
+  } else {
+    // Cache hits and coalesced joins did no work of their own: their latency
+    // is head-of-line wait behind earlier pipelined responses.
+    ph[static_cast<std::size_t>(obs::Phase::kQueue)] =
+        delta_ns(p.accepted, ready);
+  }
+  ph[static_cast<std::size_t>(obs::Phase::kSerialize)] = delta_ns(ready, after);
+  // kFlush stays 0: the stdio sink writes synchronously right after this.
+  rec.total_ns = delta_ns(p.accepted, after) + p.read_parse_ns;
+
+  ring_.push(rec);
+  if (p.want_response) r.set("trace", trace_object(rec));
+  return r;
 }
 
 bool Session::handle_line(const std::string& line) {
@@ -300,6 +426,10 @@ bool Session::handle_line(const std::string& line) {
   if (line.size() > kMaxRequestLine) return reject_line(oversize_line_message());
   if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
 
+  // With trace_all_ off this is the only tracing branch the hot path sees:
+  // no clock is read unless the request itself asks for a trace.
+  const auto t0 = trace_all_ ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
   EvalRequest req;
   try {
     req = parse_request(line);
@@ -315,6 +445,26 @@ bool Session::handle_line(const std::string& line) {
     respond(shutdown_response(req));
     return false;
   }
+  if (req.op == Op::kHealth) {
+    if (!drain_pending(/*all=*/true)) return false;
+    HealthInfo info;
+    if (health_provider_) {
+      info = health_provider_();
+    } else {
+      info.mode = "stdio";
+      info.uptime_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_)
+              .count();
+      info.accepted_connections = 1;
+      info.active_connections = 1;
+    }
+    return respond(health_response(req, info));
+  }
+  if (req.op == Op::kTraceDump) {
+    if (!drain_pending(/*all=*/true)) return false;
+    return respond(trace_dump_response(req, ring_));
+  }
   if (req.op != Op::kEval) {
     // Control ops are barriers on the blocking path: pending evals answer
     // first, then the op runs synchronously (quiesced — single client).
@@ -322,12 +472,42 @@ bool Session::handle_line(const std::string& line) {
     return respond(control_response(service_, req, /*quiesce=*/true));
   }
 
-  try {
-    pending_.push_back({service_.submit(req), req.id});
-  } catch (const std::exception& e) {
-    if (!drain_pending(/*all=*/true)) return false;
-    return respond(error_response(e.what(), req.id));
+  Pending p;
+  p.id = req.id;
+  if (trace_all_ || req.trace) {
+    const auto t1 = std::chrono::steady_clock::now();
+    p.traced = true;
+    p.want_response = req.trace;
+    if (req.trace_id.empty()) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "s%llx",
+                    static_cast<unsigned long long>(++trace_seq_));
+      p.trace_id = buf;
+    } else {
+      p.trace_id = req.trace_id;
+    }
+    p.label = req.app + "@" + std::string(scaling::tech_token(req.node));
+    p.accepted = t1;
+    // A request that asked for a trace under trace_all_ off reports
+    // read/parse as 0 — the clock only started once parsing revealed the
+    // flag (see enable_request_trace()).
+    if (trace_all_) p.read_parse_ns = delta_ns(t0, t1);
+    try {
+      p.ticket = service_.submit(req);
+    } catch (const std::exception& e) {
+      if (!drain_pending(/*all=*/true)) return false;
+      return respond(error_response(e.what(), req.id));
+    }
+    p.admission_ns = delta_ns(t1, std::chrono::steady_clock::now());
+  } else {
+    try {
+      p.ticket = service_.submit(req);
+    } catch (const std::exception& e) {
+      if (!drain_pending(/*all=*/true)) return false;
+      return respond(error_response(e.what(), req.id));
+    }
   }
+  pending_.push_back(std::move(p));
   return drain_pending(/*all=*/false);
 }
 

@@ -16,17 +16,21 @@
 //   {"ok":true,"op":"timeline","id":...,"result":{...},"points":[...],...}
 //   {"ok":true,"op":"fleet","id":...,"scenario":{...},"summary":{...},
 //    "curve":[...]}
+//   {"ok":true,"op":"health","id":...,"mode":"...","uptime_s":...,...}
+//   {"ok":true,"op":"trace_dump","id":...,"count":N,"perfetto":"..."}
 //   {"ok":true,"op":"shutdown","id":...}
 //   {"ok":false,"id":...,"error":"..."}          (malformed line, failed op)
 //   {"ok":false,"id":...,"error":"overloaded","overloaded":true}
 //                                  (TCP admission control shed the request)
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <string>
 
+#include "obs/reqtrace.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/json.hpp"
 #include "serve/request.hpp"
@@ -73,6 +77,35 @@ Json metrics_response(EvalService& service, const EvalRequest& req,
 /// the stage profile. `quiesce` as in stats_response.
 Json metrics_reset_response(EvalService& service, const EvalRequest& req,
                             bool quiesce);
+
+/// What the `health` op reports — the front-end owning the transport fills
+/// this in (the stdio loop and the TCP server know different things).
+struct HealthInfo {
+  std::string mode;  ///< "stdio", "tcp", "front" (sharded)
+  double uptime_s = 0.0;
+  std::uint64_t accepted_connections = 0;
+  std::uint64_t active_connections = 0;
+  bool draining = false;
+  std::uint64_t shards = 1;
+};
+
+/// {"ok":true,"op":"health","id":...,"mode":...,"uptime_s":...,
+///  "accepted_connections":...,"active_connections":...,"draining":bool,
+///  "shards":...} — the load-balancer readiness probe.
+Json health_response(const EvalRequest& req, const HealthInfo& info);
+
+/// One request trace as the `"trace"` object attached to a traced response:
+/// {"trace_id","op","label"?,"start_ns","total_ns","cached","coalesced",
+///  "phases":{all eight},"stages":{non-zero only}?}. The in-response flush
+/// phase reads 0 — a response cannot contain its own write time; the full
+/// record (with flush) goes to the ring and the slow log.
+Json trace_object(const obs::RequestTrace& rec);
+
+/// The `trace_dump` op: the ring's resident records rendered as Perfetto-
+/// loadable Chrome-trace JSON (request lanes; see obs/reqtrace.hpp):
+/// {"ok":true,"op":"trace_dump","id":...,"count":N,"capacity":C,
+///  "total_traced":T,"perfetto":"<json document>"}.
+Json trace_dump_response(const EvalRequest& req, const obs::TraceRing& ring);
 
 /// The flight-recorder op — synchronous, cache-bypassing, expensive.
 /// Front-ends must treat it as a barrier (stdio) or run it off the event
@@ -132,6 +165,23 @@ class Session {
   /// Returns false if the sink died.
   bool finish();
 
+  /// Switches on per-request tracing for every eval this session handles
+  /// (the `--request-trace` flag): each request pays its phase clock pairs
+  /// and lands in the trace ring whether or not it asked for `"trace"`.
+  /// Off (the default), only requests with `"trace":true` are timed — and
+  /// their read/parse phases report 0, because the decision to read the
+  /// clock can only happen after parsing.
+  void enable_request_trace() { trace_all_ = true; }
+
+  /// Installs the `health` op's data source. Without one the session
+  /// answers with stdio defaults (mode "stdio", one connection, no drain).
+  void set_health_provider(std::function<HealthInfo()> provider) {
+    health_provider_ = std::move(provider);
+  }
+
+  /// The recent-request ring behind the `trace_dump` op.
+  const obs::TraceRing& trace_ring() const { return ring_; }
+
   bool shutdown_requested() const { return shutdown_; }
   bool sink_dead() const { return sink_dead_; }
   std::size_t pending() const { return pending_.size(); }
@@ -140,16 +190,31 @@ class Session {
   struct Pending {
     EvalService::Ticket ticket;
     std::string id;
+    bool traced = false;         ///< fill a RequestTrace when answering
+    bool want_response = false;  ///< attach the trace object to the response
+    std::string trace_id;
+    std::string label;  ///< "app@node"
+    std::chrono::steady_clock::time_point accepted{};
+    std::uint64_t read_parse_ns = 0;
+    std::uint64_t admission_ns = 0;
   };
 
   bool respond(const Json& response);
   bool drain_pending(bool all);
+  Json answer_pending(const Pending& p);
 
   EvalService& service_;
   Sink sink_;
   std::deque<Pending> pending_;
   bool shutdown_ = false;
   bool sink_dead_ = false;
+
+  bool trace_all_ = false;
+  obs::TraceRing ring_{256};
+  std::uint64_t trace_seq_ = 0;
+  std::function<HealthInfo()> health_provider_;
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace ramp::serve

@@ -301,5 +301,101 @@ TEST(NetConcurrencyTest, DrainUnderLoadDeliversEverythingAccepted) {
       << "every response the server counts as sent was actually received";
 }
 
+TEST(NetConcurrencyTest, TracingOnKeepsResponsesByteIdenticalFor32Clients) {
+  // References come from an untraced stdio service — the bytes a client
+  // must see whether or not the server is tracing, modulo the response's
+  // own `trace` object (which only `"trace":true` requests receive).
+  const std::vector<std::string> apps = {"gcc", "gzip", "twolf", "crafty"};
+  std::map<std::string, std::string> reference;  // plain request -> answer
+  std::vector<std::string> plain_reqs, traced_reqs;
+  for (const std::string& app : apps) {
+    const std::string plain =
+        R"({"op":"eval","app":")" + app + R"(","node":"130"})";
+    plain_reqs.push_back(plain);
+    traced_reqs.push_back(R"({"op":"eval","app":")" + app +
+                          R"(","node":"130","trace":true})");
+    reference[plain] = normalized(stdio_answer(plain));
+  }
+  const auto strip_trace = [](const std::string& line) {
+    const serve::Json parsed = serve::Json::parse(line);
+    serve::Json out = serve::Json::object();
+    for (const auto& [key, value] : parsed.items()) {
+      if (key == "trace") continue;
+      if (key == "cached" || key == "coalesced") {
+        out.set(key, serve::Json(false));
+      } else {
+        out.set(key, value);
+      }
+    }
+    return out.dump();
+  };
+
+  serve::EvalService::Options sopts;
+  sopts.jobs = 4;
+  serve::EvalService service(tiny_config(), sopts);
+  ServerOptions opts;
+  opts.request_trace = true;  // every request pays the phase clocks
+  Server server(service, opts);
+  const std::uint16_t port = server.port();
+  int rc = -1;
+  std::thread server_thread([&] { rc = server.run(); });
+
+  std::atomic<int> failures{0};
+  std::barrier start(kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        LineClient client(port);
+        start.arrive_and_wait();
+        constexpr int kRounds = 6;
+        for (int i = 0; i < kRounds; ++i) {
+          const auto k = static_cast<std::size_t>(t + i) % 4;
+          const bool want_trace = (t + i) % 2 == 0;
+          const std::string& req =
+              want_trace ? traced_reqs[k] : plain_reqs[k];
+          if (!client.send(req)) { failures.fetch_add(1); return; }
+          const auto reply = client.recv_line();
+          if (!reply || strip_trace(*reply) != reference.at(plain_reqs[k])) {
+            failures.fetch_add(1);
+            return;
+          }
+          // Traced responses carry their breakdown; plain ones never do.
+          const serve::Json j = serve::Json::parse(*reply);
+          const serve::Json* trace = j.find("trace");
+          if (want_trace != (trace != nullptr)) {
+            failures.fetch_add(1);
+            return;
+          }
+          if (trace != nullptr &&
+              (trace->find("phases") == nullptr ||
+               trace->find("total_ns")->as_number() <= 0.0)) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  {
+    LineClient quit(port);
+    quit.send(R"({"op":"shutdown"})");
+    quit.recv_line();
+  }
+  server_thread.join();
+  EXPECT_EQ(rc, 0);
+  const ServerCounters& c = server.counters();
+  EXPECT_EQ(c.responses_sent + c.dropped_responses, c.accepted_requests);
+  // 4 distinct node-130 keys, each needing its app's 180 nm base run:
+  // exactly 8 cell evaluations for 192 requests — tracing must not
+  // perturb caching or single-flight.
+  EXPECT_EQ(service.stats().evaluations, 8u);
+}
+
 }  // namespace
 }  // namespace ramp::net

@@ -9,6 +9,8 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -17,6 +19,7 @@
 
 #include "net/server.hpp"
 #include "net_tcp_client.hpp"
+#include "obs/reqtrace.hpp"
 #include "pipeline/evaluator.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/json.hpp"
@@ -344,6 +347,143 @@ TEST(NetServerTest, FireAndForgetClientStillHasRequestAccepted) {
   // socket (sent) or the connection died first (dropped) — timing decides
   // which, but the accounting must balance either way.
   EXPECT_EQ(c.responses_sent + c.dropped_responses, c.accepted_requests);
+}
+
+TEST(NetServerTest, HealthReportsTransportState) {
+  serve::EvalService service(tiny_config(), {});
+  RunningServer rs(service);
+
+  LineClient client(rs.port());
+  ASSERT_TRUE(client.send(R"({"op":"health","id":"h1"})"));
+  const auto reply = client.recv_line();
+  ASSERT_TRUE(reply.has_value());
+  const serve::Json j = serve::Json::parse(*reply);
+  EXPECT_TRUE(j.find("ok")->as_bool());
+  EXPECT_EQ(j.find("op")->as_string(), "health");
+  EXPECT_EQ(j.find("id")->as_string(), "h1");
+  EXPECT_EQ(j.find("mode")->as_string(), "tcp");
+  EXPECT_GE(j.find("uptime_s")->as_number(), 0.0);
+  EXPECT_GE(j.find("accepted_connections")->as_number(), 1.0);
+  EXPECT_GE(j.find("active_connections")->as_number(), 1.0);
+  EXPECT_FALSE(j.find("draining")->as_bool());
+  EXPECT_EQ(j.find("shards")->as_number(), 1.0);
+}
+
+TEST(NetServerTest, TraceFlagAttachesPhaseBreakdownToThatResponseOnly) {
+  serve::EvalService service(tiny_config(), {});
+  RunningServer rs(service);
+
+  LineClient client(rs.port());
+  // Untraced request: no trace object, even for the same key.
+  ASSERT_TRUE(client.send(R"({"op":"eval","app":"gcc","node":"90","id":1})"));
+  const auto plain = client.recv_line();
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(serve::Json::parse(*plain).find("trace"), nullptr);
+
+  ASSERT_TRUE(client.send(
+      R"({"op":"eval","app":"gcc","node":"90","id":2,"trace":true,)"
+      R"("trace_id":"req-42"})"));
+  const auto traced = client.recv_line();
+  ASSERT_TRUE(traced.has_value());
+  const serve::Json j = serve::Json::parse(*traced);
+  EXPECT_TRUE(j.find("ok")->as_bool());
+  const serve::Json* t = j.find("trace");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->find("trace_id")->as_string(), "req-42");
+  EXPECT_EQ(t->find("op")->as_string(), "eval");
+  EXPECT_EQ(t->find("label")->as_string(), "gcc@90");
+  EXPECT_GT(t->find("total_ns")->as_number(), 0.0);
+  EXPECT_TRUE(t->find("cached")->as_bool());  // id 1 warmed the key
+  const serve::Json* phases = t->find("phases");
+  ASSERT_NE(phases, nullptr);
+  int n = 0;
+  double sum = 0.0;
+  for (const auto& [name, ns] : phases->items()) {
+    (void)name;
+    sum += ns.as_number();
+    ++n;
+  }
+  EXPECT_EQ(n, obs::kNumPhases);
+  EXPECT_GT(sum, 0.0);
+  EXPECT_LE(sum, t->find("total_ns")->as_number());
+
+  // The traced response is the plain one plus the trace object.
+  serve::Json stripped = serve::Json::object();
+  for (const auto& [key, value] : j.items()) {
+    if (key != "trace" && key != "id" && key != "cached") {
+      stripped.set(key, value);
+    }
+  }
+  serve::Json reference = serve::Json::object();
+  const serve::Json plain_doc = serve::Json::parse(*plain);
+  for (const auto& [key, value] : plain_doc.items()) {
+    if (key != "id" && key != "cached") reference.set(key, value);
+  }
+  EXPECT_EQ(stripped.dump(), reference.dump());
+}
+
+TEST(NetServerTest, TraceDumpReturnsRecentRequestsAsPerfetto) {
+  serve::EvalService service(tiny_config(), {});
+  ServerOptions opts;
+  opts.request_trace = true;
+  RunningServer rs(service, opts);
+
+  LineClient client(rs.port());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.send(R"({"op":"eval","app":"gzip","node":"130","id":)" +
+                            std::to_string(i) + "}"));
+    ASSERT_TRUE(client.recv_line().has_value());
+  }
+  ASSERT_TRUE(client.send(R"({"op":"trace_dump","id":"d"})"));
+  const auto reply = client.recv_line();
+  ASSERT_TRUE(reply.has_value());
+  const serve::Json j = serve::Json::parse(*reply);
+  EXPECT_TRUE(j.find("ok")->as_bool());
+  EXPECT_EQ(j.find("op")->as_string(), "trace_dump");
+  EXPECT_EQ(j.find("id")->as_string(), "d");
+  EXPECT_GE(j.find("count")->as_number(), 3.0);
+  EXPECT_EQ(j.find("capacity")->as_number(), 512.0);
+  EXPECT_GE(j.find("total_traced")->as_number(), 3.0);
+  const std::string perfetto = j.find("perfetto")->as_string();
+  EXPECT_NE(perfetto.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(perfetto.find("requests-lane-0"), std::string::npos);
+}
+
+TEST(NetServerTest, SlowLogWithZeroThresholdCapturesEveryTracedRequest) {
+  const std::string path =
+      ::testing::TempDir() + "ramp_net_server_slow_test.ndjson";
+  std::remove(path.c_str());
+  {
+    serve::EvalService service(tiny_config(), {});
+    ServerOptions opts;
+    opts.request_trace = true;
+    opts.slow_log_path = path;
+    opts.slow_ms = 0.0;
+    RunningServer rs(service, opts);
+
+    LineClient client(rs.port());
+    ASSERT_TRUE(
+        client.send(R"({"op":"eval","app":"crafty","node":"180","id":1})"));
+    ASSERT_TRUE(client.recv_line().has_value());
+    ASSERT_TRUE(
+        client.send(R"({"op":"eval","app":"crafty","node":"180","id":2})"));
+    ASSERT_TRUE(client.recv_line().has_value());
+    EXPECT_EQ(rs.join(), 0);  // drain flushes the log
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    const serve::Json j = serve::Json::parse(line);
+    EXPECT_EQ(j.find("op")->as_string(), "eval");
+    EXPECT_EQ(j.find("label")->as_string(), "crafty@180");
+    ASSERT_NE(j.find("phases"), nullptr);
+    EXPECT_GE(j.find("total_ns")->as_number(), 0.0);
+    ++lines;
+  }
+  EXPECT_GE(lines, 2);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -82,6 +82,43 @@ TEST(PrometheusExportTest, ParserRoundTripsEverySample) {
   EXPECT_NEAR(samples.at("ramp_latency_seconds_sum"), 2.4, 1e-12);
 }
 
+// Golden round trip of the cumulative `le`-bucket encoding: parsing the
+// exposition text back must let a scraper reconstruct the exact per-bucket
+// counts of the snapshot — cumulative sums at every finite bound, total at
+// +Inf, and first-differences recovering the raw buckets.
+TEST(PrometheusExportTest, CumulativeBucketsRoundTripToSnapshotCounts) {
+  const MetricsSnapshot snap = sample_snapshot();
+  const auto samples = parse_prometheus_text(to_prometheus(snap));
+  for (const HistogramSnapshot& h : snap.histograms) {
+    std::uint64_t cumulative = 0;
+    std::vector<double> parsed_cumulative;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      char bound[40];
+      std::snprintf(bound, sizeof bound, "%.17g", h.bounds[i]);
+      const std::string key =
+          h.name + "_bucket{le=\"" + bound + "\"}";
+      ASSERT_EQ(samples.count(key), 1u) << key;
+      EXPECT_DOUBLE_EQ(samples.at(key), static_cast<double>(cumulative));
+      parsed_cumulative.push_back(samples.at(key));
+    }
+    EXPECT_DOUBLE_EQ(samples.at(h.name + "_bucket{le=\"+Inf\"}"),
+                     static_cast<double>(h.count));
+    EXPECT_DOUBLE_EQ(samples.at(h.name + "_count"),
+                     static_cast<double>(h.count));
+    // First differences of the cumulative series give back the raw buckets.
+    double prev = 0.0;
+    for (std::size_t i = 0; i < parsed_cumulative.size(); ++i) {
+      EXPECT_DOUBLE_EQ(parsed_cumulative[i] - prev,
+                       static_cast<double>(h.counts[i]));
+      prev = parsed_cumulative[i];
+    }
+    EXPECT_DOUBLE_EQ(
+        samples.at(h.name + "_bucket{le=\"+Inf\"}") - prev,
+        static_cast<double>(h.counts.back()));
+  }
+}
+
 TEST(PrometheusExportTest, ParserRejectsMalformedLines) {
   EXPECT_THROW(parse_prometheus_text("just_a_name\n"), InvalidArgument);
   EXPECT_THROW(parse_prometheus_text("name twelve\n"), InvalidArgument);

@@ -1,0 +1,181 @@
+// Per-request trace plumbing: ring wrap/order semantics, the epoch
+// timebase, the greedy lane packing behind the Perfetto export, and the
+// slow-log NDJSON line. These are the pieces every serve front-end shares;
+// the front-ends themselves are covered by serve_test / net_server_test.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/reqtrace.hpp"
+#include "obs/trace_export.hpp"
+#include "serve/json.hpp"
+
+namespace ramp::obs {
+namespace {
+
+RequestTrace rec_at(std::uint64_t start_ns, std::uint64_t total_ns,
+                    const std::string& id) {
+  RequestTrace r;
+  r.trace_id = id;
+  r.op = "eval";
+  r.start_ns = start_ns;
+  r.total_ns = total_ns;
+  return r;
+}
+
+TEST(ReqTraceTest, PhaseNamesAreStableIdentifiers) {
+  EXPECT_EQ(phase_name(Phase::kRead), "read");
+  EXPECT_EQ(phase_name(Phase::kParse), "parse");
+  EXPECT_EQ(phase_name(Phase::kAdmission), "admission");
+  EXPECT_EQ(phase_name(Phase::kQueue), "queue");
+  EXPECT_EQ(phase_name(Phase::kCache), "cache");
+  EXPECT_EQ(phase_name(Phase::kCompute), "compute");
+  EXPECT_EQ(phase_name(Phase::kSerialize), "serialize");
+  EXPECT_EQ(phase_name(Phase::kFlush), "flush");
+}
+
+TEST(ReqTraceTest, RingKeepsNewestRecordsOldestFirst) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    ring.push(rec_at(static_cast<std::uint64_t>(i), 1, std::to_string(i)));
+  }
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].trace_id,
+              std::to_string(6 + i));
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(ReqTraceTest, RingBelowCapacityReturnsEverythingInOrder) {
+  TraceRing ring(8);
+  for (int i = 0; i < 3; ++i) {
+    ring.push(rec_at(static_cast<std::uint64_t>(i), 1, std::to_string(i)));
+  }
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.front().trace_id, "0");
+  EXPECT_EQ(snap.back().trace_id, "2");
+}
+
+TEST(ReqTraceTest, EpochConversionClampsAndAdvances) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.to_epoch_ns(ring.epoch()), 0u);
+  // A time before the epoch clamps to zero instead of wrapping.
+  EXPECT_EQ(
+      ring.to_epoch_ns(ring.epoch() - std::chrono::milliseconds(5)), 0u);
+  const auto later = ring.epoch() + std::chrono::microseconds(250);
+  EXPECT_EQ(ring.to_epoch_ns(later), 250'000u);
+}
+
+TEST(ReqTraceTest, LanesPackOverlappingRequestsFirstFit) {
+  // A [0,100) and B [50,150) overlap → distinct lanes; C starts at 200,
+  // after A ended, so it reuses lane 0.
+  std::vector<RequestTrace> recs = {rec_at(0, 100, "A"), rec_at(50, 100, "B"),
+                                    rec_at(200, 50, "C")};
+  const auto lanes = request_lanes(recs);
+  ASSERT_EQ(lanes.size(), 2u);
+  EXPECT_EQ(lanes[0].tid, 1u);
+  EXPECT_EQ(lanes[0].name, "requests-lane-0");
+  EXPECT_EQ(lanes[1].tid, 2u);
+  // Lane 0 holds A and C (one parent slice each, no phases set), lane 1
+  // holds B.
+  ASSERT_EQ(lanes[0].events.size(), 2u);
+  ASSERT_EQ(lanes[1].events.size(), 1u);
+  EXPECT_EQ(lanes[0].events[0].name, "eval [A]");
+  EXPECT_EQ(lanes[0].events[1].name, "eval [C]");
+  EXPECT_EQ(lanes[1].events[0].name, "eval [B]");
+  EXPECT_EQ(lanes[0].events[1].ts_ns, 200u);
+  EXPECT_EQ(lanes[0].events[1].dur_ns, 50u);
+}
+
+TEST(ReqTraceTest, LanesLayPhasesBackToBackWithStageSplit) {
+  RequestTrace r = rec_at(1000, 600, "t1");
+  r.label = "gcc@90";
+  r.phase_ns[static_cast<int>(Phase::kParse)] = 100;
+  r.phase_ns[static_cast<int>(Phase::kQueue)] = 200;
+  r.phase_ns[static_cast<int>(Phase::kCompute)] = 300;
+  r.stage_ns[static_cast<int>(Stage::kSim)] = 250;
+  r.stage_ns[static_cast<int>(Stage::kFit)] = 50;
+  const auto lanes = request_lanes({r});
+  ASSERT_EQ(lanes.size(), 1u);
+  const auto& ev = lanes[0].events;
+  // Parent + parse + queue + (sim, fit): the compute slice is replaced by
+  // its stage children when stage deltas were captured.
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_EQ(ev[0].name, "eval gcc@90 [t1]");
+  EXPECT_EQ(ev[0].ts_ns, 1000u);
+  EXPECT_EQ(ev[0].dur_ns, 600u);
+  EXPECT_EQ(ev[1].name, "parse");
+  EXPECT_EQ(ev[1].ts_ns, 1000u);
+  EXPECT_EQ(ev[2].name, "queue");
+  EXPECT_EQ(ev[2].stage, Stage::kSchedule);
+  EXPECT_EQ(ev[2].ts_ns, 1100u);
+  EXPECT_EQ(ev[3].name, "sim");
+  EXPECT_EQ(ev[3].stage, Stage::kSim);
+  EXPECT_EQ(ev[3].ts_ns, 1300u);
+  EXPECT_EQ(ev[3].dur_ns, 250u);
+  EXPECT_EQ(ev[4].name, "fit");
+  EXPECT_EQ(ev[4].ts_ns, 1550u);
+  EXPECT_EQ(ev[4].dur_ns, 50u);
+}
+
+TEST(ReqTraceTest, LanesFeedTheChromeTraceExporter) {
+  std::vector<RequestTrace> recs = {rec_at(0, 100, "A"), rec_at(10, 50, "B")};
+  const std::string json =
+      to_chrome_trace(request_lanes(recs), "ramp-serve requests");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("requests-lane-0"), std::string::npos);
+  EXPECT_NE(json.find("requests-lane-1"), std::string::npos);
+  EXPECT_NE(json.find("ramp-serve requests"), std::string::npos);
+}
+
+TEST(ReqTraceTest, SlowLogLineIsParseableAndComplete) {
+  RequestTrace r = rec_at(123, 456, "abc");
+  r.label = "gcc@90";
+  r.ok = true;
+  r.cached = true;
+  r.phase_ns[static_cast<int>(Phase::kParse)] = 11;
+  r.stage_ns[static_cast<int>(Stage::kThermal)] = 22;
+  const std::string line = request_trace_json(r, 1700000000123.0);
+  const serve::Json j = serve::Json::parse(line);
+  EXPECT_EQ(j.find("ts_ms")->as_number(), 1700000000123.0);
+  EXPECT_EQ(j.find("trace_id")->as_string(), "abc");
+  EXPECT_EQ(j.find("op")->as_string(), "eval");
+  EXPECT_EQ(j.find("label")->as_string(), "gcc@90");
+  EXPECT_TRUE(j.find("ok")->as_bool());
+  EXPECT_TRUE(j.find("cached")->as_bool());
+  EXPECT_FALSE(j.find("coalesced")->as_bool());
+  EXPECT_EQ(j.find("start_ns")->as_number(), 123.0);
+  EXPECT_EQ(j.find("total_ns")->as_number(), 456.0);
+  const serve::Json* phases = j.find("phases");
+  ASSERT_NE(phases, nullptr);
+  int n = 0;
+  for (const auto& [name, ns] : phases->items()) {
+    (void)name;
+    (void)ns;
+    ++n;
+  }
+  EXPECT_EQ(n, kNumPhases);
+  EXPECT_EQ(phases->find("parse")->as_number(), 11.0);
+  const serve::Json* stages = j.find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->find("thermal")->as_number(), 22.0);
+}
+
+TEST(ReqTraceTest, SlowLogLineOmitsEmptyStageAndLabel) {
+  const std::string line = request_trace_json(rec_at(0, 1, "x"), 0.0);
+  const serve::Json j = serve::Json::parse(line);
+  EXPECT_EQ(j.find("label"), nullptr);
+  EXPECT_EQ(j.find("stages"), nullptr);
+}
+
+}  // namespace
+}  // namespace ramp::obs

@@ -458,5 +458,132 @@ TEST(EvalServiceTest, StatsSurviveDisabledGlobalRegistry) {
   }
 }
 
+// ---- per-request tracing --------------------------------------------------
+
+TEST(ParseRequestTest, TraceFieldsValidateAdversarially) {
+  // Well-formed trace fields parse and land on the request.
+  const EvalRequest ok = parse_request(
+      R"({"op":"eval","app":"gcc","node":"90","trace":true,"trace_id":"r1"})");
+  EXPECT_TRUE(ok.trace);
+  EXPECT_EQ(ok.trace_id, "r1");
+
+  // Wrong types and malformed ids throw instead of being coerced.
+  EXPECT_THROW(
+      parse_request(R"({"op":"eval","app":"gcc","trace":"yes"})"),
+      std::exception);
+  EXPECT_THROW(parse_request(R"({"op":"eval","app":"gcc","trace_id":123})"),
+               std::exception);
+  EXPECT_THROW(parse_request(R"({"op":"eval","app":"gcc","trace_id":""})"),
+               std::exception);
+  EXPECT_THROW(parse_request(R"({"op":"eval","app":"gcc","trace_id":")" +
+                             std::string(129, 'x') + R"("})"),
+               std::exception);
+  EXPECT_THROW(
+      parse_request(
+          "{\"op\":\"eval\",\"app\":\"gcc\",\"trace_id\":\"a\\u0007b\"}"),
+      std::exception);
+
+  // Trace fields are an eval/timeline affair; control ops reject them.
+  EXPECT_THROW(parse_request(R"({"op":"stats","trace":true})"),
+               std::exception);
+  EXPECT_THROW(parse_request(R"({"op":"metrics","trace_id":"x"})"),
+               std::exception);
+}
+
+TEST(ParseRequestTest, MetricsFormatValidates) {
+  EXPECT_EQ(parse_request(R"({"op":"metrics","format":"json"})")
+                .metrics_format,
+            "json");
+  EXPECT_THROW(parse_request(R"({"op":"metrics","format":"xml"})"),
+               std::exception);
+  EXPECT_THROW(parse_request(R"({"op":"stats","format":"json"})"),
+               std::exception);
+}
+
+// Tracing is pure observation: it must never change what is computed or
+// cached, so the cache key ignores trace/trace_id by construction.
+TEST(EvalServiceTest, RequestKeyIgnoresTraceFields) {
+  const pipeline::EvaluationConfig base = tiny_config();
+  const EvalRequest plain =
+      parse_request(R"({"op":"eval","app":"gcc","node":"90"})");
+  const EvalRequest traced = parse_request(
+      R"({"op":"eval","app":"gcc","node":"90","trace":true,"trace_id":"t"})");
+  EXPECT_EQ(request_key(plain, base), request_key(traced, base));
+}
+
+TEST(ServeLoopTest, HealthOpReportsStdioDefaults) {
+  const auto responses = run_serve(
+      "{\"op\":\"health\",\"id\":\"h\"}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(responses.size(), 2u);
+  const Json& h = responses[0];
+  EXPECT_TRUE(h.find("ok")->as_bool());
+  EXPECT_EQ(h.find("op")->as_string(), "health");
+  EXPECT_EQ(h.find("id")->as_string(), "h");
+  EXPECT_EQ(h.find("mode")->as_string(), "stdio");
+  EXPECT_GE(h.find("uptime_s")->as_number(), 0.0);
+  EXPECT_EQ(h.find("accepted_connections")->as_number(), 1.0);
+  EXPECT_EQ(h.find("active_connections")->as_number(), 1.0);
+  EXPECT_FALSE(h.find("draining")->as_bool());
+  EXPECT_EQ(h.find("shards")->as_number(), 1.0);
+}
+
+TEST(ServeLoopTest, TraceFlagAttachesBreakdownOverStdio) {
+  const auto responses = run_serve(
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":1}\n"
+      "{\"op\":\"eval\",\"app\":\"gcc\",\"node\":\"90\",\"id\":2,"
+      "\"trace\":true,\"trace_id\":\"abc\"}\n"
+      "{\"op\":\"trace_dump\"}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0].find("trace"), nullptr);
+
+  const Json* t = responses[1].find("trace");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->find("trace_id")->as_string(), "abc");
+  EXPECT_EQ(t->find("label")->as_string(), "gcc@90");
+  EXPECT_GT(t->find("total_ns")->as_number(), 0.0);
+  const Json* phases = t->find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_NE(phases->find("serialize"), nullptr);
+
+  // The stdio ring only holds requests that asked to be traced.
+  const Json& dump = responses[2];
+  EXPECT_TRUE(dump.find("ok")->as_bool());
+  EXPECT_EQ(dump.find("op")->as_string(), "trace_dump");
+  EXPECT_EQ(dump.find("count")->as_number(), 1.0);
+  EXPECT_EQ(dump.find("total_traced")->as_number(), 1.0);
+  EXPECT_NE(dump.find("perfetto")->as_string().find("\"traceEvents\""),
+            std::string::npos);
+}
+
+// The traced response is the untraced response plus the trace object — the
+// breakdown must never perturb the payload bytes.
+TEST(ServeLoopTest, TraceObjectIsPureAddition) {
+  const auto responses = run_serve(
+      "{\"op\":\"eval\",\"app\":\"gzip\",\"node\":\"130\"}\n"
+      "{\"op\":\"eval\",\"app\":\"gzip\",\"node\":\"130\",\"trace\":true}\n"
+      "{\"op\":\"shutdown\"}\n");
+  ASSERT_EQ(responses.size(), 3u);
+  // The second request legitimately differs in provenance (cache hit or
+  // coalesced onto the first); everything else must match bytewise.
+  const auto neutral = [](const Json& r) {
+    Json out = Json::object();
+    for (const auto& [key, value] : r.items()) {
+      if (key == "trace") continue;
+      out.set(key, (key == "cached" || key == "coalesced") ? Json(false)
+                                                           : value);
+    }
+    return out;
+  };
+  const Json stripped = neutral(responses[1]);
+  const Json reference = neutral(responses[0]);
+  EXPECT_EQ(stripped.dump(), reference.dump());
+  ASSERT_NE(responses[1].find("trace"), nullptr);
+  // A server-generated trace_id was assigned (no client-supplied one).
+  EXPECT_FALSE(
+      responses[1].find("trace")->find("trace_id")->as_string().empty());
+}
+
 }  // namespace
 }  // namespace ramp::serve

@@ -441,7 +441,8 @@ void write_port_file(const std::string& path, std::uint16_t port) {
 
 // NDJSON evaluation service: one request per line, one response per line
 // (`eval`, `timeline`, `fleet`, `stats`, `metrics`, `metrics_reset`,
-// `shutdown`). Default transport is stdin/stdout; `--listen ADDR:PORT`
+// `health`, `trace_dump`, `shutdown`). Default transport is stdin/stdout;
+// `--listen ADDR:PORT`
 // serves many concurrent TCP clients from one epoll loop, and `--shards N`
 // additionally forks N workers that each own a disjoint slice of the cache
 // keyspace (consistent hash on the canonical request key) behind a proxying
@@ -472,6 +473,10 @@ int cmd_serve(std::vector<std::string> args) {
       static_cast<std::size_t>(flag_u64(args, "--max-queued", 1024));
   const std::optional<std::string> stage_flag =
       flag_opt_value(args, "--stage-cache");
+  const bool request_trace = flag_present(args, "--request-trace");
+  const std::optional<std::string> slow_log_flag =
+      flag_opt_value(args, "--slow-log");
+  const double slow_ms = flag_double(args, "--slow-ms", 10.0);
   std::string trace_out = flag_trace_out(args);
   if (trace_out.empty()) trace_out = cfg.trace_out;
   if (!trace_out.empty()) obs::Profiler::global().enable_trace();
@@ -482,6 +487,28 @@ int cmd_serve(std::vector<std::string> args) {
   RAMP_REQUIRE(shards >= 1, "--shards must be at least 1");
   RAMP_REQUIRE(shards == 1 || !listen.empty(),
                "--shards needs --listen (sharding is a TCP-mode feature)");
+  RAMP_REQUIRE(slow_ms >= 0.0, "--slow-ms must be non-negative");
+  RAMP_REQUIRE(!slow_log_flag || !listen.empty(),
+               "--slow-log needs --listen (the slow-request log is a "
+               "TCP-mode feature)");
+
+  // --slow-log[=FILE]: bare form lands next to the other serve artifacts.
+  std::string slow_log_path;
+  if (slow_log_flag) {
+    slow_log_path =
+        slow_log_flag->empty()
+            ? (std::filesystem::path(out_dir) / "serve_slow.ndjson").string()
+            : *slow_log_flag;
+  }
+  // Shard workers write disjoint slow logs (foo-shard2.ndjson): N processes
+  // appending to one file would interleave lines.
+  const auto shard_slow_log = [&](std::size_t shard) {
+    if (slow_log_path.empty()) return std::string();
+    const std::filesystem::path p(slow_log_path);
+    return (p.parent_path() / (p.stem().string() + "-shard" +
+                               std::to_string(shard) + p.extension().string()))
+        .string();
+  };
 
   // A client dying mid-stream must be a clean shutdown, not a SIGPIPE
   // kill; SIGINT/SIGTERM request a graceful drain (answer everything
@@ -532,6 +559,7 @@ int cmd_serve(std::vector<std::string> args) {
                  opts.persist_dir.empty() ? "off" : opts.persist_dir.c_str());
     serve::StdioOptions sopts;
     sopts.drain_flag = drain;
+    sopts.request_trace = request_trace;
     rc = serve::serve_stdio(service, sopts);
   } else if (shards == 1) {
     // Single-process TCP mode.
@@ -546,6 +574,9 @@ int cmd_serve(std::vector<std::string> args) {
     sopts.max_connections = max_conns;
     sopts.max_queued_requests = max_queued;
     sopts.drain_flag = drain;
+    sopts.request_trace = request_trace;
+    sopts.slow_log_path = slow_log_path;
+    sopts.slow_ms = slow_ms;
     net::Server server(service, sopts);
     write_port_file(port_file, server.port());
     std::fprintf(stderr,
@@ -583,6 +614,10 @@ int cmd_serve(std::vector<std::string> args) {
           sopts.max_connections = max_conns;
           sopts.max_queued_requests = max_queued;
           sopts.drain_flag = serve::install_drain_handlers();
+          sopts.request_trace = request_trace;
+          sopts.slow_log_path = shard_slow_log(shard);
+          sopts.slow_ms = slow_ms;
+          sopts.shards = shards;
           net::Server server(service, sopts);
           return server.run();
         });
@@ -718,11 +753,17 @@ int usage() {
                "  serve [--jobs N] [--cache-capacity N] [--max-queue N]\n"
                "        [--out-dir DIR] [--no-persist] [--trace-out FILE]\n"
                "        [--listen ADDR:PORT] [--shards N] [--port-file FILE]\n"
-               "        [--max-conns N] [--max-queued N]\n"
+               "        [--max-conns N] [--max-queued N] [--request-trace]\n"
+               "        [--slow-log[=FILE]] [--slow-ms MS]\n"
                "                                NDJSON eval service; stdin/stdout by\n"
                "                                default, TCP with --listen (port 0 =\n"
                "                                ephemeral, reported via --port-file),\n"
-               "                                forked keyspace shards with --shards\n"
+               "                                forked keyspace shards with --shards;\n"
+               "                                --request-trace traces every request\n"
+               "                                (else only \"trace\":true requests),\n"
+               "                                --slow-log appends traced requests\n"
+               "                                over --slow-ms ms as NDJSON (default\n"
+               "                                <out-dir>/serve_slow.ndjson, 10 ms)\n"
                "  fleet [baseline|attack|monitor] [--chips N]\n"
                "        [--years Y] [--phase Y] [--bin Y] [--seed N]\n"
                "        [--node NAME] [--policy none|dvfs|migration]\n"

@@ -66,6 +66,7 @@ struct Config {
   std::vector<std::string> apps = {"gcc", "gzip", "twolf", "crafty"};
   std::vector<std::string> nodes = {"180", "130", "90", "65-1.0"};
   std::uint64_t seed = 42;
+  bool trace = false;  ///< ask the server for a per-request phase breakdown
 };
 
 struct ThreadStats {
@@ -100,7 +101,8 @@ std::string make_request(const Config& cfg, std::mt19937_64& rng,
   }
   return "{\"op\":\"eval\",\"app\":\"" + cfg.apps[ai] + "\",\"node\":\"" +
          cfg.nodes[ni] + "\",\"trace_len\":" + std::to_string(cfg.trace_len) +
-         ",\"id\":" + std::to_string(id) + "}\n";
+         ",\"id\":" + std::to_string(id) +
+         (cfg.trace ? ",\"trace\":true" : "") + "}\n";
 }
 
 /// Reads whatever is available without blocking; returns false on EOF or
@@ -263,7 +265,8 @@ int usage() {
       "                    [--mode closed|open] [--connections N]\n"
       "                    [--rate RPS] [--duration S] [--requests N]\n"
       "                    [--hot-frac F] [--trace-len N]\n"
-      "                    [--apps a,b,c] [--nodes n1,n2] [--seed N]\n");
+      "                    [--apps a,b,c] [--nodes n1,n2] [--seed N]\n"
+      "                    [--trace]\n");
   return 2;
 }
 
@@ -298,6 +301,14 @@ int main(int argc, char** argv) {
     if (const auto v = take("--apps")) cfg.apps = split_csv(*v);
     if (const auto v = take("--nodes")) cfg.nodes = split_csv(*v);
     if (const auto v = take("--seed")) cfg.seed = std::stoull(*v);
+    // Bare flag: every request opts into its own server-side breakdown.
+    for (auto it = args.begin(); it != args.end(); ++it) {
+      if (*it == "--trace") {
+        cfg.trace = true;
+        args.erase(it);
+        break;
+      }
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ramp_loadgen: bad flag value: %s\n", e.what());
     return 2;
