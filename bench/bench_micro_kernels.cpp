@@ -14,7 +14,10 @@
 #include "obs/timeline.hpp"
 #include "pipeline/evaluator.hpp"
 #include "pipeline/stage_graph.hpp"
+#include "sim/interval_model.hpp"
 #include "sim/ooo_core.hpp"
+#include "sim/sampled_core.hpp"
+#include "sim/sim_mode.hpp"
 #include "thermal/rc_model.hpp"
 #include "trace/synthetic_generator.hpp"
 #include "util/env.hpp"
@@ -52,6 +55,61 @@ void BM_TimingSimulation(benchmark::State& state) {
   state.SetLabel(w.name);
 }
 BENCHMARK(BM_TimingSimulation)->Arg(0)->Arg(1);
+
+// ---- fast timing simulation ------------------------------------------------
+// The three sim engines over the identical 2M-instruction gzip stream at the
+// 180 nm node — long enough that the sampled estimator's fixed costs (detailed
+// prefix, per-unit warmup) are amortized, matching its tolerance contract.
+// BM_SimSampled / BM_SimDetailed are the speedup pair CI holds to the
+// advertised >= 5x via check_bench_regression.py --ratio (docs/PERFORMANCE.md).
+
+constexpr std::uint64_t kSimBenchInstructions = 2'000'000;
+
+const workloads::Workload& sim_bench_workload() {
+  return workloads::workload("gzip");
+}
+
+void BM_SimDetailed(benchmark::State& state) {
+  const auto cfg = sim::core_config_for(scaling::base_node());
+  const auto& w = sim_bench_workload();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    trace::SyntheticTrace t(w.profile, kSimBenchInstructions, 42);
+    sim::OooCore core(cfg);
+    benchmark::DoNotOptimize(core.run(t, 1100).totals.cycles);
+    n += kSimBenchInstructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimDetailed);
+
+void BM_SimSampled(benchmark::State& state) {
+  const auto cfg = sim::core_config_for(scaling::base_node());
+  const auto& w = sim_bench_workload();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    trace::SyntheticTrace t(w.profile, kSimBenchInstructions, 42);
+    sim::SampledCore core(cfg, sim::SampledParams{});
+    benchmark::DoNotOptimize(core.run(t, 1100).totals.cycles);
+    n += kSimBenchInstructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimSampled);
+
+void BM_SimInterval(benchmark::State& state) {
+  const auto cfg = sim::core_config_for(scaling::base_node());
+  const auto& w = sim_bench_workload();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    trace::SyntheticTrace t(w.profile, kSimBenchInstructions, 42);
+    sim::IntervalModel model(cfg);
+    benchmark::DoNotOptimize(model.run(t, 1100).totals.cycles);
+    n += kSimBenchInstructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimInterval);
 
 void BM_ThermalSteadyState(benchmark::State& state) {
   const thermal::RcNetwork net(thermal::power4_floorplan(), {});
@@ -140,6 +198,38 @@ void BM_PipelineEvaluate(benchmark::State& state) {
   state.SetLabel(std::string(scaling::tech_token(point)));
 }
 BENCHMARK(BM_PipelineEvaluate)->Arg(0)->Arg(1);
+
+void run_pipeline_long(benchmark::State& state, sim::SimMode mode) {
+  // End-to-end evaluate() at a trace length where the fast sim path pays off
+  // (auto resolves to sampled from 1M instructions up). Distinct op names so
+  // the CI ratio gate can hold sampled-mode evaluate() to its multiple of the
+  // detailed one; the non-sim stages (power, thermal, FIT) are identical work
+  // on both sides, so the end-to-end multiple sits slightly below the raw
+  // BM_SimSampled/BM_SimDetailed one.
+  pipeline::EvaluationConfig cfg;
+  cfg.trace_instructions = 2'000'000;
+  cfg.sim_mode = mode;
+  const pipeline::Evaluator ev(cfg);
+  const auto& w = sim_bench_workload();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    const auto r = ev.evaluate(w, scaling::TechPoint::k180nm);
+    benchmark::DoNotOptimize(r.raw_fits.total());
+    n += cfg.trace_instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  state.SetLabel(std::string(sim::sim_mode_name(mode)));
+}
+
+void BM_PipelineEvaluateDetailed(benchmark::State& state) {
+  run_pipeline_long(state, sim::SimMode::kDetailed);
+}
+BENCHMARK(BM_PipelineEvaluateDetailed);
+
+void BM_PipelineEvaluateSampled(benchmark::State& state) {
+  run_pipeline_long(state, sim::SimMode::kSampled);
+}
+BENCHMARK(BM_PipelineEvaluateSampled);
 
 void run_stage_reuse(benchmark::State& state, bool warm) {
   // Stage-graph memoization: the cost of a second V/f point at the same

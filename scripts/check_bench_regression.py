@@ -21,9 +21,16 @@ baseline) to check raw ratios instead.
 Ops present on only one side are reported but never fail the gate (new
 benchmarks need a baseline refresh, not a red build).
 
+``--ratio FAST_OP:SLOW_OP:MIN`` additionally asserts a speedup contract
+*within the current run*: SLOW_OP's ns_per_iter must be at least MIN times
+FAST_OP's. Both ops come from the same measurement on the same machine, so
+no baseline or normalization is involved — this is how CI holds the
+sampled-simulation fast path to its advertised multiple of the detailed
+core (see docs/PERFORMANCE.md). Repeatable.
+
 Usage:
   check_bench_regression.py CURRENT.json [--baseline BASELINE.json]
-      [--threshold 0.15] [--absolute]
+      [--threshold 0.15] [--absolute] [--ratio FAST:SLOW:MIN]
 
 Exit status: 0 when within budget, 1 on regression, 2 on usage/IO errors.
 """
@@ -72,9 +79,27 @@ def main() -> int:
     parser.add_argument("--absolute", action="store_true",
                         help="compare raw ns ratios without machine-speed "
                              "normalization (same-machine runs only)")
+    parser.add_argument("--ratio", action="append", default=[],
+                        metavar="FAST_OP:SLOW_OP:MIN",
+                        help="assert SLOW_OP is at least MIN times slower "
+                             "than FAST_OP in the current run (repeatable)")
     args = parser.parse_args()
     if args.threshold <= 0.0:
         raise SystemExit("error: --threshold must be positive")
+
+    ratio_gates = []
+    for spec in args.ratio:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise SystemExit(f"error: --ratio {spec!r}: expected "
+                             f"FAST_OP:SLOW_OP:MIN")
+        try:
+            minimum = float(parts[2])
+        except ValueError:
+            raise SystemExit(f"error: --ratio {spec!r}: MIN must be a number")
+        if minimum <= 0.0:
+            raise SystemExit(f"error: --ratio {spec!r}: MIN must be positive")
+        ratio_gates.append((parts[0], parts[1], minimum))
 
     current = load(args.current)
     baseline = load(args.baseline)
@@ -122,9 +147,24 @@ def main() -> int:
         print(f"  {op}: {baseline[op]:.1f} ns -> {current[op]:.1f} ns "
               f"({rel - 1.0:+.1%} vs pack){marker}")
 
+    for fast_op, slow_op, minimum in ratio_gates:
+        missing = [op for op in (fast_op, slow_op) if op not in current]
+        if missing:
+            print(f"FAIL: --ratio {fast_op}:{slow_op}: missing from current "
+                  f"run: {', '.join(missing)}")
+            failures.append(f"ratio:{fast_op}:{slow_op}")
+            continue
+        speedup = current[slow_op] / current[fast_op]
+        ok = speedup >= minimum
+        print(f"  {slow_op} / {fast_op}: {speedup:.2f}x "
+              f"(contract >= {minimum:g}x)"
+              f"{'' if ok else '  <-- BELOW CONTRACT'}")
+        if not ok:
+            failures.append(f"ratio:{fast_op}:{slow_op}")
+
     if failures:
-        print(f"FAIL: {len(failures)} op(s) regressed more than "
-              f"{args.threshold:.0%}: {', '.join(failures)}")
+        print(f"FAIL: {len(failures)} gate(s) violated: "
+              f"{', '.join(failures)}")
         print("If the slowdown is intended, bless a new baseline: rebuild "
               "in Release, rerun the bench, and commit the fresh "
               f"{DEFAULT_BASELINE} (see docs/PERFORMANCE.md).")

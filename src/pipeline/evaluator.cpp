@@ -35,7 +35,26 @@ EvaluationConfig EvaluationConfig::from_env(std::uint64_t trace_len) {
   const auto stage_cache = env_on_off_or_value("RAMP_STAGE_CACHE");
   cfg.stage_cache_enabled = stage_cache.has_value();
   cfg.stage_cache_dir = stage_cache.value_or("");
+  if (const auto mode = env_string("RAMP_SIM_MODE")) {
+    cfg.sim_mode = sim::parse_sim_mode(*mode);
+  }
+  cfg.sampled.period = env_u64("RAMP_SIM_PERIOD", cfg.sampled.period);
+  cfg.sampled.warmup = env_u64("RAMP_SIM_WARMUP", cfg.sampled.warmup);
+  cfg.sampled.measure = env_u64("RAMP_SIM_MEASURE", cfg.sampled.measure);
+  cfg.sampled.windows = env_u64("RAMP_SIM_WINDOWS", cfg.sampled.windows);
+  cfg.sampled.validate();
   return cfg;
+}
+
+sim::SimMode resolved_sim_mode(const EvaluationConfig& cfg) {
+  if (cfg.sim_mode != sim::SimMode::kAuto) return cfg.sim_mode;
+  // Sampling only pays off — and only meets its ±2% tolerance contract —
+  // once the trace is long enough for the regression to see dozens of
+  // measurement units past the detailed prefix (see SampledParams).
+  constexpr std::uint64_t kAutoSampledThreshold = 1'000'000;
+  return cfg.trace_instructions >= kAutoSampledThreshold
+             ? sim::SimMode::kSampled
+             : sim::SimMode::kDetailed;
 }
 
 core::FitSummary scale_summary(const core::FitSummary& raw,
@@ -98,7 +117,8 @@ AppTechResult Evaluator::evaluate_staged(const workloads::Workload& w,
   const TraceStageIn tin{w.name, w.profile, cfg_.trace_instructions, cfg_.seed};
   const StageKey tkey = trace_stage_key(tin);
   const StageKey skey =
-      sim_stage_key(tkey, tech.frequency_hz, cfg_.interval_seconds);
+      sim_stage_key(tkey, tech.frequency_hz, cfg_.interval_seconds,
+                    resolved_sim_mode(cfg_), cfg_.sampled);
   const StageKey pkey = power_stage_key(skey, cfg_.power, w.power_bias, tech);
   const StageKey hkey = thermal_stage_key(pkey, cfg_, tech, sink_target_k);
   const StageKey fkey = fit_stage_key(hkey, tech);

@@ -8,7 +8,9 @@
 #include "core/ramp_model.hpp"
 #include "obs/timeline.hpp"
 #include "sim/core_config.hpp"
+#include "sim/interval_model.hpp"
 #include "sim/ooo_core.hpp"
+#include "sim/sampled_core.hpp"
 #include "thermal/floorplan.hpp"
 #include "thermal/rc_model.hpp"
 #include "util/hashing.hpp"
@@ -86,9 +88,28 @@ StageKey trace_stage_key(const TraceStageIn& in) {
 }
 
 StageKey sim_stage_key(const StageKey& trace_key, double frequency_hz,
-                       double interval_seconds) {
-  return {"sim.v1|up=(" + trace_key.canonical + ")|f=" + fmt17(frequency_hz) +
-          "|dt=" + fmt17(interval_seconds)};
+                       double interval_seconds, sim::SimMode mode,
+                       const sim::SampledParams& sampled) {
+  RAMP_REQUIRE(mode != sim::SimMode::kAuto,
+               "sim_stage_key needs a resolved mode (see resolved_sim_mode)");
+  const std::string base = "|up=(" + trace_key.canonical +
+                           ")|f=" + fmt17(frequency_hz) +
+                           "|dt=" + fmt17(interval_seconds);
+  switch (mode) {
+    case sim::SimMode::kSampled:
+      // The sampling parameters shape the estimate, so they are part of the
+      // payload's identity.
+      return {"sim.sampled.v1" + base + "|p=" + std::to_string(sampled.period) +
+              "|w=" + std::to_string(sampled.warmup) +
+              "|m=" + std::to_string(sampled.measure) +
+              "|k=" + std::to_string(sampled.windows)};
+    case sim::SimMode::kInterval:
+      return {"sim.interval.v1" + base +
+              "|k=" + std::to_string(sim::kIntervalModelCalibration)};
+    default:
+      // Detailed keeps the frozen PR 6 tag: warm caches stay valid.
+      return {"sim.v1" + base};
+  }
 }
 
 StageKey power_stage_key(const StageKey& sim_key,
@@ -156,6 +177,28 @@ StageKey fit_stage_key(const StageKey& thermal_key,
 // operations on the same values in the same per-variable order, so do not
 // reorder arithmetic when editing.
 
+namespace {
+
+/// Fast-path observability: per-mode compute counters plus the latest
+/// estimator quality gauges. Recorded only when a sim stage actually
+/// computes (cache hits replay stored payloads and touch no estimator).
+void record_sim_mode_metrics(sim::SimMode mode,
+                             const sim::FastSimStats& fast) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("ramp_sim_mode_" + std::string(sim::sim_mode_name(mode)) +
+              "_total")
+      .inc();
+  if (mode == sim::SimMode::kDetailed) return;
+  reg.gauge("ramp_sim_coverage_fraction").set(fast.coverage);
+  reg.gauge("ramp_sim_ipc_half_width").set(fast.ipc_half_width);
+  reg.gauge("ramp_sim_activity_half_width").set(fast.activity_half_width);
+  if (mode == sim::SimMode::kSampled) {
+    reg.counter("ramp_sim_sampled_units_total").inc(fast.units);
+  }
+}
+
+}  // namespace
+
 SimStageOut run_sim_stage(const EvaluationConfig& cfg,
                           const scaling::TechnologyNode& tech,
                           trace::TraceReader& stream, const std::string& cell) {
@@ -168,12 +211,33 @@ SimStageOut run_sim_stage(const EvaluationConfig& cfg,
       std::llround(core_cfg.frequency_hz * cfg.interval_seconds));
   RAMP_ASSERT(interval_cycles > 0);
 
-  sim::OooCore core(core_cfg);
+  const sim::SimMode mode = resolved_sim_mode(cfg);
   const auto sim_start = profile ? Clock::now() : Clock::time_point{};
-  SimStageOut out{core.run(stream, interval_cycles)};
+  SimStageOut out;
+  sim::FastSimStats fast;
+  switch (mode) {
+    case sim::SimMode::kSampled: {
+      sim::SampledCore core(core_cfg, cfg.sampled);
+      out.result = core.run(stream, interval_cycles);
+      fast = core.fast_stats();
+      break;
+    }
+    case sim::SimMode::kInterval: {
+      sim::IntervalModel model(core_cfg);
+      out.result = model.run(stream, interval_cycles);
+      fast = model.fast_stats();
+      break;
+    }
+    default: {
+      sim::OooCore core(core_cfg);
+      out.result = core.run(stream, interval_cycles);
+      break;
+    }
+  }
   if (profile) {
     prof.record_cell_timed(obs::Stage::kSim, cell, sim_start, Clock::now());
   }
+  record_sim_mode_metrics(mode, fast);
   RAMP_ASSERT(!out.result.intervals.empty());
   return out;
 }

@@ -16,15 +16,17 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   sets_ = cfg.size_bytes / (static_cast<std::uint64_t>(cfg.line_bytes) * cfg.ways);
   RAMP_REQUIRE(sets_ > 0 && std::has_single_bit(sets_),
                "number of sets must be a power of two");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes));
+  set_shift_ = static_cast<std::uint32_t>(std::countr_zero(sets_));
   lines_.assign(sets_ * cfg.ways, {});
 }
 
 std::uint64_t Cache::set_of(std::uint64_t addr) const {
-  return (addr / cfg_.line_bytes) & (sets_ - 1);
+  return (addr >> line_shift_) & (sets_ - 1);
 }
 
 std::uint64_t Cache::tag_of(std::uint64_t addr) const {
-  return addr / cfg_.line_bytes / sets_;
+  return addr >> (line_shift_ + set_shift_);
 }
 
 bool Cache::access(std::uint64_t addr, bool is_write) {

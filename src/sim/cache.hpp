@@ -59,6 +59,11 @@ class Cache {
 
   CacheConfig cfg_;
   std::uint64_t sets_ = 0;
+  // line_bytes and sets_ are enforced powers of two, so the per-access
+  // set/tag math runs as shifts instead of 64-bit divisions (access() sits
+  // on the hot path of every simulated load, store, and fetch).
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t set_shift_ = 0;
   std::uint32_t lru_clock_ = 0;
   std::vector<Line> lines_;  ///< sets_ * ways, set-major
   std::uint64_t accesses_ = 0;

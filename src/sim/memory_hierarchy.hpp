@@ -38,6 +38,12 @@ class MemoryHierarchy {
   /// Releases a miss slot when its fill completes.
   void retire_miss();
 
+  /// Drops all in-flight miss bookkeeping. SampledCore abandons a
+  /// measurement unit's outstanding fills when the unit's core is torn
+  /// down (the fill events die with it), so the shared hierarchy must not
+  /// keep their MSHR slots occupied.
+  void clear_outstanding_misses() { outstanding_misses_ = 0; }
+
   const Cache& l1i() const { return l1i_; }
   const Cache& l1d() const { return l1d_; }
   const Cache& l2() const { return l2_; }

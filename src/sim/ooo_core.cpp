@@ -46,10 +46,17 @@ OooCore::IqClass OooCore::iq_class_of(OpClass op) {
   throw InvalidArgument("unknown op class");
 }
 
-OooCore::OooCore(const CoreConfig& cfg)
+OooCore::OooCore(const CoreConfig& cfg) : OooCore(cfg, nullptr, nullptr) {}
+
+OooCore::OooCore(const CoreConfig& cfg, MemoryHierarchy* mem,
+                 BranchPredictor* predictor)
     : cfg_(cfg),
-      predictor_(cfg.predictor),
-      mem_(cfg),
+      owned_predictor_(predictor
+                           ? nullptr
+                           : std::make_unique<BranchPredictor>(cfg.predictor)),
+      owned_mem_(mem ? nullptr : std::make_unique<MemoryHierarchy>(cfg)),
+      predictor_(predictor ? predictor : owned_predictor_.get()),
+      mem_(mem ? mem : owned_mem_.get()),
       rename_table_(static_cast<std::size_t>(cfg.arch_int_regs + cfg.arch_fp_regs),
                     kNoDep),
       issue_queues_(kNumIqClasses),
@@ -69,6 +76,18 @@ bool OooCore::dep_satisfied(std::uint64_t dep) const {
   if (dep < rob_base_seq_) return true;  // producer already retired
   const Flight* f = find_flight(dep);
   return f == nullptr || (f->completed && f->complete_cycle <= cycle_);
+}
+
+std::uint64_t OooCore::ready_at_of(const Flight& f) const {
+  std::uint64_t ready = 0;
+  for (const std::uint64_t dep : {f.dep1, f.dep2}) {
+    if (dep == kNoDep || dep < rob_base_seq_) continue;  // no/retired producer
+    const Flight* p = find_flight(dep);
+    if (p == nullptr) continue;
+    if (!p->issued) return kReadyUnknown;  // completion time not fixed yet
+    ready = std::max(ready, p->complete_cycle);
+  }
+  return ready;
 }
 
 OooCore::Flight* OooCore::find_flight(std::uint64_t seq) {
@@ -122,7 +141,7 @@ void OooCore::do_complete() {
   // Release MSHR slots whose fills have arrived.
   while (!miss_fill_events_.empty() && miss_fill_events_.top() <= cycle_) {
     miss_fill_events_.pop();
-    mem_.retire_miss();
+    mem_->retire_miss();
   }
   // Completion is otherwise implicit: issued instructions carry
   // complete_cycle. The remaining work is resuming fetch when a
@@ -163,14 +182,22 @@ void OooCore::do_issue() {
     int slots = pool.available(cycle_);
     if (slots == 0 || queue.empty()) continue;
 
-    // Oldest-first ready scan.
+    // Oldest-first ready scan. Entries with a cached future ready_at are
+    // skipped on one compare; unknown entries re-derive it from the ROB
+    // (same cost the unconditional dep walk used to pay every cycle).
     for (std::size_t qi = 0; qi < queue.size() && slots > 0;) {
-      Flight* f = find_flight(queue[qi]);
-      RAMP_ASSERT(f != nullptr && !f->issued);
-      if (!dep_satisfied(f->dep1) || !dep_satisfied(f->dep2)) {
+      IqEntry& e = queue[qi];
+      if (e.ready_at == kReadyUnknown) {
+        const Flight* pf = find_flight(e.seq);
+        RAMP_ASSERT(pf != nullptr && !pf->issued);
+        e.ready_at = ready_at_of(*pf);
+      }
+      if (e.ready_at == kReadyUnknown || e.ready_at > cycle_) {
         ++qi;
         continue;
       }
+      Flight* f = find_flight(e.seq);
+      RAMP_ASSERT(f != nullptr && !f->issued);
 
       if (f->op == OpClass::kLoad || f->op == OpClass::kStore) {
         // Store-to-load forwarding: a load whose 8-byte word is produced by
@@ -200,15 +227,15 @@ void OooCore::do_issue() {
         // Loads that will miss need an MSHR slot; since hit/miss is known
         // only at access time, conservatively require a free slot for loads
         // whenever the cap is reached.
-        if (f->op == OpClass::kLoad && mem_.miss_ports_full()) {
+        if (f->op == OpClass::kLoad && mem_->miss_ports_full()) {
           ++qi;
           continue;
         }
-        const int lat = mem_.data_access(f->mem_addr, f->op == OpClass::kStore);
+        const int lat = mem_->data_access(f->mem_addr, f->op == OpClass::kStore);
         if (f->op == OpClass::kLoad) {
           f->complete_cycle = cycle_ + static_cast<std::uint64_t>(lat);
           if (lat > cfg_.lat_l1d) {
-            mem_.add_outstanding_miss();
+            mem_->add_outstanding_miss();
             miss_fill_events_.push(f->complete_cycle);
           }
         } else {
@@ -282,7 +309,8 @@ void OooCore::do_dispatch() {
       }
     }
 
-    queue.push_back(f.seq);
+    queue.push_back(IqEntry{
+        f.seq, (f.dep1 == kNoDep && f.dep2 == kNoDep) ? 0 : kReadyUnknown});
     rob_.push_back(f);
     fetch_buffer_.pop_front();
     ++dispatched;
@@ -308,7 +336,7 @@ void OooCore::do_fetch(trace::TraceReader& reader) {
     // I-cache lookup once per new line touched by this fetch group.
     const std::uint64_t line = pending_.pc / kFetchLineBytes;
     if (line != last_line) {
-      const int stall = mem_.fetch_access(pending_.pc);
+      const int stall = mem_->fetch_access(pending_.pc);
       last_line = line;
       if (stall > 0) {
         // Miss: the group ends and fetch sleeps for the fill latency.
@@ -325,7 +353,7 @@ void OooCore::do_fetch(trace::TraceReader& reader) {
 
     if (ins.op == OpClass::kBranch) {
       const bool mispredict =
-          predictor_.record_outcome(ins.pc, ins.branch_taken, ins.branch_target);
+          predictor_->record_outcome(ins.pc, ins.branch_taken, ins.branch_target);
       if (mispredict) {
         // The redirect happens when this branch resolves; remember its
         // (future) sequence number. It is the next instruction to dispatch
@@ -372,6 +400,29 @@ void OooCore::finish_interval() {
   iv_rob_occupancy_sum_ = 0;
 }
 
+void OooCore::cycle_once(trace::TraceReader& reader) {
+  do_retire();
+  do_complete();
+  do_issue();
+  do_dispatch();
+  do_fetch(reader);
+
+  iv_rob_occupancy_sum_ += rob_.size();
+  ++cycle_;
+
+  // interval_cycles_ is 0 in step-driven mode: no chopping, the iv_*
+  // counters keep whole-run totals for live_counters().
+  if (interval_cycles_ > 0 && cycle_ - iv_start_cycle_ >= interval_cycles_) {
+    result_.totals.instructions += iv_retired_;
+    finish_interval();
+  }
+}
+
+bool OooCore::step(trace::TraceReader& reader) {
+  cycle_once(reader);
+  return !drained();
+}
+
 SimResult OooCore::run(trace::TraceReader& reader,
                        std::uint64_t interval_cycles) {
   RAMP_REQUIRE(interval_cycles > 0, "interval length must be positive");
@@ -381,23 +432,8 @@ SimResult OooCore::run(trace::TraceReader& reader,
   std::uint64_t last_progress_cycle = 0;
   std::uint64_t last_rob_base = rob_base_seq_;
   while (true) {
-    do_retire();
-    do_complete();
-    do_issue();
-    do_dispatch();
-    do_fetch(reader);
-
-    iv_rob_occupancy_sum_ += rob_.size();
-    ++cycle_;
-
-    if (cycle_ - iv_start_cycle_ >= interval_cycles_) {
-      result_.totals.instructions += iv_retired_;
-      finish_interval();
-    }
-
-    const bool drained = trace_exhausted_ && !pending_valid_ &&
-                         fetch_buffer_.empty() && rob_.empty();
-    if (drained) break;
+    cycle_once(reader);
+    if (drained()) break;
 
     // Forward-progress guard: with finite latencies the ROB head must retire
     // within a bounded number of cycles; a longer stall is a model deadlock.
@@ -412,13 +448,13 @@ SimResult OooCore::run(trace::TraceReader& reader,
 
   // Whole-run aggregates.
   result_.totals.cycles = cycle_;
-  result_.totals.l1d_accesses = mem_.l1d().accesses();
-  result_.totals.l1d_misses = mem_.l1d().misses();
-  result_.totals.l2_accesses = mem_.l2().accesses();
-  result_.totals.l2_misses = mem_.l2().misses();
-  result_.totals.l1i_misses = mem_.l1i().misses();
-  result_.totals.branches = predictor_.lookups();
-  result_.totals.branch_mispredicts = predictor_.mispredicts();
+  result_.totals.l1d_accesses = mem_->l1d().accesses();
+  result_.totals.l1d_misses = mem_->l1d().misses();
+  result_.totals.l2_accesses = mem_->l2().accesses();
+  result_.totals.l2_misses = mem_->l2().misses();
+  result_.totals.l1i_misses = mem_->l1i().misses();
+  result_.totals.branches = predictor_->lookups();
+  result_.totals.branch_mispredicts = predictor_->mispredicts();
 
   // Cycle-weighted average activity.
   std::array<double, kNumStructures> weighted{};

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -30,9 +31,41 @@ class OooCore {
  public:
   explicit OooCore(const CoreConfig& cfg);
 
+  /// Borrowed-state constructor: the core uses (and mutates) the caller's
+  /// memory hierarchy and/or branch predictor instead of owning fresh ones.
+  /// Pass nullptr to own that component. SampledCore uses this so its
+  /// short-lived measurement-unit cores share one persistently warm cache
+  /// hierarchy and predictor instead of re-constructing MB-scale tag arrays
+  /// per unit. Borrowed components must outlive the core.
+  OooCore(const CoreConfig& cfg, MemoryHierarchy* mem,
+          BranchPredictor* predictor);
+
   /// Runs `reader` to exhaustion, chopping statistics every
   /// `interval_cycles` cycles. Throws InvalidArgument on a zero interval.
   SimResult run(trace::TraceReader& reader, std::uint64_t interval_cycles);
+
+  /// Single-cycle stepping for callers that drive the core externally
+  /// (SampledCore measures instruction windows this way). Simulates one
+  /// cycle against `reader` and returns false once the trace is exhausted
+  /// and the machine has drained. Interval chopping is disabled in this
+  /// mode; read progress through live_counters(). Do not mix with run().
+  bool step(trace::TraceReader& reader);
+
+  /// Running whole-run totals, valid while driving the core via step().
+  struct LiveCounters {
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t int_issued = 0;
+    std::uint64_t fp_issued = 0;
+    std::uint64_t ls_issued = 0;
+    std::uint64_t br_issued = 0;
+  };
+  LiveCounters live_counters() const {
+    return {cycle_,         iv_retired_,   iv_fetched_,   iv_dispatched_,
+            iv_int_issued_, iv_fp_issued_, iv_ls_issued_, iv_br_issued_};
+  }
 
   const CoreConfig& config() const { return cfg_; }
 
@@ -66,6 +99,18 @@ class OooCore {
   static constexpr int kNumIqClasses = 5;
   static IqClass iq_class_of(trace::OpClass op);
 
+  // Issue-queue entry: the flight's seq plus a cached earliest-ready cycle.
+  // ready_at stays kReadyUnknown while any producer is unissued; once every
+  // producer has issued its complete_cycle is fixed, so ready_at becomes
+  // max over producers' complete cycles and never changes again (producers
+  // retiring later cannot move it). The ready scan then skips a waiting
+  // entry with one compare instead of two ROB walks per cycle.
+  struct IqEntry {
+    std::uint64_t seq;
+    std::uint64_t ready_at;
+  };
+  static constexpr std::uint64_t kReadyUnknown = ~0ULL;
+
   // --- pipeline stages, called once per cycle in reverse order ---
   void do_retire();
   void do_complete();
@@ -73,15 +118,29 @@ class OooCore {
   void do_dispatch();
   void do_fetch(trace::TraceReader& reader);
 
+  /// One full pipeline cycle plus interval bookkeeping (shared by run and
+  /// step).
+  void cycle_once(trace::TraceReader& reader);
+  bool drained() const {
+    return trace_exhausted_ && !pending_valid_ && fetch_buffer_.empty() &&
+           rob_.empty();
+  }
+
   bool dep_satisfied(std::uint64_t dep) const;
+  /// Earliest cycle the flight's operands are all available, or
+  /// kReadyUnknown while a producer has not issued yet.
+  std::uint64_t ready_at_of(const Flight& f) const;
   Flight* find_flight(std::uint64_t seq);
   const Flight* find_flight(std::uint64_t seq) const;
   int exec_latency(trace::OpClass op) const;
   void finish_interval();
 
   CoreConfig cfg_;
-  BranchPredictor predictor_;
-  MemoryHierarchy mem_;
+  // Owned by default; borrowed (null owners) via the injection constructor.
+  std::unique_ptr<BranchPredictor> owned_predictor_;
+  std::unique_ptr<MemoryHierarchy> owned_mem_;
+  BranchPredictor* predictor_ = nullptr;
+  MemoryHierarchy* mem_ = nullptr;
 
   // ROB as a ring: rob_[seq - rob_base_seq_] for in-flight seq numbers.
   std::deque<Flight> rob_;
@@ -94,7 +153,7 @@ class OooCore {
   int fp_regs_in_use_ = 0;
   int mem_queue_used_ = 0;
 
-  std::vector<std::vector<std::uint64_t>> issue_queues_;  ///< seqs, FIFO order
+  std::vector<std::vector<IqEntry>> issue_queues_;  ///< FIFO order
   UnitPool int_pool_, fp_pool_, ls_pool_, br_pool_, cr_pool_;
 
   // Fetch state.

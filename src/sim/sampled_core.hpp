@@ -1,0 +1,71 @@
+// SMARTS-style sampled timing simulation with a regression estimator.
+//
+// Three ingredients:
+//
+// 1. Detailed prefix.  The first ~10k instructions (the cold-start ramp,
+//    where cache/predictor fill makes miss costs overlap heavily and CPI
+//    is several times steady state) run fully on the detailed OooCore and
+//    contribute their exact cycle count.
+//
+// 2. Systematic sampling.  After the prefix, per sampling period one short
+//    measurement unit runs on the detailed OooCore: warm-up instructions
+//    re-establish pipeline/queue backpressure, then several consecutive
+//    `measure`-instruction windows are timed between retirement snapshots
+//    (excluding fill and drain bias; packing multiple windows into one
+//    unit amortizes the warmup).  The rest of the period fast-forwards
+//    functionally — no pipeline timing, but every instruction still
+//    updates the shared cache hierarchy and branch predictor, so
+//    long-lived state never goes cold.
+//
+// 3. Regression (control-variate) estimation.  Raw window-IPC
+//    extrapolation would inherit the windows' Poisson event noise (a few
+//    misses more or fewer swings a short window's IPC by tens of percent).
+//    Instead, the shared predictor/hierarchy count every mispredict and
+//    miss over 100% of the stream, and the windows fit
+//        cycles = base_cpi * instructions + event_scale * event_cost
+//    (event_cost = nominal serialized penalties for mispredicts and
+//    I/D/L2 misses), ridge-regularized toward event_scale = 1 for
+//    sparse-event workloads.  Steady periods are then priced with their
+//    own exact event counts, so phase shifts in miss density land in the
+//    right intervals and event noise cancels between fit and evaluation.
+//    The spread of per-window observed/fitted ratios yields 95% confidence
+//    bounds (FastSimStats).
+//
+// Deterministic by construction: the sampling schedule is systematic (no
+// RNG), each run is single-threaded, and the trace stream is deterministic,
+// so results are byte-identical across reruns and job counts.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/core_config.hpp"
+#include "sim/interval_stats.hpp"
+#include "sim/sim_mode.hpp"
+#include "trace/instruction.hpp"
+
+namespace ramp::sim {
+
+class SampledCore {
+ public:
+  /// Validates `params` (throws InvalidArgument on nonsense).
+  SampledCore(const CoreConfig& cfg, const SampledParams& params);
+
+  /// Runs `reader` to exhaustion and returns an estimated SimResult shaped
+  /// like OooCore's: intervals of `interval_cycles` estimated cycles with
+  /// piecewise-constant activity, plus whole-run totals (cache and branch
+  /// counters are exact full-stream functional counts; cycles and IPC are
+  /// the sampled estimates). Throws InvalidArgument on a zero interval.
+  SimResult run(trace::TraceReader& reader, std::uint64_t interval_cycles);
+
+  /// Estimator metadata for the last run (coverage, units, confidence).
+  const FastSimStats& fast_stats() const { return stats_; }
+
+  const CoreConfig& config() const { return cfg_; }
+
+ private:
+  CoreConfig cfg_;
+  SampledParams params_;
+  FastSimStats stats_;
+};
+
+}  // namespace ramp::sim

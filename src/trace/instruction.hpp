@@ -64,6 +64,15 @@ class TraceReader {
   virtual ~TraceReader() = default;
   virtual bool next(Instruction& out) = 0;
 
+  /// Functional fast-forward: fills `out` with only the fields a non-timing
+  /// warming pass needs — op class, pc, mem_addr, and branch
+  /// direction/target. Register/dependence fields may be unset. The default
+  /// delegates to next(); implementations may use a cheaper draw sequence,
+  /// so a stream that interleaves next() and next_functional() is still
+  /// deterministic but differs instruction-by-instruction from one read via
+  /// next() alone (the statistical properties are identical).
+  virtual bool next_functional(Instruction& out) { return next(out); }
+
   TraceReader() = default;
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;

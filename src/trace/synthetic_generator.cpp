@@ -11,7 +11,6 @@ namespace {
 constexpr std::uint16_t kNumIntRegs = 32;
 constexpr std::uint16_t kNumFpRegs = 32;
 constexpr std::uint16_t kFpRegBase = 32;
-constexpr std::size_t kRecentWindow = 64;
 constexpr std::uint64_t kInstrBytes = 4;
 
 // Deterministic per-PC hash (SplitMix64 finalizer) — fixes each static
@@ -56,6 +55,12 @@ SyntheticTrace::SyntheticTrace(const GeneratorProfile& profile,
                                std::uint64_t length, std::uint64_t seed)
     : profile_(profile), length_(length), rng_(seed), mix_(profile.op_mix) {
   validate(profile_);
+  stream_span_ = std::max<std::uint64_t>(
+      profile_.hot_footprint_bytes /
+          static_cast<std::uint64_t>(profile_.num_streams),
+      64);
+  code_span_ = static_cast<std::uint64_t>(profile_.code_blocks) *
+               static_cast<std::uint64_t>(profile_.block_len) * kInstrBytes;
   stream_pos_.resize(static_cast<std::size_t>(profile_.num_streams));
   // Lay streams out contiguously with a 3-line skew between them so their
   // footprints land in different cache sets (bases that are multiples of
@@ -72,29 +77,34 @@ bool SyntheticTrace::next(Instruction& out) {
   return true;
 }
 
+bool SyntheticTrace::next_functional(Instruction& out) {
+  if (emitted_ >= length_) return false;
+  out = synthesize_functional();
+  ++emitted_;
+  return true;
+}
+
 std::uint16_t SyntheticTrace::pick_source(bool fp) {
-  auto& recent = fp ? recent_fp_ : recent_int_;
-  if (recent.empty()) {
+  const RecentRing& recent = fp ? recent_fp_ : recent_int_;
+  if (recent.count == 0) {
     // Cold start: depend on an arbitrary architectural register.
     return fp ? kFpRegBase : std::uint16_t{0};
   }
   // Geometric distance from the most recent producer; clamp into the window.
   const std::uint64_t d = rng_.geometric(profile_.dep_distance_p);
-  const std::size_t idx =
-      recent.size() - 1 - std::min<std::uint64_t>(d, recent.size() - 1);
-  return recent[idx];
+  const std::uint64_t back = std::min<std::uint64_t>(d, recent.count - 1);
+  return recent.buf[(recent.head + kRecentWindow - back) % kRecentWindow];
 }
 
-std::uint64_t SyntheticTrace::stream_span() const {
-  return std::max<std::uint64_t>(
-      profile_.hot_footprint_bytes /
-          static_cast<std::uint64_t>(profile_.num_streams),
-      64);
+void SyntheticTrace::record_producer(RecentRing& recent, std::uint16_t dst) {
+  recent.head = (recent.head + 1) % kRecentWindow;
+  recent.buf[recent.head] = dst;
+  if (recent.count < kRecentWindow) ++recent.count;
 }
 
 std::uint64_t SyntheticTrace::stream_base(std::size_t s) const {
   // Contiguous spans with a 3-cache-line skew per stream.
-  return 0x100000 + s * (stream_span() + 192);
+  return 0x100000 + s * (stream_span_ + 192);
 }
 
 std::uint64_t SyntheticTrace::gen_mem_addr() {
@@ -104,7 +114,7 @@ std::uint64_t SyntheticTrace::gen_mem_addr() {
     stream_pos_[s] += profile_.stream_stride;
     // Wrap within the span so streams stay cache-resident at the rate the
     // footprint implies.
-    if (stream_pos_[s] >= stream_base(s) + stream_span()) {
+    if (stream_pos_[s] >= stream_base(s) + stream_span_) {
       stream_pos_[s] = stream_base(s);
     }
     return stream_pos_[s];
@@ -130,10 +140,8 @@ Instruction SyntheticTrace::synthesize() {
   // regardless of the dynamic path. Branch draws landing mid-block become
   // CR-logical ops (POWER cores have rich CR traffic), so branch density is
   // carried by block_len.
-  const std::uint64_t block_offset =
-      (pc_ - 0x10000) / kInstrBytes % static_cast<std::uint64_t>(profile_.block_len);
   const bool grid_slot =
-      block_offset == static_cast<std::uint64_t>(profile_.block_len) - 1;
+      block_offset_ == static_cast<std::uint64_t>(profile_.block_len) - 1;
   if (grid_slot) {
     ins.op = OpClass::kBranch;
   } else if (ins.op == OpClass::kBranch) {
@@ -178,23 +186,64 @@ Instruction SyntheticTrace::synthesize() {
     if (fp) {
       ins.dst = static_cast<std::uint16_t>(kFpRegBase + next_fp_reg_);
       next_fp_reg_ = static_cast<std::uint16_t>((next_fp_reg_ + 1) % kNumFpRegs);
-      recent_fp_.push_back(ins.dst);
-      if (recent_fp_.size() > kRecentWindow)
-        recent_fp_.erase(recent_fp_.begin());
+      record_producer(recent_fp_, ins.dst);
     } else {
       ins.dst = next_int_reg_;
       next_int_reg_ = static_cast<std::uint16_t>((next_int_reg_ + 1) % kNumIntRegs);
-      recent_int_.push_back(ins.dst);
-      if (recent_int_.size() > kRecentWindow)
-        recent_int_.erase(recent_int_.begin());
+      record_producer(recent_int_, ins.dst);
     }
   }
 
-  // Advance control flow.
+  advance_pc(ins);
+  return ins;
+}
+
+Instruction SyntheticTrace::synthesize_functional() {
+  Instruction ins;
+  ins.op = static_cast<OpClass>(mix_.sample(rng_));
+
+  // Same static branch grid as synthesize() — pc_ evolves identically on
+  // both paths, so the set of static branch sites is shared.
+  const bool grid_slot =
+      block_offset_ == static_cast<std::uint64_t>(profile_.block_len) - 1;
+  if (grid_slot) {
+    ins.op = OpClass::kBranch;
+  } else if (ins.op == OpClass::kBranch) {
+    ins.op = OpClass::kLogicalCr;
+  }
+
+  ins.pc = pc_;
+
+  // Only the fields the warming pass consumes: no register draws, no
+  // recent-producer bookkeeping. The RNG therefore advances differently
+  // than on the next() path — deterministic, same distributions.
+  switch (ins.op) {
+    case OpClass::kLoad:
+    case OpClass::kStore:
+      ins.mem_addr = gen_mem_addr();
+      break;
+    case OpClass::kBranch: {
+      const std::uint64_t h = pc_hash(ins.pc);
+      const bool preferred =
+          (h & 0x3ff) < static_cast<std::uint64_t>(profile_.taken_bias * 1024.0);
+      ins.branch_taken =
+          rng_.bernoulli(profile_.branch_noise) ? !preferred : preferred;
+      break;
+    }
+    default:
+      break;
+  }
+
+  advance_pc(ins);
+  return ins;
+}
+
+void SyntheticTrace::advance_pc(Instruction& ins) {
   if (ins.op == OpClass::kBranch) {
-    const std::uint64_t code_span =
-        static_cast<std::uint64_t>(profile_.code_blocks) *
-        static_cast<std::uint64_t>(profile_.block_len) * kInstrBytes;
+    // Branches occupy only the last slot of a block, and both exits land on
+    // a block base (taken targets are block-aligned; not-taken falls into
+    // the next block or wraps), so the block offset resets to zero.
+    block_offset_ = 0;
     if (ins.branch_taken) {
       // Jump to this static branch's fixed target block (BTB-learnable).
       const std::uint64_t block =
@@ -205,12 +254,12 @@ Instruction SyntheticTrace::synthesize() {
     } else {
       ins.branch_target = pc_ + kInstrBytes;
       pc_ += kInstrBytes;
-      if (pc_ >= 0x10000 + code_span) pc_ = 0x10000;
+      if (pc_ >= 0x10000 + code_span_) pc_ = 0x10000;
     }
   } else {
     pc_ += kInstrBytes;
+    ++block_offset_;
   }
-  return ins;
 }
 
 }  // namespace ramp::trace

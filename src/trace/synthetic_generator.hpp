@@ -10,6 +10,7 @@
 // power reported in Table 3 of the paper.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -69,14 +70,34 @@ class SyntheticTrace final : public TraceReader {
 
   bool next(Instruction& out) override;
 
+  /// Cheap functional path (~5× less RNG work than next()): keeps the op
+  /// mix, the static branch grid, memory addresses, branch outcomes, and
+  /// control flow bit-identical in distribution, but skips source/dest
+  /// register draws and bookkeeping. Used by the sampled fast-forward,
+  /// which only warms caches and the branch predictor.
+  bool next_functional(Instruction& out) override;
+
   std::uint64_t emitted() const { return emitted_; }
   std::uint64_t length() const { return length_; }
 
  private:
+  static constexpr std::size_t kRecentWindow = 64;  // power of two (ring mask)
+
+  // Recent destination registers as a fixed ring, newest at `head`, so
+  // recording a producer is O(1) (a growing vector with front-erase costs a
+  // 64-entry memmove per value-producing instruction).
+  struct RecentRing {
+    std::array<std::uint16_t, kRecentWindow> buf{};
+    std::uint32_t head = 0;  ///< index of the newest entry (when count > 0)
+    std::uint32_t count = 0;
+  };
+
   Instruction synthesize();
+  Instruction synthesize_functional();
+  void advance_pc(Instruction& ins);
   std::uint16_t pick_source(bool fp);
+  void record_producer(RecentRing& recent, std::uint16_t dst);
   std::uint64_t gen_mem_addr();
-  std::uint64_t stream_span() const;
   std::uint64_t stream_base(std::size_t s) const;
 
   GeneratorProfile profile_;
@@ -85,15 +106,22 @@ class SyntheticTrace final : public TraceReader {
   Xoshiro256 rng_;
   AliasTable mix_;
 
-  // Recent destination registers, newest last, split by register class so FP
-  // ops depend on FP producers.
-  std::vector<std::uint16_t> recent_int_;
-  std::vector<std::uint16_t> recent_fp_;
+  // Split by register class so FP ops depend on FP producers.
+  RecentRing recent_int_;
+  RecentRing recent_fp_;
   std::uint16_t next_int_reg_ = 0;
   std::uint16_t next_fp_reg_ = 0;
 
   std::vector<std::uint64_t> stream_pos_;
+  // Derived constants hoisted out of the per-instruction path (each would
+  // otherwise cost a 64-bit division per instruction or per memory access).
+  std::uint64_t stream_span_ = 0;
+  std::uint64_t code_span_ = 0;
   std::uint64_t pc_ = 0x10000;
+  // pc_'s offset within its basic block, tracked incrementally: branches sit
+  // only on the last slot of each block, and both branch exits (taken jumps
+  // to a block base; not-taken falls into the next block) reset it to zero.
+  std::uint64_t block_offset_ = 0;
 };
 
 }  // namespace ramp::trace

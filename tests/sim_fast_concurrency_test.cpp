@@ -1,0 +1,49 @@
+// Determinism of the sampled fast path under the parallel sweep engine: a
+// sampled-mode sweep must serialize byte-for-byte identically across reruns
+// and job counts, exactly like the detailed path (sweep_parallel_test). The
+// sampling schedule is systematic and each cell single-threaded, so the only
+// way this can break is shared mutable state leaking between cells.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "pipeline/sweep.hpp"
+#include "sim/sim_mode.hpp"
+
+namespace ramp::pipeline {
+namespace {
+
+EvaluationConfig sampled_config() {
+  EvaluationConfig cfg;
+  // Short enough to keep the 80-cell sweep fast under TSan, long enough
+  // that every cell gets past the detailed prefix into real sampling
+  // (prefix + one full period + a fast-forward tail).
+  cfg.trace_instructions = 120'000;
+  cfg.sim_mode = sim::SimMode::kSampled;
+  return cfg;
+}
+
+std::string runner_csv(std::size_t jobs) {
+  SweepRunner::Options opts;
+  opts.jobs = jobs;
+  opts.cache_path = "";
+  return sweep_to_csv(SweepRunner(sampled_config(), opts).run());
+}
+
+// The serial baseline every test compares against, computed once.
+const std::string& serial_csv() {
+  static const std::string csv = runner_csv(1);
+  return csv;
+}
+
+TEST(SimFastConcurrencyTest, SampledSerialRerunIsByteForByteDeterministic) {
+  EXPECT_EQ(runner_csv(1), serial_csv());
+}
+
+TEST(SimFastConcurrencyTest, SampledFourJobsMatchSerialByteForByte) {
+  EXPECT_EQ(runner_csv(4), serial_csv());
+}
+
+}  // namespace
+}  // namespace ramp::pipeline

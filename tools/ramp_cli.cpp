@@ -7,6 +7,7 @@
 //   ramp report [--trace-len N] [--jobs N]   markdown report of a sweep
 //   ramp serve [--jobs N] [...]       NDJSON evaluation service on stdin/stdout
 //   ramp fleet [--chips N] [...]      fleet-scale population scenario
+//   ramp simcheck [...]               fast-sim vs detailed differential check
 //   ramp trace <app> <file> [N]       capture a synthetic trace to a file
 //
 // Node names accept "180", "130", "90", "65-0.9", "65-1.0".
@@ -41,6 +42,11 @@
 #include "pipeline/sweep.hpp"
 #include "serve/eval_service.hpp"
 #include "serve/server.hpp"
+#include "sim/core_config.hpp"
+#include "sim/interval_model.hpp"
+#include "sim/ooo_core.hpp"
+#include "sim/sampled_core.hpp"
+#include "sim/sim_mode.hpp"
 #include "trace/synthetic_generator.hpp"
 #include "trace/trace_io.hpp"
 #include "util/constants.hpp"
@@ -91,6 +97,14 @@ double flag_double(std::vector<std::string>& args, const std::string& flag,
                    std::isfinite(v),
                "flag " + flag + " expects a finite number, got '" + s + "'");
   return v;
+}
+
+// --sim-mode detailed|sampled|interval|auto (strict parse; throws on junk).
+void flag_sim_mode(std::vector<std::string>& args,
+                   pipeline::EvaluationConfig& cfg) {
+  if (const std::string m = flag_str(args, "--sim-mode", ""); !m.empty()) {
+    cfg.sim_mode = sim::parse_sim_mode(m);
+  }
 }
 
 bool flag_present(std::vector<std::string>& args, const std::string& flag) {
@@ -202,6 +216,7 @@ pipeline::SweepResult cli_sweep(std::vector<std::string>& args, ObsFlags& fl) {
   pipeline::EvaluationConfig cfg =
       pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
   cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
+  flag_sim_mode(args, cfg);
   const std::size_t default_jobs =
       env_jobs("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency()));
   const auto jobs =
@@ -305,6 +320,7 @@ int cmd_evaluate(std::vector<std::string> args) {
   pipeline::EvaluationConfig cfg =
       pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
   cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
+  flag_sim_mode(args, cfg);
   const std::string out_dir = flag_str(args, "--out-dir", output_dir());
   const auto stage_store = resolve_stage_store(args, cfg, out_dir);
   const auto& w = workloads::workload(args[0]);
@@ -453,6 +469,7 @@ int cmd_serve(std::vector<std::string> args) {
   pipeline::EvaluationConfig cfg =
       pipeline::EvaluationConfig::from_env(/*trace_len=*/200'000);
   cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
+  flag_sim_mode(args, cfg);
   const std::size_t default_jobs =
       env_jobs("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency()));
 
@@ -673,6 +690,7 @@ int cmd_fleet(std::vector<std::string> args) {
   }
   sc.cell.trace_instructions =
       flag_u64(args, "--trace-len", sc.cell.trace_instructions);
+  flag_sim_mode(args, sc.cell);
 
   const std::size_t default_jobs =
       env_jobs("RAMP_JOBS", std::max(1u, std::thread::hardware_concurrency()));
@@ -725,6 +743,100 @@ int cmd_fleet(std::vector<std::string> args) {
   return 0;
 }
 
+// Differential validation of the fast sim paths: every workload runs the
+// detailed OooCore and the requested estimator(s) over the same synthetic
+// stream, then the run-level IPC must agree within the estimator's IPC
+// tolerance (relative; --tol-ipc for sampled, --tol-ipc-interval for the
+// coarser interval model) and every structure's average activity within
+// --tol-act (absolute). Prints a per-(app, estimator) table and exits
+// nonzero on any violation — this is the tolerance contract the cached
+// fast-path payloads are sold under, wired into ctest so a regression in
+// either estimator fails the suite.
+int cmd_simcheck(std::vector<std::string> args) {
+  // 2M instructions: the sampled estimator's tolerance contract holds from
+  // ~1M up (enough sampling units for the regression); shorter streams are
+  // what `auto` keeps on the detailed core anyway.
+  pipeline::EvaluationConfig cfg =
+      pipeline::EvaluationConfig::from_env(/*trace_len=*/2'000'000);
+  cfg.trace_instructions = flag_u64(args, "--trace-len", cfg.trace_instructions);
+  const std::string mode = flag_str(args, "--mode", "both");
+  const auto node = parse_node(flag_str(args, "--node", "180"));
+  const double tol_ipc = flag_double(args, "--tol-ipc", 0.02);
+  const double tol_ipc_interval = flag_double(args, "--tol-ipc-interval", 0.05);
+  const double tol_act = flag_double(args, "--tol-act", 0.02);
+  if (!args.empty()) {
+    std::fprintf(stderr, "simcheck: unknown argument '%s'\n",
+                 args.front().c_str());
+    return 2;
+  }
+  const bool do_sampled = mode == "both" || mode == "sampled";
+  const bool do_interval = mode == "both" || mode == "interval";
+  RAMP_REQUIRE(do_sampled || do_interval,
+               "--mode expects sampled|interval|both, got '" + mode + "'");
+  RAMP_REQUIRE(tol_ipc > 0.0 && tol_ipc_interval > 0.0 && tol_act > 0.0,
+               "tolerances must be positive");
+
+  const scaling::TechnologyNode& tech = scaling::node(node);
+  const sim::CoreConfig core_cfg = sim::core_config_for(tech);
+  const auto interval_cycles = static_cast<std::uint64_t>(
+      std::llround(core_cfg.frequency_hz * cfg.interval_seconds));
+
+  TextTable table("simcheck @ " + std::string(scaling::tech_name(node)) +
+                  ", " + std::to_string(cfg.trace_instructions) +
+                  " instructions");
+  table.set_header({"app", "estimator", "IPC det", "IPC est", "dIPC %",
+                    "max dAct", "status"});
+  int violations = 0;
+  for (const auto& w : workloads::spec2k_suite()) {
+    const std::uint64_t seed = pipeline::app_trace_seed(cfg.seed, w.name);
+    const auto fresh_trace = [&] {
+      return trace::SyntheticTrace(w.profile, cfg.trace_instructions, seed);
+    };
+    trace::SyntheticTrace det_trace = fresh_trace();
+    sim::OooCore det_core(core_cfg);
+    const sim::SimResult det = det_core.run(det_trace, interval_cycles);
+
+    const auto check = [&](const char* name, double ipc_tol,
+                           const sim::SimResult& est) {
+      const double det_ipc = det.totals.ipc();
+      const double rel_ipc =
+          det_ipc > 0.0 ? std::abs(est.totals.ipc() - det_ipc) / det_ipc : 0.0;
+      double max_act = 0.0;
+      for (std::size_t s = 0; s < sim::kNumStructures; ++s) {
+        max_act = std::max(max_act, std::abs(est.totals.avg_activity[s] -
+                                             det.totals.avg_activity[s]));
+      }
+      const bool ok = rel_ipc <= ipc_tol && max_act <= tol_act;
+      if (!ok) ++violations;
+      table.add_row({w.name, name, fmt(det_ipc, 4), fmt(est.totals.ipc(), 4),
+                     fmt(rel_ipc * 100.0, 2), fmt(max_act, 4),
+                     ok ? "ok" : "FAIL"});
+    };
+    if (do_sampled) {
+      trace::SyntheticTrace t = fresh_trace();
+      sim::SampledCore core(core_cfg, cfg.sampled);
+      check("sampled", tol_ipc, core.run(t, interval_cycles));
+    }
+    if (do_interval) {
+      trace::SyntheticTrace t = fresh_trace();
+      sim::IntervalModel model(core_cfg);
+      check("interval", tol_ipc_interval, model.run(t, interval_cycles));
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "simcheck: %d estimate(s) outside tolerance "
+                 "(tol-ipc %.3f/%.3f, tol-act %.3f)\n",
+                 violations, tol_ipc, tol_ipc_interval, tol_act);
+    return 1;
+  }
+  std::printf("simcheck: all estimates within tolerance "
+              "(tol-ipc %.3f/%.3f, tol-act %.3f)\n",
+              tol_ipc, tol_ipc_interval, tol_act);
+  return 0;
+}
+
 int cmd_trace(std::vector<std::string> args) {
   if (args.size() < 2) {
     std::fprintf(stderr, "usage: ramp trace <app> <file> [instructions]\n");
@@ -772,6 +884,15 @@ int usage() {
                "                                failure-rate curves on stdout and\n"
                "                                fleet_curve.csv / fleet.ndjson in\n"
                "                                --out-dir (RAMP_FLEET_* env too)\n"
+               "  simcheck [--trace-len N] [--mode sampled|interval|both]\n"
+               "        [--node NAME] [--tol-ipc F] [--tol-ipc-interval F]\n"
+               "        [--tol-act F]\n"
+               "                                differential validation of the\n"
+               "                                fast sim paths vs detailed on\n"
+               "                                every workload; nonzero exit if\n"
+               "                                any estimate misses tolerance\n"
+               "                                (rel IPC 0.02 sampled / 0.05\n"
+               "                                interval, 0.02 abs activity)\n"
                "  trace <app> <file> [N]        capture a synthetic trace\n"
                "Sweep-based commands and serve also honor --out-dir (default\n"
                "$RAMP_OUT_DIR or out/) for caches and generated artifacts.\n"
@@ -789,7 +910,12 @@ int usage() {
                "--stage-cache[=DIR] to memoize per-stage pipeline outputs\n"
                "(trace/sim/power/thermal/fit) content-addressed on disk\n"
                "(default DIR <out-dir>/stage_cache; results are identical,\n"
-               "only faster). Env equivalent: RAMP_STAGE_CACHE[=DIR].\n");
+               "only faster). Env equivalent: RAMP_STAGE_CACHE[=DIR].\n"
+               "Sim mode: evaluate/sweep/report/missions/serve/fleet take\n"
+               "--sim-mode detailed|sampled|interval|auto to pick the timing\n"
+               "estimator (default detailed; sampled/interval trade <=2%% IPC\n"
+               "accuracy for speed, see ramp simcheck). Env equivalents:\n"
+               "RAMP_SIM_MODE, RAMP_SIM_PERIOD/WARMUP/MEASURE.\n");
   return 2;
 }
 
@@ -808,6 +934,7 @@ int main(int argc, char** argv) {
     if (cmd == "missions") return cmd_missions(std::move(args));
     if (cmd == "serve") return cmd_serve(std::move(args));
     if (cmd == "fleet") return cmd_fleet(std::move(args));
+    if (cmd == "simcheck") return cmd_simcheck(std::move(args));
     if (cmd == "trace") return cmd_trace(std::move(args));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
